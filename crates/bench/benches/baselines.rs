@@ -1,0 +1,62 @@
+//! K7: truncated-SVD algorithm baselines at a fixed problem size — the
+//! timing companion to the `ablation_baselines` accuracy harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psvd_core::{BrandIncrementalSvd, SerialStreamingSvd, SvdConfig};
+use psvd_linalg::lanczos::{lanczos_svd, LanczosConfig};
+use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
+use psvd_linalg::randomized::{randomized_svd, RandomizedConfig};
+use psvd_linalg::Matrix;
+use std::hint::black_box;
+
+fn dataset() -> Matrix {
+    let spec: Vec<f64> = (0..40).map(|i| 8.0 * 0.8f64.powi(i)).collect();
+    matrix_with_spectrum(4096, 96, &spec, &mut seeded_rng(1))
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = dataset();
+    let k = 10;
+    let batch = 16;
+    let mut group = c.benchmark_group("truncated_svd_baselines_4096x96_k10");
+    group.sample_size(10);
+
+    group.bench_function("levy_lindenbaum_stream", |b| {
+        b.iter(|| {
+            let mut s = SerialStreamingSvd::new(SvdConfig::new(k).with_forget_factor(1.0));
+            s.fit_batched(black_box(&data), batch);
+            s.singular_values().to_vec()
+        });
+    });
+    group.bench_function("brand_stream", |b| {
+        b.iter(|| {
+            let mut s = BrandIncrementalSvd::new(SvdConfig::new(k).with_forget_factor(1.0));
+            s.fit_batched(black_box(&data), batch);
+            s.singular_values().to_vec()
+        });
+    });
+    group.bench_function("lanczos", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(3);
+            lanczos_svd(black_box(&data), &LanczosConfig::new(k), &mut rng).s
+        });
+    });
+    group.bench_function("randomized_q2", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(4);
+            randomized_svd(
+                black_box(&data),
+                &RandomizedConfig::new(k).with_power_iterations(2),
+                &mut rng,
+            )
+            .s
+        });
+    });
+    group.bench_function("oneshot_deterministic", |b| {
+        b.iter(|| psvd_linalg::svd(black_box(&data)).truncated(k).s);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

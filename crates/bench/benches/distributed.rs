@@ -1,0 +1,59 @@
+//! K4–K5: distributed kernels — one APMOS round and one TSQR round across
+//! rank counts at fixed per-rank size. On this single-core host the wall
+//! times include thread serialization (the *simulated*-time scaling lives
+//! in `fig1c_weak_scaling`); what these benches expose is the per-rank
+//! algorithmic cost and the collective overhead of the fabric itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psvd_comm::{Communicator, World};
+use psvd_core::{parallel_svd_once, ParallelStreamingSvd, SvdConfig};
+use psvd_linalg::Matrix;
+use std::hint::black_box;
+
+fn local_block(rank: usize, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| (((rank * rows + i) * 7 + j * 13) as f64 * 0.01).sin())
+}
+
+fn bench_apmos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apmos_round");
+    group.sample_size(10);
+    let rows = 512;
+    let cols = 32;
+    for n_ranks in [1usize, 2, 4, 8] {
+        let cfg = SvdConfig::new(5).with_r1(16).with_r2(8);
+        group.bench_with_input(BenchmarkId::from_parameter(n_ranks), &n_ranks, |b, &n| {
+            b.iter(|| {
+                let world = World::new(n);
+                world.run(|comm| {
+                    let local = local_block(comm.rank(), rows, cols);
+                    black_box(parallel_svd_once(comm, cfg, &local))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsqr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsqr_round");
+    group.sample_size(10);
+    let rows = 512;
+    let cols = 32;
+    for n_ranks in [1usize, 2, 4, 8] {
+        let cfg = SvdConfig::new(5);
+        group.bench_with_input(BenchmarkId::from_parameter(n_ranks), &n_ranks, |b, &n| {
+            b.iter(|| {
+                let world = World::new(n);
+                world.run(|comm| {
+                    let local = local_block(comm.rank(), rows, cols);
+                    let mut d = ParallelStreamingSvd::new(comm, cfg);
+                    black_box(d.parallel_qr(&local))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apmos, bench_tsqr);
+criterion_main!(benches);

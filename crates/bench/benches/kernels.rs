@@ -1,0 +1,73 @@
+//! K1–K3: dense kernel benchmarks — GEMM, QR, and the three SVD paths
+//! (Golub–Kahan, one-sided Jacobi, randomized). These are the inner loops
+//! every driver iteration pays for, so their relative costs explain the
+//! end-to-end numbers in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psvd_linalg::gemm::matmul;
+use psvd_linalg::qr::thin_qr;
+use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
+use psvd_linalg::randomized::{randomized_svd, RandomizedConfig};
+use psvd_linalg::svd::{svd_with, SvdMethod};
+use psvd_linalg::Matrix;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j) as f64 * 0.01).sin());
+        let b = Matrix::from_fn(n, n, |i, j| ((i + 5 * j) as f64 * 0.02).cos());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr_tall");
+    group.sample_size(20);
+    for (m, n) in [(512usize, 32usize), (1024, 64), (4096, 64)] {
+        // Gaussian input: well-conditioned w.h.p., so the Cholesky-based
+        // variant (which rejects numerically rank-deficient matrices) runs.
+        let a = psvd_linalg::random::gaussian_matrix(m, n, &mut seeded_rng((m + n) as u64));
+        group.bench_with_input(BenchmarkId::new("householder", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| thin_qr(black_box(a)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cholesky_qr2", format!("{m}x{n}")),
+            &a,
+            |b, a| {
+                b.iter(|| psvd_linalg::cholesky::cholesky_qr2(black_box(a)).expect("full rank"));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("mgs2", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| psvd_linalg::qr::mgs_qr(black_box(a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_kernels");
+    group.sample_size(10);
+    let spec: Vec<f64> = (0..50).map(|i| 10.0 * 0.8f64.powi(i)).collect();
+    let a = matrix_with_spectrum(400, 50, &spec, &mut seeded_rng(1));
+    group.bench_function("golub_kahan_400x50", |b| {
+        b.iter(|| svd_with(black_box(&a), SvdMethod::GolubKahan));
+    });
+    group.bench_function("jacobi_400x50", |b| {
+        b.iter(|| svd_with(black_box(&a), SvdMethod::Jacobi));
+    });
+    group.bench_function("randomized_k10_400x50", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(2);
+            randomized_svd(black_box(&a), &RandomizedConfig::new(10), &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_qr, bench_svd_kernels);
+criterion_main!(benches);

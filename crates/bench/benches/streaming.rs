@@ -1,0 +1,56 @@
+//! K6: streaming-update throughput — the cost of one
+//! `incorporate_data` call as a function of the tracked mode count `K` and
+//! the batch width `B`. Per Levy–Lindenbaum the update is
+//! `O(M (K+B)²)`, so doubling either knob should roughly quadruple the
+//! combined quadratic term; the measured curves let EXPERIMENTS.md check
+//! that the implementation actually honors the paper's complexity claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psvd_core::{SerialStreamingSvd, SvdConfig};
+use psvd_linalg::Matrix;
+use std::hint::black_box;
+
+fn batch(m: usize, b: usize, phase: usize) -> Matrix {
+    Matrix::from_fn(m, b, |i, j| (((i + phase) * 3 + j * 11) as f64 * 0.004).sin())
+}
+
+fn bench_update_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incorporate_vs_k");
+    group.sample_size(10);
+    let m = 8192;
+    let b = 25;
+    for k in [5usize, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            let mut svd = SerialStreamingSvd::new(SvdConfig::new(k));
+            svd.initialize(&batch(m, k.max(b), 0));
+            let mut phase = 1;
+            bench.iter(|| {
+                svd.incorporate_data(black_box(&batch(m, b, phase)));
+                phase += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incorporate_vs_batch");
+    group.sample_size(10);
+    let m = 8192;
+    let k = 10;
+    for b in [10usize, 25, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let mut svd = SerialStreamingSvd::new(SvdConfig::new(k));
+            svd.initialize(&batch(m, b, 0));
+            let mut phase = 1;
+            bench.iter(|| {
+                svd.incorporate_data(black_box(&batch(m, b, phase)));
+                phase += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_vs_k, bench_update_vs_batch);
+criterion_main!(benches);

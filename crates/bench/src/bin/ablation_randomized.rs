@@ -1,0 +1,71 @@
+//! Ablation A3: the randomized inner SVD (oversampling and power
+//! iterations) against the deterministic kernel.
+//!
+//! Section 3.3 of the paper adopts the Halko-style randomized low-rank SVD
+//! for "any SVD requirement". This harness quantifies the accuracy/time
+//! trade on two spectra — fast geometric decay (easy) and slow harmonic
+//! decay (hard) — as oversampling `p` and power iterations `q` vary.
+//!
+//! ```text
+//! cargo run -p psvd-bench --release --bin ablation_randomized
+//! ```
+
+use psvd_bench::{fmt_secs, time_it, Table};
+use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
+use psvd_linalg::randomized::{randomized_svd, RandomizedConfig};
+use psvd_linalg::svd::svd;
+use psvd_linalg::Matrix;
+
+fn relative_lowrank_error(a: &Matrix, approx: &Matrix, best: f64) -> f64 {
+    let err = (a - approx).frobenius_norm();
+    err / best.max(1e-300)
+}
+
+fn sweep(label: &str, a: &Matrix, k: usize) {
+    let (full, t_full) = time_it(|| svd(a));
+    let best = {
+        let trunc = full.truncated(k);
+        (a - &trunc.reconstruct()).frobenius_norm()
+    };
+    println!(
+        "-- {label}: {} x {}, K = {k}, deterministic SVD {} (error ratio 1.0 by definition) --\n",
+        a.rows(),
+        a.cols(),
+        fmt_secs(t_full)
+    );
+    let table = Table::new(&["oversampling p", "power iters q", "error / optimal", "time", "speedup"]);
+    for p in [0, 2, 5, 10, 20] {
+        for q in [0, 1, 2] {
+            let cfg = RandomizedConfig { rank: k, oversampling: p, power_iterations: q };
+            let mut rng = seeded_rng(77);
+            let (f, t) = time_it(|| randomized_svd(a, &cfg, &mut rng));
+            let ratio = relative_lowrank_error(a, &f.reconstruct(), best);
+            table.row(&[
+                p.to_string(),
+                q.to_string(),
+                format!("{ratio:.4}"),
+                fmt_secs(t),
+                format!("{:.1}x", t_full / t.max(1e-12)),
+            ]);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("== A3: randomized SVD quality vs oversampling / power iterations ==\n");
+    let mut rng = seeded_rng(5);
+
+    let k = 10;
+    let fast: Vec<f64> = (0..60).map(|i| 10.0 * 0.5f64.powi(i)).collect();
+    let a_fast = matrix_with_spectrum(1200, 120, &fast, &mut rng);
+    sweep("fast geometric decay (sigma_i = 10 * 2^-i)", &a_fast, k);
+
+    let slow: Vec<f64> = (0..120).map(|i| 10.0 / (1.0 + i as f64)).collect();
+    let a_slow = matrix_with_spectrum(1200, 120, &slow, &mut rng);
+    sweep("slow harmonic decay (sigma_i = 10 / (1+i))", &a_slow, k);
+
+    println!("expected: on fast decay even q = 0 is near-optimal; on slow decay the error");
+    println!("ratio without power iterations is large and q = 1..2 recovers near-optimality,");
+    println!("matching Halko-Martinsson-Tropp theory.");
+}

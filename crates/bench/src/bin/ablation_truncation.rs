@@ -1,0 +1,67 @@
+//! Ablation A2: the APMOS truncation factors `r1` and `r2`.
+//!
+//! Section 3.2 of the paper: "the choices for r1 and r2 may be used to
+//! balance communication costs and accuracy". This harness measures both
+//! sides of that balance on a Burgers dataset distributed over 8 ranks —
+//! gathered bytes (real, recorded per message) against spectrum error and
+//! subspace angle relative to the untruncated run.
+//!
+//! ```text
+//! cargo run -p psvd-bench --release --bin ablation_truncation
+//! ```
+
+use psvd_bench::Table;
+use psvd_comm::{Communicator, World};
+use psvd_core::{batch_truncated_svd, SvdConfig};
+use psvd_data::burgers::{snapshot_matrix, BurgersConfig};
+use psvd_data::partition::split_rows;
+use psvd_linalg::validate::{max_principal_angle, spectrum_error};
+use psvd_linalg::Matrix;
+
+fn main() {
+    let cfg = BurgersConfig { grid_points: 2048, snapshots: 128, ..BurgersConfig::default() };
+    let data = snapshot_matrix(&cfg);
+    let k = 6;
+    let n_ranks = 8;
+    let blocks = split_rows(&data, n_ranks);
+    let (u_ref, s_ref) = batch_truncated_svd(&data, k);
+
+    let run = |r1: usize, r2: usize| -> (Vec<f64>, Matrix, u64) {
+        let svd_cfg = SvdConfig::new(k).with_r1(r1).with_r2(r2);
+        let world = World::new(n_ranks);
+        let out = world.run(|comm| {
+            let mut d = psvd_core::ParallelStreamingSvd::new(comm, svd_cfg);
+            let (phi, s) = d.parallel_svd(&blocks[comm.rank()]);
+            (phi, s)
+        });
+        let modes =
+            Matrix::vstack_all(&out.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+        (out[0].1.clone(), modes, world.stats().total_bytes())
+    };
+
+    println!("== A2.1: r1 sweep (r2 = {k}, {n_ranks} ranks, Burgers {} x {}) ==\n", cfg.grid_points, cfg.snapshots);
+    let table = Table::new(&["r1", "bytes gathered", "spectrum err", "subspace angle"]);
+    for r1 in [2, 4, 6, 10, 20, 50, 128] {
+        let (s, modes, bytes) = run(r1, k);
+        table.row(&[
+            r1.to_string(),
+            format!("{:.1} kB", bytes as f64 / 1024.0),
+            format!("{:.3e}", spectrum_error(&s_ref, &s)),
+            format!("{:.2e}", max_principal_angle(&u_ref, &modes.first_columns(k.min(modes.cols())))),
+        ]);
+    }
+
+    println!("\n== A2.2: r2 sweep (r1 = 50) ==\n");
+    let table = Table::new(&["r2", "bytes broadcast+gathered", "spectrum err", "subspace angle"]);
+    for r2 in [k, 8, 12, 20, 50] {
+        let (s, modes, bytes) = run(50, r2);
+        table.row(&[
+            r2.to_string(),
+            format!("{:.1} kB", bytes as f64 / 1024.0),
+            format!("{:.3e}", spectrum_error(&s_ref, &s)),
+            format!("{:.2e}", max_principal_angle(&u_ref, &modes.first_columns(k.min(modes.cols())))),
+        ]);
+    }
+    println!("\nexpected: error falls steeply as r1 passes the effective rank, then plateaus;");
+    println!("traffic grows linearly in r1. r2 only needs to cover K (paper default r2 = 5).");
+}

@@ -1,0 +1,17 @@
+//! `psvd` binary entry point; all logic lives in the library so tests can
+//! drive it in-process.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match psvd_cli::run(&argv) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The [`Communicator`] trait: MPI-flavored point-to-point and collective
+//! operations, plus a per-rank simulated clock.
+//!
+//! The collectives are provided as default methods built on `send`/`recv`,
+//! mirroring how the paper's listings use mpi4py: `gather` concentrates at a
+//! root (the APMOS `W` assembly), `bcast` fans the reduced factors back out,
+//! and `send`/`recv` carry the TSQR `Q` blocks. SPMD discipline applies: all
+//! ranks must call collectives in the same order.
+
+use crate::payload::Payload;
+
+/// Tag space reserved for collective operations; user tags must stay below.
+pub const COLLECTIVE_TAG_BASE: u64 = 1 << 32;
+
+/// An MPI-like communicator over a fixed-size world of ranks.
+pub trait Communicator {
+    /// This rank's index, `0 <= rank < size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// Point-to-point send. Non-blocking buffered semantics (like
+    /// `MPI_Bsend`): never blocks on the receiver.
+    fn send<T: Payload>(&self, value: T, dest: usize, tag: u64);
+
+    /// Blocking receive matching `(source, tag)`. Out-of-order messages from
+    /// the same source are buffered until their tag is requested.
+    fn recv<T: Payload>(&self, source: usize, tag: u64) -> T;
+
+    /// Next tag for an internal collective round (must advance identically
+    /// on every rank).
+    fn next_collective_tag(&self) -> u64;
+
+    /// Simulated clock (seconds). Zero for communicators without a model.
+    fn now(&self) -> f64 {
+        0.0
+    }
+
+    /// Advance the simulated clock by `secs` of modeled compute.
+    fn advance(&self, _secs: f64) {}
+
+    /// Raise the simulated clock to at least `t`.
+    fn set_now(&self, _t: f64) {}
+
+    /// Gather one value per rank at `root` (rank order). Returns `Some(all)`
+    /// at the root, `None` elsewhere.
+    fn gather<T: Payload>(&self, value: T, root: usize) -> Option<Vec<T>> {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(value);
+            for (src, slot) in slots.iter_mut().enumerate() {
+                if src != root {
+                    *slot = Some(self.recv(src, tag));
+                }
+            }
+            Some(slots.into_iter().map(|s| s.expect("gather slot unfilled")).collect())
+        } else {
+            self.send(value, root, tag);
+            None
+        }
+    }
+
+    /// Broadcast from `root`. `value` must be `Some` at the root and is
+    /// ignored elsewhere (mirroring mpi4py's `comm.bcast(x, root)`).
+    fn bcast<T: Payload + Clone>(&self, value: Option<T>, root: usize) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let v = value.expect("bcast: root must supply a value");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(v.clone(), dst, tag);
+                }
+            }
+            v
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Scatter one value to each rank from `root`. `values` must be `Some`
+    /// with length `size` at the root.
+    fn scatter<T: Payload>(&self, values: Option<Vec<T>>, root: usize) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let mut values = values.expect("scatter: root must supply values");
+            assert_eq!(values.len(), self.size(), "scatter: need one value per rank");
+            let mut own = None;
+            for (dst, v) in values.drain(..).enumerate().rev().collect::<Vec<_>>() {
+                if dst == root {
+                    own = Some(v);
+                } else {
+                    self.send(v, dst, tag);
+                }
+            }
+            own.expect("scatter: missing root slot")
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// All ranks obtain every rank's value (gather at 0, then broadcast).
+    fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(value, 0);
+        self.bcast(gathered, 0)
+    }
+
+    /// Elementwise sum across ranks, result everywhere.
+    fn allreduce_sum(&self, value: Vec<f64>) -> Vec<f64> {
+        let n = value.len();
+        let gathered = self.gather(value, 0);
+        let summed = gathered.map(|parts| {
+            let mut acc = vec![0.0; n];
+            for part in parts {
+                assert_eq!(part.len(), n, "allreduce_sum: length mismatch across ranks");
+                for (a, x) in acc.iter_mut().zip(&part) {
+                    *a += x;
+                }
+            }
+            acc
+        });
+        self.bcast(summed, 0)
+    }
+
+    /// Maximum of a scalar across ranks, result everywhere.
+    fn allreduce_max(&self, value: f64) -> f64 {
+        let gathered = self.gather(value, 0);
+        let m = gathered.map(|v| v.into_iter().fold(f64::NEG_INFINITY, f64::max));
+        self.bcast(m, 0)
+    }
+
+    /// Barrier: returns once every rank has entered. Also synchronizes
+    /// simulated clocks to the global maximum, like a real barrier would.
+    fn barrier(&self) {
+        let t = self.allreduce_max(self.now());
+        self.set_now(t);
+    }
+}
+
+/// Trivial single-rank communicator; collectives degenerate to identity.
+/// Self-sends are buffered and matched by tag, so rank-0-only code paths
+/// that send to themselves still work.
+pub struct SelfComm {
+    pending: std::cell::RefCell<Vec<(u64, Box<dyn std::any::Any + Send>)>>,
+    seq: std::cell::Cell<u64>,
+}
+
+impl SelfComm {
+    /// Create a single-rank world.
+    pub fn new() -> Self {
+        Self { pending: std::cell::RefCell::new(Vec::new()), seq: std::cell::Cell::new(0) }
+    }
+}
+
+impl Default for SelfComm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Communicator for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn send<T: Payload>(&self, value: T, dest: usize, tag: u64) {
+        assert_eq!(dest, 0, "SelfComm: only rank 0 exists");
+        self.pending.borrow_mut().push((tag, Box::new(value)));
+    }
+
+    fn recv<T: Payload>(&self, source: usize, tag: u64) -> T {
+        assert_eq!(source, 0, "SelfComm: only rank 0 exists");
+        let mut pending = self.pending.borrow_mut();
+        let idx = pending
+            .iter()
+            .position(|(t, _)| *t == tag)
+            .unwrap_or_else(|| panic!("SelfComm: no buffered message with tag {tag}"));
+        let (_, payload) = pending.remove(idx);
+        *payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("SelfComm: payload type mismatch for tag {tag}"))
+    }
+
+    fn next_collective_tag(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        COLLECTIVE_TAG_BASE + s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selfcomm_identity_collectives() {
+        let c = SelfComm::new();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.gather(5.0f64, 0), Some(vec![5.0]));
+        assert_eq!(c.bcast(Some(vec![1.0, 2.0]), 0), vec![1.0, 2.0]);
+        assert_eq!(c.allgather(3.0f64), vec![3.0]);
+        assert_eq!(c.allreduce_sum(vec![1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(c.allreduce_max(9.0), 9.0);
+        c.barrier();
+    }
+
+    #[test]
+    fn selfcomm_self_send_roundtrip() {
+        let c = SelfComm::new();
+        c.send(vec![1.0, 2.0, 3.0], 0, 7);
+        c.send(4.0f64, 0, 8);
+        // Out-of-order receive by tag.
+        let x: f64 = c.recv(0, 8);
+        assert_eq!(x, 4.0);
+        let v: Vec<f64> = c.recv(0, 7);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn selfcomm_type_mismatch_panics() {
+        let c = SelfComm::new();
+        c.send(1.0f64, 0, 1);
+        let _: Vec<f64> = c.recv(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no buffered message")]
+    fn selfcomm_missing_message_panics() {
+        let c = SelfComm::new();
+        let _: f64 = c.recv(0, 42);
+    }
+
+    #[test]
+    fn selfcomm_scatter() {
+        let c = SelfComm::new();
+        assert_eq!(c.scatter(Some(vec![11.0f64]), 0), 11.0);
+    }
+}

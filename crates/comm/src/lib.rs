@@ -1,0 +1,35 @@
+//! # psvd-comm
+//!
+//! In-process message-passing substrate standing in for MPI (Rust MPI
+//! bindings being thin, per the reproduction plan in `DESIGN.md`). A
+//! [`World`] spawns one thread per rank; each thread drives an SPMD closure
+//! through a [`Communicator`] offering the exact operations the paper's
+//! listings use (`gather`, `bcast`, `send`, `recv`), plus:
+//!
+//! - **traffic recording** ([`TrafficStats`]): every message's byte volume is
+//!   counted per rank, so benchmarks can report real communication volumes;
+//! - **simulated clocks** ([`NetworkModel`]): per-rank clocks charged with an
+//!   alpha–beta–overhead cost per message, which lets the weak-scaling
+//!   harness model Theta-scale runs from a single host.
+//!
+//! ```
+//! use psvd_comm::{Communicator, World};
+//!
+//! let world = World::new(4);
+//! let sums = world.run(|comm| comm.allreduce_sum(vec![comm.rank() as f64]));
+//! assert!(sums.iter().all(|v| v == &vec![6.0]));
+//! ```
+
+pub mod collectives;
+pub mod communicator;
+pub mod model;
+pub mod payload;
+pub mod stats;
+pub mod thread_comm;
+
+pub use collectives::{tree_allreduce_sum, tree_bcast, tree_gather};
+pub use communicator::{Communicator, SelfComm};
+pub use model::NetworkModel;
+pub use payload::Payload;
+pub use stats::TrafficStats;
+pub use thread_comm::{ThreadComm, World};

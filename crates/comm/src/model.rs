@@ -1,0 +1,72 @@
+//! Alpha–beta network cost model for simulated time.
+//!
+//! The host running this reproduction cannot stand in for 256 Theta nodes,
+//! so the weak-scaling experiment (Figure 1c) runs the *real* algorithm over
+//! the in-process substrate and charges each message with a classic
+//! `alpha + bytes/bandwidth` cost on a per-rank simulated clock. Per-message
+//! endpoint `overhead` models CPU time at the sender/receiver, which is what
+//! makes the rank-0 gather concentration visible in the simulated timings.
+
+/// Per-message cost parameters, all in seconds (and bytes/second).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Wire latency per message (alpha).
+    pub latency: f64,
+    /// Bandwidth in bytes per second (1/beta).
+    pub bandwidth: f64,
+    /// CPU overhead charged at each endpoint per message (LogP `o`).
+    pub overhead: f64,
+}
+
+impl NetworkModel {
+    /// Time on the wire for one message of `bytes`.
+    pub fn transit_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Parameters in the ballpark of Theta's Cray Aries dragonfly fabric:
+    /// ~1.2 us MPI latency, ~8 GB/s per-node injection bandwidth, ~0.5 us
+    /// per-message CPU overhead.
+    pub fn theta_aries() -> Self {
+        Self { latency: 1.2e-6, bandwidth: 8e9, overhead: 0.5e-6 }
+    }
+
+    /// A deliberately slow network (10 us / 100 MB/s) for tests and for
+    /// making communication effects visible at small scale.
+    pub fn slow_ethernet() -> Self {
+        Self { latency: 10e-6, bandwidth: 100e6, overhead: 2e-6 }
+    }
+
+    /// A zero-cost network: simulated clocks only advance through
+    /// explicitly charged compute.
+    pub fn free() -> Self {
+        Self { latency: 0.0, bandwidth: f64::INFINITY, overhead: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_time_combines_terms() {
+        let m = NetworkModel { latency: 1e-6, bandwidth: 1e9, overhead: 0.0 };
+        // 1000 bytes at 1 GB/s = 1 us; plus 1 us latency.
+        assert!((m.transit_time(1000) - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_network_is_free() {
+        let m = NetworkModel::free();
+        assert_eq!(m.transit_time(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn theta_faster_than_ethernet() {
+        let bytes = 1 << 20;
+        assert!(
+            NetworkModel::theta_aries().transit_time(bytes)
+                < NetworkModel::slow_ethernet().transit_time(bytes)
+        );
+    }
+}

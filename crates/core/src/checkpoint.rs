@@ -1,0 +1,200 @@
+//! Checkpoint / restart for the streaming drivers.
+//!
+//! Streaming jobs run for the lifetime of a simulation; on HPC systems that
+//! lifetime is chopped into scheduler allocations. A checkpoint captures
+//! the entire algorithmic state of a tracker — modes, singular values,
+//! counters — so a follow-up job resumes the stream bit-exactly. The format
+//! is a small self-describing little-endian binary (one file per rank for
+//! the distributed driver, as each rank owns only its row block).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use psvd_linalg::Matrix;
+
+use crate::config::SvdConfig;
+use crate::serial::SerialStreamingSvd;
+
+const MAGIC: &[u8; 8] = b"PSVDCKP1";
+
+/// A serializable snapshot of a streaming tracker's state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SvdCheckpoint {
+    /// Tracked modes (`M x K'`).
+    pub modes: Matrix,
+    /// Singular values (length `K'`).
+    pub singular_values: Vec<f64>,
+    /// Streaming updates performed.
+    pub iteration: usize,
+    /// Snapshots ingested.
+    pub snapshots_seen: usize,
+}
+
+impl SvdCheckpoint {
+    /// Encode to bytes (self-describing, little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (m, k) = self.modes.shape();
+        let mut out = Vec::with_capacity(48 + 8 * (m * k + self.singular_values.len()));
+        out.extend_from_slice(MAGIC);
+        for v in [m as u64, k as u64, self.singular_values.len() as u64, self.iteration as u64, self.snapshots_seen as u64]
+        {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &x in self.modes.as_slice() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in &self.singular_values {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode from bytes written by [`SvdCheckpoint::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if data.len() < 48 || &data[..8] != MAGIC {
+            return Err(bad("not a PSVD checkpoint"));
+        }
+        let mut u64s = [0u64; 5];
+        for (i, v) in u64s.iter_mut().enumerate() {
+            let off = 8 + i * 8;
+            *v = u64::from_le_bytes(data[off..off + 8].try_into().expect("sized"));
+        }
+        let [m, k, ns, iteration, snapshots_seen] = u64s.map(|v| v as usize);
+        // Checked arithmetic: corrupted dimension fields must produce a
+        // clean error, not an overflow panic.
+        let need = m
+            .checked_mul(k)
+            .and_then(|mk| mk.checked_add(ns))
+            .and_then(|n| n.checked_mul(8))
+            .and_then(|b| b.checked_add(48))
+            .ok_or_else(|| bad("checkpoint dimensions overflow"))?;
+        if data.len() != need {
+            return Err(bad("checkpoint length mismatch"));
+        }
+        let mut floats = Vec::with_capacity(m * k + ns);
+        for i in 0..(m * k + ns) {
+            let off = 48 + i * 8;
+            floats.push(f64::from_le_bytes(data[off..off + 8].try_into().expect("sized")));
+        }
+        let sv = floats.split_off(m * k);
+        Ok(Self {
+            modes: Matrix::from_vec(m, k, floats),
+            singular_values: sv,
+            iteration,
+            snapshots_seen,
+        })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&self.to_bytes())?;
+        out.flush()
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut data = Vec::new();
+        BufReader::new(File::open(path)?).read_to_end(&mut data)?;
+        Self::from_bytes(&data)
+    }
+}
+
+impl SerialStreamingSvd {
+    /// Capture the current state (must be initialized).
+    pub fn checkpoint(&self) -> SvdCheckpoint {
+        assert!(self.is_initialized(), "checkpoint of an uninitialized tracker");
+        SvdCheckpoint {
+            modes: self.modes().clone(),
+            singular_values: self.singular_values().to_vec(),
+            iteration: self.iteration(),
+            snapshots_seen: self.snapshots_seen(),
+        }
+    }
+
+    /// Rebuild a tracker from a checkpoint; further `incorporate_data`
+    /// calls continue the stream exactly where it stopped.
+    pub fn restore(cfg: SvdConfig, ckpt: SvdCheckpoint) -> Self {
+        let mut s = SerialStreamingSvd::new(cfg);
+        s.restore_state(ckpt.modes, ckpt.singular_values, ckpt.iteration, ckpt.snapshots_seen);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
+
+    fn tracker_after(n_batches: usize) -> (SerialStreamingSvd, Matrix) {
+        let mut rng = seeded_rng(11);
+        let spec: Vec<f64> = (0..12).map(|i| 4.0 * 0.7f64.powi(i)).collect();
+        let data = matrix_with_spectrum(60, 48, &spec, &mut rng);
+        let mut s = SerialStreamingSvd::new(SvdConfig::new(5).with_forget_factor(0.95));
+        for b in 0..n_batches {
+            let chunk = data.submatrix(0, 60, b * 8, (b + 1) * 8);
+            if s.is_initialized() {
+                s.incorporate_data(&chunk);
+            } else {
+                s.initialize(&chunk);
+            }
+        }
+        (s, data)
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let (s, _) = tracker_after(3);
+        let ckpt = s.checkpoint();
+        let back = SvdCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(ckpt, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (s, _) = tracker_after(2);
+        let path = std::env::temp_dir().join(format!("psvd_ckpt_{}.bin", std::process::id()));
+        let ckpt = s.checkpoint();
+        ckpt.save(&path).unwrap();
+        let back = SvdCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_is_bit_exact() {
+        // Run 6 batches straight vs 3 batches + checkpoint + restore + 3:
+        // final states must be identical.
+        let (straight, data) = tracker_after(6);
+        let (half, _) = tracker_after(3);
+        let cfg = *half.config();
+        let mut resumed = SerialStreamingSvd::restore(cfg, half.checkpoint());
+        for b in 3..6 {
+            resumed.incorporate_data(&data.submatrix(0, 60, b * 8, (b + 1) * 8));
+        }
+        assert_eq!(straight.modes(), resumed.modes());
+        assert_eq!(straight.singular_values(), resumed.singular_values());
+        assert_eq!(straight.iteration(), resumed.iteration());
+        assert_eq!(straight.snapshots_seen(), resumed.snapshots_seen());
+    }
+
+    #[test]
+    fn corrupted_data_rejected() {
+        let (s, _) = tracker_after(1);
+        let mut bytes = s.checkpoint().to_bytes();
+        bytes[0] = b'X';
+        assert!(SvdCheckpoint::from_bytes(&bytes).is_err());
+        let mut truncated = s.checkpoint().to_bytes();
+        truncated.pop();
+        assert!(SvdCheckpoint::from_bytes(&truncated).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "uninitialized")]
+    fn checkpoint_before_init_panics() {
+        let s = SerialStreamingSvd::new(SvdConfig::new(2));
+        let _ = s.checkpoint();
+    }
+}

@@ -1,0 +1,187 @@
+//! Configuration shared by the serial and parallel drivers.
+
+use psvd_linalg::SvdMethod;
+
+/// Parameters of the streaming / distributed / randomized SVD.
+///
+/// Defaults follow the paper: `forget_factor = 0.95`, `r1 = 50`
+/// local right-vector columns, `r2 = K` retained global columns, and
+/// deterministic inner SVDs unless `low_rank` is set.
+#[derive(Clone, Copy, Debug)]
+pub struct SvdConfig {
+    /// Number of leading modes `K` to track.
+    pub k: usize,
+    /// Forget factor `ff ∈ (0, 1]`; `1.0` weighs all batches equally.
+    pub forget_factor: f64,
+    /// APMOS local truncation: columns of `Vⁱ`/`Σⁱ` communicated to rank 0.
+    pub r1: usize,
+    /// APMOS global truncation: columns of `X`/`Λ` broadcast back.
+    pub r2: usize,
+    /// Use the randomized low-rank SVD for the rank-0 factorizations.
+    pub low_rank: bool,
+    /// Oversampling for the randomized path.
+    pub oversampling: usize,
+    /// Power iterations for the randomized path.
+    pub power_iterations: usize,
+    /// Seed for the randomized path (advanced deterministically per call).
+    pub seed: u64,
+    /// Dense SVD kernel for the deterministic path.
+    pub method: SvdMethod,
+    /// Use binomial-tree collectives for the APMOS gather/broadcast
+    /// instead of the paper's flat rank-0 pattern.
+    pub tree_collectives: bool,
+}
+
+impl SvdConfig {
+    /// Paper defaults for `K` modes.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            forget_factor: 0.95,
+            r1: 50,
+            r2: k,
+            low_rank: false,
+            oversampling: 10,
+            power_iterations: 1,
+            seed: 0,
+            method: SvdMethod::default(),
+            tree_collectives: false,
+        }
+    }
+
+    /// Builder: forget factor.
+    pub fn with_forget_factor(mut self, ff: f64) -> Self {
+        self.forget_factor = ff;
+        self
+    }
+
+    /// Builder: local truncation `r1`.
+    pub fn with_r1(mut self, r1: usize) -> Self {
+        self.r1 = r1;
+        self
+    }
+
+    /// Builder: global truncation `r2`.
+    pub fn with_r2(mut self, r2: usize) -> Self {
+        self.r2 = r2;
+        self
+    }
+
+    /// Builder: enable the randomized inner SVD.
+    pub fn with_low_rank(mut self, low_rank: bool) -> Self {
+        self.low_rank = low_rank;
+        self
+    }
+
+    /// Builder: randomized-path seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: dense kernel.
+    pub fn with_method(mut self, method: SvdMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Builder: binomial-tree collectives for the distributed driver.
+    pub fn with_tree_collectives(mut self, tree: bool) -> Self {
+        self.tree_collectives = tree;
+        self
+    }
+
+    /// Builder: oversampling for the randomized path.
+    pub fn with_oversampling(mut self, p: usize) -> Self {
+        self.oversampling = p;
+        self
+    }
+
+    /// Builder: power iterations for the randomized path.
+    pub fn with_power_iterations(mut self, q: usize) -> Self {
+        self.power_iterations = q;
+        self
+    }
+
+    /// Panics if the configuration is unusable; returns `self` otherwise.
+    pub fn validated(self) -> Self {
+        assert!(self.k > 0, "K must be positive");
+        assert!(
+            self.forget_factor > 0.0 && self.forget_factor <= 1.0,
+            "forget factor must be in (0, 1], got {}",
+            self.forget_factor
+        );
+        assert!(self.r1 >= 1, "r1 must be positive");
+        assert!(
+            self.r2 >= self.k,
+            "r2 ({}) must be at least K ({}): the driver reconstructs K modes from r2 columns",
+            self.r2,
+            self.k
+        );
+        self
+    }
+
+    /// The randomized-range-finder configuration for rank `rank`.
+    pub fn randomized(&self, rank: usize) -> psvd_linalg::RandomizedConfig {
+        psvd_linalg::RandomizedConfig {
+            rank,
+            oversampling: self.oversampling,
+            power_iterations: self.power_iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SvdConfig::new(10);
+        assert_eq!(c.k, 10);
+        assert_eq!(c.forget_factor, 0.95);
+        assert_eq!(c.r1, 50);
+        assert_eq!(c.r2, 10);
+        assert!(!c.low_rank);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SvdConfig::new(5)
+            .with_forget_factor(1.0)
+            .with_r1(20)
+            .with_r2(8)
+            .with_low_rank(true)
+            .with_seed(99)
+            .with_oversampling(4)
+            .with_power_iterations(2);
+        assert_eq!(c.forget_factor, 1.0);
+        assert_eq!(c.r1, 20);
+        assert_eq!(c.r2, 8);
+        assert!(c.low_rank);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.oversampling, 4);
+        assert_eq!(c.power_iterations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "forget factor")]
+    fn bad_forget_factor_rejected() {
+        let _ = SvdConfig::new(3).with_forget_factor(1.5).validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "r2")]
+    fn r2_below_k_rejected() {
+        let _ = SvdConfig::new(10).with_r2(3).validated();
+    }
+
+    #[test]
+    fn randomized_config_inherits() {
+        let c = SvdConfig::new(4).with_oversampling(7).with_power_iterations(3);
+        let r = c.randomized(4);
+        assert_eq!(r.rank, 4);
+        assert_eq!(r.oversampling, 7);
+        assert_eq!(r.power_iterations, 3);
+    }
+}

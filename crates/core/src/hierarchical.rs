@@ -1,0 +1,233 @@
+//! Hierarchical (two-level) APMOS — an extension attacking the rank-0
+//! bottleneck the weak-scaling experiment exposes.
+//!
+//! In flat APMOS, rank 0 factorizes `W` with `r1 · N_ranks` columns, so its
+//! compute grows linearly with the world size no matter how the gather is
+//! routed. The two-level variant inserts *group leaders*: each leader
+//! gathers its group's `W` blocks, factorizes the `N x (r1·g)` stack, and
+//! forwards only `r1` re-compressed columns upward. Rank 0 then sees
+//! `r1 · (N_ranks / g)` columns; with `g ≈ √N_ranks`, both levels cost
+//! `O(√N_ranks)` instead of `O(N_ranks)`.
+//!
+//! The re-compression is sound for the same reason APMOS itself is: the
+//! Gram identity `W_group W_groupᵀ = Σ_{i∈group} AⁱᵀAⁱ` means the group's
+//! SVD-truncated `X̃Λ̃` carries the leading energy of the group's share of
+//! the global covariance — it is exactly the `r1` truncation applied once
+//! more, at the group level.
+
+use psvd_comm::Communicator;
+use psvd_linalg::gemm::matmul;
+use psvd_linalg::randomized::low_rank_svd;
+use psvd_linalg::snapshots::generate_right_vectors;
+use psvd_linalg::svd::svd_with;
+use psvd_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::SvdConfig;
+
+const TAG_TO_LEADER: u64 = 40;
+const TAG_TO_ROOT: u64 = 41;
+
+/// Two-level distributed SVD. `group_size` ranks share one leader
+/// (`group_size = 1` or `>= size` degenerate to flat APMOS shapes).
+/// Returns this rank's block of the `K` leading global left singular
+/// vectors and the singular values (identical on all ranks).
+pub fn hierarchical_parallel_svd<C: Communicator>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix,
+    group_size: usize,
+) -> (Matrix, Vec<f64>) {
+    let cfg = cfg.validated();
+    assert!(group_size >= 1, "group size must be positive");
+    let n = a_local.cols();
+    assert!(n > 0, "empty snapshot set");
+    let rank = comm.rank();
+    let size = comm.size();
+    let r1 = cfg.r1.min(n);
+
+    // Stage 1 (every rank): local right vectors, truncated to r1.
+    let (vlocal, slocal) = generate_right_vectors(a_local, r1);
+    let wlocal = vlocal.mul_diag(&slocal);
+
+    // Stage 2: gather within the group at the leader and re-compress.
+    let leader = (rank / group_size) * group_size;
+    let group_end = (leader + group_size).min(size);
+    let reduced = if rank == leader {
+        let mut blocks = vec![wlocal];
+        for src in leader + 1..group_end {
+            blocks.push(comm.recv::<Matrix>(src, TAG_TO_LEADER));
+        }
+        let stack = Matrix::hstack_all(&blocks);
+        // Group-level truncation back to r1 columns: X̃ Λ̃.
+        let keep = r1.min(stack.rows().min(stack.cols()));
+        let (x, s) = factorize(&stack, keep, &cfg);
+        Some(x.first_columns(keep).mul_diag(&s[..keep.min(s.len())]))
+    } else {
+        comm.send(wlocal, leader, TAG_TO_LEADER);
+        None
+    };
+
+    // Stage 3: leaders forward to rank 0; rank 0 factorizes the reduced
+    // stack and truncates to r2.
+    let factors = if rank == 0 {
+        let mut blocks = vec![reduced.expect("rank 0 is a leader")];
+        let mut src = group_size;
+        while src < size {
+            blocks.push(comm.recv::<Matrix>(src, TAG_TO_ROOT));
+            src += group_size;
+        }
+        let stack = Matrix::hstack_all(&blocks);
+        let p = stack.rows().min(stack.cols());
+        let r2 = cfg.r2.min(p);
+        let (x, s) = factorize(&stack, r2, &cfg);
+        Some((x.first_columns(r2), s[..r2.min(s.len())].to_vec()))
+    } else {
+        if rank == leader {
+            comm.send(reduced.expect("leader has the reduction"), 0, TAG_TO_ROOT);
+        }
+        None
+    };
+    let (x, s) = comm.bcast(factors, 0);
+
+    // Stage 4 (every rank): assemble the local mode slice.
+    let k = cfg.k.min(s.iter().filter(|&&v| v > 0.0).count());
+    let inv_s: Vec<f64> = s[..k].iter().map(|&v| 1.0 / v).collect();
+    let phi = matmul(a_local, &x.first_columns(k)).mul_diag(&inv_s);
+    (phi, s[..k].to_vec())
+}
+
+fn factorize(w: &Matrix, rank_hint: usize, cfg: &SvdConfig) -> (Matrix, Vec<f64>) {
+    if cfg.low_rank {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(w.cols() as u64));
+        low_rank_svd(w, rank_hint, &mut rng)
+    } else {
+        let f = svd_with(w, cfg.method);
+        (f.u, f.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psvd_comm::World;
+    use psvd_data::partition::split_rows;
+    use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
+    use psvd_linalg::validate::{max_principal_angle, spectrum_error};
+
+    use crate::serial::batch_truncated_svd;
+
+    fn decaying(m: usize, n: usize, seed: u64) -> Matrix {
+        let spec: Vec<f64> = (0..n.min(m)).map(|i| 8.0 * 0.6f64.powi(i as i32)).collect();
+        matrix_with_spectrum(m, n, &spec, &mut seeded_rng(seed))
+    }
+
+    fn run_hier(
+        a: &Matrix,
+        n_ranks: usize,
+        group: usize,
+        cfg: SvdConfig,
+    ) -> (Matrix, Vec<f64>) {
+        let blocks = split_rows(a, n_ranks);
+        let world = World::new(n_ranks);
+        let out = world.run(|comm| {
+            hierarchical_parallel_svd(comm, cfg, &blocks[comm.rank()], group)
+        });
+        let modes =
+            Matrix::vstack_all(&out.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+        (modes, out[0].1.clone())
+    }
+
+    #[test]
+    fn exact_without_truncation() {
+        let a = decaying(96, 10, 1);
+        let k = 4;
+        let cfg = SvdConfig::new(k).with_r1(10).with_r2(10).with_forget_factor(1.0);
+        let (modes, s) = run_hier(&a, 8, 4, cfg);
+        let (u_ref, s_ref) = batch_truncated_svd(&a, k);
+        assert!(spectrum_error(&s_ref, &s) < 1e-8, "{s_ref:?} vs {s:?}");
+        assert!(max_principal_angle(&u_ref, &modes) < 1e-6);
+    }
+
+    #[test]
+    fn group_sizes_degenerate_consistently() {
+        // group = 1 (leaders forward untouched... still re-compress to r1,
+        // a no-op at width r1) and group >= size (single leader = rank 0)
+        // must both match the reference.
+        let a = decaying(64, 12, 2);
+        let k = 3;
+        let cfg = SvdConfig::new(k).with_r1(12).with_r2(12);
+        let (_, s_ref) = batch_truncated_svd(&a, k);
+        for group in [1usize, 2, 4, 8, 100] {
+            let (_, s) = run_hier(&a, 4, group, cfg);
+            assert!(
+                spectrum_error(&s_ref, &s) < 1e-7,
+                "group {group}: {s:?} vs {s_ref:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_still_accurate_on_decaying_spectrum() {
+        let a = decaying(120, 24, 3);
+        let k = 4;
+        let cfg = SvdConfig::new(k).with_r1(8).with_r2(8);
+        let (_, s) = run_hier(&a, 6, 3, cfg);
+        let (_, s_ref) = batch_truncated_svd(&a, k);
+        for (got, want) in s.iter().zip(&s_ref) {
+            assert!((got - want).abs() / want < 0.02, "sigma {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn matches_flat_apmos() {
+        let a = decaying(80, 16, 4);
+        let k = 3;
+        let cfg = SvdConfig::new(k).with_r1(10).with_r2(8);
+        let (hier_modes, hier_s) = run_hier(&a, 8, 2, cfg);
+
+        let blocks = split_rows(&a, 8);
+        let world = World::new(8);
+        let flat = world.run(|comm| crate::parallel::parallel_svd_once(comm, cfg, &blocks[comm.rank()]));
+        let flat_modes =
+            Matrix::vstack_all(&flat.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+        assert!(spectrum_error(&flat[0].1, &hier_s) < 1e-4);
+        assert!(max_principal_angle(&flat_modes, &hier_modes) < 1e-3);
+    }
+
+    #[test]
+    fn rank0_receives_less_with_groups() {
+        // The whole point: rank 0's receive volume shrinks when leaders
+        // pre-compress.
+        let a = decaying(128, 32, 5);
+        let cfg = SvdConfig::new(3).with_r1(16).with_r2(8);
+        let recv_bytes = |group: usize| {
+            let blocks = split_rows(&a, 8);
+            let world = World::new(8);
+            world.run(|comm| {
+                let _ = hierarchical_parallel_svd(comm, cfg, &blocks[comm.rank()], group);
+            });
+            world.stats().recv_bytes(0)
+        };
+        let flat_like = recv_bytes(1); // every rank is its own leader
+        let grouped = recv_bytes(4); // two leaders forward to rank 0
+        // Rank 0 is itself a leader (receives its own group's raw blocks),
+        // so the reduction is (g-1 raw + 1 compressed) vs (P-1 raw): with
+        // P = 8, g = 4 that is 4/7 ≈ 0.57 of the flat volume.
+        assert!(
+            grouped * 3 < flat_like * 2,
+            "grouping must cut rank-0 volume: {grouped} vs {flat_like}"
+        );
+    }
+
+    #[test]
+    fn uneven_group_sizes_work() {
+        // 7 ranks with group size 3: groups {0,1,2}, {3,4,5}, {6}.
+        let a = decaying(70, 10, 6);
+        let cfg = SvdConfig::new(3).with_r1(10).with_r2(10);
+        let (_, s) = run_hier(&a, 7, 3, cfg);
+        let (_, s_ref) = batch_truncated_svd(&a, 3);
+        assert!(spectrum_error(&s_ref, &s) < 1e-7);
+    }
+}

@@ -1,0 +1,525 @@
+//! Distributed streaming SVD (Listings 2–4 of the paper).
+//!
+//! Each rank owns a row block `Aⁱ` (`Mᵢ x N`) of the global snapshot
+//! matrix. Two collective kernels do all the work:
+//!
+//! - [`ParallelStreamingSvd::parallel_svd`] — APMOS (Algorithm 2): local
+//!   right vectors by the method of snapshots, truncated to `r1` columns,
+//!   gathered at rank 0 into `W = [Ṽ¹Σ̃¹, …]`, factorized there, and the
+//!   `r2`-truncated `(X̃, Λ̃)` broadcast back so each rank assembles its slice
+//!   of the global left singular vectors `Ũⁱ_j = (1/Λ̃_j) Aⁱ X̃_j`;
+//! - [`ParallelStreamingSvd::parallel_qr`] — TSQR (Benson et al.): local
+//!   thin QR, R-blocks stacked and re-factorized at rank 0, global Q blocks
+//!   scattered back, plus the SVD of the final `R` for the streaming update.
+//!
+//! The streaming driver (Listing 2) is the Levy–Lindenbaum loop of
+//! [`crate::serial`] with both kernels swapped in. Rank 0's inner SVDs may
+//! be randomized (`low_rank`), which is the paper's third building block.
+//!
+//! The paper's Listing 4 negates `qglobal`/`rfinal` ("trick for
+//! consistency"); our QR canonicalizes to a non-negative `R` diagonal
+//! instead, which achieves cross-rank consistency without the sign hack.
+
+use psvd_comm::collectives::{tree_bcast, tree_gather};
+use psvd_comm::Communicator;
+use psvd_linalg::gemm::matmul;
+use psvd_linalg::qr::thin_qr;
+use psvd_linalg::randomized::low_rank_svd;
+use psvd_linalg::snapshots::generate_right_vectors;
+use psvd_linalg::svd::svd_with;
+use psvd_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::SvdConfig;
+
+/// Tag base for the TSQR Q-block scatter (the paper uses `tag = rank + 10`).
+const TAG_QR_SCATTER: u64 = 10;
+
+/// Distributed streaming truncated SVD over a row-partitioned snapshot
+/// stream. One instance lives on each rank, driven in SPMD style.
+pub struct ParallelStreamingSvd<'a, C: Communicator> {
+    comm: &'a C,
+    cfg: SvdConfig,
+    ulocal: Matrix,
+    singular_values: Vec<f64>,
+    iteration: usize,
+    snapshots_seen: usize,
+    rng: StdRng,
+}
+
+impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
+    /// New driver on this rank.
+    pub fn new(comm: &'a C, cfg: SvdConfig) -> Self {
+        let cfg = cfg.validated();
+        Self {
+            comm,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            ulocal: Matrix::zeros(0, 0),
+            singular_values: Vec::new(),
+            iteration: 0,
+            snapshots_seen: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SvdConfig {
+        &self.cfg
+    }
+
+    /// The communicator driving this rank.
+    pub fn comm(&self) -> &C {
+        self.comm
+    }
+
+    /// True once `initialize` has run.
+    pub fn is_initialized(&self) -> bool {
+        self.snapshots_seen > 0
+    }
+
+    /// Number of streaming updates performed so far (excluding init).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Total snapshots ingested.
+    pub fn snapshots_seen(&self) -> usize {
+        self.snapshots_seen
+    }
+
+    /// This rank's rows of the current global modes (`Mᵢ x K`).
+    pub fn local_modes(&self) -> &Matrix {
+        &self.ulocal
+    }
+
+    /// Current estimate of the leading singular values (identical on all
+    /// ranks).
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// APMOS distributed SVD (Listing 3): returns this rank's block of the
+    /// `K` leading global left singular vectors and the singular values.
+    pub fn parallel_svd(&mut self, a_local: &Matrix) -> (Matrix, Vec<f64>) {
+        let n = a_local.cols();
+        assert!(n > 0, "parallel_svd: empty snapshot set");
+        let r1 = self.cfg.r1.min(n);
+
+        // Local right vectors by the method of snapshots, truncated to r1.
+        let (vlocal, slocal) = generate_right_vectors(a_local, r1);
+        // Wᵢ = Ṽⁱ (Σ̃ⁱ)ᵀ — a column scaling, since Σ̃ is diagonal.
+        let wlocal = vlocal.mul_diag(&slocal);
+
+        // Gather W at rank 0 and factorize there.
+        let wglobal = if self.cfg.tree_collectives {
+            tree_gather(self.comm, wlocal, 0)
+        } else {
+            self.comm.gather(wlocal, 0)
+        };
+        let factors = if self.comm.rank() == 0 {
+            let w = Matrix::hstack_all(&wglobal.expect("rank 0 gathers"));
+            let p = w.rows().min(w.cols());
+            let r2 = self.cfg.r2.min(p);
+            let (x, s) = if self.cfg.low_rank {
+                low_rank_svd(&w, r2, &mut self.rng)
+            } else {
+                let f = svd_with(&w, self.cfg.method);
+                (f.u, f.s)
+            };
+            Some((x.first_columns(r2), s[..r2.min(s.len())].to_vec()))
+        } else {
+            None
+        };
+        let (x, s) = if self.cfg.tree_collectives {
+            tree_bcast(self.comm, factors, 0)
+        } else {
+            self.comm.bcast(factors, 0)
+        };
+
+        // Local slice of the global modes: Ũⁱ_j = (1/Λ̃_j) Aⁱ X̃_j.
+        let k = self.cfg.k.min(s.iter().filter(|&&v| v > 0.0).count());
+        let inv_s: Vec<f64> = s[..k].iter().map(|&v| 1.0 / v).collect();
+        let phi = matmul(a_local, &x.first_columns(k)).mul_diag(&inv_s);
+        (phi, s[..k].to_vec())
+    }
+
+    /// TSQR (Listing 4): factorizes the row-distributed matrix as
+    /// `A = Q R`, returning `(Q_local, U_R, s_R)` where `U_R Σ_R V_Rᵀ` is
+    /// the SVD of the final `R` (step I2/2 of the Levy–Lindenbaum loop).
+    pub fn parallel_qr(&mut self, a_local: &Matrix) -> (Matrix, Matrix, Vec<f64>) {
+        let n = a_local.cols();
+        assert!(
+            a_local.rows() >= n,
+            "parallel_qr: local block must be tall ({} rows < {} cols); \
+             use more snapshots per rank or fewer ranks",
+            a_local.rows(),
+            n
+        );
+        let rank = self.comm.rank();
+        let size = self.comm.size();
+
+        // Local thin QR; R is n x n because the block is tall.
+        let local = thin_qr(a_local);
+
+        // Gather the R factors, stack, and re-factorize at rank 0.
+        let r_global = if self.cfg.tree_collectives {
+            tree_gather(self.comm, local.r, 0)
+        } else {
+            self.comm.gather(local.r, 0)
+        };
+        let (qglobal_block, rfinal) = if rank == 0 {
+            let stack = Matrix::vstack_all(&r_global.expect("rank 0 gathers"));
+            let global = thin_qr(&stack);
+            // Scatter each rank's n-row block of the stacked Q.
+            for dst in 1..size {
+                let block = global.q.row_block(dst * n, (dst + 1) * n);
+                self.comm.send(block, dst, TAG_QR_SCATTER + dst as u64);
+            }
+            (global.q.row_block(0, n), Some(global.r))
+        } else {
+            (self.comm.recv::<Matrix>(0, TAG_QR_SCATTER + rank as u64), None)
+        };
+        let qlocal = matmul(&local.q, &qglobal_block);
+
+        // SVD of the small final R at rank 0 (randomized if configured),
+        // broadcast to everyone.
+        let factors = if rank == 0 {
+            let rfinal = rfinal.expect("rank 0 kept R");
+            let (unew, snew) = if self.cfg.low_rank {
+                low_rank_svd(&rfinal, self.cfg.k.min(n), &mut self.rng)
+            } else {
+                let f = svd_with(&rfinal, self.cfg.method);
+                (f.u, f.s)
+            };
+            Some((unew, snew))
+        } else {
+            None
+        };
+        let (unew, snew) = if self.cfg.tree_collectives {
+            tree_bcast(self.comm, factors, 0)
+        } else {
+            self.comm.bcast(factors, 0)
+        };
+        (qlocal, unew, snew)
+    }
+
+    /// Ingest the first local batch `A0ⁱ` (`Mᵢ x B`) — Listing 2's
+    /// `initialize`: one APMOS pass.
+    pub fn initialize(&mut self, a_local: &Matrix) -> &mut Self {
+        assert!(!self.is_initialized(), "initialize called twice");
+        let (ulocal, s) = self.parallel_svd(a_local);
+        self.ulocal = ulocal;
+        self.singular_values = s;
+        self.snapshots_seen = a_local.cols();
+        self
+    }
+
+    /// Ingest a further local batch — Listing 2's `incorporate_data`:
+    /// stack `ff·U·D` with the new data, TSQR, small SVD, truncate to `K`.
+    pub fn incorporate_data(&mut self, a_local: &Matrix) -> &mut Self {
+        assert!(self.is_initialized(), "incorporate_data before initialize");
+        assert_eq!(a_local.rows(), self.ulocal.rows(), "batch row count changed mid-stream");
+        if a_local.cols() == 0 {
+            return self;
+        }
+        self.iteration += 1;
+
+        let weighted: Vec<f64> =
+            self.singular_values.iter().map(|s| s * self.cfg.forget_factor).collect();
+        let ll = self.ulocal.mul_diag(&weighted).hstack(a_local);
+
+        let (qlocal, unew, snew) = self.parallel_qr(&ll);
+        let k = self.cfg.k.min(snew.len());
+        self.ulocal = matmul(&qlocal, &unew.first_columns(k));
+        self.singular_values = snew[..k].to_vec();
+        self.snapshots_seen += a_local.cols();
+        self
+    }
+
+    /// Stream this rank's row block of an entire dataset in `batch`-column
+    /// chunks.
+    pub fn fit_batched(&mut self, a_local: &Matrix, batch: usize) -> &mut Self {
+        assert!(batch > 0, "batch size must be positive");
+        let n = a_local.cols();
+        let mut c0 = 0;
+        while c0 < n {
+            let c1 = (c0 + batch).min(n);
+            let chunk = a_local.submatrix(0, a_local.rows(), c0, c1);
+            if self.is_initialized() {
+                self.incorporate_data(&chunk);
+            } else {
+                self.initialize(&chunk);
+            }
+            c0 = c1;
+        }
+        self
+    }
+
+    /// Capture this rank's state for checkpointing (one checkpoint file
+    /// per rank; pair with [`ParallelStreamingSvd::restore`]).
+    pub fn checkpoint(&self) -> crate::checkpoint::SvdCheckpoint {
+        assert!(self.is_initialized(), "checkpoint of an uninitialized tracker");
+        crate::checkpoint::SvdCheckpoint {
+            modes: self.ulocal.clone(),
+            singular_values: self.singular_values.clone(),
+            iteration: self.iteration,
+            snapshots_seen: self.snapshots_seen,
+        }
+    }
+
+    /// Rebuild this rank's tracker from its checkpoint; the stream resumes
+    /// bit-exactly (all ranks must restore from the same streaming step).
+    pub fn restore(comm: &'a C, cfg: SvdConfig, ckpt: crate::checkpoint::SvdCheckpoint) -> Self {
+        assert!(ckpt.snapshots_seen > 0, "restored state must be initialized");
+        assert_eq!(
+            ckpt.modes.cols(),
+            ckpt.singular_values.len(),
+            "inconsistent checkpoint"
+        );
+        let mut d = Self::new(comm, cfg);
+        d.ulocal = ckpt.modes;
+        d.singular_values = ckpt.singular_values;
+        d.iteration = ckpt.iteration;
+        d.snapshots_seen = ckpt.snapshots_seen;
+        d
+    }
+
+    /// Gather the distributed modes into the global `M x K` matrix at
+    /// `root` (rank order = row order). Returns `Some` at the root.
+    pub fn gather_modes(&self, root: usize) -> Option<Matrix> {
+        let blocks = self.comm.gather(self.ulocal.clone(), root);
+        blocks.map(|b| Matrix::vstack_all(&b))
+    }
+}
+
+/// One-shot distributed (optionally randomized) SVD without streaming —
+/// the configuration the paper's weak-scaling experiment times.
+pub fn parallel_svd_once<C: Communicator>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix,
+) -> (Matrix, Vec<f64>) {
+    let mut driver = ParallelStreamingSvd::new(comm, cfg);
+    driver.parallel_svd(a_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psvd_comm::World;
+    use psvd_data::partition::split_rows;
+    use psvd_linalg::norms::orthogonality_error;
+    use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
+    use psvd_linalg::validate::{max_principal_angle, spectrum_error};
+
+    use crate::serial::{batch_truncated_svd, SerialStreamingSvd};
+
+    fn decaying_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let spec: Vec<f64> = (0..n.min(m)).map(|i| 8.0 * 0.6f64.powi(i as i32)).collect();
+        matrix_with_spectrum(m, n, &spec, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn apmos_exact_without_truncation() {
+        // r1 = N, full SVD at rank 0: APMOS is algebraically exact because
+        // W Wᵀ = Σᵢ AⁱᵀAⁱ = AᵀA.
+        let a = decaying_matrix(96, 12, 1);
+        let k = 5;
+        let cfg = SvdConfig::new(k).with_r1(12).with_r2(12).with_forget_factor(1.0);
+        let world = World::new(4);
+        let blocks = split_rows(&a, 4);
+        let out = world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            let (phi, s) = d.parallel_svd(&blocks[comm.rank()]);
+            (phi, s)
+        });
+        let global_u = Matrix::vstack_all(&out.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+        let (u_ref, s_ref) = batch_truncated_svd(&a, k);
+        assert!(spectrum_error(&s_ref, &out[0].1) < 1e-9, "sigma mismatch");
+        assert!(max_principal_angle(&u_ref, &global_u) < 1e-7);
+        assert!(orthogonality_error(&global_u) < 1e-8);
+        // All ranks agree on singular values.
+        for (_, s) in &out {
+            assert_eq!(s, &out[0].1);
+        }
+    }
+
+    #[test]
+    fn apmos_truncated_still_accurate_on_decaying_spectrum() {
+        let a = decaying_matrix(80, 24, 2);
+        let k = 4;
+        let cfg = SvdConfig::new(k).with_r1(10).with_r2(8);
+        let world = World::new(4);
+        let blocks = split_rows(&a, 4);
+        let out = world.run(|comm| {
+            parallel_svd_once(comm, cfg, &blocks[comm.rank()])
+        });
+        let (_, s_ref) = batch_truncated_svd(&a, k);
+        for (got, want) in out[0].1.iter().zip(&s_ref) {
+            assert!((got - want).abs() / want < 0.02, "sigma {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn tsqr_factorizes_distributed_matrix() {
+        let a = decaying_matrix(64, 8, 3);
+        let cfg = SvdConfig::new(4).with_forget_factor(1.0);
+        let world = World::new(4);
+        let blocks = split_rows(&a, 4);
+        let out = world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.parallel_qr(&blocks[comm.rank()])
+        });
+        // Stacked local Qs form the global Q.
+        let q = Matrix::vstack_all(&out.iter().map(|(q, _, _)| q.clone()).collect::<Vec<_>>());
+        assert!(orthogonality_error(&q) < 1e-10, "global Q not orthonormal");
+        // SVD of R gives the singular values of A.
+        let f_ref = psvd_linalg::svd(&a);
+        assert!(spectrum_error(&f_ref.s, &out[0].2) < 1e-10);
+        // Q * (U_R Σ V_Rᵀ reconstruction through the returned factors):
+        // A = Q R and R = U_R Σ V_Rᵀ, so Q·U_R spans A's left space.
+        let qu = matmul(&q, &out[0].1);
+        assert!(max_principal_angle(&f_ref.u.first_columns(4), &qu.first_columns(4)) < 1e-7);
+    }
+
+    #[test]
+    fn parallel_streaming_matches_serial_streaming() {
+        // Identical math, distributed: the parallel driver must track the
+        // serial one to round-off-level agreement at every step.
+        let a = decaying_matrix(72, 30, 4);
+        let k = 5;
+        let batch = 6;
+        let cfg = SvdConfig::new(k).with_forget_factor(0.95).with_r1(30).with_r2(30);
+
+        let mut serial = SerialStreamingSvd::new(cfg);
+        serial.fit_batched(&a, batch);
+
+        let world = World::new(3);
+        let blocks = split_rows(&a, 3);
+        let out = world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.fit_batched(&blocks[comm.rank()], batch);
+            (d.gather_modes(0), d.singular_values().to_vec())
+        });
+        assert!(
+            spectrum_error(serial.singular_values(), &out[0].1) < 1e-6,
+            "serial {:?} vs parallel {:?}",
+            serial.singular_values(),
+            out[0].1
+        );
+        let par_modes = out[0].0.as_ref().expect("root gathered");
+        assert!(max_principal_angle(serial.modes(), par_modes) < 1e-5);
+    }
+
+    #[test]
+    fn single_rank_parallel_equals_serial() {
+        let a = decaying_matrix(40, 16, 5);
+        let cfg = SvdConfig::new(3).with_forget_factor(1.0).with_r1(16).with_r2(16);
+        let mut serial = SerialStreamingSvd::new(cfg);
+        serial.fit_batched(&a, 4);
+
+        let world = World::new(1);
+        let out = world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.fit_batched(&a, 4);
+            (d.gather_modes(0).unwrap(), d.singular_values().to_vec())
+        });
+        assert!(spectrum_error(serial.singular_values(), &out[0].1) < 1e-8);
+        assert!(max_principal_angle(serial.modes(), &out[0].0) < 1e-6);
+    }
+
+    #[test]
+    fn gather_modes_assembles_in_rank_order() {
+        let a = decaying_matrix(60, 10, 6);
+        let cfg = SvdConfig::new(2).with_forget_factor(1.0).with_r1(10).with_r2(10);
+        let world = World::new(4);
+        let blocks = split_rows(&a, 4);
+        let out = world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.initialize(&blocks[comm.rank()]);
+            (comm.rank(), d.gather_modes(2), d.local_modes().clone())
+        });
+        // Only rank 2 gets the assembly.
+        for (rank, gathered, _) in &out {
+            assert_eq!(gathered.is_some(), *rank == 2);
+        }
+        let assembled = out[2].1.as_ref().unwrap();
+        let manual =
+            Matrix::vstack_all(&out.iter().map(|(_, _, l)| l.clone()).collect::<Vec<_>>());
+        assert_eq!(assembled, &manual);
+    }
+
+    #[test]
+    fn randomized_parallel_path_tracks_leading_modes() {
+        let a = decaying_matrix(80, 20, 7);
+        let k = 3;
+        let cfg = SvdConfig::new(k)
+            .with_forget_factor(1.0)
+            .with_r1(20)
+            .with_r2(10)
+            .with_low_rank(true)
+            .with_power_iterations(2)
+            .with_seed(42);
+        let world = World::new(2);
+        let blocks = split_rows(&a, 2);
+        let out = world.run(|comm| parallel_svd_once(comm, cfg, &blocks[comm.rank()]));
+        let (_, s_ref) = batch_truncated_svd(&a, k);
+        for (got, want) in out[0].1.iter().zip(&s_ref) {
+            assert!((got - want).abs() / want < 0.05, "sigma {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn traffic_shrinks_with_r1() {
+        // The whole point of r1: it caps the gathered volume.
+        let a = decaying_matrix(64, 32, 8);
+        let count_bytes = |r1: usize| {
+            let cfg = SvdConfig::new(2).with_r1(r1).with_r2(4);
+            let world = World::new(4);
+            let blocks = split_rows(&a, 4);
+            world.run(|comm| {
+                let _ = parallel_svd_once(comm, cfg, &blocks[comm.rank()]);
+            });
+            world.stats().total_bytes()
+        };
+        let big = count_bytes(32);
+        let small = count_bytes(4);
+        assert!(small < big, "r1=4 traffic {small} should undercut r1=32 traffic {big}");
+    }
+
+    #[test]
+    fn tree_collectives_give_identical_results() {
+        // The deterministic path must produce bit-identical factorizations
+        // whether the gather/broadcast run flat or as binomial trees.
+        let a = decaying_matrix(72, 24, 9);
+        let base = SvdConfig::new(4).with_forget_factor(0.95).with_r1(12).with_r2(8);
+        let run = |cfg: SvdConfig| {
+            let blocks = split_rows(&a, 5);
+            let world = World::new(5);
+            world.run(|comm| {
+                let mut d = ParallelStreamingSvd::new(comm, cfg);
+                d.fit_batched(&blocks[comm.rank()], 8);
+                (d.gather_modes(0), d.singular_values().to_vec())
+            })
+        };
+        let flat = run(base);
+        let tree = run(base.with_tree_collectives(true));
+        assert_eq!(flat[0].1, tree[0].1, "singular values must be bit-identical");
+        assert_eq!(flat[0].0, tree[0].0, "modes must be bit-identical");
+    }
+
+    #[test]
+    // The tall-block assertion fires inside the rank thread; the harness
+    // surfaces it as a join failure on the spawning thread.
+    #[should_panic(expected = "rank thread panicked")]
+    fn tsqr_rejects_short_blocks() {
+        let cfg = SvdConfig::new(2);
+        let world = World::new(1);
+        world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            let wide = Matrix::zeros(3, 8);
+            let _ = d.parallel_qr(&wide);
+        });
+    }
+}

@@ -1,0 +1,291 @@
+//! Proper orthogonal decomposition on top of the streaming SVD.
+//!
+//! Section 2 of the paper presents POD (= PCA = KLT on fluctuation data) as
+//! the flagship application: subtract the temporal mean, factorize the
+//! fluctuation matrix, read energies off the squared singular values. This
+//! module packages that workflow — including a *streaming* mean estimate so
+//! the POD can run batch-by-batch like everything else in the library.
+
+use psvd_linalg::gemm::{matmul, matmul_tn};
+use psvd_linalg::Matrix;
+
+use crate::config::SvdConfig;
+use crate::serial::SerialStreamingSvd;
+
+/// Result of a POD analysis.
+pub struct Pod {
+    /// Temporal mean field (`M`).
+    pub mean: Vec<f64>,
+    /// POD modes (`M x K`), orthonormal, by decreasing energy.
+    pub modes: Matrix,
+    /// Singular values of the fluctuation matrix.
+    pub singular_values: Vec<f64>,
+    /// Snapshots analyzed.
+    pub snapshots: usize,
+}
+
+impl Pod {
+    /// Energy (variance) captured by mode `j`: `σ_j² / (N−1)`.
+    pub fn mode_energy(&self, j: usize) -> f64 {
+        let denom = (self.snapshots.max(2) - 1) as f64;
+        self.singular_values[j].powi(2) / denom
+    }
+
+    /// Cumulative energy fractions, one entry per mode (monotone, the last
+    /// ≤ 1 with equality when K captures everything).
+    pub fn cumulative_energy_fraction(&self, total_energy: f64) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.singular_values
+            .iter()
+            .map(|s| {
+                acc += s * s;
+                acc / total_energy.max(f64::MIN_POSITIVE)
+            })
+            .collect()
+    }
+
+    /// Modal coefficients of (already mean-subtracted) snapshots:
+    /// `a = modesᵀ · fluctuations` (`K x N`).
+    pub fn coefficients(&self, fluctuations: &Matrix) -> Matrix {
+        matmul_tn(&self.modes, fluctuations)
+    }
+
+    /// Project snapshots onto the modes and reconstruct, adding the mean
+    /// back: the rank-K approximation POD exists to provide.
+    pub fn reconstruct(&self, snapshots: &Matrix) -> Matrix {
+        let fluct = subtract_mean(snapshots, &self.mean);
+        let coeffs = self.coefficients(&fluct);
+        let mut rec = matmul(&self.modes, &coeffs);
+        for i in 0..rec.rows() {
+            let mu = self.mean[i];
+            for j in 0..rec.cols() {
+                rec[(i, j)] += mu;
+            }
+        }
+        rec
+    }
+
+    /// Relative Frobenius reconstruction error on a snapshot set.
+    pub fn reconstruction_error(&self, snapshots: &Matrix) -> f64 {
+        let rec = self.reconstruct(snapshots);
+        (snapshots - &rec).frobenius_norm() / snapshots.frobenius_norm().max(1e-300)
+    }
+}
+
+/// Subtract a mean field from every column.
+pub fn subtract_mean(snapshots: &Matrix, mean: &[f64]) -> Matrix {
+    assert_eq!(snapshots.rows(), mean.len(), "mean length must match rows");
+    let mut out = snapshots.clone();
+    for i in 0..out.rows() {
+        let mu = mean[i];
+        for j in 0..out.cols() {
+            out[(i, j)] -= mu;
+        }
+    }
+    out
+}
+
+/// Temporal mean of the columns.
+pub fn temporal_mean(snapshots: &Matrix) -> Vec<f64> {
+    let n = snapshots.cols().max(1) as f64;
+    (0..snapshots.rows()).map(|i| snapshots.row(i).iter().sum::<f64>() / n).collect()
+}
+
+/// One-shot POD of a full snapshot matrix.
+pub fn pod(snapshots: &Matrix, k: usize) -> Pod {
+    let mean = temporal_mean(snapshots);
+    let fluct = subtract_mean(snapshots, &mean);
+    let f = psvd_linalg::svd(&fluct).truncated(k);
+    Pod { mean, modes: f.u, singular_values: f.s, snapshots: snapshots.cols() }
+}
+
+/// Streaming POD: consumes batches, maintaining a running mean and a
+/// streaming SVD of the (approximately) mean-subtracted fluctuations.
+///
+/// The mean is estimated incrementally, so early batches are centered with
+/// a cruder mean than later ones — the standard trade of single-pass
+/// streaming PCA. With a final pass disabled, expect the mean-related error
+/// to shrink as `1/√N`.
+pub struct StreamingPod {
+    svd: SerialStreamingSvd,
+    mean: Vec<f64>,
+    count: usize,
+}
+
+impl StreamingPod {
+    /// New streaming POD tracking `cfg.k` modes.
+    pub fn new(cfg: SvdConfig) -> Self {
+        Self { svd: SerialStreamingSvd::new(cfg), mean: Vec::new(), count: 0 }
+    }
+
+    /// Ingest one batch of raw (not centered) snapshots.
+    pub fn ingest(&mut self, batch: &Matrix) -> &mut Self {
+        if batch.cols() == 0 {
+            return self;
+        }
+        // Update the running mean.
+        if self.mean.is_empty() {
+            self.mean = vec![0.0; batch.rows()];
+        }
+        assert_eq!(self.mean.len(), batch.rows(), "row count changed mid-stream");
+        let new_count = self.count + batch.cols();
+        let batch_mean = temporal_mean(batch);
+        let w_old = self.count as f64 / new_count as f64;
+        let w_new = batch.cols() as f64 / new_count as f64;
+        for (m, b) in self.mean.iter_mut().zip(&batch_mean) {
+            *m = *m * w_old + b * w_new;
+        }
+        self.count = new_count;
+
+        // Center with the current mean estimate and stream.
+        let fluct = subtract_mean(batch, &self.mean);
+        if self.svd.is_initialized() {
+            self.svd.incorporate_data(&fluct);
+        } else {
+            self.svd.initialize(&fluct);
+        }
+        self
+    }
+
+    /// Finish, returning the POD.
+    pub fn finalize(self) -> Pod {
+        Pod {
+            mean: self.mean,
+            modes: self.svd.modes().clone(),
+            singular_values: self.svd.singular_values().to_vec(),
+            snapshots: self.count,
+        }
+    }
+}
+
+/// Distributed POD: each rank holds a row block of the snapshots; the
+/// temporal mean is local (row-wise, no communication needed), and the
+/// fluctuation SVD runs through APMOS. Returns this rank's block of the
+/// modes inside the [`Pod`] (gather with
+/// [`crate::parallel::ParallelStreamingSvd::gather_modes`]-style collectives
+/// if the global matrix is wanted).
+pub fn distributed_pod<C: psvd_comm::Communicator>(
+    comm: &C,
+    local_snapshots: &Matrix,
+    cfg: SvdConfig,
+) -> Pod {
+    let mean = temporal_mean(local_snapshots);
+    let fluct = subtract_mean(local_snapshots, &mean);
+    let mut driver = crate::parallel::ParallelStreamingSvd::new(comm, cfg);
+    let (modes, s) = driver.parallel_svd(&fluct);
+    Pod { mean, modes, singular_values: s, snapshots: local_snapshots.cols() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psvd_linalg::norms::orthogonality_error;
+    use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
+    use psvd_linalg::validate::max_principal_angle;
+
+    /// Snapshots = mean + low-rank fluctuations.
+    fn dataset(m: usize, n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = seeded_rng(seed);
+        let fluct = matrix_with_spectrum(m, n, &[5.0, 2.0, 1.0], &mut rng);
+        let mean: Vec<f64> = (0..m).map(|i| 3.0 + (i as f64 * 0.1).sin()).collect();
+        let mut snaps = fluct;
+        for i in 0..m {
+            for j in 0..n {
+                snaps[(i, j)] += mean[i];
+            }
+        }
+        (snaps, mean)
+    }
+
+    #[test]
+    fn mean_is_recovered() {
+        let (snaps, _) = dataset(40, 30, 1);
+        let p = pod(&snaps, 3);
+        let direct = temporal_mean(&snaps);
+        for (a, b) in p.mean.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn modes_orthonormal_and_energies_descending() {
+        let (snaps, _) = dataset(50, 24, 2);
+        let p = pod(&snaps, 3);
+        assert!(orthogonality_error(&p.modes) < 1e-10);
+        assert!(p.mode_energy(0) >= p.mode_energy(1));
+        assert!(p.mode_energy(1) >= p.mode_energy(2));
+    }
+
+    #[test]
+    fn rank_k_reconstruction_is_near_exact_for_rank_k_data() {
+        let (snaps, _) = dataset(40, 20, 3);
+        let p = pod(&snaps, 3); // fluctuations have exact rank 3
+        assert!(p.reconstruction_error(&snaps) < 1e-10);
+    }
+
+    #[test]
+    fn truncation_degrades_gracefully() {
+        let (snaps, _) = dataset(40, 20, 4);
+        let p1 = pod(&snaps, 1);
+        let p2 = pod(&snaps, 2);
+        let p3 = pod(&snaps, 3);
+        let e1 = p1.reconstruction_error(&snaps);
+        let e2 = p2.reconstruction_error(&snaps);
+        let e3 = p3.reconstruction_error(&snaps);
+        assert!(e1 > e2 && e2 > e3, "more modes, less error: {e1} {e2} {e3}");
+    }
+
+    #[test]
+    fn cumulative_energy_reaches_one_for_full_rank() {
+        let (snaps, _) = dataset(30, 15, 5);
+        let mean = temporal_mean(&snaps);
+        let fluct = subtract_mean(&snaps, &mean);
+        let total: f64 = {
+            let f = psvd_linalg::svd(&fluct);
+            f.s.iter().map(|s| s * s).sum()
+        };
+        let p = pod(&snaps, 15);
+        let cum = p.cumulative_energy_fraction(total);
+        assert!((cum.last().unwrap() - 1.0).abs() < 1e-10);
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn coefficients_reproduce_fluctuations() {
+        let (snaps, _) = dataset(30, 12, 6);
+        let p = pod(&snaps, 3);
+        let fluct = subtract_mean(&snaps, &p.mean);
+        let coeffs = p.coefficients(&fluct);
+        assert_eq!(coeffs.shape(), (3, 12));
+        let rec = matmul(&p.modes, &coeffs);
+        assert!((&rec - &fluct).frobenius_norm() / fluct.frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_pod_approaches_batch_pod() {
+        let (snaps, _) = dataset(60, 64, 7);
+        let batch_pod = pod(&snaps, 3);
+        let mut sp = StreamingPod::new(SvdConfig::new(3).with_forget_factor(1.0));
+        for c0 in (0..64).step_by(16) {
+            sp.ingest(&snaps.submatrix(0, 60, c0, c0 + 16));
+        }
+        let stream_pod = sp.finalize();
+        assert_eq!(stream_pod.snapshots, 64);
+        // Mean is exact (weighted running mean over equal batches).
+        for (a, b) in stream_pod.mean.iter().zip(&batch_pod.mean) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Modes agree to streaming tolerance.
+        let angle = max_principal_angle(&batch_pod.modes, &stream_pod.modes);
+        assert!(angle < 0.15, "streaming POD should track batch POD, angle = {angle}");
+    }
+
+    #[test]
+    fn streaming_pod_empty_batch_noop() {
+        let mut sp = StreamingPod::new(SvdConfig::new(2));
+        sp.ingest(&Matrix::zeros(10, 0));
+        assert_eq!(sp.count, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Streaming DMD (Hemati, Williams & Rowley 2014).
+//!
+//! Online variant of [`crate::dmd`]: snapshot *pairs* `(x, y = F(x))`
+//! arrive one at a time; the method maintains a rank-limited orthonormal
+//! basis `Q` (grown Gram–Schmidt style, compressed by POD when it exceeds
+//! the budget) plus the small projected matrices
+//!
+//! ```text
+//! A = Σ (Qᵀy)(Qᵀx)ᵀ,   G = Σ (Qᵀx)(Qᵀx)ᵀ
+//! ```
+//!
+//! from which the projected operator `Ã = A G⁺` and its eigenvalues/modes
+//! are available at any time — the streaming analogue of the DMD the paper
+//! lists among the SVD's data-driven applications, and a natural companion
+//! to the streaming SVD this library is built around.
+
+use psvd_linalg::cmatrix::CMatrix;
+use psvd_linalg::complex::Complex;
+use psvd_linalg::eig_general::general_eig;
+use psvd_linalg::gemm::{matmul, matmul_tn, matvec, matvec_t};
+use psvd_linalg::pinv::pseudoinverse;
+use psvd_linalg::Matrix;
+
+/// Online DMD over a stream of snapshot pairs.
+pub struct StreamingDmd {
+    /// Basis budget (maximum retained basis vectors).
+    max_rank: usize,
+    /// Sampling interval.
+    dt: f64,
+    /// Orthonormal basis `Q` (`M x r`, grows then saturates at the budget).
+    basis: Matrix,
+    /// Projected cross matrix `A = Σ ỹ x̃ᵀ`.
+    a: Matrix,
+    /// Projected Gram matrix `G = Σ x̃ x̃ᵀ`.
+    g: Matrix,
+    /// Pairs ingested.
+    pairs_seen: usize,
+}
+
+/// Threshold for admitting a new basis direction: the component of the
+/// incoming snapshot orthogonal to the current basis must exceed this
+/// fraction of the snapshot's norm.
+const ADMIT_FRACTION: f64 = 1e-8;
+
+impl StreamingDmd {
+    /// New tracker with a basis budget of `max_rank` and sampling step `dt`.
+    pub fn new(max_rank: usize, dt: f64) -> Self {
+        assert!(max_rank >= 2, "DMD needs at least a 2-dimensional basis");
+        Self {
+            max_rank,
+            dt,
+            basis: Matrix::zeros(0, 0),
+            a: Matrix::zeros(0, 0),
+            g: Matrix::zeros(0, 0),
+            pairs_seen: 0,
+        }
+    }
+
+    /// Pairs ingested so far.
+    pub fn pairs_seen(&self) -> usize {
+        self.pairs_seen
+    }
+
+    /// Current basis rank.
+    pub fn rank(&self) -> usize {
+        self.basis.cols()
+    }
+
+    /// Ingest one snapshot pair `(x, y)` with `y = F(x)`.
+    pub fn ingest(&mut self, x: &[f64], y: &[f64]) -> &mut Self {
+        assert_eq!(x.len(), y.len(), "pair lengths differ");
+        if self.basis.rows() == 0 {
+            self.basis = Matrix::zeros(x.len(), 0);
+        }
+        assert_eq!(x.len(), self.basis.rows(), "snapshot length changed mid-stream");
+
+        // Grow the basis with whichever parts of x and y it misses.
+        for v in [x, y] {
+            self.maybe_admit(v);
+        }
+
+        // Accumulate the projected statistics.
+        let xt = matvec_t(&self.basis, x);
+        let yt = matvec_t(&self.basis, y);
+        let r = self.rank();
+        for i in 0..r {
+            for j in 0..r {
+                self.a[(i, j)] += yt[i] * xt[j];
+                self.g[(i, j)] += xt[i] * xt[j];
+            }
+        }
+        self.pairs_seen += 1;
+
+        // Compress by POD of the Gram statistics when over budget.
+        if self.rank() > self.max_rank {
+            self.compress();
+        }
+        self
+    }
+
+    fn maybe_admit(&mut self, v: &[f64]) {
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return;
+        }
+        // Orthogonal residual of v against the basis (two passes).
+        let mut e = v.to_vec();
+        for _ in 0..2 {
+            let c = matvec_t(&self.basis, &e);
+            let proj = matvec(&self.basis, &c);
+            for (ei, pi) in e.iter_mut().zip(&proj) {
+                *ei -= pi;
+            }
+        }
+        let rnorm = e.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if rnorm > ADMIT_FRACTION * norm {
+            for x in &mut e {
+                *x /= rnorm;
+            }
+            // Append the new direction; the projected matrices get a zero
+            // row and column.
+            let r = self.rank();
+            self.basis = self.basis.hstack(&Matrix::from_columns(&[e]));
+            let mut a = Matrix::zeros(r + 1, r + 1);
+            let mut g = Matrix::zeros(r + 1, r + 1);
+            for i in 0..r {
+                for j in 0..r {
+                    a[(i, j)] = self.a[(i, j)];
+                    g[(i, j)] = self.g[(i, j)];
+                }
+            }
+            self.a = a;
+            self.g = g;
+        }
+    }
+
+    fn compress(&mut self) {
+        // POD of the accumulated input statistics: eigenvectors of G.
+        let eig = psvd_linalg::eig::sym_eig(&self.g);
+        let keep = self.max_rank;
+        let t = eig.vectors.first_columns(keep); // r x keep, orthonormal
+        self.basis = matmul(&self.basis, &t);
+        self.a = matmul_tn(&t, &matmul(&self.a, &t));
+        self.g = matmul_tn(&t, &matmul(&self.g, &t));
+    }
+
+    /// Current DMD eigenvalues (discrete-time) and modes, from
+    /// `Ã = A G⁺` projected back through the basis.
+    pub fn eigen(&self) -> (Vec<Complex>, CMatrix) {
+        assert!(self.pairs_seen >= 2, "need at least two pairs");
+        let a_tilde = matmul(&self.a, &pseudoinverse(&self.g));
+        let eig = general_eig(&a_tilde);
+        let modes = CMatrix::from_real(&self.basis).matmul(&eig.vectors);
+        (eig.values, modes)
+    }
+
+    /// Continuous-time eigenvalues `ln(λ)/dt`.
+    pub fn continuous_eigenvalues(&self) -> Vec<Complex> {
+        self.eigen().0.iter().map(|l| l.ln().scale(1.0 / self.dt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pairs from a linear oscillator field with two frequencies.
+    fn pair_stream(m: usize, n: usize, dt: f64) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let snapshot = |t: f64| -> Vec<f64> {
+            (0..m)
+                .map(|i| {
+                    let v1 = ((i as f64 * 0.11) + 0.2).sin();
+                    let w1 = ((i as f64 * 0.23) + 0.5).cos();
+                    let v2 = ((i as f64 * 0.37) + 0.9).sin();
+                    let w2 = ((i as f64 * 0.53) + 1.4).cos();
+                    v1 * (3.0 * t).cos() + w1 * (3.0 * t).sin()
+                        + 0.5 * (v2 * (8.0 * t).cos() + w2 * (8.0 * t).sin())
+                })
+                .collect()
+        };
+        (0..n)
+            .map(|k| (snapshot(k as f64 * dt), snapshot((k + 1) as f64 * dt)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_frequencies_online() {
+        let dt = 0.04;
+        let mut sdmd = StreamingDmd::new(6, dt);
+        for (x, y) in pair_stream(60, 150, dt) {
+            sdmd.ingest(&x, &y);
+        }
+        assert_eq!(sdmd.pairs_seen(), 150);
+        let freqs: Vec<f64> =
+            sdmd.continuous_eigenvalues().iter().map(|w| w.im.abs()).collect();
+        assert!(
+            freqs.iter().any(|&f| (f - 3.0).abs() < 0.05),
+            "omega = 3 missing from {freqs:?}"
+        );
+        assert!(
+            freqs.iter().any(|&f| (f - 8.0).abs() < 0.05),
+            "omega = 8 missing from {freqs:?}"
+        );
+    }
+
+    #[test]
+    fn basis_respects_budget() {
+        let dt = 0.04;
+        let mut sdmd = StreamingDmd::new(4, dt);
+        for (x, y) in pair_stream(40, 60, dt) {
+            sdmd.ingest(&x, &y);
+            assert!(sdmd.rank() <= 5, "budget 4 (+1 transient) exceeded: {}", sdmd.rank());
+        }
+        assert!(sdmd.rank() <= 4);
+    }
+
+    #[test]
+    fn matches_batch_dmd() {
+        let dt = 0.05;
+        let pairs = pair_stream(50, 120, dt);
+        let mut sdmd = StreamingDmd::new(6, dt);
+        for (x, y) in &pairs {
+            sdmd.ingest(x, y);
+        }
+        // Batch DMD on the same data (first elements + final y).
+        let mut cols: Vec<Vec<f64>> = pairs.iter().map(|(x, _)| x.clone()).collect();
+        cols.push(pairs.last().unwrap().1.clone());
+        let data = Matrix::from_columns(&cols);
+        let batch = crate::dmd::dmd(&data, 4, dt);
+
+        let mut sf: Vec<f64> =
+            sdmd.continuous_eigenvalues().iter().map(|w| w.im).collect();
+        // Keep only the four dominant (nonzero-ish) streaming eigenvalues
+        // by matching each batch frequency.
+        for bw in batch.continuous_eigenvalues() {
+            let found = sf.iter().any(|&s| (s - bw.im).abs() < 0.05);
+            assert!(found, "batch eigenvalue {bw:?} not tracked online: {sf:?}");
+        }
+        sf.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+
+    #[test]
+    fn ignores_duplicate_directions() {
+        // Feeding the same pair repeatedly must not grow the basis.
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3 + 0.1).sin()).collect();
+        let mut sdmd = StreamingDmd::new(5, 0.1);
+        for _ in 0..10 {
+            sdmd.ingest(&x, &y);
+        }
+        assert_eq!(sdmd.rank(), 2, "only two independent directions exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pairs")]
+    fn eigen_needs_data() {
+        let sdmd = StreamingDmd::new(4, 0.1);
+        let _ = sdmd.eigen();
+    }
+}

@@ -1,0 +1,287 @@
+//! `ncsim`: a minimal chunked scientific-data container with hyperslab
+//! reads, standing in for the paper's NetCDF4 parallel-IO path.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  : 8 bytes  = b"NCSIM\x01\0\0"
+//! name   : u32 length + UTF-8 bytes (variable name)
+//! rows   : u64   (spatial degrees of freedom, M)
+//! cols   : u64   (snapshots, N)
+//! data   : rows * cols f64, row-major
+//! ```
+//!
+//! Row-major storage makes a rank's row block a single contiguous extent,
+//! so per-rank hyperslab reads ([`NcsimReader::read_rows`]) are one seek +
+//! one sequential read — the access pattern parallel NetCDF performs for a
+//! domain-decomposed field. Each rank opens its own reader (its own file
+//! handle), exactly like MPI-IO with independent access.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use psvd_linalg::Matrix;
+
+const MAGIC: &[u8; 8] = b"NCSIM\x01\0\0";
+
+/// Parsed header of an ncsim file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NcsimHeader {
+    /// Variable name.
+    pub name: String,
+    /// Spatial degrees of freedom (matrix rows).
+    pub rows: usize,
+    /// Snapshots (matrix columns).
+    pub cols: usize,
+}
+
+impl NcsimHeader {
+    fn encoded_len(&self) -> u64 {
+        (8 + 4 + self.name.len() + 8 + 8) as u64
+    }
+}
+
+/// Write a full matrix as an ncsim file.
+pub fn write(path: &Path, name: &str, data: &Matrix) -> io::Result<()> {
+    let mut w = NcsimWriter::create(path, name, data.rows(), data.cols())?;
+    for i in 0..data.rows() {
+        w.write_row(data.row(i))?;
+    }
+    w.finish()
+}
+
+/// Incremental row-wise writer, for producing files larger than memory.
+pub struct NcsimWriter {
+    out: BufWriter<File>,
+    rows: usize,
+    cols: usize,
+    written_rows: usize,
+}
+
+impl NcsimWriter {
+    /// Create the file and write the header; rows are appended with
+    /// [`NcsimWriter::write_row`] and the file sealed by
+    /// [`NcsimWriter::finish`].
+    pub fn create(path: &Path, name: &str, rows: usize, cols: usize) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        let mut header = BytesMut::with_capacity(64 + name.len());
+        header.put_slice(MAGIC);
+        header.put_u32_le(name.len() as u32);
+        header.put_slice(name.as_bytes());
+        header.put_u64_le(rows as u64);
+        header.put_u64_le(cols as u64);
+        out.write_all(&header)?;
+        Ok(Self { out, rows, cols, written_rows: 0 })
+    }
+
+    /// Append one row (must have exactly `cols` values).
+    pub fn write_row(&mut self, row: &[f64]) -> io::Result<()> {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        assert!(self.written_rows < self.rows, "too many rows written");
+        let mut buf = BytesMut::with_capacity(8 * row.len());
+        for &v in row {
+            buf.put_f64_le(v);
+        }
+        self.out.write_all(&buf)?;
+        self.written_rows += 1;
+        Ok(())
+    }
+
+    /// Flush and verify all declared rows were written.
+    pub fn finish(mut self) -> io::Result<()> {
+        if self.written_rows != self.rows {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("declared {} rows but wrote {}", self.rows, self.written_rows),
+            ));
+        }
+        self.out.flush()
+    }
+}
+
+/// Reader with hyperslab (row-range) access.
+pub struct NcsimReader {
+    file: BufReader<File>,
+    header: NcsimHeader,
+    data_offset: u64,
+}
+
+impl NcsimReader {
+    /// Open and parse the header.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ncsim file"));
+        }
+        let mut len4 = [0u8; 4];
+        file.read_exact(&mut len4)?;
+        let name_len = (&len4[..]).get_u32_le() as usize;
+        if name_len > 4096 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable name length"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        file.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "name not UTF-8"))?;
+        let mut dims = [0u8; 16];
+        file.read_exact(&mut dims)?;
+        let mut cursor = &dims[..];
+        let rows = cursor.get_u64_le() as usize;
+        let cols = cursor.get_u64_le() as usize;
+        // Reject dimension fields that cannot describe a real file: the
+        // declared payload must fit in the file (guards both corruption and
+        // the multiply overflows it would otherwise cause downstream).
+        let payload = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "dimensions overflow"))?;
+        let header = NcsimHeader { name, rows, cols };
+        let data_offset = header.encoded_len();
+        let actual = file.get_ref().metadata()?.len();
+        if actual < data_offset + payload as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "file too short for declared {rows}x{cols} payload ({actual} bytes)"
+                ),
+            ));
+        }
+        Ok(Self { file, header, data_offset })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &NcsimHeader {
+        &self.header
+    }
+
+    /// Total rows (spatial DOF).
+    pub fn rows(&self) -> usize {
+        self.header.rows
+    }
+
+    /// Total columns (snapshots).
+    pub fn cols(&self) -> usize {
+        self.header.cols
+    }
+
+    /// Read rows `[r0, r1)` — one seek plus one contiguous read.
+    pub fn read_rows(&mut self, r0: usize, r1: usize) -> io::Result<Matrix> {
+        if r0 > r1 || r1 > self.header.rows {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "row range out of bounds"));
+        }
+        let cols = self.header.cols;
+        let offset = self.data_offset + (r0 * cols * 8) as u64;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let count = (r1 - r0) * cols;
+        let mut raw = vec![0u8; count * 8];
+        self.file.read_exact(&mut raw)?;
+        let mut data = Vec::with_capacity(count);
+        let mut cursor = &raw[..];
+        for _ in 0..count {
+            data.push(cursor.get_f64_le());
+        }
+        Ok(Matrix::from_vec(r1 - r0, cols, data))
+    }
+
+    /// Read the whole variable.
+    pub fn read_all(&mut self) -> io::Result<Matrix> {
+        self.read_rows(0, self.header.rows)
+    }
+
+    /// Read the balanced row block owned by `rank` of `n_ranks` (the
+    /// per-rank hyperslab of a distributed run).
+    pub fn read_rank_block(&mut self, n_ranks: usize, rank: usize) -> io::Result<Matrix> {
+        let (r0, r1) = crate::partition::block_range(self.header.rows, n_ranks, rank);
+        self.read_rows(r0, r1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("psvd_ncsim_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let path = tmpfile("roundtrip");
+        let a = Matrix::from_fn(13, 7, |i, j| (i as f64 * 0.5) - j as f64);
+        write(&path, "pressure", &a).unwrap();
+        let mut r = NcsimReader::open(&path).unwrap();
+        assert_eq!(r.header().name, "pressure");
+        assert_eq!(r.rows(), 13);
+        assert_eq!(r.cols(), 7);
+        assert_eq!(r.read_all().unwrap(), a);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hyperslab_matches_slice() {
+        let path = tmpfile("hyperslab");
+        let a = Matrix::from_fn(20, 5, |i, j| ((i * 5 + j) as f64).cos());
+        write(&path, "v", &a).unwrap();
+        let mut r = NcsimReader::open(&path).unwrap();
+        assert_eq!(r.read_rows(3, 11).unwrap(), a.row_block(3, 11));
+        // Second read after seek-back also works.
+        assert_eq!(r.read_rows(0, 2).unwrap(), a.row_block(0, 2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rank_blocks_tile_file() {
+        let path = tmpfile("rankblocks");
+        let a = Matrix::from_fn(17, 4, |i, j| (i + j) as f64);
+        write(&path, "v", &a).unwrap();
+        let mut blocks = Vec::new();
+        for rank in 0..4 {
+            let mut r = NcsimReader::open(&path).unwrap();
+            blocks.push(r.read_rank_block(4, rank).unwrap());
+        }
+        assert_eq!(Matrix::vstack_all(&blocks), a);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("badmagic");
+        std::fs::write(&path, b"NOTNCSIMxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(NcsimReader::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        let path = tmpfile("oob");
+        write(&path, "v", &Matrix::zeros(3, 3)).unwrap();
+        let mut r = NcsimReader::open(&path).unwrap();
+        assert!(r.read_rows(2, 5).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn incremental_writer_must_complete() {
+        let path = tmpfile("incomplete");
+        let mut w = NcsimWriter::create(&path, "v", 3, 2).unwrap();
+        w.write_row(&[1.0, 2.0]).unwrap();
+        assert!(w.finish().is_err(), "finish must fail when rows are missing");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_name_ok() {
+        let path = tmpfile("noname");
+        write(&path, "", &Matrix::zeros(1, 1)).unwrap();
+        let r = NcsimReader::open(&path).unwrap();
+        assert_eq!(r.header().name, "");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Streaming batch access to snapshot data.
+//!
+//! The streaming SVD consumes data in column batches (`B` snapshots at a
+//! time). These adapters slice an existing matrix into batches or generate
+//! batches lazily from a column closure, so the full `M x N` matrix never
+//! needs to exist in memory — the whole point of the streaming algorithm.
+
+use psvd_linalg::Matrix;
+
+/// Iterate over column batches of `a`, each `batch` columns wide (the last
+/// batch may be narrower). Panics if `batch == 0`.
+pub fn column_batches(a: &Matrix, batch: usize) -> impl Iterator<Item = Matrix> + '_ {
+    assert!(batch > 0, "batch size must be positive");
+    let n = a.cols();
+    (0..n.div_ceil(batch)).map(move |b| {
+        let c0 = b * batch;
+        let c1 = (c0 + batch).min(n);
+        a.submatrix(0, a.rows(), c0, c1)
+    })
+}
+
+/// Lazily generates column batches from a per-column closure, never holding
+/// more than one batch in memory.
+pub struct BatchGenerator<F> {
+    rows: usize,
+    total_cols: usize,
+    batch: usize,
+    next_col: usize,
+    column_fn: F,
+}
+
+impl<F: FnMut(usize) -> Vec<f64>> BatchGenerator<F> {
+    /// `column_fn(j)` must return column `j` (length `rows`).
+    pub fn new(rows: usize, total_cols: usize, batch: usize, column_fn: F) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        Self { rows, total_cols, batch, next_col: 0, column_fn }
+    }
+
+    /// Number of batches this generator will yield in total.
+    pub fn batch_count(&self) -> usize {
+        self.total_cols.div_ceil(self.batch)
+    }
+}
+
+impl<F: FnMut(usize) -> Vec<f64>> Iterator for BatchGenerator<F> {
+    type Item = Matrix;
+
+    fn next(&mut self) -> Option<Matrix> {
+        if self.next_col >= self.total_cols {
+            return None;
+        }
+        let c0 = self.next_col;
+        let c1 = (c0 + self.batch).min(self.total_cols);
+        let mut m = Matrix::zeros(self.rows, c1 - c0);
+        for (jj, j) in (c0..c1).enumerate() {
+            let col = (self.column_fn)(j);
+            assert_eq!(col.len(), self.rows, "column {j} has wrong length");
+            m.set_col(jj, &col);
+        }
+        self.next_col = c1;
+        Some(m)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.total_cols - self.next_col).div_ceil(self.batch);
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_matrix() {
+        let a = Matrix::from_fn(4, 10, |i, j| (i * 10 + j) as f64);
+        let batches: Vec<Matrix> = column_batches(&a, 3).collect();
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0].cols(), 3);
+        assert_eq!(batches[3].cols(), 1);
+        assert_eq!(Matrix::hstack_all(&batches), a);
+    }
+
+    #[test]
+    fn exact_division_has_no_runt() {
+        let a = Matrix::from_fn(2, 8, |_, j| j as f64);
+        let batches: Vec<Matrix> = column_batches(&a, 4).collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.cols() == 4));
+    }
+
+    #[test]
+    fn generator_matches_slicing() {
+        let a = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64).sin());
+        let from_slices: Vec<Matrix> = column_batches(&a, 2).collect();
+        let gen = BatchGenerator::new(5, 7, 2, |j| a.col(j));
+        let from_gen: Vec<Matrix> = gen.collect();
+        assert_eq!(from_slices, from_gen);
+    }
+
+    #[test]
+    fn generator_size_hint() {
+        let gen = BatchGenerator::new(3, 10, 4, |j| vec![j as f64; 3]);
+        assert_eq!(gen.batch_count(), 3);
+        assert_eq!(gen.size_hint(), (3, Some(3)));
+        assert_eq!(gen.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = column_batches(&a, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Matrix multiplication kernels.
+//!
+//! A cache-blocked, i-k-j ordered GEMM; transpose-aware variants avoid
+//! materializing explicit transposes for the common `AᵀB` and `ABᵀ` patterns
+//! that appear in the SVD drivers (Gram matrices, projections).
+
+use crate::matrix::Matrix;
+
+/// Cache block edge for the blocked kernels.
+const BLOCK: usize = 64;
+
+/// `C = A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    // i-k-j loop order: the innermost loop streams rows of B and C, which is
+    // the cache-friendly order for row-major data.
+    let cd = c.as_mut_slice();
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for ib in (0..m).step_by(BLOCK) {
+        for kb in (0..k).step_by(BLOCK) {
+            for jb in (0..n).step_by(BLOCK) {
+                let imax = (ib + BLOCK).min(m);
+                let kmax = (kb + BLOCK).min(k);
+                let jmax = (jb + BLOCK).min(n);
+                for i in ib..imax {
+                    for kk in kb..kmax {
+                        let aik = ad[i * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &bd[kk * n + jb..kk * n + jmax];
+                        let crow = &mut cd[i * n + jb..i * n + jmax];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ * B` without materializing `Aᵀ`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    let cd = c.as_mut_slice();
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aki * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A * Bᵀ` without materializing `Bᵀ`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
+    let (m, n) = (a.rows(), b.rows());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut s = 0.0;
+            for (av, bv) in arow.iter().zip(brow) {
+                s += av * bv;
+            }
+            c[(i, j)] = s;
+        }
+    }
+    c
+}
+
+/// `y = A * x`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+    (0..a.rows())
+        .map(|i| a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum())
+        .collect()
+}
+
+/// `y = Aᵀ * x`.
+pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
+    let mut y = vec![0.0; a.cols()];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        for (yv, av) in y.iter_mut().zip(a.row(i)) {
+            *yv += av * xi;
+        }
+    }
+    y
+}
+
+/// The Gram matrix `AᵀA` (symmetric; computed once and mirrored).
+pub fn gram(a: &Matrix) -> Matrix {
+    let n = a.cols();
+    let mut g = Matrix::zeros(n, n);
+    for kk in 0..a.rows() {
+        let row = a.row(kk);
+        for i in 0..n {
+            let ri = row[i];
+            if ri == 0.0 {
+                continue;
+            }
+            for j in i..n {
+                g[(i, j)] += ri * row[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn test_mat(r: usize, c: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17) as f64 * seed).sin())
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_rectangular() {
+        let a = test_mat(37, 53, 0.7);
+        let b = test_mat(53, 29, 1.3);
+        let c = matmul(&a, &b);
+        let d = naive(&a, &b);
+        assert!((&c - &d).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_crosses_block_boundaries() {
+        let a = test_mat(130, 70, 0.3);
+        let b = test_mat(70, 65, 0.9);
+        assert!((&matmul(&a, &b) - &naive(&a, &b)).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = test_mat(20, 20, 0.5);
+        let i = Matrix::identity(20);
+        assert!((&matmul(&a, &i) - &a).max_abs() < 1e-15);
+        assert!((&matmul(&i, &a) - &a).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = test_mat(40, 13, 0.2);
+        let b = test_mat(40, 21, 0.4);
+        let c = matmul_tn(&a, &b);
+        let d = matmul(&a.transpose(), &b);
+        assert!((&c - &d).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = test_mat(23, 40, 0.2);
+        let b = test_mat(31, 40, 0.4);
+        let c = matmul_nt(&a, &b);
+        let d = matmul(&a, &b.transpose());
+        assert!((&c - &d).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = test_mat(17, 9, 0.8);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).cos()).collect();
+        let y = matvec(&a, &x);
+        let xm = Matrix::from_columns(std::slice::from_ref(&x));
+        let ym = matmul(&a, &xm);
+        for i in 0..17 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches() {
+        let a = test_mat(17, 9, 0.8);
+        let x: Vec<f64> = (0..17).map(|i| (i as f64).cos()).collect();
+        let y = matvec_t(&a, &x);
+        let expected = matvec(&a.transpose(), &x);
+        for (yv, ev) in y.iter().zip(&expected) {
+            assert!((yv - ev).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn gram_matches_tn() {
+        let a = test_mat(50, 12, 0.6);
+        let g = gram(&a);
+        let g2 = matmul_tn(&a, &a);
+        assert!((&g - &g2).max_abs() < 1e-12);
+        // Symmetry.
+        assert!((&g - &g.transpose()).max_abs() == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        matmul(&a, &b);
+    }
+}

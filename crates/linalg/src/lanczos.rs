@@ -1,0 +1,240 @@
+//! Golub–Kahan–Lanczos bidiagonalization SVD.
+//!
+//! A classic *iterative* route to the leading singular triplets, included as
+//! a baseline comparator for the paper's streaming/randomized approach: it
+//! touches `A` only through `A·v` and `Aᵀ·u` products, builds a small upper
+//! bidiagonal matrix, and reads the leading triplets off its SVD. Full
+//! reorthogonalization keeps the Krylov bases orthonormal (at `O(m·k²)`
+//! extra cost), which is the standard cure for Lanczos' loss of
+//! orthogonality in floating point.
+
+use crate::matrix::Matrix;
+use crate::norms::{vec_dot, vec_norm};
+use crate::random::StandardNormal;
+use crate::svd::golub_kahan::bidiagonal_svd;
+use crate::svd::Svd;
+use rand::distributions::Distribution;
+
+/// Configuration for the Lanczos SVD.
+#[derive(Clone, Copy, Debug)]
+pub struct LanczosConfig {
+    /// Number of leading triplets wanted.
+    pub rank: usize,
+    /// Krylov steps beyond `rank` (accuracy buffer, like oversampling).
+    pub extra_steps: usize,
+}
+
+impl LanczosConfig {
+    /// Default: 8 extra steps.
+    pub fn new(rank: usize) -> Self {
+        Self { rank, extra_steps: 8 }
+    }
+
+    /// Builder: extra Krylov steps.
+    pub fn with_extra_steps(mut self, extra: usize) -> Self {
+        self.extra_steps = extra;
+        self
+    }
+}
+
+/// Leading-`k` SVD via Golub–Kahan–Lanczos bidiagonalization with full
+/// reorthogonalization. `rng` seeds the start vector.
+pub fn lanczos_svd<R: rand::Rng>(a: &Matrix, cfg: &LanczosConfig, rng: &mut R) -> Svd {
+    let (m, n) = a.shape();
+    let p = m.min(n);
+    let steps = (cfg.rank + cfg.extra_steps).min(p);
+    if steps == 0 || cfg.rank == 0 {
+        return Svd { u: Matrix::zeros(m, 0), s: Vec::new(), vt: Matrix::zeros(0, n) };
+    }
+
+    let normal = StandardNormal;
+    // Krylov bases as column lists.
+    let mut us: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut alphas: Vec<f64> = Vec::with_capacity(steps);
+    let mut betas: Vec<f64> = Vec::with_capacity(steps.saturating_sub(1));
+
+    // Unit random start vector in R^n.
+    let mut v: Vec<f64> = (0..n).map(|_| normal.sample(rng)).collect();
+    let nv = vec_norm(&v).max(f64::MIN_POSITIVE);
+    for x in &mut v {
+        *x /= nv;
+    }
+    vs.push(v);
+
+    // u_1 = A v_1 / alpha_1.
+    let mut u = crate::gemm::matvec(a, &vs[0]);
+    let alpha = vec_norm(&u);
+    if alpha == 0.0 {
+        // A v = 0 for a random v: A is (numerically) zero.
+        return Svd {
+            u: Matrix::zeros(m, cfg.rank.min(p)),
+            s: vec![0.0; cfg.rank.min(p)],
+            vt: Matrix::zeros(cfg.rank.min(p), n),
+        };
+    }
+    for x in &mut u {
+        *x /= alpha;
+    }
+    alphas.push(alpha);
+    us.push(u);
+
+    for j in 0..steps - 1 {
+        // w = Aᵀ u_j − alpha_j v_j, reorthogonalized against all v's.
+        let mut w = crate::gemm::matvec_t(a, &us[j]);
+        for (i, vi) in vs.iter().enumerate() {
+            let coef = if i == j { alphas[j] } else { 0.0 };
+            let h = vec_dot(&w, vi) - coef;
+            let _ = h; // explicit below
+        }
+        // Subtract alpha_j v_j then do two reorthogonalization passes.
+        for (x, vj) in w.iter_mut().zip(&vs[j]) {
+            *x -= alphas[j] * vj;
+        }
+        for _ in 0..2 {
+            for vi in &vs {
+                let h = vec_dot(&w, vi);
+                for (x, y) in w.iter_mut().zip(vi) {
+                    *x -= h * y;
+                }
+            }
+        }
+        let beta = vec_norm(&w);
+        if beta <= f64::EPSILON * alphas[0] {
+            break; // invariant subspace found
+        }
+        for x in &mut w {
+            *x /= beta;
+        }
+        betas.push(beta);
+        vs.push(w);
+
+        // u_{j+1} = A v_{j+1} − beta_j u_j, reorthogonalized against all u's.
+        let mut z = crate::gemm::matvec(a, &vs[j + 1]);
+        for (x, uj) in z.iter_mut().zip(&us[j]) {
+            *x -= beta * uj;
+        }
+        for _ in 0..2 {
+            for ui in &us {
+                let h = vec_dot(&z, ui);
+                for (x, y) in z.iter_mut().zip(ui) {
+                    *x -= h * y;
+                }
+            }
+        }
+        let alpha = vec_norm(&z);
+        if alpha <= f64::EPSILON * alphas[0] {
+            break;
+        }
+        for x in &mut z {
+            *x /= alpha;
+        }
+        alphas.push(alpha);
+        us.push(z);
+    }
+
+    // SVD of the small upper bidiagonal (alphas on the diagonal, betas on
+    // the superdiagonal), rotations accumulated from identity.
+    let kk = alphas.len();
+    let d = alphas.clone();
+    let e = betas[..kk.saturating_sub(1)].to_vec();
+    let small = bidiagonal_svd(d, e, Matrix::identity(kk), Matrix::identity(kk));
+
+    // Lift: U = U_krylov * P, V = V_krylov * Q.
+    let u_krylov = Matrix::from_columns(&us);
+    let v_krylov = Matrix::from_columns(&vs[..kk]);
+    let k_out = cfg.rank.min(kk);
+    let u_full = crate::gemm::matmul(&u_krylov, &small.u);
+    let v_full = crate::gemm::matmul(&v_krylov, &small.vt.transpose());
+    Svd {
+        u: u_full.first_columns(k_out),
+        s: small.s[..k_out].to_vec(),
+        vt: v_full.first_columns(k_out).transpose(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::orthogonality_error;
+    use crate::random::{matrix_with_spectrum, seeded_rng};
+    use crate::svd::svd;
+    use crate::validate::max_principal_angle;
+
+    #[test]
+    fn recovers_leading_triplets() {
+        let mut rng = seeded_rng(1);
+        let spec: Vec<f64> = (0..20).map(|i| 6.0 * 0.7f64.powi(i)).collect();
+        let a = matrix_with_spectrum(80, 30, &spec, &mut rng);
+        let f = lanczos_svd(&a, &LanczosConfig::new(5), &mut rng);
+        let reference = svd(&a);
+        for (got, want) in f.s.iter().zip(&reference.s) {
+            assert!((got - want).abs() / want < 1e-6, "sigma {got} vs {want}");
+        }
+        assert!(
+            max_principal_angle(&reference.u.first_columns(5), &f.u) < 1e-4,
+            "leading subspace must match"
+        );
+    }
+
+    #[test]
+    fn exact_on_low_rank() {
+        let mut rng = seeded_rng(2);
+        let a = matrix_with_spectrum(50, 20, &[4.0, 2.0, 1.0], &mut rng);
+        let f = lanczos_svd(&a, &LanczosConfig::new(3), &mut rng);
+        assert!((f.s[0] - 4.0).abs() < 1e-8);
+        assert!((f.s[1] - 2.0).abs() < 1e-8);
+        assert!((f.s[2] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bases_orthonormal() {
+        let mut rng = seeded_rng(3);
+        let spec: Vec<f64> = (0..15).map(|i| 3.0 / (1.0 + i as f64)).collect();
+        let a = matrix_with_spectrum(60, 25, &spec, &mut rng);
+        let f = lanczos_svd(&a, &LanczosConfig::new(6), &mut rng);
+        assert!(orthogonality_error(&f.u) < 1e-9);
+        assert!(orthogonality_error(&f.vt.transpose()) < 1e-9);
+    }
+
+    #[test]
+    fn early_breakdown_on_exact_rank() {
+        // Rank-2 matrix: Krylov space exhausts after 2 steps, the solver
+        // must stop gracefully and still return `rank` values (padded by
+        // whatever converged).
+        let mut rng = seeded_rng(4);
+        let a = matrix_with_spectrum(30, 10, &[5.0, 1.0], &mut rng);
+        let f = lanczos_svd(&a, &LanczosConfig::new(4), &mut rng);
+        assert!((f.s[0] - 5.0).abs() < 1e-8);
+        assert!((f.s[1] - 1.0).abs() < 1e-8);
+        // Trailing values, if any, are numerically zero.
+        for &x in &f.s[2..] {
+            assert!(x < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let mut rng = seeded_rng(5);
+        let f = lanczos_svd(&Matrix::zeros(10, 4), &LanczosConfig::new(2), &mut rng);
+        assert!(f.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn wide_matrix_supported() {
+        let mut rng = seeded_rng(6);
+        let a = matrix_with_spectrum(12, 40, &[3.0, 2.0, 0.5], &mut rng);
+        let f = lanczos_svd(&a, &LanczosConfig::new(3), &mut rng);
+        assert!((f.s[0] - 3.0).abs() < 1e-8, "{:?}", f.s);
+        assert_eq!(f.u.shape(), (12, 3));
+        assert_eq!(f.vt.shape(), (3, 40));
+    }
+
+    #[test]
+    fn rank_zero_request() {
+        let mut rng = seeded_rng(7);
+        let a = Matrix::identity(4);
+        let f = lanczos_svd(&a, &LanczosConfig { rank: 0, extra_steps: 2 }, &mut rng);
+        assert!(f.s.is_empty());
+    }
+}

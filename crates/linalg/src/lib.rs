@@ -1,0 +1,48 @@
+//! # psvd-linalg
+//!
+//! Dense linear-algebra substrate for the PyParSVD reproduction: a row-major
+//! [`Matrix`], blocked GEMM kernels, Householder QR, two SVD kernels
+//! (Golub–Kahan and one-sided Jacobi), a symmetric Jacobi eigensolver, the
+//! method of snapshots, and randomized range-finder / SVD routines.
+//!
+//! Everything is implemented from scratch (no BLAS/LAPACK), sized for the
+//! regime the paper targets: data matrices that are very tall (`M >> N`)
+//! whose *small* core factorizations (`N x N`-ish) happen over and over.
+//!
+//! ```
+//! use psvd_linalg::{Matrix, svd::svd};
+//!
+//! let a = Matrix::from_fn(30, 5, |i, j| ((i + j) as f64 * 0.3).sin());
+//! let f = svd(&a);
+//! assert!(f.reconstruction_error(&a) < 1e-10);
+//! assert!(f.s.windows(2).all(|w| w[0] >= w[1]));
+//! ```
+
+pub mod cholesky;
+pub mod cmatrix;
+pub mod complex;
+pub mod eig;
+pub mod eig_general;
+pub mod fft;
+pub mod hessenberg;
+pub mod schur;
+pub mod lanczos;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+pub mod pinv;
+pub mod qr;
+pub mod random;
+pub mod randomized;
+pub mod snapshots;
+pub mod svd;
+pub mod validate;
+
+pub use matrix::Matrix;
+pub use qr::{thin_qr, QrFactors};
+pub use randomized::{low_rank_svd, randomized_svd, RandomizedConfig};
+pub use lanczos::{lanczos_svd, LanczosConfig};
+pub use pinv::{lstsq, pseudoinverse};
+pub use snapshots::generate_right_vectors;
+pub use svd::{svd, svd_with, truncated_svd, Svd, SvdMethod};

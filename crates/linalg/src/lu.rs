@@ -1,0 +1,208 @@
+//! LU factorization with partial pivoting: `P A = L U`.
+//!
+//! Completes the dense substrate with the standard direct solver —
+//! determinants, linear solves, and inverses for the small square systems
+//! that appear around the SVD drivers (e.g. amplitude fitting).
+
+use crate::matrix::Matrix;
+
+/// An LU factorization with row pivoting.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    /// Packed factors: `U` on and above the diagonal, unit-`L` multipliers
+    /// below.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factors came from `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1` or `-1`), for the determinant.
+    sign: f64,
+}
+
+/// Factor a square matrix; returns `None` when exactly singular at some
+/// pivot (no nonzero pivot available).
+pub fn lu(a: &Matrix) -> Option<LuFactors> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lu: matrix must be square");
+    let mut m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivoting.
+        let mut p = k;
+        let mut best = m[(k, k)].abs();
+        for i in k + 1..n {
+            if m[(i, k)].abs() > best {
+                best = m[(i, k)].abs();
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            return None;
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = m[(k, j)];
+                m[(k, j)] = m[(p, j)];
+                m[(p, j)] = tmp;
+            }
+            perm.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = m[(k, k)];
+        for i in k + 1..n {
+            let factor = m[(i, k)] / pivot;
+            m[(i, k)] = factor; // store the multiplier in L's slot
+            if factor != 0.0 {
+                for j in k + 1..n {
+                    let v = factor * m[(k, j)];
+                    m[(i, j)] -= v;
+                }
+            }
+        }
+    }
+    Some(LuFactors { lu: m, perm, sign })
+}
+
+impl LuFactors {
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    // Triangular substitution is clearest with explicit index ranges.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        // Apply the permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solve for multiple right-hand sides (columns of `b`).
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.n(), "solve_matrix: row count mismatch");
+        let cols: Vec<Vec<f64>> = (0..b.cols()).map(|j| self.solve(&b.col(j))).collect();
+        Matrix::from_columns(&cols)
+    }
+
+    /// Determinant of `A`.
+    pub fn determinant(&self) -> f64 {
+        self.sign * (0..self.n()).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+
+    /// Inverse of `A`.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.n()))
+    }
+}
+
+/// Convenience: solve `A x = b` in one call (`None` if singular).
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    lu(a).map(|f| f.solve(b))
+}
+
+/// Determinant (`0.0` for exactly singular input).
+pub fn determinant(a: &Matrix) -> f64 {
+    lu(a).map_or(0.0, |f| f.determinant())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matvec};
+    use crate::random::{gaussian_matrix, seeded_rng};
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = gaussian_matrix(10, 10, &mut seeded_rng(1));
+        let x_true: Vec<f64> = (0..10).map(|i| (i as f64 * 0.4).sin()).collect();
+        let b = matvec(&a, &x_true);
+        let x = solve(&a, &b).expect("nonsingular");
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let a = gaussian_matrix(8, 8, &mut seeded_rng(2));
+        let inv = lu(&a).unwrap().inverse();
+        let eye = matmul(&a, &inv);
+        assert!((&eye - &Matrix::identity(8)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        assert!((determinant(&Matrix::identity(5)) - 1.0).abs() < 1e-14);
+        let d = Matrix::from_diag(&[2.0, 3.0, -4.0]);
+        assert!((determinant(&d) - -24.0).abs() < 1e-12);
+        // Swapping two rows flips the sign.
+        let mut swapped = Matrix::from_diag(&[2.0, 3.0, -4.0]);
+        for j in 0..3 {
+            let tmp = swapped[(0, j)];
+            swapped[(0, j)] = swapped[(1, j)];
+            swapped[(1, j)] = tmp;
+        }
+        assert!((determinant(&swapped) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_svd_magnitude() {
+        let a = gaussian_matrix(7, 7, &mut seeded_rng(3));
+        let det = determinant(&a).abs();
+        let prod: f64 = crate::svd::svd(&a).s.iter().product();
+        assert!((det - prod).abs() < 1e-8 * prod.max(1.0));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = gaussian_matrix(5, 5, &mut seeded_rng(4));
+        // Make row 3 a copy of row 1 -> exactly singular after elimination?
+        // (Floating-point elimination of duplicates hits a zero pivot.)
+        for j in 0..5 {
+            let v = a[(1, j)];
+            a[(3, j)] = v;
+        }
+        match lu(&a) {
+            None => {}
+            // Round-off can leave a tiny pivot instead of exact zero; the
+            // determinant must then be negligible.
+            Some(f) => assert!(f.determinant().abs() < 1e-10),
+        }
+        assert!(solve(&Matrix::zeros(3, 3), &[1.0; 3]).is_none());
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let a = gaussian_matrix(6, 6, &mut seeded_rng(5));
+        let b = gaussian_matrix(6, 3, &mut seeded_rng(6));
+        let x = lu(&a).unwrap().solve_matrix(&b);
+        assert!((&matmul(&a, &x) - &b).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+        assert!((determinant(&a) - -1.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,607 @@
+//! Dense row-major matrix of `f64`.
+//!
+//! This is the workhorse container for the whole workspace. It is deliberately
+//! simple: a `Vec<f64>` in row-major order plus the two dimensions. All
+//! factorization kernels in this crate operate on it, and the distributed
+//! algorithms in `psvd-core` ship its row/column blocks between ranks.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a row-major data vector. Panics if the length does not match.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a slice of rows. Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged row in from_rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: nrows, cols: ncols, data }
+    }
+
+    /// Build from a slice of columns. Panics if columns are ragged.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+        let ncols = cols.len();
+        let nrows = cols.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(nrows, ncols);
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), nrows, "ragged column in from_columns");
+            for (i, &v) in c.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// A diagonal matrix with the given entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// A rectangular `rows x cols` matrix with `diag` on the main diagonal.
+    pub fn from_diag_rect(rows: usize, cols: usize, diag: &[f64]) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for (i, &d) in diag.iter().enumerate().take(rows.min(cols)) {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True if the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the underlying row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Set column `j` from a slice.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.rows, "column length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self[(i, j)] = v;
+        }
+    }
+
+    /// Set row `i` from a slice.
+    pub fn set_row(&mut self, i: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "row length mismatch");
+        self.row_mut(i).copy_from_slice(values);
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on large matrices.
+        const B: usize = 32;
+        for ib in (0..self.rows).step_by(B) {
+            for jb in (0..self.cols).step_by(B) {
+                for i in ib..(ib + B).min(self.rows) {
+                    for j in jb..(jb + B).min(self.cols) {
+                        t.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Copy a contiguous block `[r0, r1) x [c0, c1)`.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
+        assert!(c0 <= c1 && c1 <= self.cols, "col range out of bounds");
+        let mut m = Matrix::zeros(r1 - r0, c1 - c0);
+        for i in r0..r1 {
+            m.row_mut(i - r0).copy_from_slice(&self.row(i)[c0..c1]);
+        }
+        m
+    }
+
+    /// The first `k` columns.
+    pub fn first_columns(&self, k: usize) -> Matrix {
+        self.submatrix(0, self.rows, 0, k.min(self.cols))
+    }
+
+    /// The rows `[r0, r1)`.
+    pub fn row_block(&self, r0: usize, r1: usize) -> Matrix {
+        self.submatrix(r0, r1, 0, self.cols)
+    }
+
+    /// Select columns by index list.
+    pub fn select_columns(&self, idx: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, idx.len());
+        for (jj, &j) in idx.iter().enumerate() {
+            assert!(j < self.cols, "column index out of bounds");
+            for i in 0..self.rows {
+                m[(i, jj)] = self[(i, j)];
+            }
+        }
+        m
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        if self.is_empty() && self.rows == 0 {
+            return other.clone();
+        }
+        assert_eq!(self.rows, other.rows, "hstack: row count mismatch");
+        let mut m = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            m.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            m.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        m
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        if self.is_empty() && self.cols == 0 {
+            return other.clone();
+        }
+        assert_eq!(self.cols, other.cols, "vstack: column count mismatch");
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Horizontal concatenation of many blocks.
+    pub fn hstack_all(blocks: &[Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "hstack_all: empty block list");
+        let rows = blocks[0].rows;
+        let total: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut m = Matrix::zeros(rows, total);
+        let mut off = 0;
+        for b in blocks {
+            assert_eq!(b.rows, rows, "hstack_all: row count mismatch");
+            for i in 0..rows {
+                m.row_mut(i)[off..off + b.cols].copy_from_slice(b.row(i));
+            }
+            off += b.cols;
+        }
+        m
+    }
+
+    /// Vertical concatenation of many blocks.
+    pub fn vstack_all(blocks: &[Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "vstack_all: empty block list");
+        let cols = blocks[0].cols;
+        let total: usize = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(total * cols);
+        for b in blocks {
+            assert_eq!(b.cols, cols, "vstack_all: column count mismatch");
+            data.extend_from_slice(&b.data);
+        }
+        Matrix { rows: total, cols, data }
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place scale by a scalar.
+    pub fn scale_mut(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Scale by a scalar into a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Scale column `j` in place.
+    pub fn scale_col_mut(&mut self, j: usize, s: f64) {
+        for i in 0..self.rows {
+            self[(i, j)] *= s;
+        }
+    }
+
+    /// `self * diag(d)` — scales column `j` by `d[j]`.
+    pub fn mul_diag(&self, d: &[f64]) -> Matrix {
+        assert_eq!(d.len(), self.cols, "mul_diag: diagonal length mismatch");
+        let mut m = self.clone();
+        for i in 0..m.rows {
+            let row = m.row_mut(i);
+            for (j, &dj) in d.iter().enumerate() {
+                row[j] *= dj;
+            }
+        }
+        m
+    }
+
+    /// `diag(d) * self` — scales row `i` by `d[i]`.
+    pub fn diag_mul(&self, d: &[f64]) -> Matrix {
+        assert_eq!(d.len(), self.rows, "diag_mul: diagonal length mismatch");
+        let mut m = self.clone();
+        for (i, &di) in d.iter().enumerate() {
+            for x in m.row_mut(i) {
+                *x *= di;
+            }
+        }
+        m
+    }
+
+    /// Main diagonal entries.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Euclidean norm of column `j`.
+    pub fn col_norm(&self, j: usize) -> f64 {
+        (0..self.rows).map(|i| self[(i, j)] * self[(i, j)]).sum::<f64>().sqrt()
+    }
+
+    /// Dot product of columns `a` and `b`.
+    pub fn col_dot(&self, a: usize, b: usize) -> f64 {
+        (0..self.rows).map(|i| self[(i, a)] * self[(i, b)]).sum()
+    }
+
+    /// True if all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.map(|x| -x)
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::gemm::matmul(self, rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            let show_cols = self.cols.min(8);
+            let entries: Vec<String> =
+                (0..show_cols).map(|j| format!("{:>11.4e}", self[(i, j)])).collect();
+            let ellipsis = if self.cols > show_cols { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", entries.join(", "), ellipsis)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_rows_and_columns_agree() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_columns(&[vec![1.0, 3.0], vec![2.0, 4.0]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(3, 2)], m[(2, 3)]);
+    }
+
+    #[test]
+    fn transpose_large_blocked() {
+        let m = Matrix::from_fn(67, 41, |i, j| (i as f64).sin() + (j as f64).cos());
+        let t = m.transpose();
+        for i in 0..67 {
+            for j in 0..41 {
+                assert_eq!(t[(j, i)], m[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_block() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], 6.0);
+        assert_eq!(s[(1, 1)], 11.0);
+    }
+
+    #[test]
+    fn first_columns_clamps() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let s = m.first_columns(10);
+        assert_eq!(s.shape(), (3, 2));
+    }
+
+    #[test]
+    fn hstack_vstack() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0], vec![4.0]]);
+        let h = a.hstack(&b);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h[(0, 1)], 3.0);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (4, 1));
+        assert_eq!(v[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn hstack_all_matches_pairwise() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(3, 1, |i, _| i as f64);
+        let c = Matrix::from_fn(3, 4, |i, j| (i * j) as f64);
+        assert_eq!(Matrix::hstack_all(&[a.clone(), b.clone(), c.clone()]), a.hstack(&b).hstack(&c));
+    }
+
+    #[test]
+    fn vstack_all_matches_pairwise() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(1, 3, |_, j| j as f64);
+        assert_eq!(Matrix::vstack_all(&[a.clone(), b.clone()]), a.vstack(&b));
+    }
+
+    #[test]
+    fn mul_diag_scales_columns() {
+        let m = Matrix::filled(2, 3, 1.0);
+        let d = m.mul_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn diag_mul_scales_rows() {
+        let m = Matrix::filled(3, 2, 1.0);
+        let d = m.diag_mul(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.col(0), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_set_get() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set_col(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.col(0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let m = Matrix::from_fn(2, 3, |_, j| j as f64);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s.col(0), vec![2.0, 2.0]);
+        assert_eq!(s.col(1), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::filled(2, 2, 2.0);
+        let b = Matrix::filled(2, 2, 1.0);
+        assert_eq!((&a + &b), Matrix::filled(2, 2, 3.0));
+        assert_eq!((&a - &b), Matrix::filled(2, 2, 1.0));
+        assert_eq!((-&b), Matrix::filled(2, 2, -1.0));
+        assert_eq!(a.scaled(0.5), Matrix::filled(2, 2, 1.0));
+    }
+
+    #[test]
+    fn diag_rect() {
+        let m = Matrix::from_diag_rect(3, 2, &[5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 5.0);
+        assert_eq!(m[(1, 1)], 6.0);
+        assert_eq!(m[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.all_finite());
+        m[(0, 1)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn col_dot_and_norm() {
+        let m = Matrix::from_columns(&[vec![1.0, 0.0], vec![1.0, 1.0]]);
+        assert!((m.col_dot(0, 1) - 1.0).abs() < 1e-15);
+        assert!((m.col_norm(1) - 2f64.sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,108 @@
+//! Norms and orthogonality diagnostics.
+
+use crate::gemm::{matmul_tn, matvec, matvec_t};
+use crate::matrix::Matrix;
+
+/// `‖QᵀQ − I‖_max`: how far the columns of `q` are from orthonormal.
+pub fn orthogonality_error(q: &Matrix) -> f64 {
+    let g = matmul_tn(q, q);
+    let mut err: f64 = 0.0;
+    for i in 0..g.rows() {
+        for j in 0..g.cols() {
+            let target = if i == j { 1.0 } else { 0.0 };
+            err = err.max((g[(i, j)] - target).abs());
+        }
+    }
+    err
+}
+
+/// Power-iteration estimate of the spectral norm `‖A‖_2`.
+///
+/// Deterministic start vector (all ones, normalized); `iters` rounds of
+/// `x ← AᵀA x` normalization. Good to a few digits for diagnostics.
+pub fn spectral_norm_estimate(a: &Matrix, iters: usize) -> f64 {
+    if a.rows() == 0 || a.cols() == 0 {
+        return 0.0;
+    }
+    let n = a.cols();
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut sigma = 0.0;
+    for _ in 0..iters {
+        let y = matvec(a, &x);
+        let z = matvec_t(a, &y);
+        let norm = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        for (xi, zi) in x.iter_mut().zip(&z) {
+            *xi = zi / norm;
+        }
+        sigma = norm.sqrt();
+    }
+    sigma
+}
+
+/// Relative Frobenius distance `‖A − B‖_F / max(1, ‖A‖_F)`.
+pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
+    (a - b).frobenius_norm() / a.frobenius_norm().max(1.0)
+}
+
+/// Euclidean norm of a vector.
+pub fn vec_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+pub fn vec_dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::thin_qr;
+
+    #[test]
+    fn orthogonality_of_identity() {
+        assert_eq!(orthogonality_error(&Matrix::identity(5)), 0.0);
+    }
+
+    #[test]
+    fn orthogonality_detects_skew() {
+        let m = Matrix::from_columns(&[vec![1.0, 0.0], vec![1.0, 1.0]]);
+        assert!(orthogonality_error(&m) > 0.5);
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 0.5]);
+        let est = spectral_norm_estimate(&a, 50);
+        assert!((est - 3.0).abs() < 1e-8, "estimate {est}");
+    }
+
+    #[test]
+    fn spectral_norm_orthogonal_is_one() {
+        let a = Matrix::from_fn(30, 5, |i, j| ((i + 2 * j) as f64).sin());
+        let q = thin_qr(&a).q;
+        let est = spectral_norm_estimate(&q, 50);
+        assert!((est - 1.0).abs() < 1e-6, "estimate {est}");
+    }
+
+    #[test]
+    fn spectral_norm_zero_matrix() {
+        assert_eq!(spectral_norm_estimate(&Matrix::zeros(4, 3), 10), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_for_equal() {
+        let a = Matrix::filled(3, 3, 2.0);
+        assert_eq!(relative_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn vec_helpers() {
+        assert!((vec_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert!((vec_dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,278 @@
+//! Householder QR decomposition.
+//!
+//! The thin QR (`A = Q R`, `Q ∈ R^{m×p}`, `R ∈ R^{p×n}`, `p = min(m, n)`) is
+//! the backbone of both the Levy–Lindenbaum streaming update (step 1 of
+//! Algorithm 1 in the paper) and the TSQR tall-skinny factorization used by
+//! the parallel driver.
+//!
+//! Factors are canonicalized to a non-negative `R` diagonal, which makes the
+//! decomposition unique for full-rank input. The paper's Listing 4 flips the
+//! sign of `qglobal`/`rfinal` ("trick for consistency"); canonicalization is
+//! the principled version of that trick and is what keeps local and global
+//! TSQR stages consistent across ranks.
+
+use crate::gemm::matmul;
+use crate::matrix::Matrix;
+
+/// The result of a QR factorization: `a = q * r`.
+#[derive(Clone, Debug)]
+pub struct QrFactors {
+    /// Orthonormal factor, `m x p` with `p = min(m, n)`.
+    pub q: Matrix,
+    /// Upper-triangular (trapezoidal if `m < n`) factor, `p x n`.
+    pub r: Matrix,
+}
+
+/// Thin Householder QR with canonical (non-negative) `R` diagonal.
+pub fn thin_qr(a: &Matrix) -> QrFactors {
+    let mut f = householder_qr(a);
+    canonicalize(&mut f);
+    f
+}
+
+/// Thin Householder QR without sign canonicalization.
+pub fn householder_qr(a: &Matrix) -> QrFactors {
+    let (m, n) = a.shape();
+    let p = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors, stored per reflection; v[k] has length m - k.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(p);
+
+    for k in 0..p {
+        // Build the reflector annihilating R[k+1.., k].
+        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        let alpha = {
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if v[0] >= 0.0 {
+                -norm
+            } else {
+                norm
+            }
+        };
+        if alpha == 0.0 {
+            // Column already zero below (and at) the diagonal: identity reflector.
+            vs.push(Vec::new());
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            vs.push(Vec::new());
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R[k.., k..].
+        for j in k..n {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * r[(k + idx, j)];
+            }
+            let s = 2.0 * dot / vnorm2;
+            for (idx, vi) in v.iter().enumerate() {
+                r[(k + idx, j)] -= s * vi;
+            }
+        }
+        // Clean the annihilated entries exactly.
+        r[(k, k)] = alpha;
+        for i in k + 1..m {
+            r[(i, k)] = 0.0;
+        }
+        vs.push(v);
+    }
+
+    // Form thin Q by applying the reflectors (in reverse) to the first p
+    // columns of the identity.
+    let mut q = Matrix::zeros(m, p);
+    for i in 0..p {
+        q[(i, i)] = 1.0;
+    }
+    for k in (0..p).rev() {
+        let v = &vs[k];
+        if v.is_empty() {
+            continue;
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        for j in 0..p {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * q[(k + idx, j)];
+            }
+            let s = 2.0 * dot / vnorm2;
+            for (idx, vi) in v.iter().enumerate() {
+                q[(k + idx, j)] -= s * vi;
+            }
+        }
+    }
+
+    QrFactors { q, r: r.submatrix(0, p, 0, n) }
+}
+
+/// Flip signs so that `diag(R) >= 0`, adjusting `Q` columns to keep `QR`
+/// unchanged.
+pub fn canonicalize(f: &mut QrFactors) {
+    let p = f.r.rows();
+    for k in 0..p.min(f.r.cols()) {
+        if f.r[(k, k)] < 0.0 {
+            for j in 0..f.r.cols() {
+                f.r[(k, j)] = -f.r[(k, j)];
+            }
+            for i in 0..f.q.rows() {
+                f.q[(i, k)] = -f.q[(i, k)];
+            }
+        }
+    }
+}
+
+/// Gram–Schmidt QR with re-orthogonalization (MGS2). Slightly different
+/// rounding behaviour than Householder, which makes it a useful independent
+/// cross-check in tests; the double pass keeps `Q` orthonormal to machine
+/// precision ("twice is enough").
+pub fn mgs_qr(a: &Matrix) -> QrFactors {
+    let (m, n) = a.shape();
+    let p = m.min(n);
+    let mut q = Matrix::zeros(m, p);
+    let mut r = Matrix::zeros(p, n);
+    for j in 0..p {
+        let mut v = a.col(j);
+        for _pass in 0..2 {
+            for i in 0..j {
+                let mut h = 0.0;
+                for (row, vv) in v.iter().enumerate() {
+                    h += q[(row, i)] * vv;
+                }
+                r[(i, j)] += h;
+                for (row, vv) in v.iter_mut().enumerate() {
+                    *vv -= h * q[(row, i)];
+                }
+            }
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        r[(j, j)] = norm;
+        if norm > 0.0 {
+            for vv in &mut v {
+                *vv /= norm;
+            }
+        }
+        q.set_col(j, &v);
+    }
+    if n > p {
+        // For wide matrices (m < n) the trailing block of R is QᵀA; exact
+        // because the square orthonormal Q spans all of R^m.
+        let tail = a.submatrix(0, m, p, n);
+        let qt_tail = crate::gemm::matmul_tn(&q, &tail);
+        for i in 0..p {
+            for j in 0..n - p {
+                r[(i, p + j)] = qt_tail[(i, j)];
+            }
+        }
+    }
+    let mut f = QrFactors { q, r };
+    canonicalize(&mut f);
+    f
+}
+
+/// Reconstruction error `‖A − QR‖_F / max(1, ‖A‖_F)`.
+pub fn reconstruction_error(a: &Matrix, f: &QrFactors) -> f64 {
+    let qr = matmul(&f.q, &f.r);
+    (a - &qr).frobenius_norm() / a.frobenius_norm().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::orthogonality_error;
+
+    fn test_mat(r: usize, c: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * 37 + j * 11) as f64 * seed).sin() + 0.1)
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = test_mat(60, 12, 0.7);
+        let f = thin_qr(&a);
+        assert_eq!(f.q.shape(), (60, 12));
+        assert_eq!(f.r.shape(), (12, 12));
+        assert!(reconstruction_error(&a, &f) < 1e-13);
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = test_mat(20, 20, 0.3);
+        let f = thin_qr(&a);
+        assert!(reconstruction_error(&a, &f) < 1e-13);
+    }
+
+    #[test]
+    fn qr_reconstructs_wide() {
+        let a = test_mat(8, 25, 0.5);
+        let f = thin_qr(&a);
+        assert_eq!(f.q.shape(), (8, 8));
+        assert_eq!(f.r.shape(), (8, 25));
+        assert!(reconstruction_error(&a, &f) < 1e-13);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = test_mat(100, 15, 0.9);
+        let f = thin_qr(&a);
+        assert!(orthogonality_error(&f.q) < 1e-13);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_nonneg_diag() {
+        let a = test_mat(40, 10, 1.1);
+        let f = thin_qr(&a);
+        for i in 0..10 {
+            assert!(f.r[(i, i)] >= 0.0, "negative diagonal at {i}");
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0, "nonzero below diagonal at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_qr_is_unique() {
+        // Two different algorithms computing QR of the same well-conditioned
+        // matrix should agree after canonicalization: Householder vs MGS.
+        // (A Gaussian matrix is full-rank and well-conditioned w.h.p.;
+        // structured sin-grids can be numerically rank-deficient, which makes
+        // trailing Q columns non-unique.)
+        let a = crate::random::gaussian_matrix(30, 8, &mut crate::random::seeded_rng(99));
+        let f1 = thin_qr(&a);
+        let f2 = mgs_qr(&a);
+        assert!((&f1.r - &f2.r).max_abs() < 1e-10);
+        assert!((&f1.q - &f2.q).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn mgs_reconstructs_wide() {
+        let a = test_mat(6, 14, 0.8);
+        let f = mgs_qr(&a);
+        assert!(reconstruction_error(&a, &f) < 1e-12);
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient() {
+        // Two identical columns: rank < n. QR must still reconstruct.
+        let c: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let a = Matrix::from_columns(&[c.clone(), c.clone(), (0..30).map(|i| i as f64).collect()]);
+        let f = thin_qr(&a);
+        assert!(reconstruction_error(&a, &f) < 1e-12);
+    }
+
+    #[test]
+    fn qr_of_zero_matrix() {
+        let a = Matrix::zeros(10, 3);
+        let f = thin_qr(&a);
+        assert!(reconstruction_error(&a, &f) < 1e-15);
+        assert_eq!(f.r, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn qr_single_column() {
+        let a = Matrix::from_columns(&[vec![3.0, 4.0]]);
+        let f = thin_qr(&a);
+        assert!((f.r[(0, 0)] - 5.0).abs() < 1e-14);
+        assert!((f.q[(0, 0)] - 0.6).abs() < 1e-14);
+        assert!((f.q[(1, 0)] - 0.8).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,476 @@
+//! Golub–Kahan–Reinsch SVD: Householder bidiagonalization followed by
+//! implicit-shift QR iteration on the bidiagonal with accumulated Givens
+//! rotations (Golub & Van Loan, Algorithms 5.4.2 / 8.6.1 / 8.6.2).
+//!
+//! This is the fast default for the small square matrices (`R`, `W`) that
+//! the streaming and APMOS drivers factorize at every step. Its output is
+//! property-tested against the one-sided Jacobi kernel.
+
+use crate::matrix::Matrix;
+use crate::svd::Svd;
+
+/// Givens pair `(c, s, r)` with `c*f + s*g = r`, `-s*f + c*g = 0`,
+/// `r = hypot(f, g)`.
+#[inline]
+fn givens(f: f64, g: f64) -> (f64, f64, f64) {
+    if g == 0.0 {
+        (1.0, 0.0, f)
+    } else if f == 0.0 {
+        (0.0, 1.0, g)
+    } else {
+        let r = f.hypot(g);
+        (f / r, g / r, r)
+    }
+}
+
+/// Rotate columns `j` and `k` of `m`: `col_j ← c*col_j + s*col_k`,
+/// `col_k ← -s*col_j + c*col_k`.
+#[inline]
+fn rotate_cols(m: &mut Matrix, j: usize, k: usize, c: f64, s: f64) {
+    for i in 0..m.rows() {
+        let a = m[(i, j)];
+        let b = m[(i, k)];
+        m[(i, j)] = c * a + s * b;
+        m[(i, k)] = -s * a + c * b;
+    }
+}
+
+/// Householder bidiagonalization of a tall matrix (`m >= n`):
+/// `A = U B Vᵀ` with `B` upper bidiagonal. Returns `(U, d, e, V)` where
+/// `d` is the diagonal (length `n`) and `e` the superdiagonal (length
+/// `n.saturating_sub(1)`).
+pub fn bidiagonalize(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
+    let (m, n) = a.shape();
+    assert!(m >= n, "bidiagonalize requires m >= n");
+    let mut b = a.clone();
+    // Left reflectors annihilate below-diagonal entries of column k;
+    // right reflectors annihilate row entries right of the superdiagonal.
+    let mut left: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut right: Vec<Vec<f64>> = Vec::with_capacity(n.saturating_sub(2));
+
+    for k in 0..n {
+        // Left Householder on b[k.., k].
+        let mut v: Vec<f64> = (k..m).map(|i| b[(i, k)]).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            let alpha = if v[0] >= 0.0 { -norm } else { norm };
+            v[0] -= alpha;
+            let vn2: f64 = v.iter().map(|x| x * x).sum();
+            if vn2 > 0.0 {
+                for j in k..n {
+                    let mut dot = 0.0;
+                    for (idx, vi) in v.iter().enumerate() {
+                        dot += vi * b[(k + idx, j)];
+                    }
+                    let s = 2.0 * dot / vn2;
+                    for (idx, vi) in v.iter().enumerate() {
+                        b[(k + idx, j)] -= s * vi;
+                    }
+                }
+                b[(k, k)] = alpha;
+                for i in k + 1..m {
+                    b[(i, k)] = 0.0;
+                }
+                left.push(v);
+            } else {
+                left.push(Vec::new());
+            }
+        } else {
+            left.push(Vec::new());
+        }
+
+        // Right Householder on b[k, k+2..].
+        if k + 2 < n {
+            let mut w: Vec<f64> = (k + 1..n).map(|j| b[(k, j)]).collect();
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                let alpha = if w[0] >= 0.0 { -norm } else { norm };
+                w[0] -= alpha;
+                let wn2: f64 = w.iter().map(|x| x * x).sum();
+                if wn2 > 0.0 {
+                    for i in k..m {
+                        let mut dot = 0.0;
+                        for (idx, wi) in w.iter().enumerate() {
+                            dot += wi * b[(i, k + 1 + idx)];
+                        }
+                        let s = 2.0 * dot / wn2;
+                        for (idx, wi) in w.iter().enumerate() {
+                            b[(i, k + 1 + idx)] -= s * wi;
+                        }
+                    }
+                    b[(k, k + 1)] = alpha;
+                    for j in k + 2..n {
+                        b[(k, j)] = 0.0;
+                    }
+                    right.push(w);
+                } else {
+                    right.push(Vec::new());
+                }
+            } else {
+                right.push(Vec::new());
+            }
+        }
+    }
+
+    // Form thin U (m x n).
+    let mut u = Matrix::zeros(m, n);
+    for i in 0..n {
+        u[(i, i)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &left[k];
+        if v.is_empty() {
+            continue;
+        }
+        let vn2: f64 = v.iter().map(|x| x * x).sum();
+        for j in 0..n {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * u[(k + idx, j)];
+            }
+            let s = 2.0 * dot / vn2;
+            for (idx, vi) in v.iter().enumerate() {
+                u[(k + idx, j)] -= s * vi;
+            }
+        }
+    }
+
+    // Form V (n x n).
+    let mut v = Matrix::identity(n);
+    for k in (0..right.len()).rev() {
+        let w = &right[k];
+        if w.is_empty() {
+            continue;
+        }
+        let wn2: f64 = w.iter().map(|x| x * x).sum();
+        for j in 0..n {
+            let mut dot = 0.0;
+            for (idx, wi) in w.iter().enumerate() {
+                dot += wi * v[(k + 1 + idx, j)];
+            }
+            let s = 2.0 * dot / wn2;
+            for (idx, wi) in w.iter().enumerate() {
+                v[(k + 1 + idx, j)] -= s * wi;
+            }
+        }
+    }
+
+    let d: Vec<f64> = (0..n).map(|i| b[(i, i)]).collect();
+    let e: Vec<f64> = (0..n.saturating_sub(1)).map(|i| b[(i, i + 1)]).collect();
+    (u, d, e, v)
+}
+
+/// One implicit-shift Golub–Kahan SVD step on the block `d[p..=q]`,
+/// `e[p..q]`, with rotations accumulated into `u` and `v`.
+fn gk_step(d: &mut [f64], e: &mut [f64], p: usize, q: usize, u: &mut Matrix, v: &mut Matrix) {
+    // Wilkinson shift from the trailing 2x2 of Bᵀ B.
+    let eq2 = if q >= 2 && q - 1 > p { e[q - 2] } else { 0.0 };
+    let t11 = d[q - 1] * d[q - 1] + eq2 * eq2;
+    let t12 = d[q - 1] * e[q - 1];
+    let t22 = d[q] * d[q] + e[q - 1] * e[q - 1];
+    let diff = 0.5 * (t11 - t22);
+    let mu = if t12 == 0.0 {
+        t22
+    } else {
+        let denom = diff + diff.signum() * diff.hypot(t12);
+        if denom == 0.0 {
+            t22
+        } else {
+            t22 - t12 * t12 / denom
+        }
+    };
+
+    let mut y = d[p] * d[p] - mu;
+    let mut z = d[p] * e[p];
+
+    for k in p..q {
+        // Right rotation on columns (k, k+1): annihilates the bulge in row
+        // k-1 (or realizes the shift when k == p).
+        let (c, s, r) = givens(y, z);
+        if k > p {
+            e[k - 1] = r;
+        }
+        let f = c * d[k] + s * e[k];
+        let ek = -s * d[k] + c * e[k];
+        let g = s * d[k + 1]; // bulge at (k+1, k)
+        let dk1 = c * d[k + 1];
+        d[k] = f;
+        e[k] = ek;
+        d[k + 1] = dk1;
+        rotate_cols(v, k, k + 1, c, s);
+
+        // Left rotation on rows (k, k+1): annihilates the bulge at (k+1, k).
+        let (c2, s2, r2) = givens(d[k], g);
+        d[k] = r2;
+        let f2 = c2 * e[k] + s2 * d[k + 1];
+        let dk1b = -s2 * e[k] + c2 * d[k + 1];
+        e[k] = f2;
+        d[k + 1] = dk1b;
+        if k + 1 < q {
+            let g2 = s2 * e[k + 1]; // bulge at (k, k+2)
+            e[k + 1] *= c2;
+            y = e[k];
+            z = g2;
+        }
+        rotate_cols(u, k, k + 1, c2, s2);
+    }
+}
+
+/// When `d[k]` is negligible (k < q), chase `e[k]` away with left rotations
+/// against the rows below, zeroing row `k`'s coupling.
+fn zero_diag_row_chase(
+    d: &mut [f64],
+    e: &mut [f64],
+    k: usize,
+    q: usize,
+    u: &mut Matrix,
+) {
+    let mut f = e[k];
+    e[k] = 0.0;
+    for j in k + 1..=q {
+        let (c, s, r) = givens(d[j], f);
+        d[j] = r;
+        if j < q {
+            f = -s * e[j];
+            e[j] *= c;
+        }
+        // U ← U Lᵀ with L mixing rows (j, k).
+        rotate_cols(u, j, k, c, s);
+    }
+}
+
+/// When `d[q]` is negligible, chase `e[q-1]` away with right rotations
+/// against the columns to the left.
+fn zero_diag_col_chase(
+    d: &mut [f64],
+    e: &mut [f64],
+    p: usize,
+    q: usize,
+    v: &mut Matrix,
+) {
+    let mut f = e[q - 1];
+    e[q - 1] = 0.0;
+    for j in (p..q).rev() {
+        let (c, s, r) = givens(d[j], f);
+        d[j] = r;
+        if j > p {
+            f = -s * e[j - 1];
+            e[j - 1] *= c;
+        }
+        rotate_cols(v, j, q, c, s);
+    }
+}
+
+/// SVD of an upper-bidiagonal matrix given by diagonal `d` and superdiagonal
+/// `e`, with the rotations accumulated into the preexisting factors `u`, `v`.
+pub fn bidiagonal_svd(
+    mut d: Vec<f64>,
+    mut e: Vec<f64>,
+    mut u: Matrix,
+    mut v: Matrix,
+) -> Svd {
+    let n = d.len();
+    if n == 0 {
+        return Svd { u, s: d, vt: v.transpose() };
+    }
+    let eps = f64::EPSILON;
+    let bnorm = d
+        .iter()
+        .chain(e.iter())
+        .fold(0.0f64, |acc, x| acc.max(x.abs()))
+        .max(f64::MIN_POSITIVE);
+
+    let max_iter = 60 * n * n + 100;
+    let mut iter = 0;
+    loop {
+        // Deflate negligible superdiagonals.
+        for k in 0..n.saturating_sub(1) {
+            if e[k].abs() <= eps * (d[k].abs() + d[k + 1].abs()) + eps * bnorm * 1e-2 {
+                e[k] = 0.0;
+            }
+        }
+        // Largest unreduced block end.
+        let q = match (0..n.saturating_sub(1)).rev().find(|&k| e[k] != 0.0) {
+            Some(k) => k + 1,
+            None => break,
+        };
+        // Block start.
+        let mut p = q - 1;
+        while p > 0 && e[p - 1] != 0.0 {
+            p -= 1;
+        }
+
+        iter += 1;
+        if iter > max_iter {
+            // Should never happen; bail out with whatever has converged so
+            // the caller still gets a usable (if less accurate) result.
+            debug_assert!(false, "bidiagonal SVD failed to converge");
+            break;
+        }
+
+        // Zero diagonals force deflation chases.
+        if d[q].abs() <= eps * bnorm {
+            d[q] = 0.0;
+            zero_diag_col_chase(&mut d, &mut e, p, q, &mut v);
+            continue;
+        }
+        if let Some(k) = (p..q).find(|&k| d[k].abs() <= eps * bnorm) {
+            d[k] = 0.0;
+            zero_diag_row_chase(&mut d, &mut e, k, q, &mut u);
+            continue;
+        }
+
+        gk_step(&mut d, &mut e, p, q, &mut u, &mut v);
+    }
+
+    // Make singular values non-negative (flip U columns).
+    for k in 0..n {
+        if d[k] < 0.0 {
+            d[k] = -d[k];
+            for i in 0..u.rows() {
+                u[(i, k)] = -u[(i, k)];
+            }
+        }
+    }
+
+    // Sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("NaN singular value"));
+    let s: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let u_sorted = u.select_columns(&order);
+    let v_sorted = v.select_columns(&order);
+
+    Svd { u: u_sorted, s, vt: v_sorted.transpose() }
+}
+
+/// Full Golub–Kahan SVD of a tall (or square) matrix. Panics if `m < n`.
+pub fn golub_kahan_svd(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    assert!(m >= n, "golub_kahan_svd requires m >= n (got {m}x{n}); use svd() for wide input");
+    if n == 0 {
+        return Svd { u: Matrix::zeros(m, 0), s: Vec::new(), vt: Matrix::zeros(0, 0) };
+    }
+    let (u, d, e, v) = bidiagonalize(a);
+    bidiagonal_svd(d, e, u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms::orthogonality_error;
+    use crate::svd::jacobi::jacobi_svd;
+
+    fn check(a: &Matrix, tol: f64) {
+        let f = golub_kahan_svd(a);
+        let rec = matmul(&f.u.mul_diag(&f.s), &f.vt);
+        let err = (a - &rec).frobenius_norm() / a.frobenius_norm().max(1.0);
+        assert!(err < tol, "reconstruction error {err} for {:?}", a.shape());
+        assert!(orthogonality_error(&f.u) < 1e-10, "U not orthonormal");
+        assert!(orthogonality_error(&f.vt.transpose()) < 1e-10, "V not orthonormal");
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not descending: {:?}", f.s);
+        }
+        for &sv in &f.s {
+            assert!(sv >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bidiagonalization_reconstructs() {
+        let a = Matrix::from_fn(20, 8, |i, j| ((i * 5 + j * 3) as f64 * 0.17).sin());
+        let (u, d, e, v) = bidiagonalize(&a);
+        let n = 8;
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = d[i];
+            if i + 1 < n {
+                b[(i, i + 1)] = e[i];
+            }
+        }
+        let rec = matmul(&matmul(&u, &b), &v.transpose());
+        assert!((&rec - &a).max_abs() < 1e-12);
+        assert!(orthogonality_error(&u) < 1e-13);
+        assert!(orthogonality_error(&v) < 1e-13);
+    }
+
+    #[test]
+    fn gk_matches_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 7.0, 0.5, 3.0]);
+        let f = golub_kahan_svd(&a);
+        let want = [7.0, 3.0, 2.0, 0.5];
+        for (got, want) in f.s.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-12, "{:?}", f.s);
+        }
+    }
+
+    #[test]
+    fn gk_reconstructs_tall() {
+        check(&Matrix::from_fn(50, 12, |i, j| ((i * 13 + j * 7) as f64 * 0.31).sin()), 1e-11);
+    }
+
+    #[test]
+    fn gk_reconstructs_square() {
+        check(&Matrix::from_fn(30, 30, |i, j| ((i + 2 * j) as f64 * 0.23).cos()), 1e-11);
+    }
+
+    #[test]
+    fn gk_rank_deficient() {
+        let u1: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).sin()).collect();
+        let a = Matrix::from_fn(40, 10, |i, j| u1[i] * ((j + 1) as f64));
+        let f = golub_kahan_svd(&a);
+        assert!(f.s[1] < 1e-10 * f.s[0], "rank-1 matrix, got {:?}", &f.s[..3]);
+        check(&a, 1e-11);
+    }
+
+    #[test]
+    fn gk_zero_matrix() {
+        let f = golub_kahan_svd(&Matrix::zeros(6, 4));
+        assert!(f.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn gk_matches_jacobi_singular_values() {
+        let a = Matrix::from_fn(35, 14, |i, j| ((i * 3 + j * j) as f64 * 0.19).sin() + 0.05);
+        let gk = golub_kahan_svd(&a);
+        let jac = jacobi_svd(&a);
+        for (x, y) in gk.s.iter().zip(&jac.s) {
+            assert!((x - y).abs() < 1e-10 * jac.s[0].max(1.0), "GK {x} vs Jacobi {y}");
+        }
+    }
+
+    #[test]
+    fn gk_graded_spectrum() {
+        // Geometric decay over 8 orders of magnitude.
+        let n = 10;
+        let diag: Vec<f64> = (0..n).map(|i| 10f64.powi(-(i as i32))).collect();
+        let q1 = crate::qr::thin_qr(&Matrix::from_fn(25, n, |i, j| ((i + 3 * j) as f64).sin() + 0.1)).q;
+        let q2 = crate::qr::thin_qr(&Matrix::from_fn(n, n, |i, j| ((2 * i + j) as f64).cos() + 0.1)).q;
+        let a = matmul(&q1.mul_diag(&diag), &q2.transpose());
+        let f = golub_kahan_svd(&a);
+        for (got, want) in f.s.iter().zip(&diag) {
+            assert!(
+                (got - want).abs() < 1e-8 * want.max(1e-10),
+                "sigma {got} vs {want}: spectrum {:?}",
+                f.s
+            );
+        }
+    }
+
+    #[test]
+    fn gk_single_column() {
+        let a = Matrix::from_columns(&[vec![3.0, 4.0, 0.0]]);
+        let f = golub_kahan_svd(&a);
+        assert!((f.s[0] - 5.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn givens_contract() {
+        let (c, s, r) = givens(3.0, 4.0);
+        assert!((c * 3.0 + s * 4.0 - r).abs() < 1e-14);
+        assert!((-s * 3.0 + c * 4.0).abs() < 1e-14);
+        assert!((r - 5.0).abs() < 1e-14);
+        assert_eq!(givens(2.0, 0.0), (1.0, 0.0, 2.0));
+        assert_eq!(givens(0.0, 2.0), (0.0, 1.0, 2.0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Singular value decomposition drivers.
+//!
+//! Two dense kernels are provided — [`jacobi::jacobi_svd`] (one-sided
+//! Hestenes Jacobi, the high-accuracy reference) and
+//! [`golub_kahan::golub_kahan_svd`] (bidiagonalization + implicit-shift QR,
+//! the fast default) — behind a single [`svd`] entry point that also handles
+//! wide matrices (via transposition) and very tall matrices (via a QR
+//! preprocessing step, exactly the `O(MN²) → O(MN·K)`-flavored reduction the
+//! paper leans on).
+
+pub mod golub_kahan;
+pub mod jacobi;
+
+use crate::gemm::matmul;
+use crate::matrix::Matrix;
+use crate::qr::thin_qr;
+
+/// A (thin) singular value decomposition `A = U diag(s) Vᵀ`.
+///
+/// For an `m x n` input with `p = min(m, n)`: `u` is `m x p`, `s` has length
+/// `p` (non-negative, descending), and `vt` is `p x n`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (columns).
+    pub u: Matrix,
+    /// Singular values, descending and non-negative.
+    pub s: Vec<f64>,
+    /// Right singular vectors, transposed (rows).
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Keep only the leading `k` singular triplets.
+    pub fn truncated(&self, k: usize) -> Svd {
+        let k = k.min(self.s.len());
+        Svd {
+            u: self.u.first_columns(k),
+            s: self.s[..k].to_vec(),
+            vt: self.vt.row_block(0, k),
+        }
+    }
+
+    /// Reconstruct `U diag(s) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        matmul(&self.u.mul_diag(&self.s), &self.vt)
+    }
+
+    /// Relative Frobenius reconstruction error against `a`.
+    pub fn reconstruction_error(&self, a: &Matrix) -> f64 {
+        (a - &self.reconstruct()).frobenius_norm() / a.frobenius_norm().max(1.0)
+    }
+
+    /// Numerical rank at relative threshold `rtol` (relative to `s[0]`).
+    pub fn rank(&self, rtol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        self.s.iter().filter(|&&x| x > rtol * smax).count()
+    }
+
+    /// The right singular vectors as columns (`n x p`).
+    pub fn v(&self) -> Matrix {
+        self.vt.transpose()
+    }
+
+    /// 2-norm condition number `σ_max / σ_min` (`f64::INFINITY` for
+    /// singular or empty input).
+    pub fn condition_number(&self) -> f64 {
+        match (self.s.first(), self.s.last()) {
+            (Some(&hi), Some(&lo)) if lo > 0.0 => hi / lo,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Fraction of total squared energy captured by the leading `k`
+    /// triplets (Eckart–Young: the best possible rank-`k` share).
+    pub fn energy_fraction(&self, k: usize) -> f64 {
+        let total: f64 = self.s.iter().map(|x| x * x).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        self.s[..k.min(self.s.len())].iter().map(|x| x * x).sum::<f64>() / total
+    }
+}
+
+/// Which dense kernel factorizes the (preprocessed) core matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SvdMethod {
+    /// Golub–Kahan bidiagonalization + implicit-shift QR (fast default).
+    #[default]
+    GolubKahan,
+    /// One-sided Jacobi (slow, high relative accuracy).
+    Jacobi,
+}
+
+/// Aspect ratio beyond which a tall matrix is QR-preprocessed before the
+/// dense kernel runs on the small triangular factor.
+const QR_PREPROCESS_RATIO: usize = 2;
+
+/// Thin SVD with the default kernel.
+pub fn svd(a: &Matrix) -> Svd {
+    svd_with(a, SvdMethod::default())
+}
+
+/// Thin SVD with an explicit kernel choice.
+///
+/// Wide matrices are handled by factorizing the transpose and swapping
+/// factors; very tall matrices are first reduced by a thin QR.
+pub fn svd_with(a: &Matrix, method: SvdMethod) -> Svd {
+    let (m, n) = a.shape();
+    if m < n {
+        let f = svd_with(&a.transpose(), method);
+        return Svd { u: f.vt.transpose(), s: f.s, vt: f.u.transpose() };
+    }
+    if n > 0 && m >= QR_PREPROCESS_RATIO * n && m > 32 {
+        // A = Q R; SVD(R) = Ur S Vᵀ; A = (Q Ur) S Vᵀ.
+        let qr = thin_qr(a);
+        let core = dense_kernel(&qr.r, method);
+        return Svd { u: matmul(&qr.q, &core.u), s: core.s, vt: core.vt };
+    }
+    dense_kernel(a, method)
+}
+
+fn dense_kernel(a: &Matrix, method: SvdMethod) -> Svd {
+    match method {
+        SvdMethod::GolubKahan => golub_kahan::golub_kahan_svd(a),
+        SvdMethod::Jacobi => jacobi::jacobi_svd(a),
+    }
+}
+
+/// Truncated thin SVD: only the `k` leading triplets, default kernel.
+pub fn truncated_svd(a: &Matrix, k: usize) -> Svd {
+    svd(a).truncated(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::orthogonality_error;
+
+    fn wavy(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| ((i * 7 + j * 13) as f64 * 0.13).sin() + 0.02 * (i as f64))
+    }
+
+    #[test]
+    fn dispatcher_tall_uses_qr_path() {
+        let a = wavy(200, 10);
+        let f = svd(&a);
+        assert_eq!(f.u.shape(), (200, 10));
+        assert!(f.reconstruction_error(&a) < 1e-11);
+        assert!(orthogonality_error(&f.u) < 1e-10);
+    }
+
+    #[test]
+    fn dispatcher_wide_transposes() {
+        let a = wavy(8, 40);
+        let f = svd(&a);
+        assert_eq!(f.u.shape(), (8, 8));
+        assert_eq!(f.vt.shape(), (8, 40));
+        assert!(f.reconstruction_error(&a) < 1e-11);
+        assert!(orthogonality_error(&f.vt.transpose()) < 1e-10);
+    }
+
+    #[test]
+    fn both_methods_agree() {
+        let a = wavy(30, 12);
+        let gk = svd_with(&a, SvdMethod::GolubKahan);
+        let jc = svd_with(&a, SvdMethod::Jacobi);
+        for (x, y) in gk.s.iter().zip(&jc.s) {
+            assert!((x - y).abs() < 1e-9 * jc.s[0], "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn truncated_svd_is_best_low_rank() {
+        // Eckart–Young sanity: truncated reconstruction error equals the
+        // tail singular values' energy.
+        let a = wavy(40, 15);
+        let full = svd(&a);
+        let k = 5;
+        let trunc = full.truncated(k);
+        let err = (&a - &trunc.reconstruct()).frobenius_norm();
+        let tail: f64 = full.s[k..].iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((err - tail).abs() < 1e-9 * full.s[0], "err {err} vs tail {tail}");
+    }
+
+    #[test]
+    fn rank_detection() {
+        let c: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let a = Matrix::from_fn(20, 6, |i, j| c[i] * (j + 1) as f64);
+        let f = svd(&a);
+        assert_eq!(f.rank(1e-10), 1);
+    }
+
+    #[test]
+    fn v_accessor_transposes() {
+        let a = wavy(10, 4);
+        let f = svd(&a);
+        assert_eq!(f.v().shape(), (4, 4));
+        assert_eq!(f.v()[(1, 2)], f.vt[(2, 1)]);
+    }
+
+    #[test]
+    fn condition_number_and_energy() {
+        let a = Matrix::from_diag(&[4.0, 2.0, 1.0]);
+        let f = svd(&a);
+        assert!((f.condition_number() - 4.0).abs() < 1e-12);
+        // energy: 16 + 4 + 1 = 21; leading 1 -> 16/21.
+        assert!((f.energy_fraction(1) - 16.0 / 21.0).abs() < 1e-12);
+        assert!((f.energy_fraction(3) - 1.0).abs() < 1e-14);
+        assert!((f.energy_fraction(99) - 1.0).abs() < 1e-14);
+        // Singular matrix -> infinite condition number.
+        let g = svd(&Matrix::from_diag(&[1.0, 0.0]));
+        assert!(g.condition_number().is_infinite());
+    }
+
+    #[test]
+    fn svd_tiny_shapes() {
+        // 1x1
+        let f = svd(&Matrix::from_vec(1, 1, vec![-3.0]));
+        assert!((f.s[0] - 3.0).abs() < 1e-15);
+        // 1xN
+        let f = svd(&Matrix::from_vec(1, 4, vec![1.0, 2.0, 2.0, 0.0]));
+        assert!((f.s[0] - 3.0).abs() < 1e-14);
+        // Nx1
+        let f = svd(&Matrix::from_vec(4, 1, vec![1.0, 2.0, 2.0, 0.0]));
+        assert!((f.s[0] - 3.0).abs() < 1e-14);
+        // empty columns
+        let f = svd(&Matrix::zeros(3, 0));
+        assert!(f.s.is_empty());
+    }
+}

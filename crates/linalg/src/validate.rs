@@ -1,0 +1,132 @@
+//! Validation utilities for comparing SVD factorizations.
+//!
+//! Singular vectors are unique only up to sign (and, for clustered singular
+//! values, up to rotation within the cluster), so naive elementwise
+//! comparisons of serial vs. parallel results are meaningless. These helpers
+//! implement the comparisons the paper's Figure 1(a,b) relies on: per-mode
+//! sign alignment and subspace angles.
+
+use crate::gemm::matmul_tn;
+use crate::matrix::Matrix;
+use crate::svd::svd;
+
+/// Flip the sign of each column of `b` so it best matches the corresponding
+/// column of `a` (maximizing the inner product). Returns the aligned copy.
+pub fn align_signs(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "align_signs: shape mismatch");
+    let mut out = b.clone();
+    for j in 0..a.cols() {
+        let dot: f64 = (0..a.rows()).map(|i| a[(i, j)] * b[(i, j)]).sum();
+        if dot < 0.0 {
+            out.scale_col_mut(j, -1.0);
+        }
+    }
+    out
+}
+
+/// Per-mode error `‖a_j − ±b_j‖_2` after sign alignment.
+pub fn mode_errors(a: &Matrix, b: &Matrix) -> Vec<f64> {
+    let b = align_signs(a, b);
+    (0..a.cols())
+        .map(|j| {
+            (0..a.rows())
+                .map(|i| {
+                    let d = a[(i, j)] - b[(i, j)];
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+/// Pointwise absolute error of mode `j` after sign alignment — the exact
+/// series plotted in Figure 1(a,b) of the paper.
+pub fn pointwise_mode_error(a: &Matrix, b: &Matrix, j: usize) -> Vec<f64> {
+    let b = align_signs(a, b);
+    (0..a.rows()).map(|i| (a[(i, j)] - b[(i, j)]).abs()).collect()
+}
+
+/// Principal angles (radians, ascending) between the column spaces of two
+/// orthonormal bases, via the SVD of `QₐᵀQ_b`: `θ_i = acos(σ_i)`.
+pub fn principal_angles(qa: &Matrix, qb: &Matrix) -> Vec<f64> {
+    assert_eq!(qa.rows(), qb.rows(), "principal_angles: row count mismatch");
+    let c = matmul_tn(qa, qb);
+    let f = svd(&c);
+    f.s.iter().map(|&x| x.clamp(-1.0, 1.0).acos()).collect()
+}
+
+/// The largest principal angle — zero iff the subspaces coincide.
+pub fn max_principal_angle(qa: &Matrix, qb: &Matrix) -> f64 {
+    principal_angles(qa, qb).into_iter().fold(0.0, f64::max)
+}
+
+/// Relative error between two singular-value spectra, `max_i |a_i − b_i| / a_0`.
+pub fn spectrum_error(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let scale = a.first().copied().unwrap_or(1.0).max(f64::MIN_POSITIVE);
+    (0..n).map(|i| (a[i] - b[i]).abs()).fold(0.0, f64::max) / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::thin_qr;
+    use crate::random::{gaussian_matrix, seeded_rng};
+
+    #[test]
+    fn sign_alignment_fixes_flips() {
+        let a = Matrix::from_columns(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let b = Matrix::from_columns(&[vec![-1.0, 0.0], vec![0.0, 1.0]]);
+        let aligned = align_signs(&a, &b);
+        assert_eq!(aligned, a);
+    }
+
+    #[test]
+    fn mode_errors_zero_for_sign_flips() {
+        let mut rng = seeded_rng(3);
+        let q = thin_qr(&gaussian_matrix(20, 4, &mut rng)).q;
+        let mut flipped = q.clone();
+        flipped.scale_col_mut(1, -1.0);
+        flipped.scale_col_mut(3, -1.0);
+        let errs = mode_errors(&q, &flipped);
+        for e in errs {
+            assert!(e < 1e-14);
+        }
+    }
+
+    #[test]
+    fn pointwise_error_locates_discrepancy() {
+        let a = Matrix::from_columns(&[vec![1.0, 0.0, 0.0]]);
+        let b = Matrix::from_columns(&[vec![1.0, 0.1, 0.0]]);
+        let err = pointwise_mode_error(&a, &b, 0);
+        assert!(err[0] < 1e-15);
+        assert!((err[1] - 0.1).abs() < 1e-15);
+        assert!(err[2] < 1e-15);
+    }
+
+    #[test]
+    fn identical_subspaces_zero_angle() {
+        let mut rng = seeded_rng(5);
+        let q = thin_qr(&gaussian_matrix(30, 5, &mut rng)).q;
+        // Rotate the basis within its span: same subspace, different vectors.
+        let r = thin_qr(&gaussian_matrix(5, 5, &mut rng)).q;
+        let q2 = crate::gemm::matmul(&q, &r);
+        assert!(max_principal_angle(&q, &q2) < 1e-7);
+    }
+
+    #[test]
+    fn orthogonal_subspaces_right_angle() {
+        let qa = Matrix::from_columns(&[vec![1.0, 0.0, 0.0, 0.0]]);
+        let qb = Matrix::from_columns(&[vec![0.0, 1.0, 0.0, 0.0]]);
+        let angle = max_principal_angle(&qa, &qb);
+        assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectrum_error_scale_invariant_numerator() {
+        assert_eq!(spectrum_error(&[10.0, 5.0], &[10.0, 5.0]), 0.0);
+        let e = spectrum_error(&[10.0, 5.0], &[10.0, 4.0]);
+        assert!((e - 0.1).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,86 @@
+//! Burgers validation — the paper's Section 4.3 first experiment and the
+//! source of Figure 1(a,b): compare the serial streaming SVD against the
+//! parallel (4-rank) + randomized streaming SVD on snapshots of the viscous
+//! Burgers equation, mode by mode.
+//!
+//! ```text
+//! cargo run --release --example burgers_validation           # scaled down
+//! cargo run --release --example burgers_validation -- --full # paper size (16384 x 800)
+//! ```
+//!
+//! Writes `burgers_mode{1,2}.csv` with columns
+//! `x, serial, parallel, abs_error` — the exact series of Figure 1(a,b).
+
+use pyparsvd::core::postprocess::{sparkline, write_series_csv};
+use pyparsvd::data::burgers::{snapshot_matrix, BurgersConfig};
+use pyparsvd::data::partition::split_rows;
+use pyparsvd::linalg::validate::{align_signs, pointwise_mode_error};
+use pyparsvd::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if full {
+        BurgersConfig::default() // 16384 grid points, 800 snapshots
+    } else {
+        BurgersConfig { grid_points: 2048, snapshots: 200, ..BurgersConfig::default() }
+    };
+    println!(
+        "Burgers snapshots: {} grid points x {} snapshots (Re = {})",
+        cfg.grid_points, cfg.snapshots, cfg.reynolds
+    );
+    let data = snapshot_matrix(&cfg);
+
+    let k = 10;
+    let batch = cfg.snapshots / 4;
+    let svd_cfg = SvdConfig::new(k).with_forget_factor(0.95).with_r1(50).with_r2(k.max(10));
+
+    // Serial streaming run.
+    let mut serial = SerialStreamingSvd::new(svd_cfg);
+    serial.fit_batched(&data, batch);
+    println!("serial streaming done ({} batches)", serial.iteration() + 1);
+
+    // Parallel + randomized streaming run on 4 ranks, as in the paper.
+    let n_ranks = 4;
+    let blocks = split_rows(&data, n_ranks);
+    let world = World::new(n_ranks);
+    let par_cfg = svd_cfg.with_low_rank(true).with_power_iterations(2).with_seed(1);
+    let out = world.run(|comm| {
+        let mut driver = ParallelStreamingSvd::new(comm, par_cfg);
+        driver.fit_batched(&blocks[comm.rank()], batch);
+        (driver.gather_modes(0), driver.singular_values().to_vec())
+    });
+    let par_modes = out[0].0.clone().expect("rank 0 gathers the global modes");
+    println!(
+        "parallel streaming done: {} messages, {} bytes moved",
+        world.stats().total_messages(),
+        world.stats().total_bytes()
+    );
+
+    // Figure 1(a,b): first and second singular vectors, serial vs parallel.
+    let grid = cfg.grid();
+    let aligned = align_signs(serial.modes(), &par_modes);
+    for mode in 0..2 {
+        let serial_mode = serial.modes().col(mode);
+        let par_mode = aligned.col(mode);
+        let err = pointwise_mode_error(serial.modes(), &par_modes, mode);
+        let max_err = err.iter().cloned().fold(0.0, f64::max);
+        println!("\nmode {}:", mode + 1);
+        println!("  serial   {}", sparkline(&serial_mode, 60));
+        println!("  parallel {}", sparkline(&par_mode, 60));
+        println!("  max |serial - parallel| = {max_err:.3e}");
+        let path = std::path::PathBuf::from(format!("burgers_mode{}.csv", mode + 1));
+        write_series_csv(
+            &path,
+            &grid,
+            &["serial", "parallel", "abs_error"],
+            &[&serial_mode, &par_mode, &err],
+        )
+        .expect("write csv");
+        println!("  wrote {}", path.display());
+    }
+
+    println!("\nsingular values (serial vs parallel):");
+    for (i, (s, p)) in serial.singular_values().iter().zip(&out[0].1).enumerate().take(5) {
+        println!("  sigma_{i}: {s:.6e} vs {p:.6e}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Checkpoint/restart integration: a distributed streaming job is stopped
+//! mid-stream, each rank's state saved to disk, a *new* world restores, and
+//! the result is bit-identical to an uninterrupted run — the scheduler-
+//! allocation-boundary scenario HPC streaming jobs face.
+
+use pyparsvd::core::pod::distributed_pod;
+use pyparsvd::core::SvdCheckpoint;
+use pyparsvd::data::burgers::{snapshot_matrix, BurgersConfig};
+use pyparsvd::data::partition::split_rows;
+use pyparsvd::prelude::*;
+
+fn dataset() -> Matrix {
+    snapshot_matrix(&BurgersConfig { grid_points: 320, snapshots: 48, ..BurgersConfig::default() })
+}
+
+#[test]
+fn distributed_restart_is_bit_exact() {
+    let data = dataset();
+    let n_ranks = 4;
+    let batch = 8;
+    let cfg = SvdConfig::new(4).with_forget_factor(0.95).with_r1(24).with_r2(24);
+    let blocks = split_rows(&data, n_ranks);
+
+    // Uninterrupted reference: all 6 batches in one world.
+    let world = World::new(n_ranks);
+    let straight = world.run(|comm| {
+        let mut d = ParallelStreamingSvd::new(comm, cfg);
+        d.fit_batched(&blocks[comm.rank()], batch);
+        (d.gather_modes(0), d.singular_values().to_vec())
+    });
+
+    // Job 1: three batches, then checkpoint each rank to disk.
+    let ckpt_path = |rank: usize| {
+        std::env::temp_dir().join(format!("psvd_restart_{}_{rank}.ckp", std::process::id()))
+    };
+    let world1 = World::new(n_ranks);
+    world1.run(|comm| {
+        let mut d = ParallelStreamingSvd::new(comm, cfg);
+        let local = &blocks[comm.rank()];
+        d.fit_batched(&local.submatrix(0, local.rows(), 0, 3 * batch), batch);
+        d.checkpoint().save(&ckpt_path(comm.rank())).expect("save checkpoint");
+    });
+
+    // Job 2: a fresh world restores and finishes the stream.
+    let world2 = World::new(n_ranks);
+    let resumed = world2.run(|comm| {
+        let ckpt = SvdCheckpoint::load(&ckpt_path(comm.rank())).expect("load checkpoint");
+        let mut d = ParallelStreamingSvd::restore(comm, cfg, ckpt);
+        assert_eq!(d.snapshots_seen(), 3 * batch);
+        let local = &blocks[comm.rank()];
+        for b in 3..6 {
+            d.incorporate_data(&local.submatrix(0, local.rows(), b * batch, (b + 1) * batch));
+        }
+        (d.gather_modes(0), d.singular_values().to_vec())
+    });
+    for rank in 0..n_ranks {
+        std::fs::remove_file(ckpt_path(rank)).ok();
+    }
+
+    assert_eq!(straight[0].1, resumed[0].1, "singular values must be bit-identical");
+    assert_eq!(straight[0].0, resumed[0].0, "modes must be bit-identical");
+}
+
+#[test]
+fn distributed_pod_matches_serial_pod() {
+    let data = dataset();
+    let n_ranks = 4;
+    let cfg = SvdConfig::new(3).with_forget_factor(1.0).with_r1(48).with_r2(48);
+    let blocks = split_rows(&data, n_ranks);
+
+    let serial = pyparsvd::core::pod::pod(&data, 3);
+
+    let world = World::new(n_ranks);
+    let out = world.run(|comm| {
+        let p = distributed_pod(comm, &blocks[comm.rank()], cfg);
+        (p.mean.clone(), p.modes.clone(), p.singular_values.clone())
+    });
+
+    // Means concatenate to the global mean.
+    let mut global_mean = Vec::new();
+    for (mean, _, _) in &out {
+        global_mean.extend_from_slice(mean);
+    }
+    for (a, b) in global_mean.iter().zip(&serial.mean) {
+        assert!((a - b).abs() < 1e-12);
+    }
+    // Modes concatenate to the serial POD modes (up to sign).
+    let modes = Matrix::vstack_all(&out.iter().map(|(_, m, _)| m.clone()).collect::<Vec<_>>());
+    let angle = pyparsvd::linalg::validate::max_principal_angle(&serial.modes, &modes);
+    assert!(angle < 1e-6, "distributed POD subspace angle {angle}");
+    // Singular values match.
+    for (a, b) in out[0].2.iter().zip(&serial.singular_values) {
+        assert!((a - b).abs() < 1e-8 * b.max(1.0), "{a} vs {b}");
+    }
+}

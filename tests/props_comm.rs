@@ -1,0 +1,125 @@
+//! Property-based tests of the message-passing substrate: random world
+//! sizes, roots, message schedules, and payload shapes.
+
+use proptest::prelude::*;
+use pyparsvd::comm::collectives::{tree_allreduce_sum, tree_bcast, tree_gather};
+use pyparsvd::comm::{Communicator, NetworkModel, World};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gather_any_size_any_root(size in 1usize..10, root_seed in 0usize..100) {
+        let root = root_seed % size;
+        let w = World::new(size);
+        let out = w.run(|c| c.gather(c.rank() as f64 * 3.0, root));
+        for (r, o) in out.iter().enumerate() {
+            if r == root {
+                let expected: Vec<f64> = (0..size).map(|i| i as f64 * 3.0).collect();
+                prop_assert_eq!(o.as_ref(), Some(&expected));
+            } else {
+                prop_assert!(o.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_and_flat_collectives_agree(size in 1usize..12, root_seed in 0usize..100) {
+        let root = root_seed % size;
+        let w = World::new(size);
+        let out = w.run(|c| {
+            let flat = c.gather(vec![c.rank() as f64; 3], root);
+            let tree = tree_gather(c, vec![c.rank() as f64; 3], root);
+            let fb = c.bcast(if c.rank() == root { Some(c.rank()) } else { None }, root);
+            let tb = tree_bcast(c, if c.rank() == root { Some(c.rank()) } else { None }, root);
+            (flat == tree, fb == tb)
+        });
+        for (g_eq, b_eq) in out {
+            prop_assert!(g_eq && b_eq);
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_local_sum(size in 1usize..8, vals in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+        let w = World::new(size);
+        let vals_ref = &vals;
+        let out = w.run(|c| {
+            let mine: Vec<f64> = vals_ref.iter().map(|v| v * (c.rank() + 1) as f64).collect();
+            (c.allreduce_sum(mine.clone()), tree_allreduce_sum(c, mine))
+        });
+        // Expected: sum over ranks of v * (r+1) = v * size(size+1)/2.
+        let factor = (size * (size + 1) / 2) as f64;
+        for (flat, tree) in out {
+            for (j, v) in vals.iter().enumerate() {
+                prop_assert!((flat[j] - v * factor).abs() < 1e-9 * (1.0 + v.abs() * factor));
+                prop_assert!((tree[j] - flat[j]).abs() < 1e-9 * (1.0 + flat[j].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_p2p_schedules_deliver(size in 2usize..6, n_msgs in 1usize..8) {
+        // Every rank sends n_msgs tagged messages to every other rank, then
+        // receives them in REVERSE tag order — exercising the out-of-order
+        // buffering under arbitrary interleavings.
+        let w = World::new(size);
+        let out = w.run(|c| {
+            for dst in 0..c.size() {
+                if dst == c.rank() {
+                    continue;
+                }
+                for m in 0..n_msgs {
+                    c.send((c.rank() * 1000 + m) as u64, dst, m as u64);
+                }
+            }
+            let mut sum = 0u64;
+            for src in 0..c.size() {
+                if src == c.rank() {
+                    continue;
+                }
+                for m in (0..n_msgs).rev() {
+                    let v: u64 = c.recv(src, m as u64);
+                    prop_assert_eq!(v, (src * 1000 + m) as u64);
+                    sum += v;
+                }
+            }
+            Ok(sum)
+        });
+        for r in out {
+            prop_assert!(r.is_ok());
+        }
+    }
+
+    #[test]
+    fn traffic_conservation(size in 2usize..8) {
+        // Whatever the collective mix, total sent == total received.
+        let w = World::new(size);
+        w.run(|c| {
+            let _ = c.allgather(vec![0.0f64; c.rank() + 1]);
+            let _ = tree_gather(c, c.rank() as f64, 0);
+            c.barrier();
+        });
+        let sent: u64 = (0..size).map(|r| w.stats().sent_bytes(r)).sum();
+        let recv: u64 = (0..size).map(|r| w.stats().recv_bytes(r)).sum();
+        prop_assert_eq!(sent, recv);
+        let sent_m: u64 = (0..size).map(|r| w.stats().sent_messages(r)).sum();
+        let recv_m: u64 = (0..size).map(|r| w.stats().recv_messages(r)).sum();
+        prop_assert_eq!(sent_m, recv_m);
+    }
+
+    #[test]
+    fn simulated_clocks_never_regress(size in 2usize..6) {
+        let w = World::with_model(size, NetworkModel::slow_ethernet());
+        let (_, clocks) = w.run_with_clocks(|c| {
+            let before = c.now();
+            let _ = c.allreduce_sum(vec![1.0; 10]);
+            let mid = c.now();
+            assert!(mid >= before, "clock regressed across a collective");
+            c.barrier();
+            assert!(c.now() >= mid, "clock regressed across a barrier");
+        });
+        for t in clocks {
+            prop_assert!(t >= 0.0 && t.is_finite());
+        }
+    }
+}

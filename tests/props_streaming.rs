@@ -1,0 +1,123 @@
+//! Property-based tests of the streaming and distributed drivers'
+//! invariants: whatever the data, batching, K, or rank count, the trackers
+//! must keep their contracts.
+
+use proptest::prelude::*;
+use pyparsvd::data::partition::split_rows;
+use pyparsvd::linalg::norms::orthogonality_error;
+use pyparsvd::linalg::random::{matrix_with_spectrum, seeded_rng};
+use pyparsvd::linalg::validate::{max_principal_angle, spectrum_error};
+use pyparsvd::linalg::Matrix;
+use pyparsvd::prelude::*;
+
+/// Random tall snapshot matrices with a controlled decaying spectrum.
+fn snapshot_strategy() -> impl Strategy<Value = Matrix> {
+    (20usize..60, 8usize..24, 0u64..10_000).prop_map(|(m, n, seed)| {
+        let p = m.min(n);
+        let spec: Vec<f64> = (0..p).map(|i| 5.0 * 0.75f64.powi(i as i32)).collect();
+        matrix_with_spectrum(m, n, &spec, &mut seeded_rng(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streaming_invariants_hold_for_any_batching(
+        a in snapshot_strategy(),
+        batch in 2usize..10,
+        k in 1usize..6,
+        ff in 0.5f64..1.0,
+    ) {
+        let mut s = SerialStreamingSvd::new(SvdConfig::new(k).with_forget_factor(ff));
+        s.fit_batched(&a, batch);
+        // Mode count clamps to available data.
+        prop_assert!(s.modes().cols() <= k);
+        prop_assert_eq!(s.modes().cols(), s.singular_values().len());
+        // Orthonormality and ordering always hold.
+        prop_assert!(orthogonality_error(s.modes()) < 1e-9);
+        for w in s.singular_values().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &v in s.singular_values() {
+            prop_assert!(v >= 0.0 && v.is_finite());
+        }
+        prop_assert_eq!(s.snapshots_seen(), a.cols());
+    }
+
+    #[test]
+    fn exactness_on_rank_deficient_streams(
+        m in 30usize..60,
+        n_batches in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        // Data of exact rank 3 streamed with ff = 1: the K=5 tracker must
+        // recover the batch SVD exactly (no energy is ever truncated away).
+        let n = n_batches * 7;
+        let a = matrix_with_spectrum(m, n, &[4.0, 2.0, 1.0], &mut seeded_rng(seed));
+        let mut s = SerialStreamingSvd::new(SvdConfig::new(5).with_forget_factor(1.0));
+        s.fit_batched(&a, 7);
+        let (u_ref, s_ref) = batch_truncated_svd(&a, 3);
+        prop_assert!(spectrum_error(&s_ref, &s.singular_values()[..3]) < 1e-8);
+        prop_assert!(max_principal_angle(&u_ref, &s.modes().first_columns(3)) < 1e-5);
+    }
+
+    #[test]
+    fn parallel_singular_values_identical_on_all_ranks(
+        a in snapshot_strategy(),
+        n_ranks in 2usize..5,
+        k in 1usize..4,
+    ) {
+        // Guard the TSQR tallness requirement: local rows >= stacked cols.
+        let needed = (k + a.cols()).max(1);
+        prop_assume!(a.rows() / n_ranks >= needed);
+        let blocks = split_rows(&a, n_ranks);
+        let cfg = SvdConfig::new(k).with_r1(a.cols()).with_r2(a.cols());
+        let world = World::new(n_ranks);
+        let out = world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.fit_batched(&blocks[comm.rank()], a.cols());
+            d.singular_values().to_vec()
+        });
+        for r in 1..n_ranks {
+            prop_assert_eq!(&out[0], &out[r], "rank {} disagrees with rank 0", r);
+        }
+    }
+
+    #[test]
+    fn apmos_matches_batch_svd_without_truncation(
+        a in snapshot_strategy(),
+        n_ranks in 2usize..5,
+    ) {
+        prop_assume!(a.rows() >= n_ranks * 2);
+        let k = 3.min(a.cols());
+        let cfg = SvdConfig::new(k).with_r1(a.cols()).with_r2(a.cols());
+        let blocks = split_rows(&a, n_ranks);
+        let world = World::new(n_ranks);
+        let out = world.run(|comm| parallel_svd_once(comm, cfg, &blocks[comm.rank()]));
+        let (_, s_ref) = batch_truncated_svd(&a, k);
+        prop_assert!(
+            spectrum_error(&s_ref, &out[0].1) < 1e-7,
+            "APMOS spectrum {:?} vs batch {:?}", out[0].1, s_ref
+        );
+    }
+
+    #[test]
+    fn gathered_modes_are_orthonormal(
+        a in snapshot_strategy(),
+        n_ranks in 2usize..4,
+    ) {
+        prop_assume!(a.rows() >= n_ranks * 2);
+        let k = 2.min(a.cols());
+        let cfg = SvdConfig::new(k).with_r1(a.cols()).with_r2(a.cols());
+        let blocks = split_rows(&a, n_ranks);
+        let world = World::new(n_ranks);
+        let out = world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.initialize(&blocks[comm.rank()]);
+            d.gather_modes(0)
+        });
+        let modes = out[0].as_ref().unwrap();
+        prop_assert!(orthogonality_error(modes) < 1e-8);
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end serial streaming pipelines on the paper's workloads.
+
+use pyparsvd::data::burgers::{snapshot_matrix, BurgersConfig};
+use pyparsvd::data::era5::{generate, Era5Config};
+use pyparsvd::data::stream::column_batches;
+use pyparsvd::linalg::norms::orthogonality_error;
+use pyparsvd::linalg::validate::{max_principal_angle, spectrum_error};
+use pyparsvd::prelude::*;
+
+fn burgers_small() -> Matrix {
+    snapshot_matrix(&BurgersConfig { grid_points: 512, snapshots: 80, ..BurgersConfig::default() })
+}
+
+#[test]
+fn burgers_streaming_tracks_batch_svd() {
+    let data = burgers_small();
+    let k = 6;
+    let mut svd = SerialStreamingSvd::new(SvdConfig::new(k).with_forget_factor(1.0));
+    for batch in column_batches(&data, 20) {
+        if svd.is_initialized() {
+            svd.incorporate_data(&batch);
+        } else {
+            svd.initialize(&batch);
+        }
+    }
+    let (u_ref, s_ref) = batch_truncated_svd(&data, k);
+    assert!(
+        spectrum_error(&s_ref[..3], &svd.singular_values()[..3]) < 0.01,
+        "leading Burgers singular values should match within 1%: {:?} vs {:?}",
+        &s_ref[..3],
+        &svd.singular_values()[..3]
+    );
+    assert!(
+        max_principal_angle(&u_ref.first_columns(3), &svd.modes().first_columns(3)) < 0.05,
+        "leading Burgers modes should match"
+    );
+}
+
+#[test]
+fn burgers_modes_orthonormal_through_stream() {
+    let data = burgers_small();
+    let mut svd = SerialStreamingSvd::new(SvdConfig::new(5)); // paper's ff = 0.95
+    for batch in column_batches(&data, 16) {
+        if svd.is_initialized() {
+            svd.incorporate_data(&batch);
+        } else {
+            svd.initialize(&batch);
+        }
+        assert!(
+            orthogonality_error(svd.modes()) < 1e-9,
+            "orthonormality must hold after every single update"
+        );
+    }
+}
+
+#[test]
+fn era5_streaming_recovers_leading_planted_modes() {
+    let cfg = Era5Config { noise_level: 0.02, ..Era5Config::tiny() };
+    let d = generate(&cfg);
+    let mut svd = SerialStreamingSvd::new(SvdConfig::new(cfg.n_modes + 2).with_forget_factor(1.0));
+    svd.fit_batched(&d.snapshots, 32);
+    for j in 0..2 {
+        let planted = Matrix::from_columns(&[d.true_modes.col(j)]);
+        let got = Matrix::from_columns(&[svd.modes().col(j)]);
+        assert!(
+            max_principal_angle(&planted, &got) < 0.05,
+            "planted mode {j} should be recovered through the stream"
+        );
+    }
+}
+
+#[test]
+fn smaller_batches_do_not_break_accuracy() {
+    let data = burgers_small();
+    let k = 4;
+    let (_, s_ref) = batch_truncated_svd(&data, k);
+    for batch in [5, 10, 20, 40, 80] {
+        let mut svd = SerialStreamingSvd::new(SvdConfig::new(k).with_forget_factor(1.0));
+        svd.fit_batched(&data, batch);
+        let err = spectrum_error(&s_ref[..2], &svd.singular_values()[..2]);
+        assert!(err < 0.02, "batch={batch}: leading spectrum error {err}");
+    }
+}
+
+#[test]
+fn low_rank_streaming_on_burgers() {
+    let data = burgers_small();
+    let k = 4;
+    let mut svd = SerialStreamingSvd::new(
+        SvdConfig::new(k)
+            .with_forget_factor(1.0)
+            .with_low_rank(true)
+            .with_power_iterations(2)
+            .with_seed(3),
+    );
+    svd.fit_batched(&data, 20);
+    let (_, s_ref) = batch_truncated_svd(&data, k);
+    for (got, want) in svd.singular_values()[..2].iter().zip(&s_ref[..2]) {
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "randomized streaming sigma {got} vs deterministic {want}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_count_bookkeeping() {
+    let data = burgers_small();
+    let mut svd = SerialStreamingSvd::new(SvdConfig::new(3));
+    svd.fit_batched(&data, 23); // uneven: 23+23+23+11
+    assert_eq!(svd.snapshots_seen(), 80);
+    assert_eq!(svd.iteration(), 3);
+}
