@@ -1,0 +1,50 @@
+//! Criterion bench: serial reference GEMM vs the packed parallel engine,
+//! on square sizes bracketing the cache hierarchy and on the tall-skinny
+//! shape (`M >> N`) the streaming SVD actually runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psvd_linalg::gemm::{packed, reference};
+use psvd_linalg::random::{gaussian_matrix, seeded_rng};
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square");
+    group.sample_size(10);
+    for n in [256usize, 512, 1024] {
+        let a = gaussian_matrix(n, n, &mut seeded_rng(1));
+        let b = gaussian_matrix(n, n, &mut seeded_rng(2));
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |bench, _| {
+            bench.iter(|| reference::matmul(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bench, _| {
+            bench.iter(|| packed::matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tall_skinny(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_tall_skinny");
+    group.sample_size(10);
+    // The paper's regime: a very tall snapshot block times a small core
+    // factor (65536 x 64 times 64 x 64).
+    let (m, k) = (65536usize, 64usize);
+    let a = gaussian_matrix(m, k, &mut seeded_rng(3));
+    let b = gaussian_matrix(k, k, &mut seeded_rng(4));
+    group.bench_with_input(BenchmarkId::new("reference", format!("{m}x{k}")), &m, |bench, _| {
+        bench.iter(|| reference::matmul(&a, &b));
+    });
+    group.bench_with_input(BenchmarkId::new("packed", format!("{m}x{k}")), &m, |bench, _| {
+        bench.iter(|| packed::matmul(&a, &b));
+    });
+    // Gram matrix of the tall block: the other hot shape (AᵀA, 64 x 64 out).
+    group.bench_with_input(BenchmarkId::new("gram_reference", format!("{m}x{k}")), &m, |bench, _| {
+        bench.iter(|| reference::gram(&a));
+    });
+    group.bench_with_input(BenchmarkId::new("gram_packed", format!("{m}x{k}")), &m, |bench, _| {
+        bench.iter(|| packed::gram(&a));
+    });
+    group.finish();
+}
+
+criterion_group!(gemm_par, bench_square, bench_tall_skinny);
+criterion_main!(gemm_par);

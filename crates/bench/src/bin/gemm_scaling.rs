@@ -1,0 +1,189 @@
+//! Kernel-scaling benchmark: GFLOP/s of the packed parallel GEMM engine
+//! versus thread count and problem size, against the serial reference
+//! kernels, emitting machine-readable JSON (`BENCH_gemm.json`).
+//!
+//! ```text
+//! cargo run -p psvd-bench --release --bin gemm_scaling [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the size sweep so the run finishes in seconds (the CI
+//! smoke mode used by `scripts/bench_gemm.sh`); `--out` overrides the JSON
+//! path (default `BENCH_gemm.json` in the working directory). Alongside
+//! timings, every (size, threads) cell is checked bitwise against the
+//! single-thread result, so the JSON doubles as a determinism record.
+
+use std::fmt::Write as _;
+
+use psvd_bench::{time_it, Table};
+use psvd_linalg::gemm::{packed, reference};
+use psvd_linalg::par;
+use psvd_linalg::random::{gaussian_matrix, seeded_rng};
+use psvd_linalg::Matrix;
+
+struct Case {
+    kind: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+struct Sample {
+    kind: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    engine: &'static str,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+    deterministic: bool,
+}
+
+fn flops(c: &Case) -> f64 {
+    2.0 * c.m as f64 * c.k as f64 * c.n as f64
+}
+
+/// Best-of-`reps` wall time for `f`.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let (mut out, mut best) = time_it(&mut f);
+    for _ in 1..reps {
+        let (r, t) = time_it(&mut f);
+        if t < best {
+            best = t;
+            out = r;
+        }
+    }
+    (out, best)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+
+    let cases: Vec<Case> = if quick {
+        vec![
+            Case { kind: "square", m: 128, k: 128, n: 128 },
+            Case { kind: "square", m: 256, k: 256, n: 256 },
+            Case { kind: "tall-skinny", m: 8192, k: 64, n: 64 },
+        ]
+    } else {
+        vec![
+            Case { kind: "square", m: 256, k: 256, n: 256 },
+            Case { kind: "square", m: 512, k: 512, n: 512 },
+            Case { kind: "square", m: 1024, k: 1024, n: 1024 },
+            Case { kind: "tall-skinny", m: 65536, k: 64, n: 64 },
+        ]
+    };
+    let reps = if quick { 2 } else { 3 };
+    let thread_counts = [1usize, 2, 4, 8];
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "== GEMM scaling: packed engine (MR={} NR={}) vs serial reference, {hw} hw threads ==\n",
+        packed::MR,
+        packed::NR
+    );
+    let table = Table::new(&["case", "engine", "threads", "seconds", "GFLOP/s", "bitwise"]);
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for case in &cases {
+        let a = gaussian_matrix(case.m, case.k, &mut seeded_rng(42));
+        let b = gaussian_matrix(case.k, case.n, &mut seeded_rng(43));
+        let label = format!("{}x{}x{}", case.m, case.k, case.n);
+        let gf = flops(case) / 1e9;
+
+        par::set_num_threads(1);
+        let (c_ref, t_ref) = best_of(reps, || reference::matmul(&a, &b));
+        table.row(&[
+            label.clone(),
+            "reference".into(),
+            "1".into(),
+            format!("{t_ref:.4}"),
+            format!("{:.2}", gf / t_ref),
+            "-".into(),
+        ]);
+        samples.push(Sample {
+            kind: case.kind,
+            m: case.m,
+            k: case.k,
+            n: case.n,
+            engine: "reference",
+            threads: 1,
+            seconds: t_ref,
+            gflops: gf / t_ref,
+            deterministic: true,
+        });
+
+        let mut baseline: Option<Matrix> = None;
+        for &threads in &thread_counts {
+            par::set_num_threads(threads);
+            let (c, t) = best_of(reps, || packed::matmul(&a, &b));
+            let deterministic = match &baseline {
+                None => {
+                    // Semantic cross-check against the reference kernel at
+                    // the baseline thread count.
+                    let err = (&c - &c_ref).max_abs();
+                    assert!(err < 1e-9 * case.k as f64, "packed vs reference diverged: {err}");
+                    baseline = Some(c);
+                    true
+                }
+                Some(base) => *base == c,
+            };
+            table.row(&[
+                label.clone(),
+                "packed".into(),
+                threads.to_string(),
+                format!("{t:.4}"),
+                format!("{:.2}", gf / t),
+                if deterministic { "ok" } else { "MISMATCH" }.into(),
+            ]);
+            samples.push(Sample {
+                kind: case.kind,
+                m: case.m,
+                k: case.k,
+                n: case.n,
+                engine: "packed",
+                threads,
+                seconds: t,
+                gflops: gf / t,
+                deterministic,
+            });
+        }
+        par::set_num_threads(0);
+    }
+
+    let mismatches = samples.iter().filter(|s| !s.deterministic).count();
+    println!(
+        "\ndeterminism: {} (thread counts beyond the {hw} hardware threads still \
+         partition identically)",
+        if mismatches == 0 { "bitwise identical across all thread counts" } else { "MISMATCH" }
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"gemm_scaling\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"micro_kernel\": {{ \"mr\": {}, \"nr\": {} }},", packed::MR, packed::NR);
+    let _ = writeln!(json, "  \"deterministic\": {},", mismatches == 0);
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"kind\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"engine\": \"{}\", \
+             \"threads\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}, \"bitwise_match\": {} }}",
+            s.kind, s.m, s.k, s.n, s.engine, s.threads, s.seconds, s.gflops, s.deterministic
+        );
+        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_gemm.json");
+    println!("wrote {out_path}");
+    assert_eq!(mismatches, 0, "bitwise determinism violated — see {out_path}");
+}

@@ -43,6 +43,11 @@ USAGE:
   psvd dmd  FILE [--k K] [--dt X]
   psvd spod FILE [--nfft N] [--dt X] [--k K]
   psvd help
+
+Every command also accepts --threads N to pin the linear-algebra kernel
+thread count (equivalent to the PSVD_NUM_THREADS environment variable;
+default: one share of the machine per communicator rank). Results are
+bitwise identical for every thread count.
 ";
 
 /// Run the CLI with `argv` (program name excluded). Returns the lines to
@@ -51,6 +56,14 @@ pub fn run(argv: &[String]) -> Result<Vec<String>, String> {
     let parsed = ParsedArgs::parse(argv)?;
     if parsed.switch("help") || parsed.command == "help" {
         return Ok(vec![USAGE.to_string()]);
+    }
+    if let Some(n) = parsed.get("threads") {
+        let n: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--threads: expected a positive integer, got '{n}'"))?;
+        psvd_linalg::par::set_num_threads(n);
     }
     match parsed.command.as_str() {
         "generate" => cmd_generate(&parsed),
@@ -442,6 +455,25 @@ mod tests {
     #[test]
     fn info_on_missing_file_fails() {
         assert!(run(&argv(&["info", "/nonexistent/file.ncs"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_sets_kernel_pool() {
+        let file = tmp("threads.ncs");
+        run(&argv(&[
+            "generate", "burgers", "--out", &file, "--grid", "64", "--snapshots", "8",
+            "--threads", "2",
+        ]))
+        .unwrap();
+        assert_eq!(psvd_linalg::par::num_threads(), 2);
+        psvd_linalg::par::set_num_threads(0);
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn threads_flag_rejects_garbage() {
+        assert!(run(&argv(&["info", "x.ncs", "--threads", "0"])).is_err());
+        assert!(run(&argv(&["info", "x.ncs", "--threads", "many"])).is_err());
     }
 
     #[test]

@@ -208,6 +208,13 @@ impl World {
         drop(txs);
 
         let f = &f;
+        // Tell the linalg worker pool how many rank threads are live so its
+        // automatic thread count shares the machine instead of
+        // oversubscribing (each rank gets ~available_parallelism / size
+        // GEMM threads). This is a best-effort global heuristic: worlds
+        // running concurrently overwrite each other's registration, which
+        // only shifts the performance split, never results.
+        psvd_linalg::par::set_comm_ranks(size);
         let mut out: Vec<Option<(R, f64)>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
@@ -223,6 +230,7 @@ impl World {
                 *slot = Some(h.join().expect("rank thread panicked"));
             }
         });
+        psvd_linalg::par::set_comm_ranks(1);
         let (results, clocks): (Vec<R>, Vec<f64>) =
             out.into_iter().map(|s| s.expect("rank result missing")).unzip();
         (results, clocks)

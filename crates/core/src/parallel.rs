@@ -19,6 +19,14 @@
 //! The paper's Listing 4 negates `qglobal`/`rfinal` ("trick for
 //! consistency"); our QR canonicalizes to a non-negative `R` diagonal
 //! instead, which achieves cross-rank consistency without the sign hack.
+//!
+//! Dense products (`matmul`, QR, the rank-0 SVDs) go through
+//! `psvd_linalg::gemm`, whose packed engine threads large problems on the
+//! shared worker pool. `World::run` registers its rank count with
+//! `psvd_linalg::par`, so each rank's kernels default to an equal share of
+//! the machine rather than oversubscribing it; results are bitwise
+//! identical for any kernel thread count (see DESIGN.md, "Threading
+//! model").
 
 use psvd_comm::collectives::{tree_bcast, tree_gather};
 use psvd_comm::Communicator;

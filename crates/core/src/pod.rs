@@ -5,6 +5,11 @@
 //! fluctuation matrix, read energies off the squared singular values. This
 //! module packages that workflow — including a *streaming* mean estimate so
 //! the POD can run batch-by-batch like everything else in the library.
+//!
+//! The tall `M x K` products here (`matmul`, `matmul_tn` for coefficients
+//! and reconstruction) dispatch to `psvd_linalg`'s packed parallel GEMM
+//! above the size threshold; `PSVD_NUM_THREADS` tunes them without
+//! changing a single output bit.
 
 use psvd_linalg::gemm::{matmul, matmul_tn};
 use psvd_linalg::Matrix;

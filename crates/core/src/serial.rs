@@ -14,6 +14,12 @@
 //! Divergence from the paper's Listing 1, documented per `DESIGN.md`: the
 //! listing sorts `argsort(dtildei)[::-1]` but our SVD kernels already return
 //! descending singular values, so no re-sorting is needed.
+//!
+//! "Serial" refers to the streaming algorithm, not the arithmetic: the
+//! `O(M (K+B)²)` per-batch work (thin QR and the `matmul` forming `Q·U'`)
+//! runs on `psvd_linalg`'s threaded kernels when the batch is large enough
+//! to pay for dispatch, with bitwise-identical results at any thread
+//! count.
 
 use psvd_linalg::gemm::matmul;
 use psvd_linalg::qr::thin_qr;

@@ -13,6 +13,11 @@
 //! are available at any time — the streaming analogue of the DMD the paper
 //! lists among the SVD's data-driven applications, and a natural companion
 //! to the streaming SVD this library is built around.
+//!
+//! Per-pair work is dominated by `matvec`/`matvec_t` against the tall
+//! basis `Q`; those route through `psvd_linalg::gemm`, which partitions
+//! output rows (never reductions) across the kernel thread pool, so
+//! streaming results are bitwise independent of the thread count.
 
 use psvd_linalg::cmatrix::CMatrix;
 use psvd_linalg::complex::Complex;

@@ -1,13 +1,37 @@
 //! Matrix multiplication kernels.
 //!
-//! A cache-blocked, i-k-j ordered GEMM; transpose-aware variants avoid
-//! materializing explicit transposes for the common `AᵀB` and `ABᵀ` patterns
-//! that appear in the SVD drivers (Gram matrices, projections).
+//! Two tiers share one public API:
+//!
+//! * [`reference`] — simple cache-blocked serial loops. These are the
+//!   semantic ground truth: easy to audit, tested directly against naive
+//!   triple loops, and used verbatim for problems too small to amortize
+//!   packing and thread dispatch.
+//! * [`packed`] — a BLIS-style packed-panel engine with an unrolled
+//!   `MR x NR` register-tile micro-kernel, parallelized over row blocks of
+//!   `C` by the persistent worker pool in [`crate::par`].
+//!
+//! The top-level functions ([`matmul`], [`matmul_tn`], [`matmul_nt`],
+//! [`gram`], [`matvec`], [`matvec_t`]) pick a tier from the *problem size
+//! only* — never from the thread count — so a given problem always takes
+//! the same code path and, because the engine partitions output elements
+//! (no split-K reductions), produces bitwise-identical results for every
+//! value of `PSVD_NUM_THREADS`, including 1.
+//!
+//! Transpose-aware variants avoid materializing explicit transposes for
+//! the `AᵀB` / `ABᵀ` patterns the SVD drivers hit constantly (Gram
+//! matrices, projections); the packed engine absorbs transposition into
+//! its panel packing, so both layouts run the same micro-kernel.
 
 use crate::matrix::Matrix;
+use crate::par;
 
-/// Cache block edge for the blocked kernels.
-const BLOCK: usize = 64;
+/// Flop count (`2mnk`) above which matrix-matrix products use the packed
+/// parallel engine. Below it, packing overhead dominates and the serial
+/// reference loops win.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// Flop count (`2mn`) above which matrix-vector products are threaded.
+const PAR_MIN_MV_FLOPS: usize = 1 << 18;
 
 /// `C = A * B`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
@@ -20,126 +44,568 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.rows(),
         b.cols()
     );
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    // i-k-j loop order: the innermost loop streams rows of B and C, which is
-    // the cache-friendly order for row-major data.
-    let cd = c.as_mut_slice();
-    let ad = a.as_slice();
-    let bd = b.as_slice();
-    for ib in (0..m).step_by(BLOCK) {
-        for kb in (0..k).step_by(BLOCK) {
-            for jb in (0..n).step_by(BLOCK) {
-                let imax = (ib + BLOCK).min(m);
-                let kmax = (kb + BLOCK).min(k);
-                let jmax = (jb + BLOCK).min(n);
-                for i in ib..imax {
-                    for kk in kb..kmax {
-                        let aik = ad[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let brow = &bd[kk * n + jb..kk * n + jmax];
-                        let crow = &mut cd[i * n + jb..i * n + jmax];
-                        for (cv, bv) in crow.iter_mut().zip(brow) {
-                            *cv += aik * bv;
-                        }
-                    }
-                }
-            }
-        }
+    if 2 * a.rows() * a.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::matmul(a, b)
+    } else {
+        reference::matmul(a, b)
     }
-    c
 }
 
 /// `C = Aᵀ * B` without materializing `Aᵀ`.
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
-    let (k, m, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    let cd = c.as_mut_slice();
-    let ad = a.as_slice();
-    let bd = b.as_slice();
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for (cv, bv) in crow.iter_mut().zip(brow) {
-                *cv += aki * bv;
-            }
-        }
+    if 2 * a.cols() * a.rows() * b.cols() >= PAR_MIN_FLOPS {
+        packed::matmul_tn(a, b)
+    } else {
+        reference::matmul_tn(a, b)
     }
-    c
 }
 
 /// `C = A * Bᵀ` without materializing `Bᵀ`.
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
-    let (m, n) = (a.rows(), b.rows());
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let brow = b.row(j);
-            let mut s = 0.0;
-            for (av, bv) in arow.iter().zip(brow) {
-                s += av * bv;
-            }
-            c[(i, j)] = s;
-        }
+    if 2 * a.rows() * a.cols() * b.rows() >= PAR_MIN_FLOPS {
+        packed::matmul_nt(a, b)
+    } else {
+        reference::matmul_nt(a, b)
     }
-    c
 }
 
 /// `y = A * x`.
 pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
-    (0..a.rows())
-        .map(|i| a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum())
-        .collect()
+    if 2 * a.rows() * a.cols() >= PAR_MIN_MV_FLOPS {
+        packed::matvec(a, x)
+    } else {
+        reference::matvec(a, x)
+    }
 }
 
 /// `y = Aᵀ * x`.
 pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
     assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
-    let mut y = vec![0.0; a.cols()];
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
-            continue;
-        }
-        for (yv, av) in y.iter_mut().zip(a.row(i)) {
-            *yv += av * xi;
-        }
+    if 2 * a.rows() * a.cols() >= PAR_MIN_MV_FLOPS {
+        packed::matvec_t(a, x)
+    } else {
+        reference::matvec_t(a, x)
     }
-    y
 }
 
-/// The Gram matrix `AᵀA` (symmetric; computed once and mirrored).
+/// The Gram matrix `AᵀA` (symmetric; only the upper triangle is computed,
+/// then mirrored, halving the flops of a general `AᵀB`).
 pub fn gram(a: &Matrix) -> Matrix {
-    let n = a.cols();
-    let mut g = Matrix::zeros(n, n);
-    for kk in 0..a.rows() {
-        let row = a.row(kk);
+    if a.rows() * a.cols() * a.cols() >= PAR_MIN_FLOPS {
+        packed::gram(a)
+    } else {
+        reference::gram(a)
+    }
+}
+
+pub mod reference {
+    //! Serial reference kernels: the plainly-auditable implementations the
+    //! packed engine is validated against. Inner loops are branch-free —
+    //! no data-dependent zero tests — so they autovectorize cleanly and
+    //! their flop sequence per output element is obvious from the source.
+
+    use crate::matrix::Matrix;
+
+    /// Cache block edge for the blocked kernels.
+    const BLOCK: usize = 64;
+
+    /// `C = A * B`.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "matmul: inner dimensions mismatch {}x{} * {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Matrix::zeros(m, n);
+        // i-k-j loop order: the innermost loop streams rows of B and C,
+        // the cache-friendly order for row-major data.
+        let cd = c.as_mut_slice();
+        let ad = a.as_slice();
+        let bd = b.as_slice();
+        for ib in (0..m).step_by(BLOCK) {
+            for kb in (0..k).step_by(BLOCK) {
+                for jb in (0..n).step_by(BLOCK) {
+                    let imax = (ib + BLOCK).min(m);
+                    let kmax = (kb + BLOCK).min(k);
+                    let jmax = (jb + BLOCK).min(n);
+                    for i in ib..imax {
+                        for kk in kb..kmax {
+                            let aik = ad[i * k + kk];
+                            let brow = &bd[kk * n + jb..kk * n + jmax];
+                            let crow = &mut cd[i * n + jb..i * n + jmax];
+                            for (cv, bv) in crow.iter_mut().zip(brow) {
+                                *cv += aik * bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = Aᵀ * B` without materializing `Aᵀ`.
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
+        let (k, m, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Matrix::zeros(m, n);
+        let cd = c.as_mut_slice();
+        let ad = a.as_slice();
+        let bd = b.as_slice();
+        for kk in 0..k {
+            let arow = &ad[kk * m..(kk + 1) * m];
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (i, &aki) in arow.iter().enumerate() {
+                let crow = &mut cd[i * n..(i + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += aki * bv;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A * Bᵀ` without materializing `Bᵀ`.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
+        let (m, n) = (a.rows(), b.rows());
+        let mut c = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = a.row(i);
+            for j in 0..n {
+                let brow = b.row(j);
+                let mut s = 0.0;
+                for (av, bv) in arow.iter().zip(brow) {
+                    s += av * bv;
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    /// `y = A * x`.
+    pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+        (0..a.rows())
+            .map(|i| a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum())
+            .collect()
+    }
+
+    /// `y = Aᵀ * x`.
+    pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
+        let mut y = vec![0.0; a.cols()];
+        for (i, &xi) in x.iter().enumerate() {
+            for (yv, av) in y.iter_mut().zip(a.row(i)) {
+                *yv += av * xi;
+            }
+        }
+        y
+    }
+
+    /// The Gram matrix `AᵀA`: rank-1 updates over the upper triangle only,
+    /// mirrored at the end (half the flops of a general `AᵀB`).
+    pub fn gram(a: &Matrix) -> Matrix {
+        let n = a.cols();
+        let mut g = Matrix::zeros(n, n);
+        let gd = g.as_mut_slice();
+        for kk in 0..a.rows() {
+            let row = a.row(kk);
+            for i in 0..n {
+                let ri = row[i];
+                let grow = &mut gd[i * n + i..(i + 1) * n];
+                for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
+                    *gv += ri * rv;
+                }
+            }
+        }
         for i in 0..n {
-            let ri = row[i];
-            if ri == 0.0 {
-                continue;
+            for j in 0..i {
+                gd[i * n + j] = gd[j * n + i];
             }
-            for j in i..n {
-                g[(i, j)] += ri * row[j];
+        }
+        g
+    }
+}
+
+pub mod packed {
+    //! Packed-panel GEMM engine.
+    //!
+    //! The classic (BLIS-style) decomposition: the K dimension is split
+    //! into panels of [`KC`]; per panel, the whole of `op(B)` is packed
+    //! once into NR-wide column strips, and each thread packs its own
+    //! [`MC`]`x`[`KC`] blocks of `op(A)` into MR-tall row strips. The
+    //! innermost computation is an [`MR`]`x`[`NR`] register-tile
+    //! micro-kernel written as branch-free slice loops that LLVM unrolls
+    //! and vectorizes.
+    //!
+    //! ## Parallel decomposition and determinism
+    //!
+    //! Threads own disjoint, MR-aligned row ranges of `C`; nothing else is
+    //! shared mutably. Every `C` element accumulates its K-panel partial
+    //! sums in ascending panel order on whichever single thread owns it,
+    //! so the floating-point op sequence per element is a function of the
+    //! problem shape only — results are bitwise identical for any thread
+    //! count. The K dimension is never split across threads.
+    //!
+    //! Transposition is free here: `op(A)`/`op(B)` are strided views
+    //! resolved during packing, after which N/T/NT all run the same
+    //! kernel.
+
+    use super::par;
+    use crate::matrix::Matrix;
+    use crate::par::SendPtr;
+
+    /// Micro-tile rows: `MR x NR = 4 x 8` keeps the f64 accumulator tile
+    /// within the 16-register AVX2 budget with room for A/B operands.
+    pub const MR: usize = 4;
+    /// Micro-tile columns (one cache line of f64 per register row pair).
+    pub const NR: usize = 8;
+    /// K-panel depth: `KC * NR * 8` bytes of packed B strip stays in L1.
+    const KC: usize = 256;
+    /// Row-block height per A pack (multiple of `MR`; `MC * KC * 8` bytes
+    /// of packed A targets L2).
+    const MC: usize = 128;
+
+    /// A strided read-only view of `op(X)`: element `(i, j)` lives at
+    /// `data[i * rs + j * cs]`. Row-major is `(rs, cs) = (ld, 1)`; its
+    /// transpose is `(1, ld)`.
+    #[derive(Clone, Copy)]
+    struct View<'a> {
+        data: &'a [f64],
+        rows: usize,
+        cols: usize,
+        rs: usize,
+        cs: usize,
+    }
+
+    impl View<'_> {
+        #[inline]
+        fn at(&self, i: usize, j: usize) -> f64 {
+            self.data[i * self.rs + j * self.cs]
+        }
+
+        fn normal(m: &Matrix) -> View<'_> {
+            View { data: m.as_slice(), rows: m.rows(), cols: m.cols(), rs: m.cols(), cs: 1 }
+        }
+
+        fn transposed(m: &Matrix) -> View<'_> {
+            View { data: m.as_slice(), rows: m.cols(), cols: m.rows(), rs: 1, cs: m.cols() }
+        }
+    }
+
+    /// `C = op(A) * op(B)` forced through the packed engine (any size).
+    fn gemm(a: View, b: View, c: &mut [f64]) {
+        let (m, k, n) = (a.rows, a.cols, b.cols);
+        debug_assert_eq!(k, b.rows);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+
+        // --- Pack all of op(B), panel-major then NR-strip-major. The
+        // strip for K-panel [kb, kb+kc) and column panel jp starts at
+        // kb * npj * NR + jp * kc * NR and holds kc rows of NR values,
+        // zero-padded past column n. Strips are disjoint per jp, so the
+        // packing parallelizes over column panels.
+        let npj = n.div_ceil(NR);
+        let mut bpack = vec![0.0f64; k * npj * NR];
+        {
+            let bptr = SendPtr(bpack.as_mut_ptr());
+            par::parallel_for(npj, 8, |jp0, jp1| {
+                for jp in jp0..jp1 {
+                    let jcount = NR.min(n - jp * NR);
+                    let mut kb = 0;
+                    while kb < k {
+                        let kc = KC.min(k - kb);
+                        let base = kb * npj * NR + jp * kc * NR;
+                        // Identical strip contents either way; the loop
+                        // order just keeps source reads on the
+                        // unit-stride axis of op(B).
+                        if b.cs == 1 {
+                            for kk in 0..kc {
+                                for jr in 0..jcount {
+                                    let v = b.at(kb + kk, jp * NR + jr);
+                                    // SAFETY: jp strips are disjoint and
+                                    // this thread owns [jp0, jp1).
+                                    unsafe { *bptr.get().add(base + kk * NR + jr) = v };
+                                }
+                            }
+                        } else {
+                            for jr in 0..jcount {
+                                for kk in 0..kc {
+                                    let v = b.at(kb + kk, jp * NR + jr);
+                                    // SAFETY: as above.
+                                    unsafe { *bptr.get().add(base + kk * NR + jr) = v };
+                                }
+                            }
+                        }
+                        kb += kc;
+                    }
+                }
+            });
+        }
+
+        // --- Partition rows of C into MR-aligned contiguous ranges, one
+        // per thread. The partition decides only *who* computes each
+        // element, never the order of its flops.
+        let strips = m.div_ceil(MR);
+        let threads = par::num_threads().min(strips).max(1);
+        let strips_per_thread = strips.div_ceil(threads);
+        let used = strips.div_ceil(strips_per_thread);
+        let cptr = SendPtr(c.as_mut_ptr());
+        let bp = &bpack[..];
+        par::run(used, &|tid: usize| {
+            let r0 = tid * strips_per_thread * MR;
+            let r1 = (r0 + strips_per_thread * MR).min(m);
+            if r0 >= r1 {
+                return;
+            }
+            thread_body(a, bp, cptr, n, npj, r0, r1);
+        });
+    }
+
+    /// One thread's share: rows `[r0, r1)` of `C` (`r0` MR-aligned).
+    #[allow(clippy::too_many_arguments)]
+    fn thread_body(
+        a: View,
+        bpack: &[f64],
+        cptr: SendPtr,
+        n: usize,
+        npj: usize,
+        r0: usize,
+        r1: usize,
+    ) {
+        let k = a.cols;
+        let mut apack = vec![0.0f64; MC * KC];
+        let mut kb = 0;
+        // K-panels ascending: this ordering is what fixes each C
+        // element's accumulation sequence independent of the partition.
+        while kb < k {
+            let kc = KC.min(k - kb);
+            let panel_base = kb * npj * NR;
+            let mut mb = r0;
+            while mb < r1 {
+                let mc = MC.min(r1 - mb);
+                let mstrips = mc.div_ceil(MR);
+                // Pack this MC x kc block of op(A) into MR-tall strips,
+                // zero-padding rows past r1 (only possible at the bottom
+                // edge of the matrix, since r1 is MR-aligned elsewhere).
+                // Strip contents are order-independent; read along the
+                // unit-stride axis of op(A).
+                for ip in 0..mstrips {
+                    let dst = ip * kc * MR;
+                    if a.cs == 1 {
+                        for ir in 0..MR {
+                            let i = mb + ip * MR + ir;
+                            if i < r1 {
+                                for kk in 0..kc {
+                                    apack[dst + kk * MR + ir] = a.at(i, kb + kk);
+                                }
+                            } else {
+                                for kk in 0..kc {
+                                    apack[dst + kk * MR + ir] = 0.0;
+                                }
+                            }
+                        }
+                    } else {
+                        let rows_here = MR.min(r1 - (mb + ip * MR));
+                        for kk in 0..kc {
+                            for ir in 0..rows_here {
+                                apack[dst + kk * MR + ir] = a.at(mb + ip * MR + ir, kb + kk);
+                            }
+                            for ir in rows_here..MR {
+                                apack[dst + kk * MR + ir] = 0.0;
+                            }
+                        }
+                    }
+                }
+                for jp in 0..npj {
+                    let bstrip = &bpack[panel_base + jp * kc * NR..panel_base + (jp + 1) * kc * NR];
+                    let jcount = NR.min(n - jp * NR);
+                    for ip in 0..mstrips {
+                        let i0 = mb + ip * MR;
+                        let astrip = &apack[ip * kc * MR..(ip + 1) * kc * MR];
+                        let mut acc = [0.0f64; MR * NR];
+                        micro_kernel(astrip, bstrip, &mut acc);
+                        let rows_here = MR.min(r1 - i0);
+                        for ir in 0..rows_here {
+                            let i = i0 + ir;
+                            for jr in 0..jcount {
+                                let j = jp * NR + jr;
+                                // SAFETY: row i belongs to this thread's
+                                // disjoint range [r0, r1).
+                                unsafe { *cptr.get().add(i * n + j) += acc[ir * NR + jr] };
+                            }
+                        }
+                    }
+                }
+                mb += mc;
+            }
+            kb += kc;
+        }
+    }
+
+    /// The `MR x NR` register-tile kernel: `acc += astrip * bstrip` over
+    /// one K-panel. `astrip` is `kc` steps of MR values, `bstrip` `kc`
+    /// steps of NR values; the fixed-trip inner loops unroll into a
+    /// 4x8 accumulator tile that LLVM keeps in vector registers.
+    #[inline]
+    fn micro_kernel(astrip: &[f64], bstrip: &[f64], acc: &mut [f64; MR * NR]) {
+        for (avals, bvals) in astrip.chunks_exact(MR).zip(bstrip.chunks_exact(NR)) {
+            let (a0, a1, a2, a3) = (avals[0], avals[1], avals[2], avals[3]);
+            for j in 0..NR {
+                let bj = bvals[j];
+                acc[j] += a0 * bj;
+                acc[NR + j] += a1 * bj;
+                acc[2 * NR + j] += a2 * bj;
+                acc[3 * NR + j] += a3 * bj;
             }
         }
     }
-    for i in 0..n {
-        for j in 0..i {
-            g[(i, j)] = g[(j, i)];
-        }
+
+    /// `C = A * B` through the packed engine regardless of size.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "matmul: inner dimensions mismatch {}x{} * {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        gemm(View::normal(a), View::normal(b), c.as_mut_slice());
+        c
     }
-    g
+
+    /// `C = Aᵀ * B` through the packed engine regardless of size.
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
+        let mut c = Matrix::zeros(a.cols(), b.cols());
+        gemm(View::transposed(a), View::normal(b), c.as_mut_slice());
+        c
+    }
+
+    /// `C = A * Bᵀ` through the packed engine regardless of size.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
+        let mut c = Matrix::zeros(a.rows(), b.rows());
+        gemm(View::normal(a), View::transposed(b), c.as_mut_slice());
+        c
+    }
+
+    /// `AᵀA`, threaded: upper triangle only, mirrored afterwards (~half
+    /// the flops of `matmul_tn(a, a)`).
+    ///
+    /// Deliberately NOT the tile engine: the Gram matrices here are small
+    /// squares of very tall inputs (`M >> N`), where the reference rank-1
+    /// sweep already streams `A` once at unit stride with `G` cache
+    /// resident — packing would re-copy `A` per K-panel for no compute
+    /// win. Instead the rank-1 sweep itself is parallelized over row
+    /// strips of `G` (strips sized so each carries an equal share of the
+    /// triangle). Every `G` element keeps the reference kernel's exact
+    /// ascending-`kk` accumulation order, so the result is bitwise equal
+    /// to `reference::gram` at every thread count.
+    pub fn gram(a: &Matrix) -> Matrix {
+        let n = a.cols();
+        let rows = a.rows();
+        let mut g = Matrix::zeros(n, n);
+        if n > 0 && rows > 0 {
+            let gptr = SendPtr(g.as_mut_slice().as_mut_ptr());
+            let ad = a.as_slice();
+            let threads = par::num_threads().min(n).max(1);
+            // Row strip boundaries equalizing upper-triangle area: row i
+            // owns n - i elements, so the strip ending at fraction t of
+            // the area ends at row n * (1 - sqrt(1 - t)).
+            let bound = |t: usize| -> usize {
+                let frac = t as f64 / threads as f64;
+                ((n as f64) * (1.0 - (1.0 - frac).sqrt())).round() as usize
+            };
+            par::run(threads, &|tid: usize| {
+                let (i0, i1) = (bound(tid).min(n), bound(tid + 1).min(n));
+                if i0 >= i1 {
+                    return;
+                }
+                // SAFETY: row ranges [i0, i1) are disjoint across threads,
+                // so these &mut subslices of G never overlap. Going
+                // through a real slice (not per-element raw writes) keeps
+                // the inner loop autovectorizable.
+                let gs = unsafe {
+                    std::slice::from_raw_parts_mut(gptr.get().add(i0 * n), (i1 - i0) * n)
+                };
+                for kk in 0..rows {
+                    let row = &ad[kk * n..(kk + 1) * n];
+                    for i in i0..i1 {
+                        let ri = row[i];
+                        let grow = &mut gs[(i - i0) * n + i..(i - i0) * n + n];
+                        for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
+                            *gv += ri * rv;
+                        }
+                    }
+                }
+            });
+        }
+        let gd = g.as_mut_slice();
+        for i in 0..n {
+            for j in 0..i {
+                gd[i * n + j] = gd[j * n + i];
+            }
+        }
+        g
+    }
+
+    /// `y = A * x`, rows partitioned across threads. Each `y[i]` is one
+    /// serial dot product, so the result is identical to the reference
+    /// kernel at any thread count.
+    pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+        let m = a.rows();
+        let mut y = vec![0.0f64; m];
+        let yptr = SendPtr(y.as_mut_ptr());
+        par::parallel_for(m, 64, |i0, i1| {
+            for i in i0..i1 {
+                let s: f64 = a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum();
+                // SAFETY: rows [i0, i1) are this thread's disjoint range.
+                unsafe { *yptr.get().add(i) = s };
+            }
+        });
+        y
+    }
+
+    /// `y = Aᵀ * x`, output *columns* partitioned across threads; every
+    /// thread sweeps all rows of its column slice in ascending row order —
+    /// the exact accumulation order of the reference kernel — so no
+    /// reduction is split and results match bitwise at any thread count.
+    pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+        assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
+        let n = a.cols();
+        let mut y = vec![0.0f64; n];
+        let yptr = SendPtr(y.as_mut_ptr());
+        par::parallel_for(n, 64, |j0, j1| {
+            // SAFETY: columns [j0, j1) are this thread's disjoint range,
+            // so these &mut subslices of y never overlap. A real slice
+            // keeps the inner loop autovectorizable.
+            let ys = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(j0), j1 - j0) };
+            for (i, &xi) in x.iter().enumerate() {
+                let arow = &a.row(i)[j0..j1];
+                for (yv, av) in ys.iter_mut().zip(arow) {
+                    *yv += av * xi;
+                }
+            }
+        });
+        y
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +719,79 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         matmul(&a, &b);
+    }
+
+    // --- Packed engine vs reference ---------------------------------
+
+    #[test]
+    fn packed_matmul_matches_reference_odd_shapes() {
+        // Shapes chosen to straddle MR/NR/KC/MC tile boundaries.
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 17), (129, 257, 65), (130, 300, 33)]
+        {
+            let a = test_mat(m, k, 0.37);
+            let b = test_mat(k, n, 0.73);
+            let diff = (&packed::matmul(&a, &b) - &reference::matmul(&a, &b)).max_abs();
+            assert!(diff < 1e-11, "({m},{k},{n}) diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn packed_handles_degenerate_shapes() {
+        // k = 0: the product is defined and identically zero.
+        let a = Matrix::zeros(4, 0);
+        let b = Matrix::zeros(0, 6);
+        assert_eq!(packed::matmul(&a, &b), Matrix::zeros(4, 6));
+        // Single row / single column operands.
+        let r = test_mat(1, 40, 0.5);
+        let c = test_mat(40, 1, 0.9);
+        assert!((&packed::matmul(&r, &c) - &reference::matmul(&r, &c)).max_abs() < 1e-12);
+        assert!((&packed::matmul(&c, &r) - &reference::matmul(&c, &r)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_tn_nt_match_reference() {
+        let a = test_mat(70, 37, 0.21);
+        let b = test_mat(70, 51, 0.43);
+        assert!((&packed::matmul_tn(&a, &b) - &reference::matmul_tn(&a, &b)).max_abs() < 1e-11);
+        let a = test_mat(37, 70, 0.21);
+        let b = test_mat(51, 70, 0.43);
+        assert!((&packed::matmul_nt(&a, &b) - &reference::matmul_nt(&a, &b)).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn packed_gram_upper_triangle_and_mirror() {
+        let a = test_mat(83, 29, 0.61);
+        let g = packed::gram(&a);
+        // The threaded gram keeps the reference accumulation order, so
+        // agreement is exact, not approximate.
+        assert_eq!(g, reference::gram(&a));
+        assert!((&g - &reference::matmul_tn(&a, &a)).max_abs() < 1e-11);
+        assert!((&g - &g.transpose()).max_abs() == 0.0);
+    }
+
+    #[test]
+    fn packed_matvecs_bitwise_match_reference() {
+        let a = test_mat(67, 45, 0.83);
+        let x: Vec<f64> = (0..45).map(|i| (i as f64 * 0.17).cos()).collect();
+        assert_eq!(packed::matvec(&a, &x), reference::matvec(&a, &x));
+        let xt: Vec<f64> = (0..67).map(|i| (i as f64 * 0.11).sin()).collect();
+        assert_eq!(packed::matvec_t(&a, &xt), reference::matvec_t(&a, &xt));
+    }
+
+    #[test]
+    fn packed_bitwise_identical_across_thread_counts() {
+        let a = test_mat(137, 95, 0.29);
+        let b = test_mat(95, 71, 0.53);
+        let baseline = {
+            par::set_num_threads(1);
+            packed::matmul(&a, &b)
+        };
+        for threads in [2, 3, 4, 8] {
+            par::set_num_threads(threads);
+            let c = packed::matmul(&a, &b);
+            assert_eq!(c, baseline, "thread count {threads} changed bits");
+        }
+        par::set_num_threads(0);
     }
 }

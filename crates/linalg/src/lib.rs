@@ -31,6 +31,7 @@ pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod norms;
+pub mod par;
 pub mod pinv;
 pub mod qr;
 pub mod random;

@@ -13,6 +13,32 @@
 
 use crate::gemm::matmul;
 use crate::matrix::Matrix;
+use crate::par;
+
+/// Apply `H = I - 2 v vᵀ / vnorm2` to rows `[k, k + v.len())` of columns
+/// `[j0, j1)` of the row-major buffer `data` (row stride `ld`).
+///
+/// Columns are independent, so the sweep is partitioned across the kernel
+/// thread pool; each column's dot/update runs the exact serial instruction
+/// sequence, keeping the factorization bitwise identical at any thread
+/// count.
+fn apply_reflector(data: &mut [f64], ld: usize, k: usize, j0: usize, j1: usize, v: &[f64], vnorm2: f64) {
+    let ptr = par::SendPtr(data.as_mut_ptr());
+    par::parallel_for(j1 - j0, 16, |c0, c1| {
+        for j in j0 + c0..j0 + c1 {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                // SAFETY: each column j belongs to exactly one chunk.
+                dot += vi * unsafe { *ptr.get().add((k + idx) * ld + j) };
+            }
+            let s = 2.0 * dot / vnorm2;
+            for (idx, vi) in v.iter().enumerate() {
+                // SAFETY: as above; writes stay within this chunk's columns.
+                unsafe { *ptr.get().add((k + idx) * ld + j) -= s * vi };
+            }
+        }
+    });
+}
 
 /// The result of a QR factorization: `a = q * r`.
 #[derive(Clone, Debug)]
@@ -60,17 +86,8 @@ pub fn householder_qr(a: &Matrix) -> QrFactors {
             vs.push(Vec::new());
             continue;
         }
-        // Apply H = I - 2 v vᵀ / (vᵀv) to R[k.., k..].
-        for j in k..n {
-            let mut dot = 0.0;
-            for (idx, vi) in v.iter().enumerate() {
-                dot += vi * r[(k + idx, j)];
-            }
-            let s = 2.0 * dot / vnorm2;
-            for (idx, vi) in v.iter().enumerate() {
-                r[(k + idx, j)] -= s * vi;
-            }
-        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R[k.., k..], columns in parallel.
+        apply_reflector(r.as_mut_slice(), n, k, k, n, &v, vnorm2);
         // Clean the annihilated entries exactly.
         r[(k, k)] = alpha;
         for i in k + 1..m {
@@ -91,16 +108,7 @@ pub fn householder_qr(a: &Matrix) -> QrFactors {
             continue;
         }
         let vnorm2: f64 = v.iter().map(|x| x * x).sum();
-        for j in 0..p {
-            let mut dot = 0.0;
-            for (idx, vi) in v.iter().enumerate() {
-                dot += vi * q[(k + idx, j)];
-            }
-            let s = 2.0 * dot / vnorm2;
-            for (idx, vi) in v.iter().enumerate() {
-                q[(k + idx, j)] -= s * vi;
-            }
-        }
+        apply_reflector(q.as_mut_slice(), p, k, 0, p, v, vnorm2);
     }
 
     QrFactors { q, r: r.submatrix(0, p, 0, n) }

@@ -5,6 +5,11 @@
 //! QR-factorizes the sketch into an approximate range basis `Q` with
 //! `A ≈ Q Qᵀ A`. The randomized SVD then factorizes the small projected
 //! matrix `Ã = Qᵀ A` and lifts its left factor: `U = Q Ũ` (Eqs. 7–11).
+//!
+//! The sketch `AΩ`, the power-iteration products and the projection `QᵀA`
+//! are exactly the tall-times-skinny GEMMs the packed parallel engine in
+//! [`crate::gemm`] is blocked for; they thread automatically above the
+//! size threshold with bitwise-deterministic output.
 
 use crate::gemm::{matmul, matmul_tn};
 use crate::matrix::Matrix;

@@ -7,6 +7,12 @@
 //! wide matrices (via transposition) and very tall matrices (via a QR
 //! preprocessing step, exactly the `O(MN²) → O(MN·K)`-flavored reduction the
 //! paper leans on).
+//!
+//! The expensive pieces — the tall-QR preprocessing and the `U = Q·Ũ`
+//! lift — run on the threaded kernels in [`crate::gemm`] and [`crate::qr`]
+//! once the problem is large enough; the small dense iterations stay
+//! serial, so factorizations are bitwise reproducible at any thread
+//! count.
 
 pub mod golub_kahan;
 pub mod jacobi;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# GEMM kernel-scaling benchmark + lint gate.
+#
+# Runs the packed-vs-reference GEMM scaling sweep and writes the results to
+# BENCH_gemm.json at the repo root, then runs clippy over the whole
+# workspace with warnings denied. Intended both for CI (quick mode,
+# default) and for full perf runs on real hardware:
+#
+#   scripts/bench_gemm.sh            # quick sweep (~seconds) + clippy
+#   scripts/bench_gemm.sh --full     # full sweep incl. 1024^3 and 65536x64
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=--quick
+if [[ "${1:-}" == "--full" ]]; then
+    MODE=""
+fi
+
+# shellcheck disable=SC2086  # $MODE is deliberately word-split (may be empty)
+cargo run -p psvd-bench --release --bin gemm_scaling -- $MODE --out BENCH_gemm.json
+
+cargo clippy --workspace --all-targets -- -D warnings
+echo "bench_gemm: OK (BENCH_gemm.json written, clippy clean)"

@@ -1,0 +1,167 @@
+//! Property tests for the packed parallel GEMM engine: agreement with the
+//! serial reference kernels on arbitrary rectangular shapes (including
+//! degenerate and tile-boundary-straddling ones) and bitwise determinism
+//! across kernel thread counts.
+
+use proptest::prelude::*;
+use psvd_linalg::gemm::{self, packed, reference};
+use psvd_linalg::par;
+use psvd_linalg::random::{gaussian_matrix, seeded_rng};
+use psvd_linalg::Matrix;
+
+/// Absolute tolerance for packed-vs-reference comparisons: the two tiers
+/// sum in different orders, so they differ by rounding only. Gaussian
+/// entries are O(1) and inner dimensions stay < 512 here, so accumulated
+/// error is far below this.
+const TOL: f64 = 1e-10;
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+    gaussian_matrix(rows, cols, &mut seeded_rng(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn packed_matmul_matches_reference(
+        m in 1usize..48,
+        k in 0usize..70,
+        n in 1usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(k, n, seed.wrapping_add(1));
+        let diff = (&packed::matmul(&a, &b) - &reference::matmul(&a, &b)).max_abs();
+        prop_assert!(diff < TOL, "({m},{k},{n}) diverged by {diff}");
+    }
+
+    #[test]
+    fn packed_tn_matches_reference(
+        k in 1usize..60,
+        m in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_mat(k, m, seed);
+        let b = rand_mat(k, n, seed.wrapping_add(2));
+        let diff = (&packed::matmul_tn(&a, &b) - &reference::matmul_tn(&a, &b)).max_abs();
+        prop_assert!(diff < TOL, "({k},{m},{n}) diverged by {diff}");
+    }
+
+    #[test]
+    fn packed_nt_matches_reference(
+        m in 1usize..40,
+        k in 1usize..60,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(n, k, seed.wrapping_add(3));
+        let diff = (&packed::matmul_nt(&a, &b) - &reference::matmul_nt(&a, &b)).max_abs();
+        prop_assert!(diff < TOL, "({m},{k},{n}) diverged by {diff}");
+    }
+
+    #[test]
+    fn packed_gram_matches_reference_and_is_exactly_symmetric(
+        rows in 1usize..80,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_mat(rows, n, seed);
+        let g = packed::gram(&a);
+        let diff = (&g - &reference::matmul_tn(&a, &a)).max_abs();
+        prop_assert!(diff < TOL, "({rows},{n}) diverged by {diff}");
+        prop_assert!((&g - &g.transpose()).max_abs() == 0.0, "gram not exactly symmetric");
+    }
+
+    #[test]
+    fn packed_matvecs_bitwise_match_reference(
+        m in 1usize..80,
+        n in 1usize..80,
+        seed in 0u64..1_000,
+    ) {
+        // matvec/matvec_t preserve the reference accumulation order per
+        // output element, so equality here is exact, not approximate.
+        let a = rand_mat(m, n, seed);
+        let x: Vec<f64> = rand_mat(n, 1, seed.wrapping_add(4)).as_slice().to_vec();
+        prop_assert_eq!(packed::matvec(&a, &x), reference::matvec(&a, &x));
+        let xt: Vec<f64> = rand_mat(m, 1, seed.wrapping_add(5)).as_slice().to_vec();
+        prop_assert_eq!(packed::matvec_t(&a, &xt), reference::matvec_t(&a, &xt));
+    }
+}
+
+/// Shapes chosen to land exactly on, one under, and one over the engine's
+/// tile edges (MR = 4, NR = 8, MC = 128, KC = 256).
+#[test]
+fn packed_tile_boundary_shapes_match_reference() {
+    let dims = [1usize, 3, 4, 5, 7, 8, 9, 127, 128, 129];
+    let deep = [255usize, 256, 257];
+    for (di, &m) in dims.iter().enumerate() {
+        let n = dims[(di + 3) % dims.len()];
+        let k = deep[di % deep.len()];
+        let a = rand_mat(m, k, di as u64);
+        let b = rand_mat(k, n, di as u64 + 100);
+        let diff = (&packed::matmul(&a, &b) - &reference::matmul(&a, &b)).max_abs();
+        assert!(diff < TOL, "({m},{k},{n}) diverged by {diff}");
+    }
+}
+
+/// Degenerate shapes: empty inner dimension, single row, single column.
+#[test]
+fn packed_degenerate_shapes() {
+    assert_eq!(
+        packed::matmul(&Matrix::zeros(5, 0), &Matrix::zeros(0, 7)),
+        Matrix::zeros(5, 7)
+    );
+    let row = rand_mat(1, 50, 7);
+    let col = rand_mat(50, 1, 8);
+    assert!((&packed::matmul(&row, &col) - &reference::matmul(&row, &col)).max_abs() < TOL);
+    assert!((&packed::matmul(&col, &row) - &reference::matmul(&col, &row)).max_abs() < TOL);
+    assert_eq!(packed::gram(&Matrix::zeros(0, 4)), Matrix::zeros(4, 4));
+}
+
+/// The headline guarantee: every public entry point returns bit-for-bit
+/// identical results for any thread count. Runs serially over the thread
+/// counts inside one test function because `set_num_threads` is
+/// process-global.
+#[test]
+fn results_bitwise_identical_across_thread_counts() {
+    // Big enough that the adaptive entry points take the packed path
+    // (2 m n k >= 2^20) and that the row partition actually splits.
+    let a = rand_mat(90, 97, 11);
+    let b = rand_mat(97, 93, 12);
+    let c = rand_mat(90, 93, 14); // same row count as a, for AᵀC
+    let d = rand_mat(93, 97, 15); // same col count as a, for ADᵀ
+    let x: Vec<f64> = rand_mat(97, 1, 13).as_slice().to_vec();
+
+    par::set_num_threads(1);
+    let base_mm = gemm::matmul(&a, &b);
+    let base_tn = gemm::matmul_tn(&a, &c);
+    let base_nt = gemm::matmul_nt(&a, &d);
+    let base_gram = gemm::gram(&a);
+    let base_mv = gemm::matvec(&a, &x);
+    let base_qr = psvd_linalg::thin_qr(&a);
+
+    for threads in [2usize, 4, 8] {
+        par::set_num_threads(threads);
+        assert_eq!(gemm::matmul(&a, &b), base_mm, "matmul bits changed at {threads} threads");
+        assert_eq!(gemm::matmul_tn(&a, &c), base_tn, "tn bits changed at {threads}");
+        assert_eq!(gemm::matmul_nt(&a, &d), base_nt, "nt bits changed at {threads}");
+        assert_eq!(gemm::gram(&a), base_gram, "gram bits changed at {threads} threads");
+        assert_eq!(gemm::matvec(&a, &x), base_mv, "matvec bits changed at {threads} threads");
+        let f = psvd_linalg::thin_qr(&a);
+        assert_eq!(f.q, base_qr.q, "QR Q bits changed at {threads} threads");
+        assert_eq!(f.r, base_qr.r, "QR R bits changed at {threads} threads");
+    }
+    par::set_num_threads(0);
+}
+
+/// The adaptive dispatch is a pure size test, so small problems stay on
+/// the reference path and match it exactly.
+#[test]
+fn small_problems_take_reference_path_exactly() {
+    let a = rand_mat(12, 9, 21);
+    let b = rand_mat(9, 10, 22);
+    assert_eq!(gemm::matmul(&a, &b), reference::matmul(&a, &b));
+    assert_eq!(gemm::gram(&a), reference::gram(&a));
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface the `ncsim` container format uses:
+//! [`BytesMut`] as a growable byte buffer with little-endian `put_*`
+//! writers, and [`Buf`] little-endian `get_*` readers on `&[u8]` cursors.
+
+use std::ops::{Deref, DerefMut};
+
+/// Cursor-style reader. Implemented for `&[u8]`, where each `get_*`
+/// consumes from the front of the slice (matching the real crate).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume `n` bytes from the front.
+    fn advance(&mut self, n: usize);
+
+    /// Copy out the next `N` bytes (panics when short).
+    fn copy_front<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_front::<4>())
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_front::<8>())
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.copy_front::<8>())
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_front::<1>()[0]
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn copy_front<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.len(), "buffer too short: need {N}, have {}", self.len());
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
+/// Append-style writer trait.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Growable byte buffer (a thin wrapper over `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_fields() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32_le(7);
+        b.put_u64_le(1 << 40);
+        b.put_f64_le(-2.5);
+        b.put_slice(b"xy");
+        let mut cur: &[u8] = &b;
+        assert_eq!(cur.get_u32_le(), 7);
+        assert_eq!(cur.get_u64_le(), 1 << 40);
+        assert_eq!(cur.get_f64_le(), -2.5);
+        assert_eq!(cur.remaining(), 2);
+        assert_eq!(cur.get_u8(), b'x');
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too short")]
+    fn short_read_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        cur.get_u32_le();
+    }
+}

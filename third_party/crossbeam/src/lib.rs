@@ -1,0 +1,132 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container cannot reach a crates registry, so the workspace
+//! vendors the narrow slice of crossbeam it uses: `channel::{unbounded,
+//! bounded, Sender, Receiver}` with `send`/`recv`/`try_recv`. The
+//! implementation delegates to `std::sync::mpsc`, which provides the same
+//! MPSC semantics these call sites rely on (the workspace never clones a
+//! `Receiver`, so crossbeam's MPMC generality is not needed).
+
+pub mod channel {
+    //! MPSC channels with the crossbeam-channel surface this repo uses.
+
+    use std::sync::mpsc;
+
+    /// Sending half of a channel. Cloneable, usable from any thread.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like upstream crossbeam: no `T: Debug` bound.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// All senders are gone and the buffer is drained.
+        Disconnected,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `value`, failing only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over incoming messages (ends at disconnect).
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+
+    /// A channel with unbounded buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// A channel with bounded buffering (rendezvous when `cap == 0`).
+    ///
+    /// `std::sync::mpsc::sync_channel` has the same blocking-send contract
+    /// crossbeam's bounded channel provides, but a different sender type;
+    /// this stub only exposes the unbounded sender, so `bounded` maps to an
+    /// unbounded queue. No call site in this workspace relies on
+    /// backpressure.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(5usize).unwrap();
+            assert_eq!(rx.recv(), Ok(5));
+        }
+
+        #[test]
+        fn cross_thread_clone_senders() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            drop(tx);
+            let mut got: Vec<i32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn disconnect_observable() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}
