@@ -37,9 +37,13 @@ fn bench_tall_skinny(c: &mut Criterion) {
         bench.iter(|| packed::matmul(&a, &b));
     });
     // Gram matrix of the tall block: the other hot shape (AᵀA, 64 x 64 out).
-    group.bench_with_input(BenchmarkId::new("gram_reference", format!("{m}x{k}")), &m, |bench, _| {
-        bench.iter(|| reference::gram(&a));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("gram_reference", format!("{m}x{k}")),
+        &m,
+        |bench, _| {
+            bench.iter(|| reference::gram(&a));
+        },
+    );
     group.bench_with_input(BenchmarkId::new("gram_packed", format!("{m}x{k}")), &m, |bench, _| {
         bench.iter(|| packed::gram(&a));
     });

@@ -35,13 +35,9 @@ fn bench_qr(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("householder", format!("{m}x{n}")), &a, |b, a| {
             b.iter(|| thin_qr(black_box(a)));
         });
-        group.bench_with_input(
-            BenchmarkId::new("cholesky_qr2", format!("{m}x{n}")),
-            &a,
-            |b, a| {
-                b.iter(|| psvd_linalg::cholesky::cholesky_qr2(black_box(a)).expect("full rank"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cholesky_qr2", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| psvd_linalg::cholesky::cholesky_qr2(black_box(a)).expect("full rank"));
+        });
         group.bench_with_input(BenchmarkId::new("mgs2", format!("{m}x{n}")), &a, |b, a| {
             b.iter(|| psvd_linalg::qr::mgs_qr(black_box(a)));
         });

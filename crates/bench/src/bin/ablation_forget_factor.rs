@@ -64,5 +64,7 @@ fn main() {
         let angle8 = max_principal_angle(&u_b, s.modes());
         table.row(&[format!("{ff:.2}"), format!("{angle2:.4}"), format!("{angle8:.4}")]);
     }
-    println!("\nexpected: ff = 1 wins on stationary data; small ff realigns fastest after the switch.");
+    println!(
+        "\nexpected: ff = 1 wins on stationary data; small ff realigns fastest after the switch."
+    );
 }

@@ -33,7 +33,8 @@ fn sweep(label: &str, a: &Matrix, k: usize) {
         a.cols(),
         fmt_secs(t_full)
     );
-    let table = Table::new(&["oversampling p", "power iters q", "error / optimal", "time", "speedup"]);
+    let table =
+        Table::new(&["oversampling p", "power iters q", "error / optimal", "time", "speedup"]);
     for p in [0, 2, 5, 10, 20] {
         for q in [0, 1, 2] {
             let cfg = RandomizedConfig { rank: k, oversampling: p, power_iterations: q };

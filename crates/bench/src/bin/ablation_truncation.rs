@@ -34,12 +34,14 @@ fn main() {
             let (phi, s) = d.parallel_svd(&blocks[comm.rank()]);
             (phi, s)
         });
-        let modes =
-            Matrix::vstack_all(&out.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+        let modes = Matrix::vstack_all(&out.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
         (out[0].1.clone(), modes, world.stats().total_bytes())
     };
 
-    println!("== A2.1: r1 sweep (r2 = {k}, {n_ranks} ranks, Burgers {} x {}) ==\n", cfg.grid_points, cfg.snapshots);
+    println!(
+        "== A2.1: r1 sweep (r2 = {k}, {n_ranks} ranks, Burgers {} x {}) ==\n",
+        cfg.grid_points, cfg.snapshots
+    );
     let table = Table::new(&["r1", "bytes gathered", "spectrum err", "subspace angle"]);
     for r1 in [2, 4, 6, 10, 20, 50, 128] {
         let (s, modes, bytes) = run(r1, k);
@@ -47,7 +49,10 @@ fn main() {
             r1.to_string(),
             format!("{:.1} kB", bytes as f64 / 1024.0),
             format!("{:.3e}", spectrum_error(&s_ref, &s)),
-            format!("{:.2e}", max_principal_angle(&u_ref, &modes.first_columns(k.min(modes.cols())))),
+            format!(
+                "{:.2e}",
+                max_principal_angle(&u_ref, &modes.first_columns(k.min(modes.cols())))
+            ),
         ]);
     }
 
@@ -59,7 +64,10 @@ fn main() {
             r2.to_string(),
             format!("{:.1} kB", bytes as f64 / 1024.0),
             format!("{:.3e}", spectrum_error(&s_ref, &s)),
-            format!("{:.2e}", max_principal_angle(&u_ref, &modes.first_columns(k.min(modes.cols())))),
+            format!(
+                "{:.2e}",
+                max_principal_angle(&u_ref, &modes.first_columns(k.min(modes.cols())))
+            ),
         ]);
     }
     println!("\nexpected: error falls steeply as r1 passes the effective rank, then plateaus;");

@@ -14,12 +14,12 @@
 //! ```
 
 use psvd_bench::{fmt_secs, time_it, Table};
+use psvd_comm::{Communicator, World};
 use psvd_core::postprocess::write_series_csv;
 use psvd_core::{ParallelStreamingSvd, SerialStreamingSvd, SvdConfig};
 use psvd_data::burgers::{snapshot_matrix, BurgersConfig};
 use psvd_data::partition::split_rows;
 use psvd_linalg::validate::{align_signs, pointwise_mode_error};
-use psvd_comm::{Communicator, World};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -63,12 +63,7 @@ fn main() {
         let err = pointwise_mode_error(serial.modes(), &par_modes, mode);
         let max_err = err.iter().cloned().fold(0.0, f64::max);
         let mean_err = err.iter().sum::<f64>() / err.len() as f64;
-        let amp = serial
-            .modes()
-            .col(mode)
-            .iter()
-            .cloned()
-            .fold(0.0f64, |a, x| a.max(x.abs()));
+        let amp = serial.modes().col(mode).iter().cloned().fold(0.0f64, |a, x| a.max(x.abs()));
         let path = std::path::PathBuf::from(format!("{fig}.csv"));
         write_series_csv(
             &path,
@@ -90,7 +85,11 @@ fn main() {
     for (i, (s, p)) in serial.singular_values().iter().zip(&out[0].1).enumerate() {
         println!("  sigma_{i}: {s:.8e} | {p:.8e}");
     }
-    println!("\nwall time: serial {} | parallel(4 threads, 1 core) {}", fmt_secs(t_serial), fmt_secs(t_parallel));
+    println!(
+        "\nwall time: serial {} | parallel(4 threads, 1 core) {}",
+        fmt_secs(t_serial),
+        fmt_secs(t_parallel)
+    );
     println!(
         "traffic: {} messages, {:.1} kB",
         world.stats().total_messages(),

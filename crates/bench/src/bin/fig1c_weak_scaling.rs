@@ -62,8 +62,7 @@ fn apmos_timed<C: Communicator>(
     let wlocal = v.mul_diag(&s);
 
     // Phase 2: gather W at rank 0 (charged by the network model).
-    let wglobal =
-        if tree { tree_gather(comm, wlocal, 0) } else { comm.gather(wlocal, 0) };
+    let wglobal = if tree { tree_gather(comm, wlocal, 0) } else { comm.gather(wlocal, 0) };
 
     // Phase 3 (rank 0 only): factorize W.
     let factors = if comm.rank() == 0 {
@@ -92,8 +91,7 @@ fn apmos_timed<C: Communicator>(
     };
 
     // Phase 4: broadcast the reduced factors.
-    let (x, sv) =
-        if tree { tree_bcast(comm, factors, 0) } else { comm.bcast(factors, 0) };
+    let (x, sv) = if tree { tree_bcast(comm, factors, 0) } else { comm.bcast(factors, 0) };
 
     // Phase 5 (every rank): assemble the local mode slice.
     comm.advance((2.0 * m * n * K as f64) / rate);
@@ -202,7 +200,10 @@ fn main() {
     let max_ranks = if full { 256 } else { 64 };
     let rate = calibrate_flops_per_sec();
     println!("== Figure 1(c): weak scaling, {POINTS_PER_RANK} grid points/rank, {SNAPSHOTS} snapshots, K = {K}, r1 = {R1} ==");
-    println!("calibrated dense-kernel rate: {:.2} GF/s; network model: Theta Aries (1.2 us, 8 GB/s)\n", rate / 1e9);
+    println!(
+        "calibrated dense-kernel rate: {:.2} GF/s; network model: Theta Aries (1.2 us, 8 GB/s)\n",
+        rate / 1e9
+    );
 
     let mut ranks = vec![1usize];
     while *ranks.last().unwrap() < max_ranks {
@@ -210,9 +211,15 @@ fn main() {
     }
 
     let series: [(Variant, &str); 4] = [
-        (Variant::Flat { low_rank: true, tree: false }, "randomized, flat gather (paper's configuration)"),
+        (
+            Variant::Flat { low_rank: true, tree: false },
+            "randomized, flat gather (paper's configuration)",
+        ),
         (Variant::Flat { low_rank: false, tree: false }, "deterministic, flat gather (baseline)"),
-        (Variant::Flat { low_rank: true, tree: true }, "randomized, binomial-tree collectives (extension)"),
+        (
+            Variant::Flat { low_rank: true, tree: true },
+            "randomized, binomial-tree collectives (extension)",
+        ),
         (Variant::Hierarchical, "randomized, two-level APMOS with sqrt(P) groups (extension)"),
     ];
     for (variant, label) in series {

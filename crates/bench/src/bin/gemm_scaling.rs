@@ -15,10 +15,11 @@
 use std::fmt::Write as _;
 
 use psvd_bench::{time_it, Table};
-use psvd_linalg::gemm::{packed, reference};
-use psvd_linalg::par;
+use psvd_core::{SerialStreamingSvd, SvdConfig};
+use psvd_linalg::gemm::{matmul, packed, reference};
+use psvd_linalg::qr::thin_qr;
 use psvd_linalg::random::{gaussian_matrix, seeded_rng};
-use psvd_linalg::Matrix;
+use psvd_linalg::{alloc_stats, par, Matrix};
 
 struct Case {
     kind: &'static str,
@@ -170,7 +171,8 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"gemm_scaling\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"hardware_threads\": {hw},");
-    let _ = writeln!(json, "  \"micro_kernel\": {{ \"mr\": {}, \"nr\": {} }},", packed::MR, packed::NR);
+    let _ =
+        writeln!(json, "  \"micro_kernel\": {{ \"mr\": {}, \"nr\": {} }},", packed::MR, packed::NR);
     let _ = writeln!(json, "  \"deterministic\": {},", mismatches == 0);
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -185,5 +187,111 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, json).expect("write BENCH_gemm.json");
     println!("wrote {out_path}");
+
+    let alloc_path = streaming_alloc_ledger(quick, &out_path);
+    println!("wrote {alloc_path}");
+
     assert_eq!(mismatches, 0, "bitwise determinism violated — see {out_path}");
+}
+
+/// Allocation ledger for the streaming hot loop (`BENCH_alloc.json`):
+/// Matrix bytes and allocation counts per steady-state update, comparing
+/// the pre-workspace composition (`mul_diag` + `hstack` + `thin_qr` +
+/// `matmul`, every intermediate a fresh matrix) against the driver's
+/// workspace-fed `incorporate_data`.
+fn streaming_alloc_ledger(quick: bool, gemm_out_path: &str) -> String {
+    let (m, updates) = if quick { (2048usize, 10usize) } else { (16384, 30) };
+    let (batch, k, ff) = (8usize, 6usize, 0.99f64);
+    let warmup = 2;
+    let chunks: Vec<Matrix> = (0..updates + warmup + 1)
+        .map(|b| gaussian_matrix(m, batch, &mut seeded_rng(100 + b as u64)))
+        .collect();
+
+    // "Before": the allocating composition the drivers used before the
+    // workspace refactor. Every update materializes the weighted modes,
+    // the stack, both QR factors and the new mode matrix.
+    let measure_before = || {
+        let f0 = thin_qr(&chunks[0]);
+        let sv0 = psvd_linalg::svd(&f0.r);
+        let k0 = k.min(sv0.s.len());
+        let mut modes = matmul(&f0.q, &sv0.u.first_columns(k0));
+        let mut svals = sv0.s[..k0].to_vec();
+        let mut window = (0u64, 0u64);
+        for (b, chunk) in chunks[1..].iter().enumerate() {
+            if b == warmup {
+                window = alloc_stats::snapshot();
+            }
+            let weighted: Vec<f64> = svals.iter().map(|s| s * ff).collect();
+            let stack = modes.mul_diag(&weighted).hstack(chunk);
+            let f = thin_qr(&stack);
+            let sv = psvd_linalg::svd(&f.r);
+            let kk = k.min(sv.s.len());
+            modes = matmul(&f.q, &sv.u.first_columns(kk));
+            svals = sv.s[..kk].to_vec();
+        }
+        let (c1, b1) = alloc_stats::snapshot();
+        (c1 - window.0, b1 - window.1)
+    };
+
+    // "After": the real driver, persistent buffers plus workspace arena.
+    let mut driver = SerialStreamingSvd::new(SvdConfig::new(k).with_forget_factor(ff));
+    driver.initialize(&chunks[0]);
+    for chunk in &chunks[1..=warmup] {
+        driver.incorporate_data(chunk);
+    }
+    driver.reset_scratch_stats();
+    let (before_allocs, before_bytes) = measure_before();
+    let (c0, b0) = alloc_stats::snapshot();
+    for chunk in &chunks[warmup + 1..] {
+        driver.incorporate_data(chunk);
+    }
+    let (c1, b1) = alloc_stats::snapshot();
+    let (after_allocs, after_bytes) = (c1 - c0, b1 - b0);
+    let ws = driver.scratch_stats();
+
+    let n = updates as u64;
+    println!(
+        "\n== streaming update allocation ledger ({m} rows, batch {batch}, K = {k}) ==\n\
+         before (allocating composition): {} allocs / {} bytes per update\n\
+         after  (workspace-fed driver):   {} allocs / {} bytes per update \
+         (workspace misses in window: {})",
+        before_allocs / n,
+        before_bytes / n,
+        after_allocs / n,
+        after_bytes / n,
+        ws.misses
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"streaming_alloc\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"rows\": {m},");
+    let _ = writeln!(json, "  \"batch\": {batch},");
+    let _ = writeln!(json, "  \"k\": {k},");
+    let _ = writeln!(json, "  \"updates\": {updates},");
+    let _ = writeln!(
+        json,
+        "  \"before\": {{ \"allocs_per_update\": {}, \"bytes_per_update\": {} }},",
+        before_allocs / n,
+        before_bytes / n
+    );
+    let _ = writeln!(
+        json,
+        "  \"after\": {{ \"allocs_per_update\": {}, \"bytes_per_update\": {} }},",
+        after_allocs / n,
+        after_bytes / n
+    );
+    let _ = writeln!(
+        json,
+        "  \"workspace\": {{ \"takes\": {}, \"misses\": {}, \"fresh_bytes\": {} }}",
+        ws.takes, ws.misses, ws.fresh_bytes
+    );
+    json.push_str("}\n");
+    let alloc_path = std::path::Path::new(gemm_out_path)
+        .with_file_name("BENCH_alloc.json")
+        .to_string_lossy()
+        .into_owned();
+    std::fs::write(&alloc_path, json).expect("write BENCH_alloc.json");
+    alloc_path
 }

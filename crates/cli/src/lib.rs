@@ -108,17 +108,9 @@ fn cmd_dmd(a: &ParsedArgs) -> Result<Vec<String>, String> {
     let k = a.usize_or("k", 6)?;
     let dt = a.f64_or("dt", 1.0)?;
     let d = psvd_core::dmd::dmd(&data, k, dt);
-    let mut out = vec![format!(
-        "DMD, rank {} (requested {k}), dt = {dt}:",
-        d.rank
-    )];
+    let mut out = vec![format!("DMD, rank {} (requested {k}), dt = {dt}:", d.rank)];
     out.push(format!("{:>14} {:>12} {:>14}", "freq (cyc/t)", "growth", "|amplitude|"));
-    for ((w, b), _) in d
-        .continuous_eigenvalues()
-        .iter()
-        .zip(&d.amplitudes)
-        .zip(&d.eigenvalues)
-    {
+    for ((w, b), _) in d.continuous_eigenvalues().iter().zip(&d.amplitudes).zip(&d.eigenvalues) {
         out.push(format!(
             "{:>14.5} {:>12.5} {:>14.4}",
             w.im / (2.0 * std::f64::consts::PI),
@@ -141,10 +133,7 @@ fn cmd_spod(a: &ParsedArgs) -> Result<Vec<String>, String> {
     let k = a.usize_or("k", 3)?;
     let cfg = psvd_core::spod::SpodConfig::new(nfft, dt).with_n_modes(k);
     if cfg.segment_count(data.cols()) == 0 {
-        return Err(format!(
-            "record too short: {} snapshots < segment length {nfft}",
-            data.cols()
-        ));
+        return Err(format!("record too short: {} snapshots < segment length {nfft}", data.cols()));
     }
     let s = psvd_core::spod::spod(&data, &cfg);
     let mut out = vec![format!(
@@ -350,7 +339,14 @@ mod tests {
         let file = tmp("pipeline.ncs");
         // Generate a small Burgers dataset.
         let out = run(&argv(&[
-            "generate", "burgers", "--out", &file, "--grid", "256", "--snapshots", "48",
+            "generate",
+            "burgers",
+            "--out",
+            &file,
+            "--grid",
+            "256",
+            "--snapshots",
+            "48",
         ]))
         .unwrap();
         assert!(out[0].contains("wrote"));
@@ -362,10 +358,8 @@ mod tests {
 
         // Serial SVD with CSV output.
         let sv_csv = tmp("sv.csv");
-        let out = run(&argv(&[
-            "svd", &file, "--k", "4", "--ff", "1.0", "--values-out", &sv_csv,
-        ]))
-        .unwrap();
+        let out = run(&argv(&["svd", &file, "--k", "4", "--ff", "1.0", "--values-out", &sv_csv]))
+            .unwrap();
         assert!(out.iter().any(|l| l.contains("sigma_0")));
         let text = std::fs::read_to_string(&sv_csv).unwrap();
         assert_eq!(text.lines().count(), 5);
@@ -382,14 +376,33 @@ mod tests {
     fn generate_era5_and_parallel_svd() {
         let file = tmp("era5.ncs");
         run(&argv(&[
-            "generate", "era5", "--out", &file, "--nlat", "12", "--nlon", "18", "--snapshots",
+            "generate",
+            "era5",
+            "--out",
+            &file,
+            "--nlat",
+            "12",
+            "--nlon",
+            "18",
+            "--snapshots",
             "64",
         ]))
         .unwrap();
         let modes_csv = tmp("modes.csv");
         let out = run(&argv(&[
-            "svd", &file, "--k", "3", "--ranks", "2", "--batch", "16", "--ff", "1.0",
-            "--modes-out", &modes_csv, "--quiet",
+            "svd",
+            &file,
+            "--k",
+            "3",
+            "--ranks",
+            "2",
+            "--batch",
+            "16",
+            "--ff",
+            "1.0",
+            "--modes-out",
+            &modes_csv,
+            "--quiet",
         ]))
         .unwrap();
         assert!(out.iter().any(|l| l.contains("modes")));
@@ -403,8 +416,18 @@ mod tests {
     fn wake_dmd_pipeline() {
         let file = tmp("wake.ncs");
         run(&argv(&[
-            "generate", "wake", "--out", &file, "--nx", "32", "--ny", "16", "--snapshots",
-            "128", "--fs", "1.1",
+            "generate",
+            "wake",
+            "--out",
+            &file,
+            "--nx",
+            "32",
+            "--ny",
+            "16",
+            "--snapshots",
+            "128",
+            "--fs",
+            "1.1",
         ]))
         .unwrap();
         let out = run(&argv(&["dmd", &file, "--k", "5", "--dt", "0.05"])).unwrap();
@@ -420,13 +443,20 @@ mod tests {
     fn pod_and_spod_commands() {
         let file = tmp("analysis.ncs");
         run(&argv(&[
-            "generate", "wake", "--out", &file, "--nx", "24", "--ny", "12", "--snapshots",
+            "generate",
+            "wake",
+            "--out",
+            &file,
+            "--nx",
+            "24",
+            "--ny",
+            "12",
+            "--snapshots",
             "192",
         ]))
         .unwrap();
         let modes_csv = tmp("pod_modes.csv");
-        let pod_out =
-            run(&argv(&["pod", &file, "--k", "4", "--modes-out", &modes_csv])).unwrap();
+        let pod_out = run(&argv(&["pod", &file, "--k", "4", "--modes-out", &modes_csv])).unwrap();
         assert!(pod_out.iter().any(|l| l.contains("cumulative energy")));
         assert!(std::fs::read_to_string(&modes_csv).unwrap().starts_with("point,mode_0"));
 
@@ -444,10 +474,8 @@ mod tests {
     #[test]
     fn spod_rejects_short_records() {
         let file = tmp("short.ncs");
-        run(&argv(&[
-            "generate", "burgers", "--out", &file, "--grid", "64", "--snapshots", "16",
-        ]))
-        .unwrap();
+        run(&argv(&["generate", "burgers", "--out", &file, "--grid", "64", "--snapshots", "16"]))
+            .unwrap();
         assert!(run(&argv(&["spod", &file, "--nfft", "64"])).is_err());
         std::fs::remove_file(&file).ok();
     }
@@ -461,8 +489,16 @@ mod tests {
     fn threads_flag_sets_kernel_pool() {
         let file = tmp("threads.ncs");
         run(&argv(&[
-            "generate", "burgers", "--out", &file, "--grid", "64", "--snapshots", "8",
-            "--threads", "2",
+            "generate",
+            "burgers",
+            "--out",
+            &file,
+            "--grid",
+            "64",
+            "--snapshots",
+            "8",
+            "--threads",
+            "2",
         ]))
         .unwrap();
         assert_eq!(psvd_linalg::par::num_threads(), 2);

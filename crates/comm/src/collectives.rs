@@ -14,11 +14,7 @@ use crate::payload::Payload;
 
 /// Binomial-tree gather: like [`Communicator::gather`] (one value per rank,
 /// rank order, `Some` at root only) but in `O(log P)` rounds.
-pub fn tree_gather<C: Communicator, T: Payload>(
-    comm: &C,
-    value: T,
-    root: usize,
-) -> Option<Vec<T>> {
+pub fn tree_gather<C: Communicator, T: Payload>(comm: &C, value: T, root: usize) -> Option<Vec<T>> {
     let size = comm.size();
     let rank = comm.rank();
     let tag = comm.next_collective_tag();
@@ -84,6 +80,7 @@ pub fn tree_bcast<C: Communicator, T: Payload + Clone>(
         let child_rel = relative + m;
         if child_rel < size {
             let child = (child_rel + root) % size;
+            comm.record_payload_alloc(v.byte_len());
             comm.send(v.clone(), child, tag);
         }
         m >>= 1;

@@ -43,6 +43,12 @@ pub trait Communicator {
     /// Raise the simulated clock to at least `t`.
     fn set_now(&self, _t: f64) {}
 
+    /// Record that a collective had to materialize a fresh copy of a payload
+    /// (e.g. the per-destination clones a broadcast root makes). Backends
+    /// with counters ([`TrafficStats`](crate::stats::TrafficStats)) charge
+    /// this rank's allocation ledger; the default is a no-op.
+    fn record_payload_alloc(&self, _bytes: usize) {}
+
     /// Gather one value per rank at `root` (rank order). Returns `Some(all)`
     /// at the root, `None` elsewhere.
     fn gather<T: Payload>(&self, value: T, root: usize) -> Option<Vec<T>> {
@@ -70,6 +76,9 @@ pub trait Communicator {
             let v = value.expect("bcast: root must supply a value");
             for dst in 0..self.size() {
                 if dst != root {
+                    // The fan-out copy is the only allocation a broadcast
+                    // makes; charge it so zero-copy audits see it.
+                    self.record_payload_alloc(v.byte_len());
                     self.send(v.clone(), dst, tag);
                 }
             }

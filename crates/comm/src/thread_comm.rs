@@ -70,10 +70,7 @@ impl Communicator for ThreadComm {
             self.clock.set(self.clock.get().max(arrival) + m.overhead);
         }
         *env.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "recv: payload type mismatch from rank {source} tag {tag} at rank {}",
-                self.rank
-            )
+            panic!("recv: payload type mismatch from rank {source} tag {tag} at rank {}", self.rank)
         })
     }
 
@@ -81,6 +78,10 @@ impl Communicator for ThreadComm {
         let s = self.coll_seq.get();
         self.coll_seq.set(s + 1);
         COLLECTIVE_TAG_BASE + s
+    }
+
+    fn record_payload_alloc(&self, bytes: usize) {
+        self.stats.record_payload_alloc(self.rank, bytes);
     }
 
     fn now(&self) -> f64 {
@@ -338,6 +339,34 @@ mod tests {
         let out = w.run(|c| c.allreduce_sum(vec![c.rank() as f64, 1.0]));
         for v in out {
             assert_eq!(v, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn gather_moves_root_contribution_without_copy() {
+        // gather and scatter move payloads; only bcast's fan-out clones
+        // should show up in the allocation ledger.
+        let w = World::new(4);
+        w.run(|c| {
+            let g = c.gather(vec![0.0f64; 50], 0);
+            let _ = c.scatter(g, 0);
+        });
+        assert_eq!(w.stats().total_alloc_count(), 0);
+        assert_eq!(w.stats().total_alloc_bytes(), 0);
+    }
+
+    #[test]
+    fn bcast_allocs_charged_to_root() {
+        let w = World::new(4);
+        w.run(|c| {
+            let v = if c.rank() == 1 { Some(vec![0.0f64; 100]) } else { None };
+            c.bcast(v, 1);
+        });
+        // Root clones once per non-root destination.
+        assert_eq!(w.stats().alloc_count(1), 3);
+        assert_eq!(w.stats().alloc_bytes(1), 3 * 800);
+        for r in [0, 2, 3] {
+            assert_eq!(w.stats().alloc_count(r), 0);
         }
     }
 

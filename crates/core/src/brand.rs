@@ -22,9 +22,10 @@
 //! both sides; this implementation re-orthonormalizes `U` every
 //! `REORTH_EVERY` updates to bound drift.
 
-use psvd_linalg::gemm::{matmul, matmul_tn};
-use psvd_linalg::qr::thin_qr;
+use psvd_linalg::gemm::{matmul_into, matmul_tn_into};
+use psvd_linalg::qr::qr_thin_into;
 use psvd_linalg::svd::svd_with;
+use psvd_linalg::workspace::{Workspace, WorkspaceStats};
 use psvd_linalg::Matrix;
 
 use crate::config::SvdConfig;
@@ -33,12 +34,35 @@ use crate::config::SvdConfig;
 const REORTH_EVERY: usize = 32;
 
 /// Brand-style incremental truncated SVD.
+///
+/// As with the Levy–Lindenbaum drivers, the per-update temporaries — the
+/// projection, residual, its QR factors, the stacked basis and the next
+/// mode matrix — live in per-instance buffers, so steady-state updates
+/// allocate only the small `O((K+B)²)` core SVD factors.
 pub struct BrandIncrementalSvd {
     cfg: SvdConfig,
     modes: Matrix,
     singular_values: Vec<f64>,
     iteration: usize,
     snapshots_seen: usize,
+    /// Scratch arena feeding the QR kernel.
+    ws: Workspace,
+    /// Projection `L = Uᵀ C` and its second-pass correction.
+    proj: Matrix,
+    proj2: Matrix,
+    /// Residual `H = C − U L` and the re-projection product `U L₂`.
+    resid: Matrix,
+    corr: Matrix,
+    /// Thin-QR factors of the residual (reused by the re-orth pass).
+    jq: Matrix,
+    jr: Matrix,
+    /// Kept residual directions and the stacked `[U | J]` basis.
+    jkeep: Matrix,
+    basis: Matrix,
+    /// Small core matrix the update SVDs.
+    qcore: Matrix,
+    /// Buffer the next mode matrix is formed in before swapping in.
+    next_modes: Matrix,
 }
 
 impl BrandIncrementalSvd {
@@ -51,6 +75,17 @@ impl BrandIncrementalSvd {
             singular_values: Vec::new(),
             iteration: 0,
             snapshots_seen: 0,
+            ws: Workspace::new(),
+            proj: Matrix::zeros(0, 0),
+            proj2: Matrix::zeros(0, 0),
+            resid: Matrix::zeros(0, 0),
+            corr: Matrix::zeros(0, 0),
+            jq: Matrix::zeros(0, 0),
+            jr: Matrix::zeros(0, 0),
+            jkeep: Matrix::zeros(0, 0),
+            basis: Matrix::zeros(0, 0),
+            qcore: Matrix::zeros(0, 0),
+            next_modes: Matrix::zeros(0, 0),
         }
     }
 
@@ -79,6 +114,17 @@ impl BrandIncrementalSvd {
         self.snapshots_seen
     }
 
+    /// Allocation accounting for the internal scratch arena (see
+    /// [`crate::serial::SerialStreamingSvd::scratch_stats`]).
+    pub fn scratch_stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Reset the scratch-arena counters.
+    pub fn reset_scratch_stats(&mut self) {
+        self.ws.reset_stats();
+    }
+
     /// Ingest the first batch (thin SVD of it).
     pub fn initialize(&mut self, a0: &Matrix) -> &mut Self {
         assert!(!self.is_initialized(), "initialize called twice");
@@ -101,72 +147,90 @@ impl BrandIncrementalSvd {
         self.iteration += 1;
         let k = self.modes.cols();
         let b = c.cols();
+        let m = self.modes.rows();
 
-        // Projection and residual. The projection is applied twice
-        // ("twice is enough"): a single pass leaves an O(eps·kappa)
-        // component of C in span(U) inside H, which the QR would then
-        // amplify into spurious basis directions.
-        let mut l = matmul_tn(&self.modes, c); // K x B
-        let mut h = c - &matmul(&self.modes, &l);
-        let l2 = matmul_tn(&self.modes, &h);
-        h = &h - &matmul(&self.modes, &l2);
-        for i in 0..k {
-            for j in 0..b {
-                l[(i, j)] += l2[(i, j)];
+        // Projection and residual, all in persistent buffers. The
+        // projection is applied twice ("twice is enough"): a single pass
+        // leaves an O(eps·kappa) component of C in span(U) inside H, which
+        // the QR would then amplify into spurious basis directions.
+        matmul_tn_into(self.modes.view(), c.view(), &mut self.proj); // K x B
+        matmul_into(self.modes.view(), self.proj.view(), &mut self.resid);
+        for i in 0..m {
+            for (r, &x) in self.resid.row_mut(i).iter_mut().zip(c.row(i)) {
+                *r = x - *r; // H = C − U L
             }
         }
-        let hqr = thin_qr(&h); // J: M x B, R: B x B
+        matmul_tn_into(self.modes.view(), self.resid.view(), &mut self.proj2);
+        matmul_into(self.modes.view(), self.proj2.view(), &mut self.corr);
+        for i in 0..m {
+            for (r, &x) in self.resid.row_mut(i).iter_mut().zip(self.corr.row(i)) {
+                *r -= x;
+            }
+        }
+        for i in 0..k {
+            for (l, &l2) in self.proj.row_mut(i).iter_mut().zip(self.proj2.row(i)) {
+                *l += l2;
+            }
+        }
+        qr_thin_into(self.resid.view(), &mut self.jq, &mut self.jr, &mut self.ws);
 
         // Keep only residual directions that carry real energy: when a
         // batch lies (numerically) inside span(U), the QR of the ~zero
         // residual produces arbitrary directions NOT orthogonal to U, and
         // absorbing them would corrupt the factorization. Threshold on the
         // canonical (non-negative) R diagonal.
-        let scale = self
-            .singular_values
-            .first()
-            .copied()
-            .unwrap_or(0.0)
-            .max(c.frobenius_norm());
+        let scale = self.singular_values.first().copied().unwrap_or(0.0).max(c.frobenius_norm());
         let tol = 1e-10 * scale.max(f64::MIN_POSITIVE);
-        let keep: Vec<usize> = (0..b).filter(|&j| hqr.r[(j, j)] > tol).collect();
-        let j_keep = hqr.q.select_columns(&keep);
+        let keep: Vec<usize> = (0..b).filter(|&j| self.jr[(j, j)] > tol).collect();
         let kept = keep.len();
+        self.jkeep.reshape_for_overwrite(m, kept);
+        for i in 0..m {
+            for (jj, &jcol) in keep.iter().enumerate() {
+                self.jkeep[(i, jj)] = self.jq[(i, jcol)];
+            }
+        }
 
         // Small core matrix Q: (k + kept) x (k + b).
         let ff = self.cfg.forget_factor;
-        let mut q = Matrix::zeros(k + kept, k + b);
+        self.qcore.reshape_zeroed(k + kept, k + b);
         for i in 0..k {
-            q[(i, i)] = ff * self.singular_values[i];
+            self.qcore[(i, i)] = ff * self.singular_values[i];
         }
         for i in 0..k {
             for j in 0..b {
-                q[(i, k + j)] = l[(i, j)];
+                self.qcore[(i, k + j)] = self.proj[(i, j)];
             }
         }
         for (row, &i) in keep.iter().enumerate() {
             for j in 0..b {
-                q[(k + row, k + j)] = hqr.r[(i, j)];
+                self.qcore[(k + row, k + j)] = self.jr[(i, j)];
             }
         }
 
-        let f = svd_with(&q, self.cfg.method);
+        let f = svd_with(&self.qcore, self.cfg.method);
         let k_new = self.cfg.k.min(f.s.len());
 
         // U <- [U J_keep] U'[:, :k_new].
-        let basis = self.modes.hstack(&j_keep); // M x (K+kept)
-        self.modes = matmul(&basis, &f.u.first_columns(k_new));
-        self.singular_values = f.s[..k_new].to_vec();
+        self.modes.hstack_into(&self.jkeep, &mut self.basis); // M x (K+kept)
+        matmul_into(self.basis.view(), f.u.block(0, f.u.rows(), 0, k_new), &mut self.next_modes);
+        std::mem::swap(&mut self.modes, &mut self.next_modes);
+        self.singular_values.clear();
+        self.singular_values.extend_from_slice(&f.s[..k_new]);
         self.snapshots_seen += b;
 
         // Periodic re-orthonormalization bounds drift of the long product.
         if self.iteration.is_multiple_of(REORTH_EVERY) {
-            let qr = thin_qr(&self.modes);
+            qr_thin_into(self.modes.view(), &mut self.jq, &mut self.jr, &mut self.ws);
             // Fold the (near-identity) R back into the singular values via
-            // an SVD of R·diag(S).
-            let rs = qr.r.mul_diag(&self.singular_values);
-            let f = svd_with(&rs, self.cfg.method);
-            self.modes = matmul(&qr.q, &f.u);
+            // an SVD of R·diag(S), scaling R's columns in place.
+            for i in 0..self.jr.rows() {
+                for (x, &s) in self.jr.row_mut(i).iter_mut().zip(&self.singular_values) {
+                    *x *= s;
+                }
+            }
+            let f = svd_with(&self.jr, self.cfg.method);
+            matmul_into(self.jq.view(), f.u.view(), &mut self.next_modes);
+            std::mem::swap(&mut self.modes, &mut self.next_modes);
             self.singular_values = f.s;
         }
         self

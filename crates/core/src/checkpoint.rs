@@ -37,8 +37,13 @@ impl SvdCheckpoint {
         let (m, k) = self.modes.shape();
         let mut out = Vec::with_capacity(48 + 8 * (m * k + self.singular_values.len()));
         out.extend_from_slice(MAGIC);
-        for v in [m as u64, k as u64, self.singular_values.len() as u64, self.iteration as u64, self.snapshots_seen as u64]
-        {
+        for v in [
+            m as u64,
+            k as u64,
+            self.singular_values.len() as u64,
+            self.iteration as u64,
+            self.snapshots_seen as u64,
+        ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
         for &x in self.modes.as_slice() {

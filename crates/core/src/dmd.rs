@@ -14,7 +14,7 @@
 //! Φ = Y V Σ⁻¹ W Λ⁻¹      (exact DMD modes)
 //! ```
 
-use psvd_linalg::cmatrix::{cvec_norm, CMatrix};
+use psvd_linalg::cmatrix::CMatrix;
 use psvd_linalg::complex::Complex;
 use psvd_linalg::eig_general::general_eig;
 use psvd_linalg::gemm::{matmul, matmul_tn};
@@ -42,10 +42,7 @@ impl Dmd {
 
     /// Oscillation frequencies in cycles per unit time (`Im ω / 2π`).
     pub fn frequencies(&self) -> Vec<f64> {
-        self.continuous_eigenvalues()
-            .iter()
-            .map(|w| w.im / (2.0 * std::f64::consts::PI))
-            .collect()
+        self.continuous_eigenvalues().iter().map(|w| w.im / (2.0 * std::f64::consts::PI)).collect()
     }
 
     /// Exponential growth rates (`Re ω`).
@@ -119,8 +116,7 @@ pub fn dmd(data: &Matrix, r: usize, dt: f64) -> Dmd {
                 phi[(i, j)] *= inv;
             }
         }
-        let col = phi.col(j);
-        let norm = cvec_norm(&col);
+        let norm = phi.col_iter(j).map(|z| z.norm_sqr()).sum::<f64>().sqrt();
         if norm > 0.0 {
             for i in 0..phi.rows() {
                 phi[(i, j)] = phi[(i, j)].scale(1.0 / norm);
@@ -153,7 +149,8 @@ mod tests {
         dt: f64,
         params: &[(f64, f64)], // (growth sigma, angular frequency omega)
     ) -> Matrix {
-        let pattern = |j: usize, i: usize| ((i as f64 * (j + 1) as f64 * 0.07) + 0.3 * j as f64).sin();
+        let pattern =
+            |j: usize, i: usize| ((i as f64 * (j + 1) as f64 * 0.07) + 0.3 * j as f64).sin();
         Matrix::from_fn(m, n, |i, k| {
             let t = k as f64 * dt;
             params
@@ -173,11 +170,7 @@ mod tests {
         let dt = 0.05;
         let data = oscillating_data(120, 100, dt, &[(0.0, 3.0), (0.0, 7.0)]);
         let d = dmd(&data, 4, dt);
-        let mut freqs: Vec<f64> = d
-            .continuous_eigenvalues()
-            .iter()
-            .map(|w| w.im.abs())
-            .collect();
+        let mut freqs: Vec<f64> = d.continuous_eigenvalues().iter().map(|w| w.im.abs()).collect();
         freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         freqs.dedup_by(|a, b| (*a - *b).abs() < 0.1);
         assert!(freqs.iter().any(|&f| (f - 3.0).abs() < 0.05), "omega = 3 missing: {freqs:?}");
@@ -189,11 +182,8 @@ mod tests {
         let dt = 0.02;
         let data = oscillating_data(80, 120, dt, &[(-0.5, 4.0), (0.3, 9.0)]);
         let d = dmd(&data, 4, dt);
-        let rates: Vec<(f64, f64)> = d
-            .continuous_eigenvalues()
-            .iter()
-            .map(|w| (w.re, w.im.abs()))
-            .collect();
+        let rates: Vec<(f64, f64)> =
+            d.continuous_eigenvalues().iter().map(|w| (w.re, w.im.abs())).collect();
         // Find the mode near omega = 4: must decay at ~-0.5.
         let decay = rates.iter().find(|(_, om)| (om - 4.0).abs() < 0.2).expect("omega 4 found");
         assert!((decay.0 - -0.5).abs() < 0.05, "decay rate {} vs -0.5", decay.0);

@@ -16,7 +16,7 @@
 //! more, at the group level.
 
 use psvd_comm::Communicator;
-use psvd_linalg::gemm::matmul;
+use psvd_linalg::gemm::matmul_into;
 use psvd_linalg::randomized::low_rank_svd;
 use psvd_linalg::snapshots::generate_right_vectors;
 use psvd_linalg::svd::svd_with;
@@ -48,8 +48,14 @@ pub fn hierarchical_parallel_svd<C: Communicator>(
     let r1 = cfg.r1.min(n);
 
     // Stage 1 (every rank): local right vectors, truncated to r1.
-    let (vlocal, slocal) = generate_right_vectors(a_local, r1);
-    let wlocal = vlocal.mul_diag(&slocal);
+    // Wᵢ = Ṽⁱ (Σ̃ⁱ)ᵀ is a column scaling, done in place since Ṽⁱ is moved
+    // into the gather anyway.
+    let (mut wlocal, slocal) = generate_right_vectors(a_local, r1);
+    for i in 0..wlocal.rows() {
+        for (v, &s) in wlocal.row_mut(i).iter_mut().zip(&slocal) {
+            *v *= s;
+        }
+    }
 
     // Stage 2: gather within the group at the leader and re-compress.
     let leader = (rank / group_size) * group_size;
@@ -60,10 +66,17 @@ pub fn hierarchical_parallel_svd<C: Communicator>(
             blocks.push(comm.recv::<Matrix>(src, TAG_TO_LEADER));
         }
         let stack = Matrix::hstack_all(&blocks);
-        // Group-level truncation back to r1 columns: X̃ Λ̃.
+        // Group-level truncation back to r1 columns: X̃ Λ̃, again scaled in
+        // place on the truncated copy.
         let keep = r1.min(stack.rows().min(stack.cols()));
         let (x, s) = factorize(&stack, keep, &cfg);
-        Some(x.first_columns(keep).mul_diag(&s[..keep.min(s.len())]))
+        let mut xk = x.first_columns(keep);
+        for i in 0..xk.rows() {
+            for (v, &s) in xk.row_mut(i).iter_mut().zip(&s[..keep.min(s.len())]) {
+                *v *= s;
+            }
+        }
+        Some(xk)
     } else {
         comm.send(wlocal, leader, TAG_TO_LEADER);
         None
@@ -91,10 +104,17 @@ pub fn hierarchical_parallel_svd<C: Communicator>(
     };
     let (x, s) = comm.bcast(factors, 0);
 
-    // Stage 4 (every rank): assemble the local mode slice.
+    // Stage 4 (every rank): assemble the local mode slice directly from a
+    // view of the truncated factor, scaling in place.
     let k = cfg.k.min(s.iter().filter(|&&v| v > 0.0).count());
     let inv_s: Vec<f64> = s[..k].iter().map(|&v| 1.0 / v).collect();
-    let phi = matmul(a_local, &x.first_columns(k)).mul_diag(&inv_s);
+    let mut phi = Matrix::zeros(0, 0);
+    matmul_into(a_local.view(), x.block(0, x.rows(), 0, k), &mut phi);
+    for i in 0..phi.rows() {
+        for (v, &is) in phi.row_mut(i).iter_mut().zip(&inv_s) {
+            *v *= is;
+        }
+    }
     (phi, s[..k].to_vec())
 }
 
@@ -123,19 +143,12 @@ mod tests {
         matrix_with_spectrum(m, n, &spec, &mut seeded_rng(seed))
     }
 
-    fn run_hier(
-        a: &Matrix,
-        n_ranks: usize,
-        group: usize,
-        cfg: SvdConfig,
-    ) -> (Matrix, Vec<f64>) {
+    fn run_hier(a: &Matrix, n_ranks: usize, group: usize, cfg: SvdConfig) -> (Matrix, Vec<f64>) {
         let blocks = split_rows(a, n_ranks);
         let world = World::new(n_ranks);
-        let out = world.run(|comm| {
-            hierarchical_parallel_svd(comm, cfg, &blocks[comm.rank()], group)
-        });
-        let modes =
-            Matrix::vstack_all(&out.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+        let out =
+            world.run(|comm| hierarchical_parallel_svd(comm, cfg, &blocks[comm.rank()], group));
+        let modes = Matrix::vstack_all(&out.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
         (modes, out[0].1.clone())
     }
 
@@ -161,10 +174,7 @@ mod tests {
         let (_, s_ref) = batch_truncated_svd(&a, k);
         for group in [1usize, 2, 4, 8, 100] {
             let (_, s) = run_hier(&a, 4, group, cfg);
-            assert!(
-                spectrum_error(&s_ref, &s) < 1e-7,
-                "group {group}: {s:?} vs {s_ref:?}"
-            );
+            assert!(spectrum_error(&s_ref, &s) < 1e-7, "group {group}: {s:?} vs {s_ref:?}");
         }
     }
 
@@ -189,7 +199,8 @@ mod tests {
 
         let blocks = split_rows(&a, 8);
         let world = World::new(8);
-        let flat = world.run(|comm| crate::parallel::parallel_svd_once(comm, cfg, &blocks[comm.rank()]));
+        let flat =
+            world.run(|comm| crate::parallel::parallel_svd_once(comm, cfg, &blocks[comm.rank()]));
         let flat_modes =
             Matrix::vstack_all(&flat.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
         assert!(spectrum_error(&flat[0].1, &hier_s) < 1e-4);
@@ -212,9 +223,9 @@ mod tests {
         };
         let flat_like = recv_bytes(1); // every rank is its own leader
         let grouped = recv_bytes(4); // two leaders forward to rank 0
-        // Rank 0 is itself a leader (receives its own group's raw blocks),
-        // so the reduction is (g-1 raw + 1 compressed) vs (P-1 raw): with
-        // P = 8, g = 4 that is 4/7 ≈ 0.57 of the flat volume.
+                                     // Rank 0 is itself a leader (receives its own group's raw blocks),
+                                     // so the reduction is (g-1 raw + 1 compressed) vs (P-1 raw): with
+                                     // P = 8, g = 4 that is 4/7 ≈ 0.57 of the flat volume.
         assert!(
             grouped * 3 < flat_like * 2,
             "grouping must cut rank-0 volume: {grouped} vs {flat_like}"

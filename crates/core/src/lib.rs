@@ -39,11 +39,11 @@ pub mod streaming_dmd;
 
 pub use brand::BrandIncrementalSvd;
 pub use checkpoint::SvdCheckpoint;
+pub use config::SvdConfig;
 pub use dmd::{dmd, Dmd};
 pub use hierarchical::hierarchical_parallel_svd;
-pub use config::SvdConfig;
-pub use pod::{pod, Pod, StreamingPod};
 pub use parallel::{parallel_svd_once, ParallelStreamingSvd};
+pub use pod::{pod, Pod, StreamingPod};
 pub use serial::{batch_truncated_svd, SerialStreamingSvd};
 pub use spod::{spod, Spod, SpodConfig};
 pub use streaming_dmd::StreamingDmd;

@@ -30,11 +30,12 @@
 
 use psvd_comm::collectives::{tree_bcast, tree_gather};
 use psvd_comm::Communicator;
-use psvd_linalg::gemm::matmul;
-use psvd_linalg::qr::thin_qr;
+use psvd_linalg::gemm::matmul_into;
+use psvd_linalg::qr::qr_thin_into;
 use psvd_linalg::randomized::low_rank_svd;
 use psvd_linalg::snapshots::generate_right_vectors;
 use psvd_linalg::svd::svd_with;
+use psvd_linalg::workspace::{Workspace, WorkspaceStats};
 use psvd_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,6 +47,13 @@ const TAG_QR_SCATTER: u64 = 10;
 
 /// Distributed streaming truncated SVD over a row-partitioned snapshot
 /// stream. One instance lives on each rank, driven in SPMD style.
+///
+/// Like the serial driver, every `O(Mᵢ)` per-batch temporary lives in
+/// per-instance buffers reused across updates; after warm-up a streaming
+/// round's only allocations are the small `O(n²)` factors that transfer
+/// ownership through the communicator (gathered `R` blocks, scattered `Q`
+/// blocks, broadcast SVD factors) — those are inherent to message passing
+/// and are accounted by the communicator's traffic statistics.
 pub struct ParallelStreamingSvd<'a, C: Communicator> {
     comm: &'a C,
     cfg: SvdConfig,
@@ -54,6 +62,21 @@ pub struct ParallelStreamingSvd<'a, C: Communicator> {
     iteration: usize,
     snapshots_seen: usize,
     rng: StdRng,
+    /// Scratch arena feeding the QR kernels.
+    ws: Workspace,
+    /// Persistent `[ff·U·D | A_i]` stack buffer.
+    stack: Matrix,
+    /// Persistent local thin-QR `Q` factor (TSQR step 1).
+    qr_q: Matrix,
+    /// Persistent global `Q`/`R` factors of the stacked R re-QR (root only).
+    qr_gq: Matrix,
+    qr_gr: Matrix,
+    /// Persistent `Q_local · block` product buffer.
+    qlocal: Matrix,
+    /// Buffer the next mode block is formed in before swapping into place.
+    next_ulocal: Matrix,
+    /// Down-weighted singular values `ff · s`.
+    weighted: Vec<f64>,
 }
 
 impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
@@ -68,6 +91,14 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
             singular_values: Vec::new(),
             iteration: 0,
             snapshots_seen: 0,
+            ws: Workspace::new(),
+            stack: Matrix::zeros(0, 0),
+            qr_q: Matrix::zeros(0, 0),
+            qr_gq: Matrix::zeros(0, 0),
+            qr_gr: Matrix::zeros(0, 0),
+            qlocal: Matrix::zeros(0, 0),
+            next_ulocal: Matrix::zeros(0, 0),
+            weighted: Vec::new(),
         }
     }
 
@@ -107,17 +138,48 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         &self.singular_values
     }
 
+    /// Consume the tracker, handing out this rank's modes and the singular
+    /// values without copying them.
+    pub fn into_modes(self) -> (Matrix, Vec<f64>) {
+        (self.ulocal, self.singular_values)
+    }
+
+    /// Allocation accounting for the internal scratch arena (see
+    /// [`crate::serial::SerialStreamingSvd::scratch_stats`]).
+    pub fn scratch_stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Reset the scratch-arena counters.
+    pub fn reset_scratch_stats(&mut self) {
+        self.ws.reset_stats();
+    }
+
     /// APMOS distributed SVD (Listing 3): returns this rank's block of the
     /// `K` leading global left singular vectors and the singular values.
     pub fn parallel_svd(&mut self, a_local: &Matrix) -> (Matrix, Vec<f64>) {
+        let mut phi = Matrix::zeros(0, 0);
+        let s = self.parallel_svd_into(a_local, &mut phi);
+        (phi, s)
+    }
+
+    /// APMOS round writing this rank's mode block into `phi` (reused
+    /// across calls — warm buffers make the local assembly allocation-free;
+    /// the gathered/broadcast factors inherently transfer ownership).
+    fn parallel_svd_into(&mut self, a_local: &Matrix, phi: &mut Matrix) -> Vec<f64> {
         let n = a_local.cols();
         assert!(n > 0, "parallel_svd: empty snapshot set");
         let r1 = self.cfg.r1.min(n);
 
         // Local right vectors by the method of snapshots, truncated to r1.
-        let (vlocal, slocal) = generate_right_vectors(a_local, r1);
-        // Wᵢ = Ṽⁱ (Σ̃ⁱ)ᵀ — a column scaling, since Σ̃ is diagonal.
-        let wlocal = vlocal.mul_diag(&slocal);
+        let (mut wlocal, slocal) = generate_right_vectors(a_local, r1);
+        // Wᵢ = Ṽⁱ (Σ̃ⁱ)ᵀ — a column scaling, since Σ̃ is diagonal; done in
+        // place since Ṽⁱ is moved into the gather anyway.
+        for i in 0..wlocal.rows() {
+            for (v, &s) in wlocal.row_mut(i).iter_mut().zip(&slocal) {
+                *v *= s;
+            }
+        }
 
         // Gather W at rank 0 and factorize there.
         let wglobal = if self.cfg.tree_collectives {
@@ -148,14 +210,29 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         // Local slice of the global modes: Ũⁱ_j = (1/Λ̃_j) Aⁱ X̃_j.
         let k = self.cfg.k.min(s.iter().filter(|&&v| v > 0.0).count());
         let inv_s: Vec<f64> = s[..k].iter().map(|&v| 1.0 / v).collect();
-        let phi = matmul(a_local, &x.first_columns(k)).mul_diag(&inv_s);
-        (phi, s[..k].to_vec())
+        matmul_into(a_local.view(), x.block(0, x.rows(), 0, k), phi);
+        for i in 0..phi.rows() {
+            for (v, &is) in phi.row_mut(i).iter_mut().zip(&inv_s) {
+                *v *= is;
+            }
+        }
+        s[..k].to_vec()
     }
 
     /// TSQR (Listing 4): factorizes the row-distributed matrix as
     /// `A = Q R`, returning `(Q_local, U_R, s_R)` where `U_R Σ_R V_Rᵀ` is
     /// the SVD of the final `R` (step I2/2 of the Levy–Lindenbaum loop).
     pub fn parallel_qr(&mut self, a_local: &Matrix) -> (Matrix, Matrix, Vec<f64>) {
+        let mut qlocal = Matrix::zeros(0, 0);
+        let (unew, snew) = self.parallel_qr_into(a_local, &mut qlocal);
+        (qlocal, unew, snew)
+    }
+
+    /// TSQR round writing `Q_local` into a caller-owned buffer. Local `Q`,
+    /// the root's stacked-R re-QR factors and the QR scratch persist on the
+    /// instance; only the `O(n²)` matrices whose ownership moves through
+    /// the communicator are freshly allocated.
+    fn parallel_qr_into(&mut self, a_local: &Matrix, qlocal: &mut Matrix) -> (Matrix, Vec<f64>) {
         let n = a_local.cols();
         assert!(
             a_local.rows() >= n,
@@ -167,57 +244,72 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         let rank = self.comm.rank();
         let size = self.comm.size();
 
-        // Local thin QR; R is n x n because the block is tall.
-        let local = thin_qr(a_local);
+        // Take the persistent buffers out of self so the communicator and
+        // RNG can be borrowed freely below; restored before returning.
+        let mut local_q = std::mem::replace(&mut self.qr_q, Matrix::zeros(0, 0));
+        let mut gq = std::mem::replace(&mut self.qr_gq, Matrix::zeros(0, 0));
+        let mut gr = std::mem::replace(&mut self.qr_gr, Matrix::zeros(0, 0));
 
-        // Gather the R factors, stack, and re-factorize at rank 0.
+        // Local thin QR; R is n x n because the block is tall. R is moved
+        // into the gather, so it is built in a fresh matrix.
+        let mut local_r = Matrix::zeros(0, 0);
+        qr_thin_into(a_local.view(), &mut local_q, &mut local_r, &mut self.ws);
+
+        // Gather the R factors, stack (reusing their storage), and
+        // re-factorize at rank 0.
         let r_global = if self.cfg.tree_collectives {
-            tree_gather(self.comm, local.r, 0)
+            tree_gather(self.comm, local_r, 0)
         } else {
-            self.comm.gather(local.r, 0)
+            self.comm.gather(local_r, 0)
         };
-        let (qglobal_block, rfinal) = if rank == 0 {
-            let stack = Matrix::vstack_all(&r_global.expect("rank 0 gathers"));
-            let global = thin_qr(&stack);
-            // Scatter each rank's n-row block of the stacked Q.
+        let have_rfinal = if rank == 0 {
+            let stack = Matrix::vstack_owned(r_global.expect("rank 0 gathers"));
+            qr_thin_into(stack.view(), &mut gq, &mut gr, &mut self.ws);
+            // Scatter each rank's n-row block of the stacked Q; rank 0's
+            // own block is consumed as a view, never copied.
             for dst in 1..size {
-                let block = global.q.row_block(dst * n, (dst + 1) * n);
+                let block = gq.block(dst * n, (dst + 1) * n, 0, n).to_matrix();
                 self.comm.send(block, dst, TAG_QR_SCATTER + dst as u64);
             }
-            (global.q.row_block(0, n), Some(global.r))
+            matmul_into(local_q.view(), gq.block(0, n, 0, n), qlocal);
+            true
         } else {
-            (self.comm.recv::<Matrix>(0, TAG_QR_SCATTER + rank as u64), None)
+            let block = self.comm.recv::<Matrix>(0, TAG_QR_SCATTER + rank as u64);
+            matmul_into(local_q.view(), block.view(), qlocal);
+            false
         };
-        let qlocal = matmul(&local.q, &qglobal_block);
 
         // SVD of the small final R at rank 0 (randomized if configured),
         // broadcast to everyone.
-        let factors = if rank == 0 {
-            let rfinal = rfinal.expect("rank 0 kept R");
+        let factors = if have_rfinal {
             let (unew, snew) = if self.cfg.low_rank {
-                low_rank_svd(&rfinal, self.cfg.k.min(n), &mut self.rng)
+                low_rank_svd(&gr, self.cfg.k.min(n), &mut self.rng)
             } else {
-                let f = svd_with(&rfinal, self.cfg.method);
+                let f = svd_with(&gr, self.cfg.method);
                 (f.u, f.s)
             };
             Some((unew, snew))
         } else {
             None
         };
-        let (unew, snew) = if self.cfg.tree_collectives {
+        self.qr_q = local_q;
+        self.qr_gq = gq;
+        self.qr_gr = gr;
+        if self.cfg.tree_collectives {
             tree_bcast(self.comm, factors, 0)
         } else {
             self.comm.bcast(factors, 0)
-        };
-        (qlocal, unew, snew)
+        }
     }
 
     /// Ingest the first local batch `A0ⁱ` (`Mᵢ x B`) — Listing 2's
     /// `initialize`: one APMOS pass.
     pub fn initialize(&mut self, a_local: &Matrix) -> &mut Self {
         assert!(!self.is_initialized(), "initialize called twice");
-        let (ulocal, s) = self.parallel_svd(a_local);
-        self.ulocal = ulocal;
+        let mut phi = std::mem::replace(&mut self.next_ulocal, Matrix::zeros(0, 0));
+        let s = self.parallel_svd_into(a_local, &mut phi);
+        self.next_ulocal = phi;
+        std::mem::swap(&mut self.ulocal, &mut self.next_ulocal);
         self.singular_values = s;
         self.snapshots_seen = a_local.cols();
         self
@@ -233,14 +325,31 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         }
         self.iteration += 1;
 
-        let weighted: Vec<f64> =
-            self.singular_values.iter().map(|s| s * self.cfg.forget_factor).collect();
-        let ll = self.ulocal.mul_diag(&weighted).hstack(a_local);
+        // Build [ff * U_{i-1} D_{i-1} | A_i] row by row in the persistent
+        // stack buffer — same multiplies as mul_diag + hstack, no
+        // transient matrices.
+        let (m, k0) = self.ulocal.shape();
+        self.weighted.clear();
+        self.weighted.extend(self.singular_values.iter().map(|s| s * self.cfg.forget_factor));
+        self.stack.reshape_for_overwrite(m, k0 + a_local.cols());
+        for i in 0..m {
+            let dst = self.stack.row_mut(i);
+            for ((d, &u), &w) in dst[..k0].iter_mut().zip(self.ulocal.row(i)).zip(&self.weighted) {
+                *d = u * w;
+            }
+            dst[k0..].copy_from_slice(a_local.row(i));
+        }
 
-        let (qlocal, unew, snew) = self.parallel_qr(&ll);
+        let stack = std::mem::replace(&mut self.stack, Matrix::zeros(0, 0));
+        let mut qlocal = std::mem::replace(&mut self.qlocal, Matrix::zeros(0, 0));
+        let (unew, snew) = self.parallel_qr_into(&stack, &mut qlocal);
+        self.stack = stack;
         let k = self.cfg.k.min(snew.len());
-        self.ulocal = matmul(&qlocal, &unew.first_columns(k));
-        self.singular_values = snew[..k].to_vec();
+        matmul_into(qlocal.view(), unew.block(0, unew.rows(), 0, k), &mut self.next_ulocal);
+        std::mem::swap(&mut self.ulocal, &mut self.next_ulocal);
+        self.qlocal = qlocal;
+        self.singular_values.clear();
+        self.singular_values.extend_from_slice(&snew[..k]);
         self.snapshots_seen += a_local.cols();
         self
     }
@@ -265,7 +374,9 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     }
 
     /// Capture this rank's state for checkpointing (one checkpoint file
-    /// per rank; pair with [`ParallelStreamingSvd::restore`]).
+    /// per rank; pair with [`ParallelStreamingSvd::restore`]). Copies the
+    /// mode block — use [`ParallelStreamingSvd::into_checkpoint`] when the
+    /// tracker is done streaming.
     pub fn checkpoint(&self) -> crate::checkpoint::SvdCheckpoint {
         assert!(self.is_initialized(), "checkpoint of an uninitialized tracker");
         crate::checkpoint::SvdCheckpoint {
@@ -276,15 +387,22 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         }
     }
 
+    /// Consume the tracker into its checkpoint without copying the modes.
+    pub fn into_checkpoint(self) -> crate::checkpoint::SvdCheckpoint {
+        assert!(self.is_initialized(), "checkpoint of an uninitialized tracker");
+        crate::checkpoint::SvdCheckpoint {
+            modes: self.ulocal,
+            singular_values: self.singular_values,
+            iteration: self.iteration,
+            snapshots_seen: self.snapshots_seen,
+        }
+    }
+
     /// Rebuild this rank's tracker from its checkpoint; the stream resumes
     /// bit-exactly (all ranks must restore from the same streaming step).
     pub fn restore(comm: &'a C, cfg: SvdConfig, ckpt: crate::checkpoint::SvdCheckpoint) -> Self {
         assert!(ckpt.snapshots_seen > 0, "restored state must be initialized");
-        assert_eq!(
-            ckpt.modes.cols(),
-            ckpt.singular_values.len(),
-            "inconsistent checkpoint"
-        );
+        assert_eq!(ckpt.modes.cols(), ckpt.singular_values.len(), "inconsistent checkpoint");
         let mut d = Self::new(comm, cfg);
         d.ulocal = ckpt.modes;
         d.singular_values = ckpt.singular_values;
@@ -294,10 +412,20 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     }
 
     /// Gather the distributed modes into the global `M x K` matrix at
-    /// `root` (rank order = row order). Returns `Some` at the root.
+    /// `root` (rank order = row order). Returns `Some` at the root. Copies
+    /// this rank's block into the gather; when the tracker is finished,
+    /// [`ParallelStreamingSvd::into_gathered_modes`] moves it instead.
     pub fn gather_modes(&self, root: usize) -> Option<Matrix> {
         let blocks = self.comm.gather(self.ulocal.clone(), root);
         blocks.map(|b| Matrix::vstack_all(&b))
+    }
+
+    /// Consume the tracker and gather the distributed modes at `root`,
+    /// moving this rank's block into the collective (no snapshot copy) and
+    /// assembling the result by reusing the gathered storage.
+    pub fn into_gathered_modes(self, root: usize) -> Option<Matrix> {
+        let blocks = self.comm.gather(self.ulocal, root);
+        blocks.map(Matrix::vstack_owned)
     }
 }
 
@@ -317,6 +445,7 @@ mod tests {
     use super::*;
     use psvd_comm::World;
     use psvd_data::partition::split_rows;
+    use psvd_linalg::gemm::matmul;
     use psvd_linalg::norms::orthogonality_error;
     use psvd_linalg::random::{matrix_with_spectrum, seeded_rng};
     use psvd_linalg::validate::{max_principal_angle, spectrum_error};
@@ -360,9 +489,7 @@ mod tests {
         let cfg = SvdConfig::new(k).with_r1(10).with_r2(8);
         let world = World::new(4);
         let blocks = split_rows(&a, 4);
-        let out = world.run(|comm| {
-            parallel_svd_once(comm, cfg, &blocks[comm.rank()])
-        });
+        let out = world.run(|comm| parallel_svd_once(comm, cfg, &blocks[comm.rank()]));
         let (_, s_ref) = batch_truncated_svd(&a, k);
         for (got, want) in out[0].1.iter().zip(&s_ref) {
             assert!((got - want).abs() / want < 0.02, "sigma {got} vs {want}");
@@ -408,7 +535,8 @@ mod tests {
         let out = world.run(|comm| {
             let mut d = ParallelStreamingSvd::new(comm, cfg);
             d.fit_batched(&blocks[comm.rank()], batch);
-            (d.gather_modes(0), d.singular_values().to_vec())
+            let s = d.singular_values().to_vec();
+            (d.into_gathered_modes(0), s)
         });
         assert!(
             spectrum_error(serial.singular_values(), &out[0].1) < 1e-6,
@@ -431,7 +559,8 @@ mod tests {
         let out = world.run(|comm| {
             let mut d = ParallelStreamingSvd::new(comm, cfg);
             d.fit_batched(&a, 4);
-            (d.gather_modes(0).unwrap(), d.singular_values().to_vec())
+            let s = d.singular_values().to_vec();
+            (d.into_gathered_modes(0).unwrap(), s)
         });
         assert!(spectrum_error(serial.singular_values(), &out[0].1) < 1e-8);
         assert!(max_principal_angle(serial.modes(), &out[0].0) < 1e-6);
@@ -446,16 +575,42 @@ mod tests {
         let out = world.run(|comm| {
             let mut d = ParallelStreamingSvd::new(comm, cfg);
             d.initialize(&blocks[comm.rank()]);
-            (comm.rank(), d.gather_modes(2), d.local_modes().clone())
+            let gathered = d.gather_modes(2);
+            (comm.rank(), gathered, d.into_modes().0)
         });
         // Only rank 2 gets the assembly.
         for (rank, gathered, _) in &out {
             assert_eq!(gathered.is_some(), *rank == 2);
         }
         let assembled = out[2].1.as_ref().unwrap();
-        let manual =
-            Matrix::vstack_all(&out.iter().map(|(_, _, l)| l.clone()).collect::<Vec<_>>());
+        let manual = Matrix::vstack_owned(out.iter().map(|(_, _, l)| l.clone()).collect());
         assert_eq!(assembled, &manual);
+    }
+
+    #[test]
+    fn steady_state_updates_reuse_scratch() {
+        // After one warm-up update, every further same-shape TSQR round
+        // must be served entirely from the per-instance workspace.
+        let a = decaying_matrix(60, 30, 10);
+        let cfg = SvdConfig::new(4).with_forget_factor(0.99).with_r1(6).with_r2(6);
+        let world = World::new(3);
+        let blocks = split_rows(&a, 3);
+        let stats = world.run(|comm| {
+            let b = &blocks[comm.rank()];
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.initialize(&b.submatrix(0, b.rows(), 0, 6));
+            d.incorporate_data(&b.submatrix(0, b.rows(), 6, 12)); // warm-up
+            d.reset_scratch_stats();
+            for c0 in (12..30).step_by(6) {
+                d.incorporate_data(&b.submatrix(0, b.rows(), c0, c0 + 6));
+            }
+            d.scratch_stats()
+        });
+        for s in &stats {
+            assert!(s.takes > 0, "updates must route QR scratch through the workspace");
+            assert_eq!(s.misses, 0, "steady-state TSQR rounds must not miss the workspace");
+            assert_eq!(s.fresh_bytes, 0);
+        }
     }
 
     #[test]

@@ -79,15 +79,21 @@ impl Pod {
 
 /// Subtract a mean field from every column.
 pub fn subtract_mean(snapshots: &Matrix, mean: &[f64]) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    subtract_mean_into(snapshots, mean, &mut out);
+    out
+}
+
+/// Subtract a mean field from every column, writing into `out` (reused
+/// across batches by [`StreamingPod`] — allocation-free once warm).
+pub fn subtract_mean_into(snapshots: &Matrix, mean: &[f64], out: &mut Matrix) {
     assert_eq!(snapshots.rows(), mean.len(), "mean length must match rows");
-    let mut out = snapshots.clone();
-    for i in 0..out.rows() {
-        let mu = mean[i];
-        for j in 0..out.cols() {
-            out[(i, j)] -= mu;
+    out.reshape_for_overwrite(snapshots.rows(), snapshots.cols());
+    for (i, &mu) in mean.iter().enumerate() {
+        for (o, &x) in out.row_mut(i).iter_mut().zip(snapshots.row(i)) {
+            *o = x - mu;
         }
     }
-    out
 }
 
 /// Temporal mean of the columns.
@@ -115,12 +121,19 @@ pub struct StreamingPod {
     svd: SerialStreamingSvd,
     mean: Vec<f64>,
     count: usize,
+    /// Persistent centered-batch buffer — reused across `ingest` calls.
+    fluct: Matrix,
 }
 
 impl StreamingPod {
     /// New streaming POD tracking `cfg.k` modes.
     pub fn new(cfg: SvdConfig) -> Self {
-        Self { svd: SerialStreamingSvd::new(cfg), mean: Vec::new(), count: 0 }
+        Self {
+            svd: SerialStreamingSvd::new(cfg),
+            mean: Vec::new(),
+            count: 0,
+            fluct: Matrix::zeros(0, 0),
+        }
     }
 
     /// Ingest one batch of raw (not centered) snapshots.
@@ -142,24 +155,22 @@ impl StreamingPod {
         }
         self.count = new_count;
 
-        // Center with the current mean estimate and stream.
-        let fluct = subtract_mean(batch, &self.mean);
+        // Center with the current mean estimate (into the persistent
+        // buffer) and stream.
+        subtract_mean_into(batch, &self.mean, &mut self.fluct);
         if self.svd.is_initialized() {
-            self.svd.incorporate_data(&fluct);
+            self.svd.incorporate_data(&self.fluct);
         } else {
-            self.svd.initialize(&fluct);
+            self.svd.initialize(&self.fluct);
         }
         self
     }
 
-    /// Finish, returning the POD.
+    /// Finish, returning the POD. Moves the tracked modes out of the
+    /// streaming SVD — no final copy.
     pub fn finalize(self) -> Pod {
-        Pod {
-            mean: self.mean,
-            modes: self.svd.modes().clone(),
-            singular_values: self.svd.singular_values().to_vec(),
-            snapshots: self.count,
-        }
+        let (modes, singular_values) = self.svd.into_modes();
+        Pod { mean: self.mean, modes, singular_values, snapshots: self.count }
     }
 }
 

@@ -68,17 +68,18 @@ pub fn write_mode_pgm(
 ) -> io::Result<()> {
     assert!(mode < u.cols(), "mode index out of range");
     assert_eq!(nrows * ncols, u.rows(), "grid shape must match mode length");
-    let col = u.col(mode);
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &v in &col {
+    for v in u.col_iter(mode) {
         lo = lo.min(v);
         hi = hi.max(v);
     }
     let span = (hi - lo).max(f64::MIN_POSITIVE);
     let mut out = BufWriter::new(File::create(path)?);
     write!(out, "P5\n{ncols} {nrows}\n255\n")?;
-    let pixels: Vec<u8> =
-        col.iter().map(|&v| (((v - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8).collect();
+    let pixels: Vec<u8> = u
+        .col_iter(mode)
+        .map(|v| (((v - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8)
+        .collect();
     out.write_all(&pixels)?;
     out.flush()
 }
@@ -114,8 +115,10 @@ pub fn summarize(s: &[f64], modes: &Matrix, max_modes: usize) -> String {
     let _ = writeln!(out, "singular values ({}): {}", s.len(), sparkline(s, 32));
     let shown: Vec<String> = s.iter().take(8).map(|v| format!("{v:.4e}")).collect();
     let _ = writeln!(out, "  leading: [{}]", shown.join(", "));
+    let mut col = Vec::with_capacity(modes.rows());
     for j in 0..modes.cols().min(max_modes) {
-        let col = modes.col(j);
+        col.clear();
+        col.extend(modes.col_iter(j));
         let _ = writeln!(out, "mode {j}: {}", sparkline(&col, 48));
     }
     out

@@ -21,10 +21,11 @@
 //! to pay for dispatch, with bitwise-identical results at any thread
 //! count.
 
-use psvd_linalg::gemm::matmul;
-use psvd_linalg::qr::thin_qr;
+use psvd_linalg::gemm::matmul_into;
+use psvd_linalg::qr::qr_thin_into;
 use psvd_linalg::randomized::randomized_svd;
 use psvd_linalg::svd::svd_with;
+use psvd_linalg::workspace::{Workspace, WorkspaceStats};
 use psvd_linalg::{Matrix, Svd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +33,13 @@ use rand::SeedableRng;
 use crate::config::SvdConfig;
 
 /// Streaming truncated SVD of a (conceptually unbounded) snapshot stream.
+///
+/// Every per-batch temporary — the `[ff·U·D | A_i]` stack, the thin-QR
+/// factors and the updated mode matrix — lives in per-instance buffers
+/// reused across updates, so a steady-state `incorporate_data` call
+/// performs no transient matrix allocations (the `O((K+B)²)` core SVD
+/// still allocates its small factors; see DESIGN.md). Verified via
+/// [`SerialStreamingSvd::scratch_stats`].
 pub struct SerialStreamingSvd {
     cfg: SvdConfig,
     modes: Matrix,
@@ -39,6 +47,17 @@ pub struct SerialStreamingSvd {
     iteration: usize,
     snapshots_seen: usize,
     rng: StdRng,
+    /// Scratch arena feeding the QR kernel.
+    ws: Workspace,
+    /// Persistent `[ff·U·D | A_i]` stack buffer.
+    stack: Matrix,
+    /// Persistent thin-QR factor buffers.
+    qbuf: Matrix,
+    rbuf: Matrix,
+    /// Buffer the next mode matrix is formed in before swapping into place.
+    next_modes: Matrix,
+    /// Down-weighted singular values `ff · s`.
+    weighted: Vec<f64>,
 }
 
 impl SerialStreamingSvd {
@@ -53,6 +72,12 @@ impl SerialStreamingSvd {
             singular_values: Vec::new(),
             iteration: 0,
             snapshots_seen: 0,
+            ws: Workspace::new(),
+            stack: Matrix::zeros(0, 0),
+            qbuf: Matrix::zeros(0, 0),
+            rbuf: Matrix::zeros(0, 0),
+            next_modes: Matrix::zeros(0, 0),
+            weighted: Vec::new(),
         }
     }
 
@@ -87,6 +112,25 @@ impl SerialStreamingSvd {
         &self.singular_values
     }
 
+    /// Consume the tracker, handing out the modes and singular values
+    /// without copying them.
+    pub fn into_modes(self) -> (Matrix, Vec<f64>) {
+        (self.modes, self.singular_values)
+    }
+
+    /// Allocation accounting for the internal scratch arena: after the
+    /// first update has warmed the buffers, further same-shape updates
+    /// report zero additional misses and zero fresh bytes.
+    pub fn scratch_stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Reset the scratch-arena counters (e.g. after warm-up, before
+    /// measuring a steady-state window).
+    pub fn reset_scratch_stats(&mut self) {
+        self.ws.reset_stats();
+    }
+
     fn small_svd(&mut self, a: &Matrix) -> Svd {
         if self.cfg.low_rank {
             let rank = self.cfg.k.min(a.rows().min(a.cols()));
@@ -96,15 +140,26 @@ impl SerialStreamingSvd {
         }
     }
 
+    /// SVD the small triangular factor sitting in `rbuf`, then form the
+    /// next mode matrix `Q · U'_K` in the spare buffer and swap it in.
+    /// All temporaries besides the `O((K+B)²)` SVD factors are reused.
+    fn finish_update(&mut self) {
+        let rbuf = std::mem::replace(&mut self.rbuf, Matrix::zeros(0, 0));
+        let f = self.small_svd(&rbuf);
+        self.rbuf = rbuf;
+        let k = self.cfg.k.min(f.s.len());
+        matmul_into(self.qbuf.view(), f.u.block(0, f.u.rows(), 0, k), &mut self.next_modes);
+        std::mem::swap(&mut self.modes, &mut self.next_modes);
+        self.singular_values.clear();
+        self.singular_values.extend_from_slice(&f.s[..k]);
+    }
+
     /// Ingest the first batch `A0` (`M x B`).
     pub fn initialize(&mut self, a0: &Matrix) -> &mut Self {
         assert!(!self.is_initialized(), "initialize called twice");
         assert!(a0.cols() > 0, "first batch is empty");
-        let qr = thin_qr(a0);
-        let f = self.small_svd(&qr.r);
-        let k = self.cfg.k.min(f.s.len());
-        self.modes = matmul(&qr.q, &f.u.first_columns(k));
-        self.singular_values = f.s[..k].to_vec();
+        qr_thin_into(a0.view(), &mut self.qbuf, &mut self.rbuf, &mut self.ws);
+        self.finish_update();
         self.snapshots_seen = a0.cols();
         self
     }
@@ -119,17 +174,24 @@ impl SerialStreamingSvd {
         }
         self.iteration += 1;
 
-        // [ff * U_{i-1} D_{i-1} | A_i]
-        let weighted: Vec<f64> =
-            self.singular_values.iter().map(|s| s * self.cfg.forget_factor).collect();
-        let m_ap = self.modes.mul_diag(&weighted).hstack(ai);
+        // Build [ff * U_{i-1} D_{i-1} | A_i] row by row in the persistent
+        // stack buffer — the same multiplies as mul_diag + hstack, without
+        // materializing either intermediate.
+        let (m, k0) = self.modes.shape();
+        self.weighted.clear();
+        self.weighted.extend(self.singular_values.iter().map(|s| s * self.cfg.forget_factor));
+        self.stack.reshape_for_overwrite(m, k0 + ai.cols());
+        for i in 0..m {
+            let dst = self.stack.row_mut(i);
+            for ((d, &u), &w) in dst[..k0].iter_mut().zip(self.modes.row(i)).zip(&self.weighted) {
+                *d = u * w;
+            }
+            dst[k0..].copy_from_slice(ai.row(i));
+        }
 
         // Thin QR of the stack, SVD of the small triangular factor.
-        let qr = thin_qr(&m_ap);
-        let f = self.small_svd(&qr.r);
-        let k = self.cfg.k.min(f.s.len());
-        self.modes = matmul(&qr.q, &f.u.first_columns(k));
-        self.singular_values = f.s[..k].to_vec();
+        qr_thin_into(self.stack.view(), &mut self.qbuf, &mut self.rbuf, &mut self.ws);
+        self.finish_update();
         self.snapshots_seen += ai.cols();
         self
     }

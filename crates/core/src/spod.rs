@@ -75,10 +75,7 @@ impl Spod {
     /// Total energy at each frequency (sum of modal energies) — the SPOD
     /// spectrum one plots to find peaks.
     pub fn spectrum(&self) -> Vec<(f64, f64)> {
-        self.frequencies
-            .iter()
-            .map(|f| (f.frequency, f.energies.iter().sum()))
-            .collect()
+        self.frequencies.iter().map(|f| (f.frequency, f.energies.iter().sum())).collect()
     }
 
     /// The frequency bin with the most energy.
@@ -233,11 +230,8 @@ mod tests {
         let s = spod(&data, &SpodConfig::new(64, dt));
         let spec = s.spectrum();
         let total: f64 = spec.iter().map(|(_, e)| e).sum();
-        let peak_e = spec
-            .iter()
-            .filter(|(f, _)| (f - 1.25).abs() < 0.32)
-            .map(|(_, e)| e)
-            .sum::<f64>();
+        let peak_e =
+            spec.iter().filter(|(f, _)| (f - 1.25).abs() < 0.32).map(|(_, e)| e).sum::<f64>();
         assert!(peak_e > 0.8 * total, "energy near peak {peak_e} of {total}");
     }
 
@@ -253,11 +247,7 @@ mod tests {
             .frequencies
             .iter()
             .max_by(|a, b| {
-                a.energies
-                    .iter()
-                    .sum::<f64>()
-                    .partial_cmp(&b.energies.iter().sum::<f64>())
-                    .unwrap()
+                a.energies.iter().sum::<f64>().partial_cmp(&b.energies.iter().sum::<f64>()).unwrap()
             })
             .unwrap();
         assert!(
@@ -314,10 +304,7 @@ mod tests {
                 }
                 let dot = psvd_linalg::cmatrix::cvec_dot(&phi.col(a), &phi.col(b));
                 let target = if a == b { 1.0 } else { 0.0 };
-                assert!(
-                    (dot.abs() - target).abs() < 1e-6,
-                    "<phi_{a}, phi_{b}> = {dot:?}"
-                );
+                assert!((dot.abs() - target).abs() < 1e-6, "<phi_{a}, phi_{b}> = {dot:?}");
             }
         }
     }

@@ -178,14 +178,13 @@ mod tests {
                     let w1 = ((i as f64 * 0.23) + 0.5).cos();
                     let v2 = ((i as f64 * 0.37) + 0.9).sin();
                     let w2 = ((i as f64 * 0.53) + 1.4).cos();
-                    v1 * (3.0 * t).cos() + w1 * (3.0 * t).sin()
+                    v1 * (3.0 * t).cos()
+                        + w1 * (3.0 * t).sin()
                         + 0.5 * (v2 * (8.0 * t).cos() + w2 * (8.0 * t).sin())
                 })
                 .collect()
         };
-        (0..n)
-            .map(|k| (snapshot(k as f64 * dt), snapshot((k + 1) as f64 * dt)))
-            .collect()
+        (0..n).map(|k| (snapshot(k as f64 * dt), snapshot((k + 1) as f64 * dt))).collect()
     }
 
     #[test]
@@ -196,16 +195,9 @@ mod tests {
             sdmd.ingest(&x, &y);
         }
         assert_eq!(sdmd.pairs_seen(), 150);
-        let freqs: Vec<f64> =
-            sdmd.continuous_eigenvalues().iter().map(|w| w.im.abs()).collect();
-        assert!(
-            freqs.iter().any(|&f| (f - 3.0).abs() < 0.05),
-            "omega = 3 missing from {freqs:?}"
-        );
-        assert!(
-            freqs.iter().any(|&f| (f - 8.0).abs() < 0.05),
-            "omega = 8 missing from {freqs:?}"
-        );
+        let freqs: Vec<f64> = sdmd.continuous_eigenvalues().iter().map(|w| w.im.abs()).collect();
+        assert!(freqs.iter().any(|&f| (f - 3.0).abs() < 0.05), "omega = 3 missing from {freqs:?}");
+        assert!(freqs.iter().any(|&f| (f - 8.0).abs() < 0.05), "omega = 8 missing from {freqs:?}");
     }
 
     #[test]
@@ -233,8 +225,7 @@ mod tests {
         let data = Matrix::from_columns(&cols);
         let batch = crate::dmd::dmd(&data, 4, dt);
 
-        let mut sf: Vec<f64> =
-            sdmd.continuous_eigenvalues().iter().map(|w| w.im).collect();
+        let mut sf: Vec<f64> = sdmd.continuous_eigenvalues().iter().map(|w| w.im).collect();
         // Keep only the four dominant (nonzero-ish) streaming eigenvalues
         // by matching each batch frequency.
         for bw in batch.continuous_eigenvalues() {

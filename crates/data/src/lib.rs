@@ -13,8 +13,8 @@
 pub mod burgers;
 pub mod era5;
 pub mod ncsim;
-pub mod solver;
 pub mod partition;
+pub mod solver;
 pub mod stream;
 pub mod wake;
 

@@ -146,9 +146,7 @@ impl NcsimReader {
         if actual < data_offset + payload as u64 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!(
-                    "file too short for declared {rows}x{cols} payload ({actual} bytes)"
-                ),
+                format!("file too short for declared {rows}x{cols} payload ({actual} bytes)"),
             ));
         }
         Ok(Self { file, header, data_offset })

@@ -88,7 +88,8 @@ impl BurgersSolver {
     pub fn step(&mut self, dt: f64) {
         let n = self.u.len();
         // Interior update via the halo kernel (halos = boundary zeros).
-        let interior = step_with_halos(&self.u[1..n - 1], self.u[0], self.u[n - 1], self.nu, self.dx, dt);
+        let interior =
+            step_with_halos(&self.u[1..n - 1], self.u[0], self.u[n - 1], self.nu, self.dx, dt);
         self.u[1..n - 1].copy_from_slice(&interior);
         self.u[0] = 0.0;
         self.u[n - 1] = 0.0;
@@ -110,7 +111,12 @@ mod tests {
     use crate::burgers::analytical_solution;
 
     fn test_cfg() -> BurgersConfig {
-        BurgersConfig { grid_points: 512, snapshots: 8, reynolds: 200.0, ..BurgersConfig::default() }
+        BurgersConfig {
+            grid_points: 512,
+            snapshots: 8,
+            reynolds: 200.0,
+            ..BurgersConfig::default()
+        }
     }
 
     #[test]

@@ -183,7 +183,9 @@ mod tests {
         let target = result
             .continuous_eigenvalues()
             .iter()
-            .find(|w| (w.im.abs() / (2.0 * std::f64::consts::PI) - cfg.shedding_frequency).abs() < 0.05)
+            .find(|w| {
+                (w.im.abs() / (2.0 * std::f64::consts::PI) - cfg.shedding_frequency).abs() < 0.05
+            })
             .copied()
             .expect("fundamental found");
         assert!((target.re - 0.15).abs() < 0.01, "growth {} vs planted 0.15", target.re);

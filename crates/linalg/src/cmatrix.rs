@@ -69,9 +69,16 @@ impl CMatrix {
         self.cols
     }
 
-    /// Copy column `j`.
+    /// Copy column `j`. Allocates; prefer
+    /// [`col_iter`](CMatrix::col_iter) in hot paths.
     pub fn col(&self, j: usize) -> Vec<Complex> {
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.col_iter(j).collect()
+    }
+
+    /// Iterate over column `j` without allocating.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = Complex> + '_ {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(move |i| self[(i, j)])
     }
 
     /// The real parts as a real matrix.

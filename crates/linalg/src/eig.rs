@@ -103,7 +103,10 @@ pub fn sym_eig(a: &Matrix) -> SymEig {
         let pivot = col
             .iter()
             .cloned()
-            .fold((0.0f64, 0.0f64), |(mx, val), x| if x.abs() > mx { (x.abs(), x) } else { (mx, val) })
+            .fold(
+                (0.0f64, 0.0f64),
+                |(mx, val), x| if x.abs() > mx { (x.abs(), x) } else { (mx, val) },
+            )
             .1;
         if pivot < 0.0 {
             for x in &mut col {

@@ -217,7 +217,7 @@ mod tests {
         // Companion-form one-step map of an undamped oscillator.
         let dt = 0.1f64;
         let w = 2.0f64; // natural frequency
-        // Exact discrete map for x'' = -w² x: [cos, sin/w; -w sin, cos].
+                        // Exact discrete map for x'' = -w² x: [cos, sin/w; -w sin, cos].
         let a = Matrix::from_rows(&[
             vec![(w * dt).cos(), (w * dt).sin() / w],
             vec![-w * (w * dt).sin(), (w * dt).cos()],

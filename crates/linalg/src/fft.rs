@@ -133,9 +133,7 @@ mod tests {
     }
 
     fn wave(n: usize) -> Vec<Complex> {
-        (0..n)
-            .map(|j| Complex::new((j as f64 * 0.7).sin(), (j as f64 * 0.3).cos()))
-            .collect()
+        (0..n).map(|j| Complex::new((j as f64 * 0.7).sin(), (j as f64 * 0.3).cos())).collect()
     }
 
     #[test]

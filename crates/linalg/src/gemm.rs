@@ -24,6 +24,7 @@
 
 use crate::matrix::Matrix;
 use crate::par;
+use crate::view::MatView;
 
 /// Flop count (`2mnk`) above which matrix-matrix products use the packed
 /// parallel engine. Below it, packing overhead dominates and the serial
@@ -94,10 +95,78 @@ pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
 /// The Gram matrix `AᵀA` (symmetric; only the upper triangle is computed,
 /// then mirrored, halving the flops of a general `AᵀB`).
 pub fn gram(a: &Matrix) -> Matrix {
-    if a.rows() * a.cols() * a.cols() >= PAR_MIN_FLOPS {
-        packed::gram(a)
+    let mut g = Matrix::zeros(a.cols(), a.cols());
+    gram_view_dispatch(a.view(), &mut g);
+    g
+}
+
+// --- View-consuming `_into` entry points ---------------------------------
+//
+// Same tier dispatch as the allocating functions above — a pure function
+// of the problem *shape*, never of strides or thread count — so each
+// `_into` call is bitwise identical to its allocating counterpart and
+// stays bitwise deterministic across thread counts. Outputs are reshaped
+// in place: when the destination buffer already has enough capacity, the
+// call performs zero heap allocation. Input views borrow their matrices
+// immutably while `c` is borrowed mutably, so input/output aliasing is
+// rejected at compile time.
+
+/// `C = A * B` written into `c`. Bitwise identical to [`matmul`].
+pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    c.reshape_zeroed(a.rows(), b.cols());
+    if 2 * a.rows() * a.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(a, b, c.as_mut_slice());
     } else {
-        reference::gram(a)
+        reference::gemm_view(a, b, c.as_mut_slice());
+    }
+}
+
+/// `C = Aᵀ * B` written into `c` without materializing `Aᵀ`. Bitwise
+/// identical to [`matmul_tn`].
+pub fn matmul_tn_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
+    let at = a.transposed();
+    c.reshape_zeroed(at.rows(), b.cols());
+    if 2 * at.rows() * at.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(at, b, c.as_mut_slice());
+    } else {
+        reference::gemm_view(at, b, c.as_mut_slice());
+    }
+}
+
+/// `C = A * Bᵀ` written into `c` without materializing `Bᵀ`. Bitwise
+/// identical to [`matmul_nt`].
+pub fn matmul_nt_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
+    let bt = b.transposed();
+    c.reshape_zeroed(a.rows(), bt.cols());
+    if 2 * a.rows() * a.cols() * bt.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(a, bt, c.as_mut_slice());
+    } else {
+        reference::gemm_view(a, bt, c.as_mut_slice());
+    }
+}
+
+/// `G = AᵀA` written into `g`. Bitwise identical to [`gram`].
+pub fn gram_into(a: MatView<'_>, g: &mut Matrix) {
+    gram_view_dispatch(a, g);
+}
+
+fn gram_view_dispatch(a: MatView<'_>, g: &mut Matrix) {
+    g.reshape_zeroed(a.cols(), a.cols());
+    if a.rows() * a.cols() * a.cols() >= PAR_MIN_FLOPS {
+        packed::gram_view(a, g.as_mut_slice());
+    } else {
+        reference::gram_view(a, g.as_mut_slice());
     }
 }
 
@@ -108,9 +177,81 @@ pub mod reference {
     //! their flop sequence per output element is obvious from the source.
 
     use crate::matrix::Matrix;
+    use crate::view::MatView;
 
     /// Cache block edge for the blocked kernels.
     const BLOCK: usize = 64;
+
+    /// `C += op(A) * op(B)` over strided views, blocked i-k-j. Per output
+    /// element the flops are the ascending-`k` sequence of [`matmul`] /
+    /// [`matmul_tn`] / [`matmul_nt`] (which all accumulate each `C`
+    /// element in ascending `k` from zero), so this single kernel is
+    /// bitwise identical to every one of them — strides decide only
+    /// where operands are *read*, never the op order.
+    pub(crate) fn gemm_view(a: MatView<'_>, b: MatView<'_>, c: &mut [f64]) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        debug_assert_eq!(k, b.rows());
+        debug_assert_eq!(c.len(), m * n);
+        for ib in (0..m).step_by(BLOCK) {
+            for kb in (0..k).step_by(BLOCK) {
+                for jb in (0..n).step_by(BLOCK) {
+                    let imax = (ib + BLOCK).min(m);
+                    let kmax = (kb + BLOCK).min(k);
+                    let jmax = (jb + BLOCK).min(n);
+                    for i in ib..imax {
+                        for kk in kb..kmax {
+                            let aik = a.at(i, kk);
+                            let crow = &mut c[i * n + jb..i * n + jmax];
+                            if b.cs == 1 {
+                                let off = kk * b.rs;
+                                let brow = &b.data[off + jb..off + jmax];
+                                for (cv, bv) in crow.iter_mut().zip(brow) {
+                                    *cv += aik * bv;
+                                }
+                            } else {
+                                for (cv, j) in crow.iter_mut().zip(jb..jmax) {
+                                    *cv += aik * b.at(kk, j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `G = AᵀA` of a strided view into `g` (length `n*n`): the rank-1
+    /// upper-triangle sweep of [`gram`], generalized to views, with the
+    /// identical ascending-`kk` accumulation order.
+    pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
+        let n = a.cols();
+        debug_assert_eq!(g.len(), n * n);
+        for kk in 0..a.rows() {
+            if a.cs == 1 {
+                let row = &a.data[kk * a.rs..kk * a.rs + n];
+                for i in 0..n {
+                    let ri = row[i];
+                    let grow = &mut g[i * n + i..(i + 1) * n];
+                    for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
+                        *gv += ri * rv;
+                    }
+                }
+            } else {
+                for i in 0..n {
+                    let ri = a.at(kk, i);
+                    let grow = &mut g[i * n + i..(i + 1) * n];
+                    for (gv, j) in grow.iter_mut().zip(i..n) {
+                        *gv += ri * a.at(kk, j);
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[i * n + j] = g[j * n + i];
+            }
+        }
+    }
 
     /// `C = A * B`.
     pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
@@ -195,9 +336,7 @@ pub mod reference {
     /// `y = A * x`.
     pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
         assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
-        (0..a.rows())
-            .map(|i| a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum())
-            .collect()
+        (0..a.rows()).map(|i| a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum()).collect()
     }
 
     /// `y = Aᵀ * x`.
@@ -264,6 +403,7 @@ pub mod packed {
     use super::par;
     use crate::matrix::Matrix;
     use crate::par::SendPtr;
+    use crate::view::MatView;
 
     /// Micro-tile rows: `MR x NR = 4 x 8` keeps the f64 accumulator tile
     /// within the 16-register AVX2 budget with room for A/B operands.
@@ -276,35 +416,11 @@ pub mod packed {
     /// of packed A targets L2).
     const MC: usize = 128;
 
-    /// A strided read-only view of `op(X)`: element `(i, j)` lives at
-    /// `data[i * rs + j * cs]`. Row-major is `(rs, cs) = (ld, 1)`; its
-    /// transpose is `(1, ld)`.
-    #[derive(Clone, Copy)]
-    struct View<'a> {
-        data: &'a [f64],
-        rows: usize,
-        cols: usize,
-        rs: usize,
-        cs: usize,
-    }
-
-    impl View<'_> {
-        #[inline]
-        fn at(&self, i: usize, j: usize) -> f64 {
-            self.data[i * self.rs + j * self.cs]
-        }
-
-        fn normal(m: &Matrix) -> View<'_> {
-            View { data: m.as_slice(), rows: m.rows(), cols: m.cols(), rs: m.cols(), cs: 1 }
-        }
-
-        fn transposed(m: &Matrix) -> View<'_> {
-            View { data: m.as_slice(), rows: m.cols(), cols: m.rows(), rs: 1, cs: m.cols() }
-        }
-    }
-
     /// `C = op(A) * op(B)` forced through the packed engine (any size).
-    fn gemm(a: View, b: View, c: &mut [f64]) {
+    /// `op(X)` is any strided [`MatView`] — normal, transposed or a
+    /// sub-block; packing resolves the strides, after which every layout
+    /// runs the same micro-kernel.
+    pub(crate) fn gemm(a: MatView<'_>, b: MatView<'_>, c: &mut [f64]) {
         let (m, k, n) = (a.rows, a.cols, b.cols);
         debug_assert_eq!(k, b.rows);
         debug_assert_eq!(c.len(), m * n);
@@ -377,7 +493,7 @@ pub mod packed {
     /// One thread's share: rows `[r0, r1)` of `C` (`r0` MR-aligned).
     #[allow(clippy::too_many_arguments)]
     fn thread_body(
-        a: View,
+        a: MatView<'_>,
         bpack: &[f64],
         cptr: SendPtr,
         n: usize,
@@ -485,7 +601,7 @@ pub mod packed {
             b.cols()
         );
         let mut c = Matrix::zeros(a.rows(), b.cols());
-        gemm(View::normal(a), View::normal(b), c.as_mut_slice());
+        gemm(a.view(), b.view(), c.as_mut_slice());
         c
     }
 
@@ -493,7 +609,7 @@ pub mod packed {
     pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
         let mut c = Matrix::zeros(a.cols(), b.cols());
-        gemm(View::transposed(a), View::normal(b), c.as_mut_slice());
+        gemm(a.view().transposed(), b.view(), c.as_mut_slice());
         c
     }
 
@@ -501,7 +617,7 @@ pub mod packed {
     pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
         let mut c = Matrix::zeros(a.rows(), b.rows());
-        gemm(View::normal(a), View::transposed(b), c.as_mut_slice());
+        gemm(a.view(), b.view().transposed(), c.as_mut_slice());
         c
     }
 
@@ -518,12 +634,22 @@ pub mod packed {
     /// ascending-`kk` accumulation order, so the result is bitwise equal
     /// to `reference::gram` at every thread count.
     pub fn gram(a: &Matrix) -> Matrix {
-        let n = a.cols();
-        let rows = a.rows();
-        let mut g = Matrix::zeros(n, n);
+        let mut g = Matrix::zeros(a.cols(), a.cols());
+        gram_view(a.view(), g.as_mut_slice());
+        g
+    }
+
+    /// The view form of [`gram`]: same strip partition, same per-element
+    /// ascending-`kk` accumulation order, writing into `g` (length
+    /// `n*n`). Strided views take an indexed inner loop; the op sequence
+    /// per element is unchanged, so results stay bitwise equal to
+    /// `reference::gram` for any thread count and any strides.
+    pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
+        let n = a.cols;
+        let rows = a.rows;
+        debug_assert_eq!(g.len(), n * n);
         if n > 0 && rows > 0 {
-            let gptr = SendPtr(g.as_mut_slice().as_mut_ptr());
-            let ad = a.as_slice();
+            let gptr = SendPtr(g.as_mut_ptr());
             let threads = par::num_threads().min(n).max(1);
             // Row strip boundaries equalizing upper-triangle area: row i
             // owns n - i elements, so the strip ending at fraction t of
@@ -545,24 +671,32 @@ pub mod packed {
                     std::slice::from_raw_parts_mut(gptr.get().add(i0 * n), (i1 - i0) * n)
                 };
                 for kk in 0..rows {
-                    let row = &ad[kk * n..(kk + 1) * n];
-                    for i in i0..i1 {
-                        let ri = row[i];
-                        let grow = &mut gs[(i - i0) * n + i..(i - i0) * n + n];
-                        for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
-                            *gv += ri * rv;
+                    if a.cs == 1 {
+                        let row = &a.data[kk * a.rs..kk * a.rs + n];
+                        for i in i0..i1 {
+                            let ri = row[i];
+                            let grow = &mut gs[(i - i0) * n + i..(i - i0) * n + n];
+                            for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
+                                *gv += ri * rv;
+                            }
+                        }
+                    } else {
+                        for i in i0..i1 {
+                            let ri = a.at(kk, i);
+                            let grow = &mut gs[(i - i0) * n + i..(i - i0) * n + n];
+                            for (gv, j) in grow.iter_mut().zip(i..n) {
+                                *gv += ri * a.at(kk, j);
+                            }
                         }
                     }
                 }
             });
         }
-        let gd = g.as_mut_slice();
         for i in 0..n {
             for j in 0..i {
-                gd[i * n + j] = gd[j * n + i];
+                g[i * n + j] = g[j * n + i];
             }
         }
-        g
     }
 
     /// `y = A * x`, rows partitioned across threads. Each `y[i]` is one
@@ -777,6 +911,58 @@ mod tests {
         assert_eq!(packed::matvec(&a, &x), reference::matvec(&a, &x));
         let xt: Vec<f64> = (0..67).map(|i| (i as f64 * 0.11).sin()).collect();
         assert_eq!(packed::matvec_t(&a, &xt), reference::matvec_t(&a, &xt));
+    }
+
+    #[test]
+    fn into_kernels_bitwise_match_allocating() {
+        // Straddle the dispatch threshold: 90*97*93*2 < 2^20 < 137*95*171*2.
+        for &(m, k, n) in &[(12, 9, 10), (90, 97, 93), (137, 95, 171)] {
+            let a = test_mat(m, k, 0.37);
+            let b = test_mat(k, n, 0.73);
+            let bt = b.transpose();
+            let mut c = Matrix::zeros(1, 1);
+            matmul_into(a.view(), b.view(), &mut c);
+            assert_eq!(c, matmul(&a, &b), "matmul_into ({m},{k},{n})");
+            let mut ctn = Matrix::zeros(0, 0);
+            let atall = test_mat(k, m, 0.51);
+            matmul_tn_into(atall.view(), b.view(), &mut ctn);
+            assert_eq!(ctn, matmul_tn(&atall, &b), "matmul_tn_into ({k},{m},{n})");
+            let mut cnt = Matrix::zeros(0, 0);
+            matmul_nt_into(a.view(), bt.view(), &mut cnt);
+            assert_eq!(cnt, matmul_nt(&a, &bt), "matmul_nt_into ({m},{k},{n})");
+            let mut g = Matrix::zeros(0, 0);
+            gram_into(a.view(), &mut g);
+            assert_eq!(g, gram(&a), "gram_into ({m},{k})");
+        }
+    }
+
+    #[test]
+    fn into_kernels_accept_strided_views() {
+        let big = test_mat(60, 50, 0.41);
+        // A strided interior block vs its materialized copy.
+        let blk = big.block(7, 43, 5, 29);
+        let cpy = big.submatrix(7, 43, 5, 29);
+        let rhs = test_mat(24, 11, 0.77);
+        let mut c_view = Matrix::zeros(0, 0);
+        let mut c_copy = Matrix::zeros(0, 0);
+        matmul_into(blk, rhs.view(), &mut c_view);
+        matmul_into(cpy.view(), rhs.view(), &mut c_copy);
+        assert_eq!(c_view, c_copy, "strided A block must not change bits");
+        // Transposed view on the left of a plain product == matmul_tn.
+        let mut c_t = Matrix::zeros(0, 0);
+        matmul_into(big.view().transposed(), big.view(), &mut c_t);
+        assert_eq!(c_t, matmul_tn(&big, &big));
+        let mut g_blk = Matrix::zeros(0, 0);
+        gram_into(blk, &mut g_blk);
+        assert_eq!(g_blk, gram(&cpy), "gram of strided block");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions mismatch")]
+    fn matmul_into_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        matmul_into(a.view(), b.view(), &mut Matrix::zeros(0, 0));
     }
 
     #[test]

@@ -24,10 +24,9 @@ pub mod complex;
 pub mod eig;
 pub mod eig_general;
 pub mod fft;
-pub mod hessenberg;
-pub mod schur;
-pub mod lanczos;
 pub mod gemm;
+pub mod hessenberg;
+pub mod lanczos;
 pub mod lu;
 pub mod matrix;
 pub mod norms;
@@ -36,14 +35,20 @@ pub mod pinv;
 pub mod qr;
 pub mod random;
 pub mod randomized;
+pub mod schur;
 pub mod snapshots;
 pub mod svd;
 pub mod validate;
+pub mod view;
+pub mod workspace;
 
-pub use matrix::Matrix;
-pub use qr::{thin_qr, QrFactors};
-pub use randomized::{low_rank_svd, randomized_svd, RandomizedConfig};
+pub use gemm::{gram_into, matmul_into, matmul_nt_into, matmul_tn_into};
 pub use lanczos::{lanczos_svd, LanczosConfig};
+pub use matrix::{alloc_stats, Matrix};
 pub use pinv::{lstsq, pseudoinverse};
+pub use qr::{qr_thin_into, thin_qr, QrFactors};
+pub use randomized::{low_rank_svd, randomized_svd, RandomizedConfig};
 pub use snapshots::generate_right_vectors;
 pub use svd::{svd, svd_with, truncated_svd, Svd, SvdMethod};
+pub use view::{MatView, MatViewMut};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -1,11 +1,13 @@
 //! Norms and orthogonality diagnostics.
 
-use crate::gemm::{matmul_tn, matvec, matvec_t};
+use crate::gemm::{gram, matvec, matvec_t};
 use crate::matrix::Matrix;
 
 /// `‖QᵀQ − I‖_max`: how far the columns of `q` are from orthonormal.
 pub fn orthogonality_error(q: &Matrix) -> f64 {
-    let g = matmul_tn(q, q);
+    // gram computes only the upper triangle and mirrors it — half the
+    // flops of the general matmul_tn(q, q) this used to call.
+    let g = gram(q);
     let mut err: f64 = 0.0;
     for i in 0..g.rows() {
         for j in 0..g.cols() {

@@ -51,7 +51,10 @@ static COMM_RANKS: AtomicUsize = AtomicUsize::new(1);
 fn env_threads() -> Option<usize> {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
     *ENV.get_or_init(|| {
-        std::env::var("PSVD_NUM_THREADS").ok().and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0)
+        std::env::var("PSVD_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
     })
 }
 
@@ -113,7 +116,11 @@ struct Latch {
 
 impl Latch {
     fn new(count: usize) -> Self {
-        Self { remaining: Mutex::new(count), all_done: Condvar::new(), panicked: AtomicBool::new(false) }
+        Self {
+            remaining: Mutex::new(count),
+            all_done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
     }
 
     fn count_down(&self) {
@@ -205,8 +212,7 @@ pub(crate) fn run(threads: usize, task: &(dyn Fn(usize) + Sync)) {
     let task_ptr: *const (dyn Fn(usize) + Sync) =
         unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(task) };
     for (w, tx) in guard.workers.iter().take(threads - 1).enumerate() {
-        tx.send(Job { task: task_ptr, tid: w + 1, latch: &latch })
-            .expect("GEMM worker hung up");
+        tx.send(Job { task: task_ptr, tid: w + 1, latch: &latch }).expect("GEMM worker hung up");
     }
     // Caller is thread 0; catch panics so the latch is always awaited and
     // no worker can outlive the borrows.

@@ -31,8 +31,7 @@ fn pseudoinverse_from_svd(f: &Svd, rcond: f64, shape: (usize, usize)) -> Matrix 
     let (_m, _n) = shape;
     let smax = f.s.first().copied().unwrap_or(0.0);
     let cutoff = rcond * smax;
-    let inv_s: Vec<f64> =
-        f.s.iter().map(|&x| if x > cutoff { 1.0 / x } else { 0.0 }).collect();
+    let inv_s: Vec<f64> = f.s.iter().map(|&x| if x > cutoff { 1.0 / x } else { 0.0 }).collect();
     // A+ = V Σ⁺ Uᵀ = (Vᵀ)ᵀ diag(inv_s) Uᵀ.
     matmul(&f.vt.transpose().mul_diag(&inv_s), &f.u.transpose())
 }
@@ -61,23 +60,21 @@ pub fn lstsq_with(a: &Matrix, b: &[f64], rcond: f64) -> LstsqSolution {
     // x = V Σ⁺ Uᵀ b, built vector-wise to avoid forming A⁺.
     let utb = matvec_t(&f.u, b);
     let mut rank = 0;
-    let scaled: Vec<f64> = f
-        .s
-        .iter()
-        .zip(&utb)
-        .map(|(&s, &c)| {
-            if s > cutoff {
-                rank += 1;
-                c / s
-            } else {
-                0.0
-            }
-        })
-        .collect();
+    let scaled: Vec<f64> =
+        f.s.iter()
+            .zip(&utb)
+            .map(|(&s, &c)| {
+                if s > cutoff {
+                    rank += 1;
+                    c / s
+                } else {
+                    0.0
+                }
+            })
+            .collect();
     let x = matvec_t(&f.vt, &scaled);
     let ax = matvec(a, &x);
-    let residual_norm =
-        ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+    let residual_norm = ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
     LstsqSolution { x, residual_norm, rank }
 }
 

@@ -14,6 +14,8 @@
 use crate::gemm::matmul;
 use crate::matrix::Matrix;
 use crate::par;
+use crate::view::MatView;
+use crate::workspace::Workspace;
 
 /// Apply `H = I - 2 v vᵀ / vnorm2` to rows `[k, k + v.len())` of columns
 /// `[j0, j1)` of the row-major buffer `data` (row stride `ld`).
@@ -22,7 +24,15 @@ use crate::par;
 /// thread pool; each column's dot/update runs the exact serial instruction
 /// sequence, keeping the factorization bitwise identical at any thread
 /// count.
-fn apply_reflector(data: &mut [f64], ld: usize, k: usize, j0: usize, j1: usize, v: &[f64], vnorm2: f64) {
+fn apply_reflector(
+    data: &mut [f64],
+    ld: usize,
+    k: usize,
+    j0: usize,
+    j1: usize,
+    v: &[f64],
+    vnorm2: f64,
+) {
     let ptr = par::SendPtr(data.as_mut_ptr());
     par::parallel_for(j1 - j0, 16, |c0, c1| {
         for j in j0 + c0..j0 + c1 {
@@ -51,23 +61,65 @@ pub struct QrFactors {
 
 /// Thin Householder QR with canonical (non-negative) `R` diagonal.
 pub fn thin_qr(a: &Matrix) -> QrFactors {
-    let mut f = householder_qr(a);
-    canonicalize(&mut f);
-    f
+    let mut ws = Workspace::new();
+    let mut q = Matrix::zeros(0, 0);
+    let mut r = Matrix::zeros(0, 0);
+    qr_thin_into(a.view(), &mut q, &mut r, &mut ws);
+    QrFactors { q, r }
+}
+
+/// Thin Householder QR of a view with canonical (non-negative) `R`
+/// diagonal, writing the factors into `q` / `r` and drawing every
+/// temporary from `ws`. With warm buffers the call performs zero heap
+/// allocation. Bitwise identical to [`thin_qr`].
+pub fn qr_thin_into(a: MatView<'_>, q: &mut Matrix, r: &mut Matrix, ws: &mut Workspace) {
+    householder_into(a, q, r, ws);
+    canonicalize_qr(q, r);
 }
 
 /// Thin Householder QR without sign canonicalization.
 pub fn householder_qr(a: &Matrix) -> QrFactors {
+    let mut ws = Workspace::new();
+    let mut q = Matrix::zeros(0, 0);
+    let mut r = Matrix::zeros(0, 0);
+    householder_into(a.view(), &mut q, &mut r, &mut ws);
+    QrFactors { q, r }
+}
+
+/// The factorization core: identical arithmetic (hence identical bits) to
+/// the historical allocating implementation, but every temporary — the
+/// working copy of `A`, the Householder vectors, and their stored norms —
+/// comes from `ws`, and the factors land in caller-owned buffers.
+fn householder_into(a: MatView<'_>, q: &mut Matrix, r_out: &mut Matrix, ws: &mut Workspace) {
     let (m, n) = a.shape();
     let p = m.min(n);
-    let mut r = a.clone();
-    // Householder vectors, stored per reflection; v[k] has length m - k.
-    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(p);
+    let mut work = ws.take(m, n);
+    for i in 0..m {
+        let row = work.row_mut(i);
+        if a.cs == 1 {
+            row.copy_from_slice(&a.data[i * a.rs..i * a.rs + n]);
+        } else {
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = a.at(i, j);
+            }
+        }
+    }
+    // Householder vectors: row k of `vs` holds v_k in its first m - k
+    // entries; `vn` holds each ‖v_k‖² (0.0 marks an identity reflector).
+    let mut vs = ws.take(p, m);
+    let mut vn = ws.take(1, p);
 
     for k in 0..p {
         // Build the reflector annihilating R[k+1.., k].
-        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        let vlen = m - k;
+        {
+            let vrow = &mut vs.row_mut(k)[..vlen];
+            for (idx, vv) in vrow.iter_mut().enumerate() {
+                *vv = work[(k + idx, k)];
+            }
+        }
         let alpha = {
+            let v = &vs.row(k)[..vlen];
             let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
             if v[0] >= 0.0 {
                 -norm
@@ -77,54 +129,63 @@ pub fn householder_qr(a: &Matrix) -> QrFactors {
         };
         if alpha == 0.0 {
             // Column already zero below (and at) the diagonal: identity reflector.
-            vs.push(Vec::new());
             continue;
         }
-        v[0] -= alpha;
-        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        vs[(k, 0)] -= alpha;
+        let vnorm2: f64 = vs.row(k)[..vlen].iter().map(|x| x * x).sum();
         if vnorm2 == 0.0 {
-            vs.push(Vec::new());
             continue;
         }
+        vn[(0, k)] = vnorm2;
         // Apply H = I - 2 v vᵀ / (vᵀv) to R[k.., k..], columns in parallel.
-        apply_reflector(r.as_mut_slice(), n, k, k, n, &v, vnorm2);
+        apply_reflector(work.as_mut_slice(), n, k, k, n, &vs.row(k)[..vlen], vnorm2);
         // Clean the annihilated entries exactly.
-        r[(k, k)] = alpha;
+        work[(k, k)] = alpha;
         for i in k + 1..m {
-            r[(i, k)] = 0.0;
+            work[(i, k)] = 0.0;
         }
-        vs.push(v);
     }
 
     // Form thin Q by applying the reflectors (in reverse) to the first p
     // columns of the identity.
-    let mut q = Matrix::zeros(m, p);
+    q.reshape_zeroed(m, p);
     for i in 0..p {
         q[(i, i)] = 1.0;
     }
     for k in (0..p).rev() {
-        let v = &vs[k];
-        if v.is_empty() {
+        let vnorm2 = vn[(0, k)];
+        if vnorm2 == 0.0 {
             continue;
         }
-        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
-        apply_reflector(q.as_mut_slice(), p, k, 0, p, v, vnorm2);
+        apply_reflector(q.as_mut_slice(), p, k, 0, p, &vs.row(k)[..m - k], vnorm2);
     }
 
-    QrFactors { q, r: r.submatrix(0, p, 0, n) }
+    r_out.reshape_for_overwrite(p, n);
+    for i in 0..p {
+        r_out.row_mut(i).copy_from_slice(work.row(i));
+    }
+    ws.give(work);
+    ws.give(vs);
+    ws.give(vn);
 }
 
 /// Flip signs so that `diag(R) >= 0`, adjusting `Q` columns to keep `QR`
 /// unchanged.
 pub fn canonicalize(f: &mut QrFactors) {
-    let p = f.r.rows();
-    for k in 0..p.min(f.r.cols()) {
-        if f.r[(k, k)] < 0.0 {
-            for j in 0..f.r.cols() {
-                f.r[(k, j)] = -f.r[(k, j)];
+    canonicalize_qr(&mut f.q, &mut f.r);
+}
+
+/// [`canonicalize`] on loose factors (the `_into` pipelines keep `q` and
+/// `r` in separate caller-owned buffers).
+pub fn canonicalize_qr(q: &mut Matrix, r: &mut Matrix) {
+    let p = r.rows();
+    for k in 0..p.min(r.cols()) {
+        if r[(k, k)] < 0.0 {
+            for j in 0..r.cols() {
+                r[(k, j)] = -r[(k, j)];
             }
-            for i in 0..f.q.rows() {
-                f.q[(i, k)] = -f.q[(i, k)];
+            for i in 0..q.rows() {
+                q[(i, k)] = -q[(i, k)];
             }
         }
     }
@@ -139,8 +200,12 @@ pub fn mgs_qr(a: &Matrix) -> QrFactors {
     let p = m.min(n);
     let mut q = Matrix::zeros(m, p);
     let mut r = Matrix::zeros(p, n);
+    // One reusable column buffer for all p iterations (col_iter avoids
+    // the per-column Vec that Matrix::col would allocate).
+    let mut v: Vec<f64> = Vec::with_capacity(m);
     for j in 0..p {
-        let mut v = a.col(j);
+        v.clear();
+        v.extend(a.col_iter(j));
         for _pass in 0..2 {
             for i in 0..j {
                 let mut h = 0.0;
@@ -273,6 +338,42 @@ mod tests {
         let f = thin_qr(&a);
         assert!(reconstruction_error(&a, &f) < 1e-15);
         assert_eq!(f.r, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn qr_thin_into_bitwise_matches_thin_qr() {
+        let a = test_mat(45, 13, 0.37);
+        let f = thin_qr(&a);
+        let mut ws = Workspace::new();
+        let mut q = Matrix::zeros(0, 0);
+        let mut r = Matrix::zeros(0, 0);
+        qr_thin_into(a.view(), &mut q, &mut r, &mut ws);
+        assert_eq!(q, f.q);
+        assert_eq!(r, f.r);
+        // A strided block view factors exactly like its materialized copy.
+        let blk = a.block(3, 40, 2, 11);
+        let cpy = a.submatrix(3, 40, 2, 11);
+        qr_thin_into(blk, &mut q, &mut r, &mut ws);
+        let fb = thin_qr(&cpy);
+        assert_eq!(q, fb.q);
+        assert_eq!(r, fb.r);
+    }
+
+    #[test]
+    fn qr_thin_into_reuses_workspace() {
+        let a = test_mat(30, 6, 0.9);
+        let mut ws = Workspace::new();
+        let mut q = Matrix::zeros(0, 0);
+        let mut r = Matrix::zeros(0, 0);
+        qr_thin_into(a.view(), &mut q, &mut r, &mut ws);
+        ws.reset_stats();
+        for _ in 0..5 {
+            qr_thin_into(a.view(), &mut q, &mut r, &mut ws);
+        }
+        let s = ws.stats();
+        assert_eq!(s.misses, 0, "warm workspace must serve every take");
+        assert_eq!(s.fresh_bytes, 0);
+        assert!(s.takes > 0);
     }
 
     #[test]

@@ -29,6 +29,18 @@ pub fn gaussian_matrix<R: rand::Rng>(rows: usize, cols: usize, rng: &mut R) -> M
     Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
 }
 
+/// Overwrite `m` with iid standard Gaussians, drawing in the same
+/// row-major order as [`gaussian_matrix`] — so, given the same RNG state
+/// and shape, the result is bitwise identical, just without the fresh
+/// allocation. This is what lets the workspace-fed randomized range
+/// finder reuse its sketch buffer without changing any output bit.
+pub fn fill_gaussian<R: rand::Rng>(m: &mut Matrix, rng: &mut R) {
+    let dist = StandardNormal;
+    for x in m.as_mut_slice() {
+        *x = dist.sample(rng);
+    }
+}
+
 /// A seeded RNG for reproducible randomized algorithms.
 pub fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)

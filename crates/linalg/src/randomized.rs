@@ -11,11 +11,12 @@
 //! [`crate::gemm`] is blocked for; they thread automatically above the
 //! size threshold with bitwise-deterministic output.
 
-use crate::gemm::{matmul, matmul_tn};
+use crate::gemm::{matmul, matmul_into, matmul_tn, matmul_tn_into};
 use crate::matrix::Matrix;
-use crate::qr::thin_qr;
-use crate::random::gaussian_matrix;
+use crate::qr::qr_thin_into;
+use crate::random::fill_gaussian;
 use crate::svd::{svd, Svd};
+use crate::workspace::Workspace;
 
 /// Parameters for the randomized range finder.
 #[derive(Clone, Copy, Debug)]
@@ -61,20 +62,51 @@ pub fn randomized_range_finder<R: rand::Rng>(
     cfg: &RandomizedConfig,
     rng: &mut R,
 ) -> Matrix {
-    let (_m, n) = a.shape();
+    let mut ws = Workspace::new();
+    let mut q = Matrix::zeros(0, 0);
+    randomized_range_finder_into(a, cfg, rng, &mut q, &mut ws);
+    q
+}
+
+/// Workspace-fed form of [`randomized_range_finder`]: the Gaussian
+/// sketch, its products and the QR scratch all come from `ws`, and the
+/// basis lands in `q`. With warm buffers a call allocates nothing.
+/// Bitwise identical to the allocating version for the same RNG state —
+/// the sketch is drawn in the identical row-major order.
+pub fn randomized_range_finder_into<R: rand::Rng>(
+    a: &Matrix,
+    cfg: &RandomizedConfig,
+    rng: &mut R,
+    q: &mut Matrix,
+    ws: &mut Workspace,
+) {
+    let (m, n) = a.shape();
     let l = cfg.sketch_width(n);
     if l == 0 {
-        return Matrix::zeros(a.rows(), 0);
+        q.reshape_zeroed(m, 0);
+        return;
     }
-    let omega = gaussian_matrix(n, l, rng);
-    let mut q = thin_qr(&matmul(a, &omega)).q;
-    for _ in 0..cfg.power_iterations {
-        // Re-orthogonalize between the two halves of each power step to
-        // avoid losing the small-singular-value directions to round-off.
-        let z = thin_qr(&matmul_tn(a, &q)).q;
-        q = thin_qr(&matmul(a, &z)).q;
+    let mut omega = ws.take(n, l);
+    fill_gaussian(&mut omega, rng);
+    let mut y = ws.take(m, l);
+    let mut rwork = ws.take(l, l);
+    matmul_into(a.view(), omega.view(), &mut y);
+    qr_thin_into(y.view(), q, &mut rwork, ws);
+    if cfg.power_iterations > 0 {
+        let mut z = ws.take(n, l);
+        for _ in 0..cfg.power_iterations {
+            // Re-orthogonalize between the two halves of each power step to
+            // avoid losing the small-singular-value directions to round-off.
+            matmul_tn_into(a.view(), q.view(), &mut y);
+            qr_thin_into(y.view(), &mut z, &mut rwork, ws);
+            matmul_into(a.view(), z.view(), &mut y);
+            qr_thin_into(y.view(), q, &mut rwork, ws);
+        }
+        ws.give(z);
     }
-    q
+    ws.give(omega);
+    ws.give(y);
+    ws.give(rwork);
 }
 
 /// Randomized truncated SVD of `a`, keeping `cfg.rank` triplets.
@@ -162,6 +194,23 @@ mod tests {
         };
         assert!(e3 <= e0 + 1e-12, "power iterations should not hurt: {e0} -> {e3}");
         assert!(e3 < 1.05 * best, "q=3 should be near-optimal: {e3} vs {best}");
+    }
+
+    #[test]
+    fn range_finder_into_bitwise_matches_allocating() {
+        let mut rng = seeded_rng(31);
+        let a = matrix_with_spectrum(50, 18, &[6.0, 3.0, 1.0, 0.2], &mut rng);
+        let cfg = RandomizedConfig::new(4).with_power_iterations(2);
+        let base = randomized_range_finder(&a, &cfg, &mut seeded_rng(7));
+        let mut ws = crate::workspace::Workspace::new();
+        let mut q = Matrix::zeros(0, 0);
+        randomized_range_finder_into(&a, &cfg, &mut seeded_rng(7), &mut q, &mut ws);
+        assert_eq!(q, base, "workspace-fed range finder changed bits");
+        // Warm repeat: same result, zero workspace misses.
+        ws.reset_stats();
+        randomized_range_finder_into(&a, &cfg, &mut seeded_rng(7), &mut q, &mut ws);
+        assert_eq!(q, base);
+        assert_eq!(ws.stats().misses, 0);
     }
 
     #[test]

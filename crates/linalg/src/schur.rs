@@ -41,8 +41,8 @@ fn francis_step(t: &mut Matrix, q: &mut Matrix, low: usize, high: usize, excepti
     let n = t.rows();
     // Shift polynomial coefficients from the trailing 2x2 (trace s, det d).
     let (s, d) = if exceptional {
-        let ex = t[(high, high - 1)].abs()
-            + if high >= 2 { t[(high - 1, high - 2)].abs() } else { 0.0 };
+        let ex =
+            t[(high, high - 1)].abs() + if high >= 2 { t[(high - 1, high - 2)].abs() } else { 0.0 };
         (1.5 * ex, ex * ex)
     } else {
         let a = t[(high - 1, high - 1)];
@@ -251,7 +251,11 @@ fn split_real_2x2(t: &mut Matrix, q: &mut Matrix, b: usize) {
     debug_assert!(disc >= 0.0, "split_real_2x2 called on a complex block");
     // Eigenvalue closer to a22 for stability.
     let sq = disc.sqrt();
-    let lambda = if half >= 0.0 { a22 - a12 * a21 / (half + sq).max(f64::MIN_POSITIVE) } else { a22 + a12 * a21 / (sq - half).max(f64::MIN_POSITIVE) };
+    let lambda = if half >= 0.0 {
+        a22 - a12 * a21 / (half + sq).max(f64::MIN_POSITIVE)
+    } else {
+        a22 + a12 * a21 / (sq - half).max(f64::MIN_POSITIVE)
+    };
     // Null vector of [a11-l, a12; a21, a22-l]: rotate (a11 - lambda, a21).
     let (c, s) = {
         let x = a11 - lambda;
@@ -355,9 +359,7 @@ mod tests {
     }
 
     fn sorted_by_re_im(mut v: Vec<Complex>) -> Vec<Complex> {
-        v.sort_by(|a, b| {
-            a.re.partial_cmp(&b.re).unwrap().then(a.im.partial_cmp(&b.im).unwrap())
-        });
+        v.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap().then(a.im.partial_cmp(&b.im).unwrap()));
         v
     }
 
@@ -384,11 +386,8 @@ mod tests {
     #[test]
     fn companion_matrix_known_roots() {
         // Companion of (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6.
-        let a = Matrix::from_rows(&[
-            vec![6.0, -11.0, 6.0],
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![6.0, -11.0, 6.0], vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
         let f = check_schur(&a, 1e-10);
         let ev = sorted_by_re_im(schur_eigenvalues(&f.t));
         for (got, want) in ev.iter().zip(&[1.0, 2.0, 3.0]) {
@@ -459,11 +458,8 @@ mod tests {
 
     #[test]
     fn upper_triangular_input_fast_path() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 5.0, 2.0],
-            vec![0.0, 4.0, -1.0],
-            vec![0.0, 0.0, -2.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![1.0, 5.0, 2.0], vec![0.0, 4.0, -1.0], vec![0.0, 0.0, -2.0]]);
         let f = check_schur(&a, 1e-12);
         let ev = sorted_by_re_im(schur_eigenvalues(&f.t));
         let want = [-2.0, 1.0, 4.0];

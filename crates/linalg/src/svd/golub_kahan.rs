@@ -218,13 +218,7 @@ fn gk_step(d: &mut [f64], e: &mut [f64], p: usize, q: usize, u: &mut Matrix, v: 
 
 /// When `d[k]` is negligible (k < q), chase `e[k]` away with left rotations
 /// against the rows below, zeroing row `k`'s coupling.
-fn zero_diag_row_chase(
-    d: &mut [f64],
-    e: &mut [f64],
-    k: usize,
-    q: usize,
-    u: &mut Matrix,
-) {
+fn zero_diag_row_chase(d: &mut [f64], e: &mut [f64], k: usize, q: usize, u: &mut Matrix) {
     let mut f = e[k];
     e[k] = 0.0;
     for j in k + 1..=q {
@@ -241,13 +235,7 @@ fn zero_diag_row_chase(
 
 /// When `d[q]` is negligible, chase `e[q-1]` away with right rotations
 /// against the columns to the left.
-fn zero_diag_col_chase(
-    d: &mut [f64],
-    e: &mut [f64],
-    p: usize,
-    q: usize,
-    v: &mut Matrix,
-) {
+fn zero_diag_col_chase(d: &mut [f64], e: &mut [f64], p: usize, q: usize, v: &mut Matrix) {
     let mut f = e[q - 1];
     e[q - 1] = 0.0;
     for j in (p..q).rev() {
@@ -263,22 +251,14 @@ fn zero_diag_col_chase(
 
 /// SVD of an upper-bidiagonal matrix given by diagonal `d` and superdiagonal
 /// `e`, with the rotations accumulated into the preexisting factors `u`, `v`.
-pub fn bidiagonal_svd(
-    mut d: Vec<f64>,
-    mut e: Vec<f64>,
-    mut u: Matrix,
-    mut v: Matrix,
-) -> Svd {
+pub fn bidiagonal_svd(mut d: Vec<f64>, mut e: Vec<f64>, mut u: Matrix, mut v: Matrix) -> Svd {
     let n = d.len();
     if n == 0 {
         return Svd { u, s: d, vt: v.transpose() };
     }
     let eps = f64::EPSILON;
-    let bnorm = d
-        .iter()
-        .chain(e.iter())
-        .fold(0.0f64, |acc, x| acc.max(x.abs()))
-        .max(f64::MIN_POSITIVE);
+    let bnorm =
+        d.iter().chain(e.iter()).fold(0.0f64, |acc, x| acc.max(x.abs())).max(f64::MIN_POSITIVE);
 
     let max_iter = 60 * n * n + 100;
     let mut iter = 0;
@@ -444,8 +424,10 @@ mod tests {
         // Geometric decay over 8 orders of magnitude.
         let n = 10;
         let diag: Vec<f64> = (0..n).map(|i| 10f64.powi(-(i as i32))).collect();
-        let q1 = crate::qr::thin_qr(&Matrix::from_fn(25, n, |i, j| ((i + 3 * j) as f64).sin() + 0.1)).q;
-        let q2 = crate::qr::thin_qr(&Matrix::from_fn(n, n, |i, j| ((2 * i + j) as f64).cos() + 0.1)).q;
+        let q1 =
+            crate::qr::thin_qr(&Matrix::from_fn(25, n, |i, j| ((i + 3 * j) as f64).sin() + 0.1)).q;
+        let q2 =
+            crate::qr::thin_qr(&Matrix::from_fn(n, n, |i, j| ((2 * i + j) as f64).cos() + 0.1)).q;
         let a = matmul(&q1.mul_diag(&diag), &q2.transpose());
         let f = golub_kahan_svd(&a);
         for (got, want) in f.s.iter().zip(&diag) {

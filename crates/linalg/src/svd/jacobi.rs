@@ -183,7 +183,8 @@ mod tests {
         let d = [1.0, 1e-4, 1e-8];
         let a = Matrix::from_diag(&d);
         // Mix with an orthogonal-ish transform to make it non-diagonal.
-        let q = crate::qr::thin_qr(&Matrix::from_fn(3, 3, |i, j| ((i * 2 + j) as f64).sin() + 0.2)).q;
+        let q =
+            crate::qr::thin_qr(&Matrix::from_fn(3, 3, |i, j| ((i * 2 + j) as f64).sin() + 0.2)).q;
         let mixed = matmul(&q, &a);
         let f = jacobi_svd(&mixed);
         for (got, want) in f.s.iter().zip(&d) {

@@ -39,11 +39,7 @@ impl Svd {
     /// Keep only the leading `k` singular triplets.
     pub fn truncated(&self, k: usize) -> Svd {
         let k = k.min(self.s.len());
-        Svd {
-            u: self.u.first_columns(k),
-            s: self.s[..k].to_vec(),
-            vt: self.vt.row_block(0, k),
-        }
+        Svd { u: self.u.first_columns(k), s: self.s[..k].to_vec(), vt: self.vt.row_block(0, k) }
     }
 
     /// Reconstruct `U diag(s) Vᵀ`.

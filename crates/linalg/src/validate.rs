@@ -10,28 +10,48 @@ use crate::gemm::matmul_tn;
 use crate::matrix::Matrix;
 use crate::svd::svd;
 
+/// The sign (`+1.0` / `-1.0`) that best aligns each column of `b` with
+/// the corresponding column of `a` (maximizing the inner product).
+/// Allocation-light: one small `Vec<f64>` of length `cols`, no matrix
+/// copy — the non-allocating core of [`align_signs`].
+pub fn column_signs(a: &Matrix, b: &Matrix) -> Vec<f64> {
+    assert_eq!(a.shape(), b.shape(), "align_signs: shape mismatch");
+    (0..a.cols())
+        .map(|j| {
+            let dot: f64 = a.col_iter(j).zip(b.col_iter(j)).map(|(x, y)| x * y).sum();
+            if dot < 0.0 {
+                -1.0
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
 /// Flip the sign of each column of `b` so it best matches the corresponding
 /// column of `a` (maximizing the inner product). Returns the aligned copy.
 pub fn align_signs(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.shape(), b.shape(), "align_signs: shape mismatch");
+    let signs = column_signs(a, b);
     let mut out = b.clone();
-    for j in 0..a.cols() {
-        let dot: f64 = (0..a.rows()).map(|i| a[(i, j)] * b[(i, j)]).sum();
-        if dot < 0.0 {
+    for (j, &s) in signs.iter().enumerate() {
+        if s < 0.0 {
             out.scale_col_mut(j, -1.0);
         }
     }
     out
 }
 
-/// Per-mode error `‖a_j − ±b_j‖_2` after sign alignment.
+/// Per-mode error `‖a_j − ±b_j‖_2` after sign alignment (which is applied
+/// on the fly — `b` is never copied).
 pub fn mode_errors(a: &Matrix, b: &Matrix) -> Vec<f64> {
-    let b = align_signs(a, b);
+    let signs = column_signs(a, b);
     (0..a.cols())
         .map(|j| {
-            (0..a.rows())
-                .map(|i| {
-                    let d = a[(i, j)] - b[(i, j)];
+            let s = signs[j];
+            a.col_iter(j)
+                .zip(b.col_iter(j))
+                .map(|(x, y)| {
+                    let d = x - s * y;
                     d * d
                 })
                 .sum::<f64>()
@@ -41,10 +61,12 @@ pub fn mode_errors(a: &Matrix, b: &Matrix) -> Vec<f64> {
 }
 
 /// Pointwise absolute error of mode `j` after sign alignment — the exact
-/// series plotted in Figure 1(a,b) of the paper.
+/// series plotted in Figure 1(a,b) of the paper. Sign alignment is applied
+/// on the fly; `b` is never copied.
 pub fn pointwise_mode_error(a: &Matrix, b: &Matrix, j: usize) -> Vec<f64> {
-    let b = align_signs(a, b);
-    (0..a.rows()).map(|i| (a[(i, j)] - b[(i, j)]).abs()).collect()
+    let signs = column_signs(a, b);
+    let s = signs[j];
+    a.col_iter(j).zip(b.col_iter(j)).map(|(x, y)| (x - s * y).abs()).collect()
 }
 
 /// Principal angles (radians, ascending) between the column spaces of two

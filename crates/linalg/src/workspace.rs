@@ -1,0 +1,163 @@
+//! Reusable scratch buffers for the streaming hot loops.
+//!
+//! A [`Workspace`] is a small free-list of `Vec<f64>` buffers. Kernels
+//! that need temporaries [`take`](Workspace::take) a matrix of the shape
+//! they want and [`give`](Workspace::give) it back when done; after the
+//! first pass through a loop with stable shapes every `take` is served
+//! from the pool and performs **zero heap allocation**. The streaming
+//! drivers in `psvd-core` hold one workspace per instance, so a
+//! steady-state update reuses the same few buffers forever.
+//!
+//! The per-instance counters ([`Workspace::stats`]) make the reuse
+//! observable: `misses` and `fresh_bytes` stop growing once the pool is
+//! warm, which is exactly what `tests/props_views.rs` asserts for a
+//! 50-batch streaming run.
+
+use crate::matrix::{alloc_stats, Matrix};
+
+/// Allocation-behavior counters for one [`Workspace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Total `take` calls.
+    pub takes: u64,
+    /// `take` calls that could not be served from the pool and had to
+    /// allocate a fresh buffer.
+    pub misses: u64,
+    /// Bytes freshly allocated by missing `take`s.
+    pub fresh_bytes: u64,
+}
+
+/// A free-list scratch arena handing out [`Matrix`] buffers for reuse.
+#[derive(Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+    stats: WorkspaceStats,
+}
+
+impl Workspace {
+    /// An empty workspace (first takes will allocate, later ones reuse).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a `rows x cols` zeroed matrix, reusing a pooled buffer when
+    /// one with enough capacity exists (best fit: the smallest adequate
+    /// buffer is chosen, deterministically).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.stats.takes += 1;
+        let n = rows * cols;
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.capacity() >= n)
+            .min_by_key(|(_, v)| v.capacity())
+            .map(|(i, _)| i);
+        let mut buf = match best {
+            Some(i) => self.pool.swap_remove(i),
+            None => {
+                self.stats.misses += 1;
+                self.stats.fresh_bytes += (n * std::mem::size_of::<f64>()) as u64;
+                alloc_stats::record(n);
+                Vec::with_capacity(n)
+            }
+        };
+        buf.clear();
+        buf.resize(n, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Return a matrix's buffer to the pool for future `take`s.
+    pub fn give(&mut self, m: Matrix) {
+        let buf = m.into_vec();
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Buffers currently sitting in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Allocation counters since construction (or the last
+    /// [`reset_stats`](Workspace::reset_stats)).
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    /// Zero the counters, keeping the pooled buffers.
+    pub fn reset_stats(&mut self) {
+        self.stats = WorkspaceStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_take_reuses_buffer() {
+        let mut ws = Workspace::new();
+        let a = ws.take(4, 5);
+        assert_eq!(a.shape(), (4, 5));
+        ws.give(a);
+        let b = ws.take(5, 4); // same element count, different shape
+        assert_eq!(b.shape(), (5, 4));
+        let s = ws.stats();
+        assert_eq!(s.takes, 2);
+        assert_eq!(s.misses, 1, "second take must reuse the pooled buffer");
+        ws.give(b);
+    }
+
+    #[test]
+    fn taken_matrices_are_zeroed() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(3, 3);
+        a[(1, 1)] = 9.0;
+        ws.give(a);
+        let b = ws.take(3, 3);
+        assert_eq!(b, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(10, 10);
+        let small = ws.take(2, 2);
+        ws.give(big);
+        ws.give(small);
+        let c = ws.take(2, 2);
+        assert_eq!(ws.pooled(), 1, "small buffer should be picked, big one left");
+        let remaining_cap = {
+            let d = ws.take(10, 10); // must still fit in the big buffer
+            let misses = ws.stats().misses;
+            ws.give(d);
+            misses
+        };
+        assert_eq!(remaining_cap, 2, "only the two initial takes miss");
+        ws.give(c);
+    }
+
+    #[test]
+    fn steady_state_has_no_misses() {
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let a = ws.take(8, 6);
+            let b = ws.take(6, 6);
+            ws.give(a);
+            ws.give(b);
+        }
+        ws.reset_stats();
+        for _ in 0..10 {
+            let a = ws.take(8, 6);
+            let b = ws.take(6, 6);
+            ws.give(a);
+            ws.give(b);
+        }
+        let s = ws.stats();
+        assert_eq!(s.takes, 20);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.fresh_bytes, 0);
+    }
+}

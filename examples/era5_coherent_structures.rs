@@ -29,10 +29,7 @@ fn main() {
     };
     println!(
         "synthetic ERA5 pressure: {} x {} grid, {} snapshots, {} planted modes",
-        cfg.nlat,
-        cfg.nlon,
-        cfg.snapshots,
-        cfg.n_modes
+        cfg.nlat, cfg.nlon, cfg.snapshots, cfg.n_modes
     );
     let dataset = generate(&cfg);
 
@@ -68,7 +65,10 @@ fn main() {
         world.stats().total_bytes() as f64 / 1024.0
     );
 
-    println!("\nleading singular values: {:?}", s.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "\nleading singular values: {:?}",
+        s.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     // Per-mode recovery: the strongest planted structures must align almost
     // perfectly; the weakest sits near the noise floor (sigma ~ 30 vs noise
     // sigma ~ 11), so Davis–Kahan predicts a visibly larger angle there.
@@ -83,7 +83,10 @@ fn main() {
         }
     }
     let angle = max_principal_angle(&dataset.true_modes, &modes.first_columns(cfg.n_modes));
-    println!("full {}-mode subspace angle: {angle:.4} rad (limited by the weakest mode)", cfg.n_modes);
+    println!(
+        "full {}-mode subspace angle: {angle:.4} rad (limited by the weakest mode)",
+        cfg.n_modes
+    );
 
     // Figure-2-style output: first two modes as lat-lon fields.
     for mode in 0..2 {
@@ -95,7 +98,12 @@ fn main() {
     }
     let out_csv = std::path::PathBuf::from("era5_modes.csv");
     write_modes_csv(&out_csv, &modes).expect("write modes csv");
-    println!("\nwrote {} (reshape each column to {} x {} for maps)", out_csv.display(), cfg.nlat, cfg.nlon);
+    println!(
+        "\nwrote {} (reshape each column to {} x {} for maps)",
+        out_csv.display(),
+        cfg.nlat,
+        cfg.nlon
+    );
 }
 
 /// Small display helper: matrix size in MB.

@@ -31,8 +31,7 @@ fn main() {
     });
     let y: Vec<f64> = (0..n_samples)
         .map(|i| {
-            let clean: f64 =
-                (0..4).map(|j| true_coeffs[j] * design[(i, j)]).sum();
+            let clean: f64 = (0..4).map(|j| true_coeffs[j] * design[(i, j)]).sum();
             clean + 0.05 * normal.sample(&mut rng)
         })
         .collect();

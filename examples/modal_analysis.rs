@@ -21,10 +21,10 @@
 //! cargo run --release --example modal_analysis
 //! ```
 
+use pyparsvd::core::dmd::dmd;
 use pyparsvd::core::pod::pod;
 use pyparsvd::core::postprocess::sparkline;
 use pyparsvd::core::spod::{spod, SpodConfig};
-use pyparsvd::core::dmd::dmd;
 use pyparsvd::linalg::random::{seeded_rng, StandardNormal};
 use pyparsvd::prelude::*;
 use rand::distributions::Distribution;
@@ -54,11 +54,10 @@ fn main() {
 
     // --- POD ---
     let p = pod(&data, 6);
-    println!("POD singular values: {:?}", p
-        .singular_values
-        .iter()
-        .map(|v| (v * 10.0).round() / 10.0)
-        .collect::<Vec<_>>());
+    println!(
+        "POD singular values: {:?}",
+        p.singular_values.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>()
+    );
     println!("  (the traveling wave consumes TWO energy-paired real modes: sigma_1 ~ sigma_2)");
     println!("  mode 1: {}", sparkline(&p.modes.col(0), 64));
     println!("  mode 2: {}", sparkline(&p.modes.col(1), 64));
@@ -68,10 +67,10 @@ fn main() {
     let mut freqs: Vec<f64> = d.frequencies().iter().map(|f| f.abs()).collect();
     freqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     freqs.dedup_by(|a, b| (*a - *b).abs() < 0.05);
-    println!("\nDMD frequencies (cycles/unit time): {:?}", freqs
-        .iter()
-        .map(|f| (f * 100.0).round() / 100.0)
-        .collect::<Vec<_>>());
+    println!(
+        "\nDMD frequencies (cycles/unit time): {:?}",
+        freqs.iter().map(|f| (f * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     let found_f1 = freqs.iter().any(|&f| (f - f1).abs() < 0.05);
     let found_f2 = freqs.iter().any(|&f| (f - f2).abs() < 0.05);
     assert!(found_f1 && found_f2, "DMD must isolate both planted frequencies");

@@ -43,10 +43,7 @@ fn main() {
     let (u_ref, s_ref) = batch_truncated_svd(&data, k);
     println!("\nstreaming vs one-shot:");
     println!("  spectrum error      : {:.3e}", spectrum_error(&s_ref, svd.singular_values()));
-    println!(
-        "  max principal angle : {:.3e} rad",
-        max_principal_angle(&u_ref, svd.modes())
-    );
+    println!("  max principal angle : {:.3e} rad", max_principal_angle(&u_ref, svd.modes()));
 
     println!("\n{}", summarize(svd.singular_values(), svd.modes(), 3));
 }

@@ -32,11 +32,10 @@ fn main() {
 
     // POD first: energy ranking (the oscillatory pairs show up as twins).
     let p = pod(&data, 5);
-    println!("\nPOD singular values: {:?}", p
-        .singular_values
-        .iter()
-        .map(|v| (v * 10.0).round() / 10.0)
-        .collect::<Vec<_>>());
+    println!(
+        "\nPOD singular values: {:?}",
+        p.singular_values.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>()
+    );
 
     // DMD: dynamics. Frequencies, growth rates, and modes.
     let d = dmd(&data, 5, cfg.dt);
@@ -58,10 +57,8 @@ fn main() {
     assert!(has(0.0, 1e-3), "steady base-flow eigenvalue missing");
     assert!(has(f_s, 0.02), "fundamental missing");
     assert!(has(2.0 * f_s, 0.04), "harmonic missing");
-    let fundamental = rows
-        .iter()
-        .find(|(f, _, _)| (f.abs() - f_s).abs() < 0.02)
-        .expect("fundamental");
+    let fundamental =
+        rows.iter().find(|(f, _, _)| (f.abs() - f_s).abs() < 0.02).expect("fundamental");
     assert!(
         (fundamental.1 - cfg.growth_rate).abs() < 0.01,
         "planted growth rate should be measured: {} vs {}",

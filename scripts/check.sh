@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-command verification gate: formatting, lints, build, tests.
+#
+#   scripts/check.sh            # fmt --check + clippy -D warnings + tier-1 tests
+#   scripts/check.sh --fix      # apply cargo fmt instead of checking, then gate
+#
+# Tier-1 is the release build plus the full workspace test suite — the same
+# bar the CI driver holds every PR to.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo fmt
+else
+    cargo fmt --check
+fi
+echo "check: fmt OK"
+
+cargo clippy --workspace --all-targets -- -D warnings
+echo "check: clippy OK"
+
+cargo build --release
+cargo test -q
+echo "check: OK (fmt, clippy, release build, tests)"

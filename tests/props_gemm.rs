@@ -109,10 +109,7 @@ fn packed_tile_boundary_shapes_match_reference() {
 /// Degenerate shapes: empty inner dimension, single row, single column.
 #[test]
 fn packed_degenerate_shapes() {
-    assert_eq!(
-        packed::matmul(&Matrix::zeros(5, 0), &Matrix::zeros(0, 7)),
-        Matrix::zeros(5, 7)
-    );
+    assert_eq!(packed::matmul(&Matrix::zeros(5, 0), &Matrix::zeros(0, 7)), Matrix::zeros(5, 7));
     let row = rand_mat(1, 50, 7);
     let col = rand_mat(50, 1, 8);
     assert!((&packed::matmul(&row, &col) - &reference::matmul(&row, &col)).max_abs() < TOL);

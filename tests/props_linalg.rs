@@ -21,8 +21,13 @@ fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Ma
 
 /// A random tall matrix (rows >= cols).
 fn tall_matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
-    matrix_strategy(max_rows, max_cols)
-        .prop_map(|m| if m.rows() >= m.cols() { m } else { m.transpose() })
+    matrix_strategy(max_rows, max_cols).prop_map(|m| {
+        if m.rows() >= m.cols() {
+            m
+        } else {
+            m.transpose()
+        }
+    })
 }
 
 proptest! {

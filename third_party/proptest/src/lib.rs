@@ -499,7 +499,9 @@ macro_rules! prop_assert_ne {
         if l == r {
             return Err($crate::test_runner::TestCaseError::fail(format!(
                 "assertion failed: {} != {}\n  both: {:?}",
-                stringify!($left), stringify!($right), l
+                stringify!($left),
+                stringify!($right),
+                l
             )));
         }
     }};
