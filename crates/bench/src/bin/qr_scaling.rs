@@ -1,0 +1,188 @@
+//! Thin-QR scaling benchmark: the blocked compact-WY path versus the
+//! unblocked reflector-at-a-time reference, across TSQR-relevant shapes
+//! and thread counts, emitting machine-readable JSON (`BENCH_qr.json`).
+//!
+//! ```text
+//! cargo run -p psvd-bench --release --bin qr_scaling [-- --quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the sweep for CI; both modes include the acceptance
+//! shape 16384x128. Every blocked (shape, threads) cell is checked bitwise
+//! against its single-thread run — at a fixed panel width the
+//! factorization must be reproducible at any thread count — and the
+//! blocked factors are cross-checked against the unblocked ones to
+//! contract tolerances.
+
+use std::fmt::Write as _;
+
+use psvd_bench::{time_it, Table};
+use psvd_linalg::norms::orthogonality_error;
+use psvd_linalg::qr::{qr_block, qr_thin_into, set_qr_block};
+use psvd_linalg::random::{gaussian_matrix, seeded_rng};
+use psvd_linalg::{par, Matrix, Workspace};
+
+struct Sample {
+    m: usize,
+    n: usize,
+    engine: &'static str,
+    nb: usize,
+    threads: usize,
+    seconds: f64,
+    deterministic: bool,
+}
+
+/// Best-of-`reps` wall time for `f`.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let (mut out, mut best) = time_it(&mut f);
+    for _ in 1..reps {
+        let (r, t) = time_it(&mut f);
+        if t < best {
+            best = t;
+            out = r;
+        }
+    }
+    (out, best)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_qr.json".to_string());
+
+    // The acceptance shape 16384x128 runs in both modes; --quick only
+    // trims the satellites.
+    let shapes: Vec<(usize, usize)> = if quick {
+        vec![(4096, 64), (16384, 128)]
+    } else {
+        vec![(4096, 64), (16384, 128), (16384, 256), (65536, 64), (512, 512)]
+    };
+    let reps = if quick { 2 } else { 3 };
+    let thread_counts = [1usize, 2, 4, 8];
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("== thin-QR scaling: blocked compact-WY vs unblocked, {hw} hw threads ==\n");
+    let table = Table::new(&["shape", "engine", "nb", "threads", "seconds", "bitwise"]);
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
+
+    for &(m, n) in &shapes {
+        let a = gaussian_matrix(m, n, &mut seeded_rng(42));
+        let label = format!("{m}x{n}");
+        let mut ws = Workspace::new();
+        let (mut q, mut r) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        let nb = {
+            set_qr_block(0);
+            qr_block(m, n)
+        };
+
+        let mut unblocked_best = f64::INFINITY;
+        let mut blocked_best = f64::INFINITY;
+        let mut reference: Option<(Matrix, Matrix)> = None;
+        let mut baseline: Option<(Matrix, Matrix)> = None;
+
+        for &(engine, width) in &[("unblocked", 1usize), ("blocked", nb)] {
+            set_qr_block(width);
+            // Warm the workspace outside the timed region.
+            qr_thin_into(a.view(), &mut q, &mut r, &mut ws);
+            for &threads in &thread_counts {
+                par::set_num_threads(threads);
+                let (_, t) = best_of(reps, || qr_thin_into(a.view(), &mut q, &mut r, &mut ws));
+                let deterministic = if engine == "unblocked" {
+                    unblocked_best = unblocked_best.min(t);
+                    if reference.is_none() {
+                        reference = Some((q.clone(), r.clone()));
+                    }
+                    true // the unblocked path's determinism is covered by tier-1 tests
+                } else {
+                    blocked_best = blocked_best.min(t);
+                    match &baseline {
+                        None => {
+                            // Contract cross-check against the unblocked factors.
+                            let (qr_ref, rr_ref) = reference.as_ref().expect("unblocked ran first");
+                            let qerr = (&q - qr_ref).max_abs();
+                            let rerr = (&r - rr_ref).max_abs();
+                            let scale = rr_ref.max_abs().max(1.0);
+                            assert!(
+                                qerr < 1e-10 && rerr < 1e-10 * scale,
+                                "blocked vs unblocked diverged: q {qerr:.2e}, r {rerr:.2e}"
+                            );
+                            assert!(
+                                orthogonality_error(&q) < 1e-12,
+                                "blocked Q lost orthogonality"
+                            );
+                            baseline = Some((q.clone(), r.clone()));
+                            true
+                        }
+                        Some((qb, rb)) => *qb == q && *rb == r,
+                    }
+                };
+                table.row(&[
+                    label.clone(),
+                    engine.into(),
+                    width.to_string(),
+                    threads.to_string(),
+                    format!("{t:.4}"),
+                    if deterministic { "ok" } else { "MISMATCH" }.into(),
+                ]);
+                samples.push(Sample {
+                    m,
+                    n,
+                    engine,
+                    nb: width,
+                    threads,
+                    seconds: t,
+                    deterministic,
+                });
+            }
+        }
+        par::set_num_threads(0);
+        set_qr_block(0);
+        let speedup = unblocked_best / blocked_best;
+        speedups.push((m, n, speedup));
+        println!("  {label}: blocked (nb = {nb}) is {speedup:.2}x the unblocked path\n");
+    }
+
+    let mismatches = samples.iter().filter(|s| !s.deterministic).count();
+    println!(
+        "determinism: {}",
+        if mismatches == 0 {
+            "blocked factors bitwise identical across all thread counts at fixed nb"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"qr_scaling\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"deterministic\": {},", mismatches == 0);
+    json.push_str("  \"speedups\": [\n");
+    for (i, (m, n, s)) in speedups.iter().enumerate() {
+        let _ =
+            write!(json, "    {{ \"m\": {m}, \"n\": {n}, \"blocked_over_unblocked\": {s:.3} }}");
+        json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"m\": {}, \"n\": {}, \"engine\": \"{}\", \"nb\": {}, \"threads\": {}, \
+             \"seconds\": {:.6}, \"bitwise_match\": {} }}",
+            s.m, s.n, s.engine, s.nb, s.threads, s.seconds, s.deterministic
+        );
+        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_qr.json");
+    println!("wrote {out_path}");
+
+    assert_eq!(mismatches, 0, "bitwise determinism violated — see {out_path}");
+}

@@ -232,6 +232,14 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// the root's stacked-R re-QR factors and the QR scratch persist on the
     /// instance; only the `O(n²)` matrices whose ownership moves through
     /// the communicator are freshly allocated.
+    ///
+    /// Both QR stages route through `qr_thin_into`, which dispatches to
+    /// the blocked compact-WY factorization for wide-enough panels (see
+    /// `PSVD_QR_BLOCK` in DESIGN.md): the tall local stage gets the
+    /// packed-GEMM trailing updates, while the small `pn x n` root stage
+    /// stays on the unblocked reference path with its serial reflector
+    /// fallback — no thread-pool handoff for a factorization that takes
+    /// microseconds.
     fn parallel_qr_into(&mut self, a_local: &Matrix, qlocal: &mut Matrix) -> (Matrix, Vec<f64>) {
         let n = a_local.cols();
         assert!(

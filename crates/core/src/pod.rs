@@ -103,6 +103,10 @@ pub fn temporal_mean(snapshots: &Matrix) -> Vec<f64> {
 }
 
 /// One-shot POD of a full snapshot matrix.
+///
+/// The dense SVD QR-preprocesses tall snapshot stacks and bidiagonalizes
+/// through the blocked compact-WY layer, so the heavy lifting lands on the
+/// packed GEMM engine (see "Blocked factorization" in DESIGN.md).
 pub fn pod(snapshots: &Matrix, k: usize) -> Pod {
     let mean = temporal_mean(snapshots);
     let fluct = subtract_mean(snapshots, &mean);

@@ -189,7 +189,10 @@ impl SerialStreamingSvd {
             dst[k0..].copy_from_slice(ai.row(i));
         }
 
-        // Thin QR of the stack, SVD of the small triangular factor.
+        // Thin QR of the stack, SVD of the small triangular factor. The QR
+        // dispatches to the blocked compact-WY path once `k0 + B` crosses
+        // the panel threshold (see `PSVD_QR_BLOCK` in DESIGN.md), so the
+        // per-batch factorization cost is dominated by packed GEMM.
         qr_thin_into(self.stack.view(), &mut self.qbuf, &mut self.rbuf, &mut self.ws);
         self.finish_update();
         self.snapshots_seen += ai.cols();

@@ -24,7 +24,7 @@
 
 use crate::matrix::Matrix;
 use crate::par;
-use crate::view::MatView;
+use crate::view::{MatView, MatViewMut};
 
 /// Flop count (`2mnk`) above which matrix-matrix products use the packed
 /// parallel engine. Below it, packing overhead dominates and the serial
@@ -123,10 +123,11 @@ pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
         b.cols()
     );
     c.reshape_zeroed(a.rows(), b.cols());
+    let ldc = b.cols();
     if 2 * a.rows() * a.cols() * b.cols() >= PAR_MIN_FLOPS {
-        packed::gemm(a, b, c.as_mut_slice());
+        packed::gemm(a, b, c.as_mut_slice(), ldc);
     } else {
-        reference::gemm_view(a, b, c.as_mut_slice());
+        reference::gemm_view(a, b, c.as_mut_slice(), ldc);
     }
 }
 
@@ -136,10 +137,11 @@ pub fn matmul_tn_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
     let at = a.transposed();
     c.reshape_zeroed(at.rows(), b.cols());
+    let ldc = b.cols();
     if 2 * at.rows() * at.cols() * b.cols() >= PAR_MIN_FLOPS {
-        packed::gemm(at, b, c.as_mut_slice());
+        packed::gemm(at, b, c.as_mut_slice(), ldc);
     } else {
-        reference::gemm_view(at, b, c.as_mut_slice());
+        reference::gemm_view(at, b, c.as_mut_slice(), ldc);
     }
 }
 
@@ -149,10 +151,41 @@ pub fn matmul_nt_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
     let bt = b.transposed();
     c.reshape_zeroed(a.rows(), bt.cols());
+    let ldc = bt.cols();
     if 2 * a.rows() * a.cols() * bt.cols() >= PAR_MIN_FLOPS {
-        packed::gemm(a, bt, c.as_mut_slice());
+        packed::gemm(a, bt, c.as_mut_slice(), ldc);
     } else {
-        reference::gemm_view(a, bt, c.as_mut_slice());
+        reference::gemm_view(a, bt, c.as_mut_slice(), ldc);
+    }
+}
+
+/// `C += A * B` accumulated into a mutable strided view with unit column
+/// stride (e.g. a [`Matrix::block_mut`] trailing-matrix region). This is
+/// the update primitive of the blocked compact-WY factorizations: both
+/// engines accumulate per output element in ascending `k`, so the tier
+/// dispatch (a pure function of the problem shape) keeps results bitwise
+/// deterministic across thread counts, exactly like [`matmul_into`].
+pub fn matmul_acc_into(a: MatView<'_>, b: MatView<'_>, c: &mut MatViewMut<'_>) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_acc_into: inner dimensions mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (a.rows(), b.cols()),
+        "matmul_acc_into: output shape mismatch"
+    );
+    assert_eq!(c.cs, 1, "matmul_acc_into: output must have unit column stride");
+    let ldc = c.rs;
+    if 2 * a.rows() * a.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(a, b, c.data, ldc);
+    } else {
+        reference::gemm_view(a, b, c.data, ldc);
     }
 }
 
@@ -182,16 +215,19 @@ pub mod reference {
     /// Cache block edge for the blocked kernels.
     const BLOCK: usize = 64;
 
-    /// `C += op(A) * op(B)` over strided views, blocked i-k-j. Per output
-    /// element the flops are the ascending-`k` sequence of [`matmul`] /
-    /// [`matmul_tn`] / [`matmul_nt`] (which all accumulate each `C`
-    /// element in ascending `k` from zero), so this single kernel is
-    /// bitwise identical to every one of them — strides decide only
-    /// where operands are *read*, never the op order.
-    pub(crate) fn gemm_view(a: MatView<'_>, b: MatView<'_>, c: &mut [f64]) {
+    /// `C += op(A) * op(B)` over strided views, blocked i-k-j, written to
+    /// `c` with row stride `ldc` (`ldc = n` for a dense output; larger for
+    /// a trailing-matrix block of a wider buffer). Per output element the
+    /// flops are the ascending-`k` sequence of [`matmul`] / [`matmul_tn`]
+    /// / [`matmul_nt`] (which all accumulate each `C` element in ascending
+    /// `k` from zero), so this single kernel is bitwise identical to every
+    /// one of them — strides decide only where operands are *read* and
+    /// *written*, never the op order.
+    pub(crate) fn gemm_view(a: MatView<'_>, b: MatView<'_>, c: &mut [f64], ldc: usize) {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         debug_assert_eq!(k, b.rows());
-        debug_assert_eq!(c.len(), m * n);
+        debug_assert!(ldc >= n);
+        debug_assert!(m == 0 || n == 0 || c.len() >= (m - 1) * ldc + n);
         for ib in (0..m).step_by(BLOCK) {
             for kb in (0..k).step_by(BLOCK) {
                 for jb in (0..n).step_by(BLOCK) {
@@ -201,7 +237,7 @@ pub mod reference {
                     for i in ib..imax {
                         for kk in kb..kmax {
                             let aik = a.at(i, kk);
-                            let crow = &mut c[i * n + jb..i * n + jmax];
+                            let crow = &mut c[i * ldc + jb..i * ldc + jmax];
                             if b.cs == 1 {
                                 let off = kk * b.rs;
                                 let brow = &b.data[off + jb..off + jmax];
@@ -416,14 +452,16 @@ pub mod packed {
     /// of packed A targets L2).
     const MC: usize = 128;
 
-    /// `C = op(A) * op(B)` forced through the packed engine (any size).
-    /// `op(X)` is any strided [`MatView`] — normal, transposed or a
-    /// sub-block; packing resolves the strides, after which every layout
+    /// `C += op(A) * op(B)` forced through the packed engine (any size),
+    /// written to `c` with row stride `ldc` (`ldc = n` for a dense
+    /// output). `op(X)` is any strided [`MatView`] — normal, transposed or
+    /// a sub-block; packing resolves the strides, after which every layout
     /// runs the same micro-kernel.
-    pub(crate) fn gemm(a: MatView<'_>, b: MatView<'_>, c: &mut [f64]) {
+    pub(crate) fn gemm(a: MatView<'_>, b: MatView<'_>, c: &mut [f64], ldc: usize) {
         let (m, k, n) = (a.rows, a.cols, b.cols);
         debug_assert_eq!(k, b.rows);
-        debug_assert_eq!(c.len(), m * n);
+        debug_assert!(ldc >= n);
+        debug_assert!(m == 0 || n == 0 || c.len() >= (m - 1) * ldc + n);
         if m == 0 || n == 0 || k == 0 {
             return;
         }
@@ -486,7 +524,7 @@ pub mod packed {
             if r0 >= r1 {
                 return;
             }
-            thread_body(a, bp, cptr, n, npj, r0, r1);
+            thread_body(a, bp, cptr, n, ldc, npj, r0, r1);
         });
     }
 
@@ -497,6 +535,7 @@ pub mod packed {
         bpack: &[f64],
         cptr: SendPtr,
         n: usize,
+        ldc: usize,
         npj: usize,
         r0: usize,
         r1: usize,
@@ -560,7 +599,7 @@ pub mod packed {
                                 let j = jp * NR + jr;
                                 // SAFETY: row i belongs to this thread's
                                 // disjoint range [r0, r1).
-                                unsafe { *cptr.get().add(i * n + j) += acc[ir * NR + jr] };
+                                unsafe { *cptr.get().add(i * ldc + j) += acc[ir * NR + jr] };
                             }
                         }
                     }
@@ -601,7 +640,8 @@ pub mod packed {
             b.cols()
         );
         let mut c = Matrix::zeros(a.rows(), b.cols());
-        gemm(a.view(), b.view(), c.as_mut_slice());
+        let ldc = c.cols();
+        gemm(a.view(), b.view(), c.as_mut_slice(), ldc);
         c
     }
 
@@ -609,7 +649,8 @@ pub mod packed {
     pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
         let mut c = Matrix::zeros(a.cols(), b.cols());
-        gemm(a.view().transposed(), b.view(), c.as_mut_slice());
+        let ldc = c.cols();
+        gemm(a.view().transposed(), b.view(), c.as_mut_slice(), ldc);
         c
     }
 
@@ -617,7 +658,8 @@ pub mod packed {
     pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
         assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
         let mut c = Matrix::zeros(a.rows(), b.rows());
-        gemm(a.view(), b.view().transposed(), c.as_mut_slice());
+        let ldc = c.cols();
+        gemm(a.view(), b.view().transposed(), c.as_mut_slice(), ldc);
         c
     }
 

@@ -41,12 +41,13 @@ pub mod svd;
 pub mod validate;
 pub mod view;
 pub mod workspace;
+pub mod wy;
 
-pub use gemm::{gram_into, matmul_into, matmul_nt_into, matmul_tn_into};
+pub use gemm::{gram_into, matmul_acc_into, matmul_into, matmul_nt_into, matmul_tn_into};
 pub use lanczos::{lanczos_svd, LanczosConfig};
 pub use matrix::{alloc_stats, Matrix};
 pub use pinv::{lstsq, pseudoinverse};
-pub use qr::{qr_thin_into, thin_qr, QrFactors};
+pub use qr::{qr_block, qr_thin_into, set_qr_block, thin_qr, QrFactors};
 pub use randomized::{low_rank_svd, randomized_svd, RandomizedConfig};
 pub use snapshots::generate_right_vectors;
 pub use svd::{svd, svd_with, truncated_svd, Svd, SvdMethod};

@@ -11,11 +11,22 @@
 //! the principled version of that trick and is what keeps local and global
 //! TSQR stages consistent across ranks.
 
-use crate::gemm::matmul;
+use crate::gemm::{gram_into, matmul};
 use crate::matrix::Matrix;
 use crate::par;
 use crate::view::MatView;
 use crate::workspace::Workspace;
+use crate::wy;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Below this many flops (`4 · v.len() · columns`) a reflector sweep runs
+/// on the calling thread: the p×p root factorization of TSQR and the short
+/// panel columns of the blocked path would otherwise spend more time in
+/// thread-pool handoff than in arithmetic. The serial path executes the
+/// identical per-column instruction sequence, so the cutoff never changes
+/// bits — only where they are computed.
+const REFLECTOR_PAR_MIN_FLOPS: usize = 1 << 15;
 
 /// Apply `H = I - 2 v vᵀ / vnorm2` to rows `[k, k + v.len())` of columns
 /// `[j0, j1)` of the row-major buffer `data` (row stride `ld`).
@@ -23,8 +34,9 @@ use crate::workspace::Workspace;
 /// Columns are independent, so the sweep is partitioned across the kernel
 /// thread pool; each column's dot/update runs the exact serial instruction
 /// sequence, keeping the factorization bitwise identical at any thread
-/// count.
-fn apply_reflector(
+/// count. Small sweeps (see [`REFLECTOR_PAR_MIN_FLOPS`]) skip the pool
+/// entirely.
+pub(crate) fn apply_reflector(
     data: &mut [f64],
     ld: usize,
     k: usize,
@@ -33,8 +45,9 @@ fn apply_reflector(
     v: &[f64],
     vnorm2: f64,
 ) {
+    let cols = j1 - j0;
     let ptr = par::SendPtr(data.as_mut_ptr());
-    par::parallel_for(j1 - j0, 16, |c0, c1| {
+    let body = |c0: usize, c1: usize| {
         for j in j0 + c0..j0 + c1 {
             let mut dot = 0.0;
             for (idx, vi) in v.iter().enumerate() {
@@ -47,7 +60,107 @@ fn apply_reflector(
                 unsafe { *ptr.get().add((k + idx) * ld + j) -= s * vi };
             }
         }
-    });
+    };
+    if 4 * v.len() * cols < REFLECTOR_PAR_MIN_FLOPS {
+        body(0, cols);
+    } else {
+        par::parallel_for(cols, 16, body);
+    }
+}
+
+/// Apply `H = I - 2 w wᵀ / wnorm2` from the right to rows `[r0, r1)` of
+/// the row-major buffer `data` (row stride `ld`), acting on the column
+/// window `[c0, c0 + w.len())`. Rows are independent, so the sweep is
+/// partitioned across rows — each row touches a contiguous slice, and the
+/// per-row op sequence is fixed, keeping results bitwise identical at any
+/// thread count. Used by the Golub–Kahan bidiagonalization's right
+/// reflectors.
+pub(crate) fn apply_reflector_right(
+    data: &mut [f64],
+    ld: usize,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    w: &[f64],
+    wnorm2: f64,
+) {
+    let rows = r1 - r0;
+    let ptr = par::SendPtr(data.as_mut_ptr());
+    let body = |i0: usize, i1: usize| {
+        for i in r0 + i0..r0 + i1 {
+            // SAFETY: each row i belongs to exactly one chunk; the window
+            // [i*ld + c0, i*ld + c0 + w.len()) stays within that row.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(ptr.get().add(i * ld + c0), w.len()) };
+            let mut dot = 0.0;
+            for (wi, ri) in w.iter().zip(row.iter()) {
+                dot += wi * ri;
+            }
+            let s = 2.0 * dot / wnorm2;
+            for (wi, ri) in w.iter().zip(row.iter_mut()) {
+                *ri -= s * wi;
+            }
+        }
+    };
+    if 4 * w.len() * rows < REFLECTOR_PAR_MIN_FLOPS {
+        body(0, rows);
+    } else {
+        par::parallel_for(rows, 16, body);
+    }
+}
+
+/// Process-wide programmatic override of the QR/bidiagonalization panel
+/// width (`0` = resolve from the `PSVD_QR_BLOCK` env var, then the shape
+/// heuristic). Takes precedence over the environment so tests and benches
+/// can switch block sizes without re-execing.
+static QR_BLOCK: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the compact-WY panel width for all subsequent factorizations.
+/// `nb = 1` forces the unblocked reference path; `0` restores automatic
+/// resolution (env var, then shape heuristic). The effective width is
+/// always clamped to `min(m, n)` per call.
+///
+/// Note that unlike the thread count, the panel width changes the
+/// floating-point result (within contract tolerances): callers comparing
+/// runs bitwise must pin `nb`.
+pub fn set_qr_block(nb: usize) {
+    QR_BLOCK.store(nb, Ordering::Relaxed);
+}
+
+/// `PSVD_QR_BLOCK`, read once per process (consistent with how the kernel
+/// thread count is resolved in [`crate::par`]).
+fn env_qr_block() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PSVD_QR_BLOCK").ok().and_then(|s| s.trim().parse().ok()).filter(|&n| n > 0)
+    })
+}
+
+/// Shape-based default panel width. Small factorizations stay on the
+/// unblocked path (panel assembly + T recurrence overhead beats the GEMM
+/// gain below ~48 columns); medium and large ones use panels sized so the
+/// `(Y, T)` pair stays cache-resident while the trailing GEMM runs at full
+/// packed-kernel throughput. A pure function of shape, so the dispatch
+/// decision — like everything downstream of it — is independent of the
+/// thread count.
+fn auto_qr_block(p: usize) -> usize {
+    if p < 48 {
+        1
+    } else if p < 128 {
+        16
+    } else {
+        32
+    }
+}
+
+/// The panel width an `m x n` factorization will actually use, after the
+/// programmatic override, `PSVD_QR_BLOCK`, the shape heuristic, and the
+/// `min(m, n)` clamp. Exposed so benches and tests can report / pin it.
+pub fn qr_block(m: usize, n: usize) -> usize {
+    let p = m.min(n).max(1);
+    let cfg = QR_BLOCK.load(Ordering::Relaxed);
+    let nb = if cfg > 0 { cfg } else { env_qr_block().unwrap_or_else(|| auto_qr_block(p)) };
+    nb.min(p)
 }
 
 /// The result of a QR factorization: `a = q * r`.
@@ -73,7 +186,13 @@ pub fn thin_qr(a: &Matrix) -> QrFactors {
 /// temporary from `ws`. With warm buffers the call performs zero heap
 /// allocation. Bitwise identical to [`thin_qr`].
 pub fn qr_thin_into(a: MatView<'_>, q: &mut Matrix, r: &mut Matrix, ws: &mut Workspace) {
-    householder_into(a, q, r, ws);
+    let (m, n) = a.shape();
+    let nb = qr_block(m, n);
+    if nb <= 1 {
+        householder_into(a, q, r, ws);
+    } else {
+        householder_blocked_into(a, q, r, nb, ws);
+    }
     canonicalize_qr(q, r);
 }
 
@@ -169,6 +288,119 @@ fn householder_into(a: MatView<'_>, q: &mut Matrix, r_out: &mut Matrix, ws: &mut
     ws.give(vn);
 }
 
+/// The blocked compact-WY factorization core: panels of `nb` columns are
+/// reduced with the scalar reflector kernel (level 2, but only `nb`
+/// columns wide), then the panel's reflectors are accumulated into
+/// `(Y, T)` form and the entire trailing matrix is updated with
+/// `C ← (I − Y Tᵀ Yᵀ) C` — two packed-GEMM calls instead of `nb`
+/// full-width rank-1 sweeps. Thin Q forms the same way in reverse panel
+/// order via [`wy::accumulate_reverse`].
+///
+/// Reflector construction is column-for-column identical to
+/// [`householder_into`]; only the order in which trailing columns absorb
+/// the reflectors differs, so the factors agree with the unblocked
+/// reference to rounding (≪ 1e-12 relative) and are bitwise reproducible
+/// across thread counts at a fixed `nb`.
+fn householder_blocked_into(
+    a: MatView<'_>,
+    q: &mut Matrix,
+    r_out: &mut Matrix,
+    nb: usize,
+    ws: &mut Workspace,
+) {
+    let (m, n) = a.shape();
+    let p = m.min(n);
+    debug_assert!(nb >= 2, "nb <= 1 routes to householder_into");
+    let mut work = ws.take(m, n);
+    for i in 0..m {
+        let row = work.row_mut(i);
+        if a.cs == 1 {
+            row.copy_from_slice(&a.data[i * a.rs..i * a.rs + n]);
+        } else {
+            for (j, x) in row.iter_mut().enumerate() {
+                *x = a.at(i, j);
+            }
+        }
+    }
+    // Same reflector layout as the unblocked path: row k of `vs` holds v_k
+    // in its first m - k entries, `vn` each ‖v_k‖² (0.0 = identity).
+    let mut vs = ws.take(p, m);
+    let mut vn = ws.take(1, p);
+
+    let mut y = ws.take(m, nb);
+    let mut s = ws.take(nb, nb);
+    let mut t = ws.take(nb, nb);
+    let mut taus = ws.take(1, nb);
+
+    let mut k0 = 0;
+    while k0 < p {
+        let nbk = nb.min(p - k0);
+        // Panel reduction: reflectors k0 .. k0+nbk, applied only within
+        // the panel's columns.
+        for j in 0..nbk {
+            let k = k0 + j;
+            let vlen = m - k;
+            {
+                let vrow = &mut vs.row_mut(k)[..vlen];
+                for (idx, vv) in vrow.iter_mut().enumerate() {
+                    *vv = work[(k + idx, k)];
+                }
+            }
+            let alpha = {
+                let v = &vs.row(k)[..vlen];
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if v[0] >= 0.0 {
+                    -norm
+                } else {
+                    norm
+                }
+            };
+            if alpha == 0.0 {
+                continue;
+            }
+            vs[(k, 0)] -= alpha;
+            let vnorm2: f64 = vs.row(k)[..vlen].iter().map(|x| x * x).sum();
+            if vnorm2 == 0.0 {
+                continue;
+            }
+            vn[(0, k)] = vnorm2;
+            apply_reflector(work.as_mut_slice(), n, k, k, k0 + nbk, &vs.row(k)[..vlen], vnorm2);
+            work[(k, k)] = alpha;
+            for i in k + 1..m {
+                work[(i, k)] = 0.0;
+            }
+        }
+        // Trailing update through the packed GEMM engine.
+        if k0 + nbk < n {
+            wy::panel_y(&vs, vn.row(0), k0, nbk, m - k0, &mut y, &mut taus.row_mut(0)[..nbk]);
+            gram_into(y.view(), &mut s);
+            wy::build_t(&s, &taus.row(0)[..nbk], &mut t);
+            t.scale_mut(-1.0);
+            wy::apply_block_left(&y, &t, true, work.block_mut(k0, m, k0 + nbk, n), ws);
+        }
+        k0 += nbk;
+    }
+    ws.give(y);
+    ws.give(s);
+    ws.give(t);
+    ws.give(taus);
+
+    // Thin Q: reverse compact-WY accumulation over the same reflectors.
+    q.reshape_zeroed(m, p);
+    for i in 0..p {
+        q[(i, i)] = 1.0;
+    }
+    wy::accumulate_reverse(&vs, vn.row(0), p, 0, nb, q, ws);
+
+    r_out.reshape_for_overwrite(p, n);
+    for i in 0..p {
+        r_out.row_mut(i).copy_from_slice(work.row(i));
+    }
+    ws.give(work);
+    ws.give(vs);
+    ws.give(vn);
+}
+
 /// Flip signs so that `diag(R) >= 0`, adjusting `Q` columns to keep `QR`
 /// unchanged.
 pub fn canonicalize(f: &mut QrFactors) {
@@ -196,6 +428,14 @@ pub fn canonicalize_qr(q: &mut Matrix, r: &mut Matrix) {
 /// cross-check in tests; the double pass keeps `Q` orthonormal to machine
 /// precision ("twice is enough").
 pub fn mgs_qr(a: &Matrix) -> QrFactors {
+    let mut ws = Workspace::new();
+    mgs_qr_with(a, &mut ws)
+}
+
+/// [`mgs_qr`] drawing its wide-matrix tail temporary from a caller-owned
+/// workspace, so repeated factorizations of same-shaped inputs allocate
+/// only the returned factors.
+pub fn mgs_qr_with(a: &Matrix, ws: &mut Workspace) -> QrFactors {
     let (m, n) = a.shape();
     let p = m.min(n);
     let mut q = Matrix::zeros(m, p);
@@ -229,14 +469,16 @@ pub fn mgs_qr(a: &Matrix) -> QrFactors {
     }
     if n > p {
         // For wide matrices (m < n) the trailing block of R is QᵀA; exact
-        // because the square orthonormal Q spans all of R^m.
-        let tail = a.submatrix(0, m, p, n);
-        let qt_tail = crate::gemm::matmul_tn(&q, &tail);
+        // because the square orthonormal Q spans all of R^m. The tail is a
+        // zero-copy view and the product lands in a workspace buffer.
+        let mut qt_tail = ws.take(p, n - p);
+        crate::gemm::matmul_tn_into(q.view(), a.block(0, m, p, n), &mut qt_tail);
         for i in 0..p {
             for j in 0..n - p {
                 r[(i, p + j)] = qt_tail[(i, j)];
             }
         }
+        ws.give(qt_tail);
     }
     let mut f = QrFactors { q, r };
     canonicalize(&mut f);

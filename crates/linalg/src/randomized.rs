@@ -91,6 +91,8 @@ pub fn randomized_range_finder_into<R: rand::Rng>(
     let mut y = ws.take(m, l);
     let mut rwork = ws.take(l, l);
     matmul_into(a.view(), omega.view(), &mut y);
+    // Tall sketches ride the blocked compact-WY QR (see DESIGN.md), so
+    // range finding is packed-GEMM work end to end.
     qr_thin_into(y.view(), q, &mut rwork, ws);
     if cfg.power_iterations > 0 {
         let mut z = ws.take(n, l);

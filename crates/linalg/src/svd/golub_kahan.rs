@@ -7,7 +7,10 @@
 //! property-tested against the one-sided Jacobi kernel.
 
 use crate::matrix::Matrix;
+use crate::qr::{apply_reflector, apply_reflector_right, qr_block};
 use crate::svd::Svd;
+use crate::workspace::Workspace;
+use crate::wy;
 
 /// Givens pair `(c, s, r)` with `c*f + s*g = r`, `-s*f + c*g = 0`,
 /// `r = hypot(f, g)`.
@@ -42,117 +45,99 @@ fn rotate_cols(m: &mut Matrix, j: usize, k: usize, c: f64, s: f64) {
 pub fn bidiagonalize(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
     let (m, n) = a.shape();
     assert!(m >= n, "bidiagonalize requires m >= n");
+    let mut ws = Workspace::new();
     let mut b = a.clone();
-    // Left reflectors annihilate below-diagonal entries of column k;
-    // right reflectors annihilate row entries right of the superdiagonal.
-    let mut left: Vec<Vec<f64>> = Vec::with_capacity(n);
-    let mut right: Vec<Vec<f64>> = Vec::with_capacity(n.saturating_sub(2));
+    // Left reflectors annihilate below-diagonal entries of column k; right
+    // reflectors annihilate row entries right of the superdiagonal. Both
+    // sets use the row layout of the QR kernels: row k of the store holds
+    // the unnormalized vector, the norm array holds ‖v‖² with 0.0 marking
+    // an identity reflector — which is exactly what the compact-WY
+    // accumulation below consumes.
+    let rcount = n.saturating_sub(2);
+    let mut lvs = ws.take(n, m);
+    let mut lvn = vec![0.0; n];
+    let mut rvs = ws.take(rcount, n.saturating_sub(1));
+    let mut rvn = vec![0.0; rcount];
 
     for k in 0..n {
         // Left Householder on b[k.., k].
-        let mut v: Vec<f64> = (k..m).map(|i| b[(i, k)]).collect();
-        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let vlen = m - k;
+        {
+            let vrow = &mut lvs.row_mut(k)[..vlen];
+            for (idx, vv) in vrow.iter_mut().enumerate() {
+                *vv = b[(k + idx, k)];
+            }
+        }
+        let norm = lvs.row(k)[..vlen].iter().map(|x| x * x).sum::<f64>().sqrt();
         if norm > 0.0 {
-            let alpha = if v[0] >= 0.0 { -norm } else { norm };
-            v[0] -= alpha;
-            let vn2: f64 = v.iter().map(|x| x * x).sum();
+            let alpha = if lvs[(k, 0)] >= 0.0 { -norm } else { norm };
+            lvs[(k, 0)] -= alpha;
+            let vn2: f64 = lvs.row(k)[..vlen].iter().map(|x| x * x).sum();
             if vn2 > 0.0 {
-                for j in k..n {
-                    let mut dot = 0.0;
-                    for (idx, vi) in v.iter().enumerate() {
-                        dot += vi * b[(k + idx, j)];
-                    }
-                    let s = 2.0 * dot / vn2;
-                    for (idx, vi) in v.iter().enumerate() {
-                        b[(k + idx, j)] -= s * vi;
-                    }
-                }
+                lvn[k] = vn2;
+                apply_reflector(b.as_mut_slice(), n, k, k, n, &lvs.row(k)[..vlen], vn2);
                 b[(k, k)] = alpha;
                 for i in k + 1..m {
                     b[(i, k)] = 0.0;
                 }
-                left.push(v);
-            } else {
-                left.push(Vec::new());
             }
-        } else {
-            left.push(Vec::new());
         }
 
         // Right Householder on b[k, k+2..].
         if k + 2 < n {
-            let mut w: Vec<f64> = (k + 1..n).map(|j| b[(k, j)]).collect();
-            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let wlen = n - k - 1;
+            {
+                let wrow = &mut rvs.row_mut(k)[..wlen];
+                for (idx, wv) in wrow.iter_mut().enumerate() {
+                    *wv = b[(k, k + 1 + idx)];
+                }
+            }
+            let norm = rvs.row(k)[..wlen].iter().map(|x| x * x).sum::<f64>().sqrt();
             if norm > 0.0 {
-                let alpha = if w[0] >= 0.0 { -norm } else { norm };
-                w[0] -= alpha;
-                let wn2: f64 = w.iter().map(|x| x * x).sum();
+                let alpha = if rvs[(k, 0)] >= 0.0 { -norm } else { norm };
+                rvs[(k, 0)] -= alpha;
+                let wn2: f64 = rvs.row(k)[..wlen].iter().map(|x| x * x).sum();
                 if wn2 > 0.0 {
-                    for i in k..m {
-                        let mut dot = 0.0;
-                        for (idx, wi) in w.iter().enumerate() {
-                            dot += wi * b[(i, k + 1 + idx)];
-                        }
-                        let s = 2.0 * dot / wn2;
-                        for (idx, wi) in w.iter().enumerate() {
-                            b[(i, k + 1 + idx)] -= s * wi;
-                        }
-                    }
+                    rvn[k] = wn2;
+                    apply_reflector_right(
+                        b.as_mut_slice(),
+                        n,
+                        k,
+                        m,
+                        k + 1,
+                        &rvs.row(k)[..wlen],
+                        wn2,
+                    );
                     b[(k, k + 1)] = alpha;
                     for j in k + 2..n {
                         b[(k, j)] = 0.0;
                     }
-                    right.push(w);
-                } else {
-                    right.push(Vec::new());
                 }
-            } else {
-                right.push(Vec::new());
             }
         }
     }
 
-    // Form thin U (m x n).
+    // Form thin U (m x n): backward accumulation of the left reflectors,
+    // in compact-WY panels when the problem is big enough to feed the
+    // packed GEMM engine.
     let mut u = Matrix::zeros(m, n);
     for i in 0..n {
         u[(i, i)] = 1.0;
     }
-    for k in (0..n).rev() {
-        let v = &left[k];
-        if v.is_empty() {
-            continue;
-        }
-        let vn2: f64 = v.iter().map(|x| x * x).sum();
-        for j in 0..n {
-            let mut dot = 0.0;
-            for (idx, vi) in v.iter().enumerate() {
-                dot += vi * u[(k + idx, j)];
-            }
-            let s = 2.0 * dot / vn2;
-            for (idx, vi) in v.iter().enumerate() {
-                u[(k + idx, j)] -= s * vi;
-            }
-        }
+    let nb_u = qr_block(m, n);
+    if nb_u <= 1 {
+        wy::accumulate_reverse_unblocked(&lvs, &lvn, n, 0, &mut u);
+    } else {
+        wy::accumulate_reverse(&lvs, &lvn, n, 0, nb_u, &mut u, &mut ws);
     }
 
-    // Form V (n x n).
+    // Form V (n x n): right reflector k acts on rows k+1.. (offset 1).
     let mut v = Matrix::identity(n);
-    for k in (0..right.len()).rev() {
-        let w = &right[k];
-        if w.is_empty() {
-            continue;
-        }
-        let wn2: f64 = w.iter().map(|x| x * x).sum();
-        for j in 0..n {
-            let mut dot = 0.0;
-            for (idx, wi) in w.iter().enumerate() {
-                dot += wi * v[(k + 1 + idx, j)];
-            }
-            let s = 2.0 * dot / wn2;
-            for (idx, wi) in w.iter().enumerate() {
-                v[(k + 1 + idx, j)] -= s * wi;
-            }
-        }
+    let nb_v = qr_block(n.saturating_sub(1), rcount);
+    if nb_v <= 1 {
+        wy::accumulate_reverse_unblocked(&rvs, &rvn, rcount, 1, &mut v);
+    } else {
+        wy::accumulate_reverse(&rvs, &rvn, rcount, 1, nb_v, &mut v, &mut ws);
     }
 
     let d: Vec<f64> = (0..n).map(|i| b[(i, i)]).collect();

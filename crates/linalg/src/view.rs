@@ -231,6 +231,21 @@ impl Matrix {
         self.view().block(r0, r1, c0, c1)
     }
 
+    /// Zero-copy exclusive view of the sub-block `[r0, r1) x [c0, c1)`.
+    /// The blocked QR/bidiagonalization kernels use this to hand a
+    /// trailing-matrix region to the accumulating GEMM entry points.
+    pub fn block_mut(&mut self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatViewMut<'_> {
+        let (rows, cols) = self.shape();
+        assert!(r0 <= r1 && r1 <= rows, "row range {r0}..{r1} out of 0..{rows}");
+        assert!(c0 <= c1 && c1 <= cols, "col range {c0}..{c1} out of 0..{cols}");
+        let data = if r1 > r0 && c1 > c0 {
+            &mut self.as_mut_slice()[r0 * cols + c0..]
+        } else {
+            &mut [][..]
+        };
+        MatViewMut { data, rows: r1 - r0, cols: c1 - c0, rs: cols, cs: 1 }
+    }
+
     /// Zero-copy `rows x 1` view of column `j` — the non-allocating
     /// sibling of [`Matrix::col`].
     pub fn col_view(&self, j: usize) -> MatView<'_> {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Thin-QR scaling benchmark: blocked compact-WY vs unblocked reference.
+#
+# Runs the QR scaling sweep (including the 16384x128 acceptance shape) and
+# writes the results to BENCH_qr.json at the repo root. Quick mode trims
+# the satellite shapes but keeps the acceptance shape:
+#
+#   scripts/bench_qr.sh            # quick sweep (CI smoke mode)
+#   scripts/bench_qr.sh --full     # full sweep incl. 65536x64 and 512^2
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=--quick
+if [[ "${1:-}" == "--full" ]]; then
+    MODE=""
+fi
+
+# shellcheck disable=SC2086  # $MODE is deliberately word-split (may be empty)
+cargo run -p psvd-bench --release --bin qr_scaling -- $MODE --out BENCH_qr.json
+echo "bench_qr: OK (BENCH_qr.json written)"
