@@ -105,6 +105,13 @@ pub fn tree_allreduce_sum<C: Communicator>(comm: &C, value: Vec<f64>) -> Vec<f64
     tree_bcast(comm, summed, 0)
 }
 
+/// Tree-based allgather: tree-gather at rank 0, tree-bcast the assembled
+/// vector. Same result as [`Communicator::allgather`], `O(log P)` rounds.
+pub fn tree_allgather<C: Communicator, T: Payload + Clone>(comm: &C, value: T) -> Vec<T> {
+    let gathered = tree_gather(comm, value, 0);
+    tree_bcast(comm, gathered, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +171,21 @@ mod tests {
         let out = w.run(|c| tree_allreduce_sum(c, vec![c.rank() as f64, 1.0]));
         for v in out {
             assert_eq!(v, vec![36.0, 9.0]);
+        }
+    }
+
+    #[test]
+    fn tree_allgather_matches_flat_allgather() {
+        for size in [1usize, 2, 3, 5, 8, 11] {
+            let w = World::new(size);
+            let out = w.run(|c| {
+                let tree = tree_allgather(c, c.rank() as f64 + 0.5);
+                let flat = c.allgather(c.rank() as f64 + 0.5);
+                (tree, flat)
+            });
+            for (tree, flat) in out {
+                assert_eq!(tree, flat, "size {size}");
+            }
         }
     }
 

@@ -93,10 +93,12 @@ pub trait Communicator {
     fn scatter<T: Payload>(&self, values: Option<Vec<T>>, root: usize) -> T {
         let tag = self.next_collective_tag();
         if self.rank() == root {
-            let mut values = values.expect("scatter: root must supply values");
+            let values = values.expect("scatter: root must supply values");
             assert_eq!(values.len(), self.size(), "scatter: need one value per rank");
+            // One reverse pass: sends go out in descending rank order and
+            // the root's own slot is moved out, never cloned.
             let mut own = None;
-            for (dst, v) in values.drain(..).enumerate().rev().collect::<Vec<_>>() {
+            for (dst, v) in values.into_iter().enumerate().rev() {
                 if dst == root {
                     own = Some(v);
                 } else {

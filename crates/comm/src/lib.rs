@@ -27,7 +27,7 @@ pub mod payload;
 pub mod stats;
 pub mod thread_comm;
 
-pub use collectives::{tree_allreduce_sum, tree_bcast, tree_gather};
+pub use collectives::{tree_allgather, tree_allreduce_sum, tree_bcast, tree_gather};
 pub use communicator::{Communicator, SelfComm};
 pub use model::NetworkModel;
 pub use payload::Payload;

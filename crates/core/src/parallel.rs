@@ -28,7 +28,7 @@
 //! identical for any kernel thread count (see DESIGN.md, "Threading
 //! model").
 
-use psvd_comm::collectives::{tree_bcast, tree_gather};
+use psvd_comm::collectives::{tree_allgather, tree_bcast, tree_gather};
 use psvd_comm::Communicator;
 use psvd_linalg::gemm::matmul_into;
 use psvd_linalg::qr::qr_thin_into;
@@ -424,7 +424,11 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// this rank's block into the gather; when the tracker is finished,
     /// [`ParallelStreamingSvd::into_gathered_modes`] moves it instead.
     pub fn gather_modes(&self, root: usize) -> Option<Matrix> {
-        let blocks = self.comm.gather(self.ulocal.clone(), root);
+        let blocks = if self.cfg.tree_collectives {
+            tree_gather(self.comm, self.ulocal.clone(), root)
+        } else {
+            self.comm.gather(self.ulocal.clone(), root)
+        };
         blocks.map(|b| Matrix::vstack_all(&b))
     }
 
@@ -432,8 +436,25 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// moving this rank's block into the collective (no snapshot copy) and
     /// assembling the result by reusing the gathered storage.
     pub fn into_gathered_modes(self, root: usize) -> Option<Matrix> {
-        let blocks = self.comm.gather(self.ulocal, root);
+        let blocks = if self.cfg.tree_collectives {
+            tree_gather(self.comm, self.ulocal, root)
+        } else {
+            self.comm.gather(self.ulocal, root)
+        };
         blocks.map(Matrix::vstack_owned)
+    }
+
+    /// Gather the distributed modes into the global `M x K` matrix on
+    /// *every* rank — [`ParallelStreamingSvd::gather_modes`] followed by a
+    /// broadcast, both tree-structured when `cfg.tree_collectives` is set
+    /// so no stage funnels flat through rank 0.
+    pub fn allgather_modes(&self) -> Matrix {
+        let blocks = if self.cfg.tree_collectives {
+            tree_allgather(self.comm, self.ulocal.clone())
+        } else {
+            self.comm.allgather(self.ulocal.clone())
+        };
+        Matrix::vstack_owned(blocks)
     }
 }
 
@@ -678,6 +699,27 @@ mod tests {
         let tree = run(base.with_tree_collectives(true));
         assert_eq!(flat[0].1, tree[0].1, "singular values must be bit-identical");
         assert_eq!(flat[0].0, tree[0].0, "modes must be bit-identical");
+    }
+
+    #[test]
+    fn allgather_modes_matches_root_gather_on_every_rank() {
+        let a = decaying_matrix(64, 12, 11);
+        let base = SvdConfig::new(3).with_forget_factor(1.0).with_r1(8).with_r2(6);
+        for tree in [false, true] {
+            let cfg = base.with_tree_collectives(tree);
+            let blocks = split_rows(&a, 4);
+            let world = World::new(4);
+            let out = world.run(|comm| {
+                let mut d = ParallelStreamingSvd::new(comm, cfg);
+                d.fit_batched(&blocks[comm.rank()], 6);
+                let everywhere = d.allgather_modes();
+                (everywhere, d.gather_modes(0))
+            });
+            let root_copy = out[0].1.as_ref().unwrap();
+            for (rank, (everywhere, _)) in out.iter().enumerate() {
+                assert_eq!(everywhere, root_copy, "rank {rank} (tree={tree}) diverged");
+            }
+        }
     }
 
     #[test]

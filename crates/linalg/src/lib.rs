@@ -35,6 +35,7 @@ pub mod pinv;
 pub mod qr;
 pub mod random;
 pub mod randomized;
+pub mod rot;
 pub mod schur;
 pub mod snapshots;
 pub mod svd;
@@ -49,7 +50,8 @@ pub use matrix::{alloc_stats, Matrix};
 pub use pinv::{lstsq, pseudoinverse};
 pub use qr::{qr_block, qr_thin_into, set_qr_block, thin_qr, QrFactors};
 pub use randomized::{low_rank_svd, randomized_svd, RandomizedConfig};
+pub use rot::{rot_block, set_rot_block, RotAccumulator, RotStats};
 pub use snapshots::generate_right_vectors;
-pub use svd::{svd, svd_with, truncated_svd, Svd, SvdMethod};
+pub use svd::{convergence_stats, svd, svd_with, truncated_svd, Svd, SvdInfo, SvdMethod};
 pub use view::{MatView, MatViewMut};
 pub use workspace::{Workspace, WorkspaceStats};

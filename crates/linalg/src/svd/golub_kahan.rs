@@ -6,9 +6,11 @@
 //! the streaming and APMOS drivers factorize at every step. Its output is
 //! property-tested against the one-sided Jacobi kernel.
 
+use crate::gemm::matmul_into;
 use crate::matrix::Matrix;
-use crate::qr::{apply_reflector, apply_reflector_right, qr_block};
-use crate::svd::Svd;
+use crate::qr::{apply_reflector, apply_reflector_right, qr_block, qr_thin_into};
+use crate::rot::{rot_block, RotAccumulator};
+use crate::svd::{convergence_stats, Svd, SvdInfo};
 use crate::workspace::Workspace;
 use crate::wy;
 
@@ -26,25 +28,34 @@ fn givens(f: f64, g: f64) -> (f64, f64, f64) {
     }
 }
 
-/// Rotate columns `j` and `k` of `m`: `col_j ← c*col_j + s*col_k`,
-/// `col_k ← -s*col_j + c*col_k`.
-#[inline]
-fn rotate_cols(m: &mut Matrix, j: usize, k: usize, c: f64, s: f64) {
-    for i in 0..m.rows() {
-        let a = m[(i, j)];
-        let b = m[(i, k)];
-        m[(i, j)] = c * a + s * b;
-        m[(i, k)] = -s * a + c * b;
-    }
-}
-
 /// Householder bidiagonalization of a tall matrix (`m >= n`):
 /// `A = U B Vᵀ` with `B` upper bidiagonal. Returns `(U, d, e, V)` where
 /// `d` is the diagonal (length `n`) and `e` the superdiagonal (length
 /// `n.saturating_sub(1)`).
+///
+/// Strongly tall inputs go through a thin QR first (`A = Q R`, bidiagonalize
+/// the `n x n` core, then `U = Q U_R` in one GEMM): the reflector-at-a-time
+/// reduction below is level-2, so on an `m >> n` matrix it would dominate
+/// the whole SVD, while the QR route keeps every `O(m n^2)` term on the
+/// blocked compact-WY / packed-GEMM engine.
 pub fn bidiagonalize(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
     let (m, n) = a.shape();
     assert!(m >= n, "bidiagonalize requires m >= n");
+    if m >= 2 * n && n >= 8 {
+        let mut ws = Workspace::new();
+        let (mut q, mut r) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        qr_thin_into(a.view(), &mut q, &mut r, &mut ws);
+        let (ur, d, e, v) = bidiagonalize_dense(&r);
+        let mut u = Matrix::zeros(0, 0);
+        matmul_into(q.view(), ur.view(), &mut u);
+        return (u, d, e, v);
+    }
+    bidiagonalize_dense(a)
+}
+
+/// The direct reflector-at-a-time reduction (no QR preprocessing).
+fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
+    let (m, n) = a.shape();
     let mut ws = Workspace::new();
     let mut b = a.clone();
     // Left reflectors annihilate below-diagonal entries of column k; right
@@ -145,9 +156,40 @@ pub fn bidiagonalize(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
     (u, d, e, v)
 }
 
+/// A factor matrix paired with the accumulator recording its rotations.
+/// Keeps the QR-iteration call sites at "rotate these columns" while the
+/// accumulator decides between the direct level-1 update and the windowed
+/// level-3 path.
+struct Rotated<'a> {
+    m: &'a mut Matrix,
+    acc: &'a mut RotAccumulator,
+}
+
+impl Rotated<'_> {
+    #[inline]
+    fn rotate(&mut self, j: usize, k: usize, c: f64, s: f64, ws: &mut Workspace) {
+        self.acc.rotate(self.m, j, k, c, s, ws);
+    }
+
+    fn flush(&mut self, ws: &mut Workspace) {
+        self.acc.flush(self.m, ws);
+    }
+}
+
 /// One implicit-shift Golub–Kahan SVD step on the block `d[p..=q]`,
-/// `e[p..q]`, with rotations accumulated into `u` and `v`.
-fn gk_step(d: &mut [f64], e: &mut [f64], p: usize, q: usize, u: &mut Matrix, v: &mut Matrix) {
+/// `e[p..q]`, with rotations recorded against `u` and `v`. The rotation
+/// parameters derive only from `d`/`e`, which the accumulators never
+/// touch — so the bidiagonal (and hence every singular value) is bitwise
+/// independent of how the factor updates are batched.
+fn gk_step(
+    d: &mut [f64],
+    e: &mut [f64],
+    p: usize,
+    q: usize,
+    u: &mut Rotated<'_>,
+    v: &mut Rotated<'_>,
+    ws: &mut Workspace,
+) {
     // Wilkinson shift from the trailing 2x2 of Bᵀ B.
     let eq2 = if q >= 2 && q - 1 > p { e[q - 2] } else { 0.0 };
     let t11 = d[q - 1] * d[q - 1] + eq2 * eq2;
@@ -182,7 +224,7 @@ fn gk_step(d: &mut [f64], e: &mut [f64], p: usize, q: usize, u: &mut Matrix, v: 
         d[k] = f;
         e[k] = ek;
         d[k + 1] = dk1;
-        rotate_cols(v, k, k + 1, c, s);
+        v.rotate(k, k + 1, c, s, ws);
 
         // Left rotation on rows (k, k+1): annihilates the bulge at (k+1, k).
         let (c2, s2, r2) = givens(d[k], g);
@@ -197,13 +239,20 @@ fn gk_step(d: &mut [f64], e: &mut [f64], p: usize, q: usize, u: &mut Matrix, v: 
             y = e[k];
             z = g2;
         }
-        rotate_cols(u, k, k + 1, c2, s2);
+        u.rotate(k, k + 1, c2, s2, ws);
     }
 }
 
 /// When `d[k]` is negligible (k < q), chase `e[k]` away with left rotations
 /// against the rows below, zeroing row `k`'s coupling.
-fn zero_diag_row_chase(d: &mut [f64], e: &mut [f64], k: usize, q: usize, u: &mut Matrix) {
+fn zero_diag_row_chase(
+    d: &mut [f64],
+    e: &mut [f64],
+    k: usize,
+    q: usize,
+    u: &mut Rotated<'_>,
+    ws: &mut Workspace,
+) {
     let mut f = e[k];
     e[k] = 0.0;
     for j in k + 1..=q {
@@ -214,13 +263,20 @@ fn zero_diag_row_chase(d: &mut [f64], e: &mut [f64], k: usize, q: usize, u: &mut
             e[j] *= c;
         }
         // U ← U Lᵀ with L mixing rows (j, k).
-        rotate_cols(u, j, k, c, s);
+        u.rotate(j, k, c, s, ws);
     }
 }
 
 /// When `d[q]` is negligible, chase `e[q-1]` away with right rotations
 /// against the columns to the left.
-fn zero_diag_col_chase(d: &mut [f64], e: &mut [f64], p: usize, q: usize, v: &mut Matrix) {
+fn zero_diag_col_chase(
+    d: &mut [f64],
+    e: &mut [f64],
+    p: usize,
+    q: usize,
+    v: &mut Rotated<'_>,
+    ws: &mut Workspace,
+) {
     let mut f = e[q - 1];
     e[q - 1] = 0.0;
     for j in (p..q).rev() {
@@ -230,16 +286,40 @@ fn zero_diag_col_chase(d: &mut [f64], e: &mut [f64], p: usize, q: usize, v: &mut
             f = -s * e[j - 1];
             e[j - 1] *= c;
         }
-        rotate_cols(v, j, q, c, s);
+        v.rotate(j, q, c, s, ws);
     }
 }
 
 /// SVD of an upper-bidiagonal matrix given by diagonal `d` and superdiagonal
 /// `e`, with the rotations accumulated into the preexisting factors `u`, `v`.
-pub fn bidiagonal_svd(mut d: Vec<f64>, mut e: Vec<f64>, mut u: Matrix, mut v: Matrix) -> Svd {
+pub fn bidiagonal_svd(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) -> Svd {
+    bidiagonal_svd_with_info(d, e, u, v).0
+}
+
+/// [`bidiagonal_svd`] plus its convergence report. A non-converged solve
+/// (iteration limit hit — should never happen) still returns the best
+/// factorization found, and bumps
+/// [`convergence_stats::failures`](crate::svd::convergence_stats).
+pub fn bidiagonal_svd_with_info(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) -> (Svd, SvdInfo) {
+    let cap_u = rot_block(u.rows(), u.cols());
+    let cap_v = rot_block(v.rows(), v.cols());
+    bidiagonal_svd_caps(d, e, u, v, cap_u, cap_v)
+}
+
+/// The QR iteration with explicit rotation-window capacities, so tests can
+/// pit the accumulated path against the direct reference without touching
+/// the process-wide knob.
+pub(crate) fn bidiagonal_svd_caps(
+    mut d: Vec<f64>,
+    mut e: Vec<f64>,
+    mut u: Matrix,
+    mut v: Matrix,
+    cap_u: usize,
+    cap_v: usize,
+) -> (Svd, SvdInfo) {
     let n = d.len();
     if n == 0 {
-        return Svd { u, s: d, vt: v.transpose() };
+        return (Svd { u, s: d, vt: v.transpose() }, SvdInfo { iterations: 0, converged: true });
     }
     let eps = f64::EPSILON;
     let bnorm =
@@ -247,45 +327,58 @@ pub fn bidiagonal_svd(mut d: Vec<f64>, mut e: Vec<f64>, mut u: Matrix, mut v: Ma
 
     let max_iter = 60 * n * n + 100;
     let mut iter = 0;
-    loop {
-        // Deflate negligible superdiagonals.
-        for k in 0..n.saturating_sub(1) {
-            if e[k].abs() <= eps * (d[k].abs() + d[k + 1].abs()) + eps * bnorm * 1e-2 {
-                e[k] = 0.0;
+    let mut converged = true;
+    let mut ws = Workspace::new();
+    let mut acc_u = RotAccumulator::new(cap_u);
+    let mut acc_v = RotAccumulator::new(cap_v);
+    {
+        let mut u = Rotated { m: &mut u, acc: &mut acc_u };
+        let mut v = Rotated { m: &mut v, acc: &mut acc_v };
+        loop {
+            // Deflate negligible superdiagonals.
+            for k in 0..n.saturating_sub(1) {
+                if e[k].abs() <= eps * (d[k].abs() + d[k + 1].abs()) + eps * bnorm * 1e-2 {
+                    e[k] = 0.0;
+                }
             }
-        }
-        // Largest unreduced block end.
-        let q = match (0..n.saturating_sub(1)).rev().find(|&k| e[k] != 0.0) {
-            Some(k) => k + 1,
-            None => break,
-        };
-        // Block start.
-        let mut p = q - 1;
-        while p > 0 && e[p - 1] != 0.0 {
-            p -= 1;
-        }
+            // Largest unreduced block end.
+            let q = match (0..n.saturating_sub(1)).rev().find(|&k| e[k] != 0.0) {
+                Some(k) => k + 1,
+                None => break,
+            };
+            // Block start.
+            let mut p = q - 1;
+            while p > 0 && e[p - 1] != 0.0 {
+                p -= 1;
+            }
 
-        iter += 1;
-        if iter > max_iter {
-            // Should never happen; bail out with whatever has converged so
-            // the caller still gets a usable (if less accurate) result.
-            debug_assert!(false, "bidiagonal SVD failed to converge");
-            break;
-        }
+            iter += 1;
+            if iter > max_iter {
+                // Bail out with whatever has converged so the caller still
+                // gets a usable (if less accurate) result — and say so.
+                converged = false;
+                convergence_stats::record_failure();
+                break;
+            }
 
-        // Zero diagonals force deflation chases.
-        if d[q].abs() <= eps * bnorm {
-            d[q] = 0.0;
-            zero_diag_col_chase(&mut d, &mut e, p, q, &mut v);
-            continue;
-        }
-        if let Some(k) = (p..q).find(|&k| d[k].abs() <= eps * bnorm) {
-            d[k] = 0.0;
-            zero_diag_row_chase(&mut d, &mut e, k, q, &mut u);
-            continue;
-        }
+            // Zero diagonals force deflation chases.
+            if d[q].abs() <= eps * bnorm {
+                d[q] = 0.0;
+                zero_diag_col_chase(&mut d, &mut e, p, q, &mut v, &mut ws);
+                continue;
+            }
+            if let Some(k) = (p..q).find(|&k| d[k].abs() <= eps * bnorm) {
+                d[k] = 0.0;
+                zero_diag_row_chase(&mut d, &mut e, k, q, &mut u, &mut ws);
+                continue;
+            }
 
-        gk_step(&mut d, &mut e, p, q, &mut u, &mut v);
+            gk_step(&mut d, &mut e, p, q, &mut u, &mut v, &mut ws);
+        }
+        // The iteration only reads `d`/`e`; the factors see their pending
+        // windows exactly once, here.
+        u.flush(&mut ws);
+        v.flush(&mut ws);
     }
 
     // Make singular values non-negative (flip U columns).
@@ -305,18 +398,24 @@ pub fn bidiagonal_svd(mut d: Vec<f64>, mut e: Vec<f64>, mut u: Matrix, mut v: Ma
     let u_sorted = u.select_columns(&order);
     let v_sorted = v.select_columns(&order);
 
-    Svd { u: u_sorted, s, vt: v_sorted.transpose() }
+    (Svd { u: u_sorted, s, vt: v_sorted.transpose() }, SvdInfo { iterations: iter, converged })
 }
 
 /// Full Golub–Kahan SVD of a tall (or square) matrix. Panics if `m < n`.
 pub fn golub_kahan_svd(a: &Matrix) -> Svd {
+    golub_kahan_svd_with_info(a).0
+}
+
+/// [`golub_kahan_svd`] plus the QR iteration's convergence report.
+pub fn golub_kahan_svd_with_info(a: &Matrix) -> (Svd, SvdInfo) {
     let (m, n) = a.shape();
     assert!(m >= n, "golub_kahan_svd requires m >= n (got {m}x{n}); use svd() for wide input");
     if n == 0 {
-        return Svd { u: Matrix::zeros(m, 0), s: Vec::new(), vt: Matrix::zeros(0, 0) };
+        let f = Svd { u: Matrix::zeros(m, 0), s: Vec::new(), vt: Matrix::zeros(0, 0) };
+        return (f, SvdInfo { iterations: 0, converged: true });
     }
     let (u, d, e, v) = bidiagonalize(a);
-    bidiagonal_svd(d, e, u, v)
+    bidiagonal_svd_with_info(d, e, u, v)
 }
 
 #[cfg(test)]
@@ -429,6 +528,41 @@ mod tests {
         let a = Matrix::from_columns(&[vec![3.0, 4.0, 0.0]]);
         let f = golub_kahan_svd(&a);
         assert!((f.s[0] - 5.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn accumulated_matches_direct_reference() {
+        // Drive the window capacities explicitly so the comparison is
+        // independent of the process-wide knob (which other tests share).
+        let a = Matrix::from_fn(160, 24, |i, j| ((i * 7 + j * 11) as f64 * 0.13).sin() + 0.02);
+        let (u, d, e, v) = bidiagonalize(&a);
+        let (direct, di) = bidiagonal_svd_caps(d.clone(), e.clone(), u.clone(), v.clone(), 1, 1);
+        assert!(di.converged);
+        for (cap_u, cap_v) in [(24, 24), (4, 4), (8, 24)] {
+            let (acc, ai) =
+                bidiagonal_svd_caps(d.clone(), e.clone(), u.clone(), v.clone(), cap_u, cap_v);
+            assert!(ai.converged);
+            assert_eq!(ai.iterations, di.iterations, "iteration path must not depend on caps");
+            assert_eq!(direct.s, acc.s, "singular values must be bitwise identical");
+            assert!((&acc.u - &direct.u).max_abs() < 1e-12, "U diverged at caps ({cap_u},{cap_v})");
+            assert!(
+                (&acc.vt - &direct.vt).max_abs() < 1e-12,
+                "V diverged at caps ({cap_u},{cap_v})"
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_info_reports_success() {
+        let a = Matrix::from_fn(30, 10, |i, j| ((i * 3 + j * 5) as f64 * 0.21).cos());
+        let (f, info) = golub_kahan_svd_with_info(&a);
+        assert!(info.converged, "well-posed solve must converge");
+        assert!(info.iterations >= 1, "non-diagonal input needs at least one step");
+        assert!(f.reconstruction_error(&a) < 1e-11);
+        // Diagonal input converges without a single QR step.
+        let (_, info0) = golub_kahan_svd_with_info(&Matrix::from_diag(&[3.0, 1.0, 2.0]));
+        assert!(info0.converged);
+        assert_eq!(info0.iterations, 0);
     }
 
     #[test]

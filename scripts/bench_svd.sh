@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Dense-SVD scaling benchmark: level-3 rotation accumulation vs the
+# rotation-at-a-time direct reference.
+#
+# Runs the SVD scaling sweep (including the 8192x256 acceptance shape) and
+# writes the results to BENCH_svd.json at the repo root. Quick mode trims
+# the satellite shapes but keeps the acceptance shape:
+#
+#   scripts/bench_svd.sh            # quick sweep (CI smoke mode)
+#   scripts/bench_svd.sh --full     # full sweep incl. 16384x128
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=--quick
+if [[ "${1:-}" == "--full" ]]; then
+    MODE=""
+fi
+
+# shellcheck disable=SC2086  # $MODE is deliberately word-split (may be empty)
+cargo run -p psvd-bench --release --bin svd_scaling -- $MODE --out BENCH_svd.json
+echo "bench_svd: OK (BENCH_svd.json written)"
