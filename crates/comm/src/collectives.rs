@@ -10,14 +10,21 @@
 //! simulated clocks apply unchanged.
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::payload::Payload;
 
-/// Binomial-tree gather: like [`Communicator::gather`] (one value per rank,
-/// rank order, `Some` at root only) but in `O(log P)` rounds.
-pub fn tree_gather<C: Communicator, T: Payload>(comm: &C, value: T, root: usize) -> Option<Vec<T>> {
+/// Fallible binomial-tree gather (see [`tree_gather`]).
+pub fn try_tree_gather<C: Communicator, T: Payload>(
+    comm: &C,
+    value: T,
+    root: usize,
+) -> Result<Option<Vec<T>>, CommError> {
+    // Claim the tag before reading the world shape: a collective round
+    // boundary is where fault-injected rank deaths activate, and the tree
+    // must be built over the post-transition world.
+    let tag = comm.next_collective_tag();
     let size = comm.size();
     let rank = comm.rank();
-    let tag = comm.next_collective_tag();
     let relative = (rank + size - root) % size;
 
     // Accumulate (original_rank, value) pairs up the tree.
@@ -28,33 +35,39 @@ pub fn tree_gather<C: Communicator, T: Payload>(comm: &C, value: T, root: usize)
             let src_rel = relative + step;
             if src_rel < size {
                 let src = (src_rel + root) % size;
-                let mut received: Vec<(usize, T)> = comm.recv(src, tag);
+                let mut received: Vec<(usize, T)> = comm.try_recv(src, tag)?;
                 acc.append(&mut received);
             }
         } else {
             let dst_rel = relative - step;
             let dst = (dst_rel + root) % size;
-            comm.send(acc, dst, tag);
-            return None;
+            comm.try_send(acc, dst, tag)?;
+            return Ok(None);
         }
         step *= 2;
     }
     // Root: order by original rank.
     acc.sort_by_key(|(r, _)| *r);
     debug_assert_eq!(acc.len(), size, "tree gather must collect every rank");
-    Some(acc.into_iter().map(|(_, v)| v).collect())
+    Ok(Some(acc.into_iter().map(|(_, v)| v).collect()))
 }
 
-/// Binomial-tree broadcast: like [`Communicator::bcast`] but in
-/// `O(log P)` rounds.
-pub fn tree_bcast<C: Communicator, T: Payload + Clone>(
+/// Binomial-tree gather: like [`Communicator::gather`] (one value per rank,
+/// rank order, `Some` at root only) but in `O(log P)` rounds.
+pub fn tree_gather<C: Communicator, T: Payload>(comm: &C, value: T, root: usize) -> Option<Vec<T>> {
+    try_tree_gather(comm, value, root).unwrap_or_else(|e| panic!("tree_gather failed: {e}"))
+}
+
+/// Fallible binomial-tree broadcast (see [`tree_bcast`]).
+pub fn try_tree_bcast<C: Communicator, T: Payload + Clone>(
     comm: &C,
     value: Option<T>,
     root: usize,
-) -> T {
+) -> Result<T, CommError> {
+    // Tag first — see `try_tree_gather` on death-round transitions.
+    let tag = comm.next_collective_tag();
     let size = comm.size();
     let rank = comm.rank();
-    let tag = comm.next_collective_tag();
     let relative = (rank + size - root) % size;
 
     // Receive from the parent (clear the lowest set bit of `relative`).
@@ -71,7 +84,7 @@ pub fn tree_bcast<C: Communicator, T: Payload + Clone>(
         }
         let parent_rel = relative - mask;
         let parent = (parent_rel + root) % size;
-        (comm.recv::<T>(parent, tag), mask)
+        (comm.try_recv::<T>(parent, tag)?, mask)
     };
 
     // Forward to children: relative + m for every m below the receive bit.
@@ -81,17 +94,30 @@ pub fn tree_bcast<C: Communicator, T: Payload + Clone>(
         if child_rel < size {
             let child = (child_rel + root) % size;
             comm.record_payload_alloc(v.byte_len());
-            comm.send(v.clone(), child, tag);
+            comm.try_send(v.clone(), child, tag)?;
         }
         m >>= 1;
     }
-    v
+    Ok(v)
 }
 
-/// Tree-based allreduce (sum): tree-gather at rank 0, sum, tree-bcast.
-pub fn tree_allreduce_sum<C: Communicator>(comm: &C, value: Vec<f64>) -> Vec<f64> {
+/// Binomial-tree broadcast: like [`Communicator::bcast`] but in
+/// `O(log P)` rounds.
+pub fn tree_bcast<C: Communicator, T: Payload + Clone>(
+    comm: &C,
+    value: Option<T>,
+    root: usize,
+) -> T {
+    try_tree_bcast(comm, value, root).unwrap_or_else(|e| panic!("tree_bcast failed: {e}"))
+}
+
+/// Fallible tree allreduce (see [`tree_allreduce_sum`]).
+pub fn try_tree_allreduce_sum<C: Communicator>(
+    comm: &C,
+    value: Vec<f64>,
+) -> Result<Vec<f64>, CommError> {
     let n = value.len();
-    let gathered = tree_gather(comm, value, 0);
+    let gathered = try_tree_gather(comm, value, 0)?;
     let summed = gathered.map(|parts| {
         let mut acc = vec![0.0; n];
         for part in parts {
@@ -102,14 +128,27 @@ pub fn tree_allreduce_sum<C: Communicator>(comm: &C, value: Vec<f64>) -> Vec<f64
         }
         acc
     });
-    tree_bcast(comm, summed, 0)
+    try_tree_bcast(comm, summed, 0)
+}
+
+/// Tree-based allreduce (sum): tree-gather at rank 0, sum, tree-bcast.
+pub fn tree_allreduce_sum<C: Communicator>(comm: &C, value: Vec<f64>) -> Vec<f64> {
+    try_tree_allreduce_sum(comm, value).unwrap_or_else(|e| panic!("tree_allreduce_sum failed: {e}"))
+}
+
+/// Fallible tree allgather (see [`tree_allgather`]).
+pub fn try_tree_allgather<C: Communicator, T: Payload + Clone>(
+    comm: &C,
+    value: T,
+) -> Result<Vec<T>, CommError> {
+    let gathered = try_tree_gather(comm, value, 0)?;
+    try_tree_bcast(comm, gathered, 0)
 }
 
 /// Tree-based allgather: tree-gather at rank 0, tree-bcast the assembled
 /// vector. Same result as [`Communicator::allgather`], `O(log P)` rounds.
 pub fn tree_allgather<C: Communicator, T: Payload + Clone>(comm: &C, value: T) -> Vec<T> {
-    let gathered = tree_gather(comm, value, 0);
-    tree_bcast(comm, gathered, 0)
+    try_tree_allgather(comm, value).unwrap_or_else(|e| panic!("tree_allgather failed: {e}"))
 }
 
 #[cfg(test)]

@@ -6,7 +6,16 @@
 //! root (the APMOS `W` assembly), `bcast` fans the reduced factors back out,
 //! and `send`/`recv` carry the TSQR `Q` blocks. SPMD discipline applies: all
 //! ranks must call collectives in the same order.
+//!
+//! Every operation also exists in a fallible `try_*` form returning
+//! [`CommError`]. The collectives are implemented once, in the fallible
+//! form; the infallible classics are thin unwrapping wrappers, so reliable
+//! backends ([`SelfComm`], [`ThreadComm`](crate::thread_comm::ThreadComm))
+//! pay nothing and fault-injecting backends
+//! ([`FaultComm`](crate::fault::FaultComm)) surface failures without a
+//! parallel code path.
 
+use crate::error::CommError;
 use crate::payload::Payload;
 
 /// Tag space reserved for collective operations; user tags must stay below.
@@ -49,28 +58,45 @@ pub trait Communicator {
     /// this rank's allocation ledger; the default is a no-op.
     fn record_payload_alloc(&self, _bytes: usize) {}
 
-    /// Gather one value per rank at `root` (rank order). Returns `Some(all)`
-    /// at the root, `None` elsewhere.
-    fn gather<T: Payload>(&self, value: T, root: usize) -> Option<Vec<T>> {
+    /// Fallible point-to-point send. Reliable backends never fail; a
+    /// fault-injecting backend may consume (lose) the payload and report
+    /// why. Transient failures recover by re-sending an identical copy.
+    fn try_send<T: Payload>(&self, value: T, dest: usize, tag: u64) -> Result<(), CommError> {
+        self.send(value, dest, tag);
+        Ok(())
+    }
+
+    /// Fallible blocking receive. Reliable backends never fail.
+    fn try_recv<T: Payload>(&self, source: usize, tag: u64) -> Result<T, CommError> {
+        Ok(self.recv(source, tag))
+    }
+
+    /// Ranks of the *initial* world that have died (physical numbering).
+    /// Empty for backends without a fault model.
+    fn failed_ranks(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Fallible gather (see [`Communicator::gather`]).
+    fn try_gather<T: Payload>(&self, value: T, root: usize) -> Result<Option<Vec<T>>, CommError> {
         let tag = self.next_collective_tag();
         if self.rank() == root {
             let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             slots[root] = Some(value);
             for (src, slot) in slots.iter_mut().enumerate() {
                 if src != root {
-                    *slot = Some(self.recv(src, tag));
+                    *slot = Some(self.try_recv(src, tag)?);
                 }
             }
-            Some(slots.into_iter().map(|s| s.expect("gather slot unfilled")).collect())
+            Ok(Some(slots.into_iter().map(|s| s.expect("gather slot unfilled")).collect()))
         } else {
-            self.send(value, root, tag);
-            None
+            self.try_send(value, root, tag)?;
+            Ok(None)
         }
     }
 
-    /// Broadcast from `root`. `value` must be `Some` at the root and is
-    /// ignored elsewhere (mirroring mpi4py's `comm.bcast(x, root)`).
-    fn bcast<T: Payload + Clone>(&self, value: Option<T>, root: usize) -> T {
+    /// Fallible broadcast (see [`Communicator::bcast`]).
+    fn try_bcast<T: Payload + Clone>(&self, value: Option<T>, root: usize) -> Result<T, CommError> {
         let tag = self.next_collective_tag();
         if self.rank() == root {
             let v = value.expect("bcast: root must supply a value");
@@ -79,18 +105,17 @@ pub trait Communicator {
                     // The fan-out copy is the only allocation a broadcast
                     // makes; charge it so zero-copy audits see it.
                     self.record_payload_alloc(v.byte_len());
-                    self.send(v.clone(), dst, tag);
+                    self.try_send(v.clone(), dst, tag)?;
                 }
             }
-            v
+            Ok(v)
         } else {
-            self.recv(root, tag)
+            self.try_recv(root, tag)
         }
     }
 
-    /// Scatter one value to each rank from `root`. `values` must be `Some`
-    /// with length `size` at the root.
-    fn scatter<T: Payload>(&self, values: Option<Vec<T>>, root: usize) -> T {
+    /// Fallible scatter (see [`Communicator::scatter`]).
+    fn try_scatter<T: Payload>(&self, values: Option<Vec<T>>, root: usize) -> Result<T, CommError> {
         let tag = self.next_collective_tag();
         if self.rank() == root {
             let values = values.expect("scatter: root must supply values");
@@ -102,25 +127,26 @@ pub trait Communicator {
                 if dst == root {
                     own = Some(v);
                 } else {
-                    self.send(v, dst, tag);
+                    self.try_send(v, dst, tag)?;
                 }
             }
-            own.expect("scatter: missing root slot")
+            Ok(own.expect("scatter: missing root slot"))
         } else {
-            self.recv(root, tag)
+            self.try_recv(root, tag)
         }
     }
 
-    /// All ranks obtain every rank's value (gather at 0, then broadcast).
-    fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
-        let gathered = self.gather(value, 0);
-        self.bcast(gathered, 0)
+    /// Fallible allgather (see [`Communicator::allgather`]).
+    fn try_allgather<T: Payload + Clone>(&self, value: T) -> Result<Vec<T>, CommError> {
+        let gathered = self.try_gather(value, 0)?;
+        self.try_bcast(gathered, 0)
     }
 
-    /// Elementwise sum across ranks, result everywhere.
-    fn allreduce_sum(&self, value: Vec<f64>) -> Vec<f64> {
+    /// Fallible elementwise-sum allreduce (see
+    /// [`Communicator::allreduce_sum`]).
+    fn try_allreduce_sum(&self, value: Vec<f64>) -> Result<Vec<f64>, CommError> {
         let n = value.len();
-        let gathered = self.gather(value, 0);
+        let gathered = self.try_gather(value, 0)?;
         let summed = gathered.map(|parts| {
             let mut acc = vec![0.0; n];
             for part in parts {
@@ -131,21 +157,60 @@ pub trait Communicator {
             }
             acc
         });
-        self.bcast(summed, 0)
+        self.try_bcast(summed, 0)
+    }
+
+    /// Fallible max allreduce (see [`Communicator::allreduce_max`]).
+    fn try_allreduce_max(&self, value: f64) -> Result<f64, CommError> {
+        let gathered = self.try_gather(value, 0)?;
+        let m = gathered.map(|v| v.into_iter().fold(f64::NEG_INFINITY, f64::max));
+        self.try_bcast(m, 0)
+    }
+
+    /// Fallible barrier (see [`Communicator::barrier`]).
+    fn try_barrier(&self) -> Result<(), CommError> {
+        let t = self.try_allreduce_max(self.now())?;
+        self.set_now(t);
+        Ok(())
+    }
+
+    /// Gather one value per rank at `root` (rank order). Returns `Some(all)`
+    /// at the root, `None` elsewhere.
+    fn gather<T: Payload>(&self, value: T, root: usize) -> Option<Vec<T>> {
+        self.try_gather(value, root).unwrap_or_else(|e| panic!("gather failed: {e}"))
+    }
+
+    /// Broadcast from `root`. `value` must be `Some` at the root and is
+    /// ignored elsewhere (mirroring mpi4py's `comm.bcast(x, root)`).
+    fn bcast<T: Payload + Clone>(&self, value: Option<T>, root: usize) -> T {
+        self.try_bcast(value, root).unwrap_or_else(|e| panic!("bcast failed: {e}"))
+    }
+
+    /// Scatter one value to each rank from `root`. `values` must be `Some`
+    /// with length `size` at the root.
+    fn scatter<T: Payload>(&self, values: Option<Vec<T>>, root: usize) -> T {
+        self.try_scatter(values, root).unwrap_or_else(|e| panic!("scatter failed: {e}"))
+    }
+
+    /// All ranks obtain every rank's value (gather at 0, then broadcast).
+    fn allgather<T: Payload + Clone>(&self, value: T) -> Vec<T> {
+        self.try_allgather(value).unwrap_or_else(|e| panic!("allgather failed: {e}"))
+    }
+
+    /// Elementwise sum across ranks, result everywhere.
+    fn allreduce_sum(&self, value: Vec<f64>) -> Vec<f64> {
+        self.try_allreduce_sum(value).unwrap_or_else(|e| panic!("allreduce_sum failed: {e}"))
     }
 
     /// Maximum of a scalar across ranks, result everywhere.
     fn allreduce_max(&self, value: f64) -> f64 {
-        let gathered = self.gather(value, 0);
-        let m = gathered.map(|v| v.into_iter().fold(f64::NEG_INFINITY, f64::max));
-        self.bcast(m, 0)
+        self.try_allreduce_max(value).unwrap_or_else(|e| panic!("allreduce_max failed: {e}"))
     }
 
     /// Barrier: returns once every rank has entered. Also synchronizes
     /// simulated clocks to the global maximum, like a real barrier would.
     fn barrier(&self) {
-        let t = self.allreduce_max(self.now());
-        self.set_now(t);
+        self.try_barrier().unwrap_or_else(|e| panic!("barrier failed: {e}"));
     }
 }
 

@@ -10,7 +10,11 @@
 //!   counted per rank, so benchmarks can report real communication volumes;
 //! - **simulated clocks** ([`NetworkModel`]): per-rank clocks charged with an
 //!   alpha–beta–overhead cost per message, which lets the weak-scaling
-//!   harness model Theta-scale runs from a single host.
+//!   harness model Theta-scale runs from a single host;
+//! - **deterministic fault injection** ([`FaultComm`] replaying a seeded
+//!   [`FaultPlan`]): drops, delay-reorders, payload corruption and rank
+//!   death, recovered by a bounded-backoff [`RetryPolicy`] or surfaced as
+//!   [`CommError`] through the fallible `try_*` operations.
 //!
 //! ```
 //! use psvd_comm::{Communicator, World};
@@ -22,13 +26,20 @@
 
 pub mod collectives;
 pub mod communicator;
+pub mod error;
+pub mod fault;
 pub mod model;
 pub mod payload;
 pub mod stats;
 pub mod thread_comm;
 
-pub use collectives::{tree_allgather, tree_allreduce_sum, tree_bcast, tree_gather};
+pub use collectives::{
+    tree_allgather, tree_allreduce_sum, tree_bcast, tree_gather, try_tree_allgather,
+    try_tree_allreduce_sum, try_tree_bcast, try_tree_gather,
+};
 pub use communicator::{Communicator, SelfComm};
+pub use error::{CommError, CorruptionKind};
+pub use fault::{FaultComm, FaultEntry, FaultKind, FaultPlan, FaultStats, RankDeath, RetryPolicy};
 pub use model::NetworkModel;
 pub use payload::Payload;
 pub use stats::TrafficStats;

@@ -92,6 +92,24 @@ impl SvdCheckpoint {
         })
     }
 
+    /// Stack per-rank distributed checkpoints (rank order) into the
+    /// equivalent global checkpoint, e.g. to hand a degraded run's
+    /// surviving row blocks to the serial driver as the restart oracle.
+    /// All parts must come from the same streaming step.
+    pub fn vstack(parts: Vec<SvdCheckpoint>) -> SvdCheckpoint {
+        assert!(!parts.is_empty(), "vstack of no checkpoints");
+        for p in &parts[1..] {
+            assert_eq!(p.singular_values, parts[0].singular_values, "mixed-step checkpoints");
+            assert_eq!(p.iteration, parts[0].iteration, "mixed-step checkpoints");
+            assert_eq!(p.snapshots_seen, parts[0].snapshots_seen, "mixed-step checkpoints");
+        }
+        let singular_values = parts[0].singular_values.clone();
+        let iteration = parts[0].iteration;
+        let snapshots_seen = parts[0].snapshots_seen;
+        let modes = Matrix::vstack_owned(parts.into_iter().map(|p| p.modes).collect());
+        SvdCheckpoint { modes, singular_values, iteration, snapshots_seen }
+    }
+
     /// Write to a file.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let mut out = BufWriter::new(File::create(path)?);
@@ -194,6 +212,31 @@ mod tests {
         let mut truncated = s.checkpoint().to_bytes();
         truncated.pop();
         assert!(SvdCheckpoint::from_bytes(&truncated).is_err());
+    }
+
+    #[test]
+    fn vstack_reassembles_rank_blocks() {
+        let (s, _) = tracker_after(2);
+        let global = s.checkpoint();
+        let (m, k) = global.modes.shape();
+        let part = |r0: usize, r1: usize| SvdCheckpoint {
+            modes: global.modes.submatrix(r0, r1, 0, k),
+            singular_values: global.singular_values.clone(),
+            iteration: global.iteration,
+            snapshots_seen: global.snapshots_seen,
+        };
+        let back = SvdCheckpoint::vstack(vec![part(0, 25), part(25, m)]);
+        assert_eq!(back, global);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed-step")]
+    fn vstack_rejects_mixed_steps() {
+        let (s, _) = tracker_after(2);
+        let a = s.checkpoint();
+        let mut b = a.clone();
+        b.iteration += 1;
+        let _ = SvdCheckpoint::vstack(vec![a, b]);
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct SvdConfig {
     /// Use binomial-tree collectives for the APMOS gather/broadcast
     /// instead of the paper's flat rank-0 pattern.
     pub tree_collectives: bool,
+    /// Continue on a shrunken world after a permanent rank failure (the
+    /// dead rank's row block is excised and the run reports a
+    /// `DegradedInfo`) instead of erroring out of the fallible driver
+    /// operations.
+    pub allow_degraded: bool,
 }
 
 impl SvdConfig {
@@ -46,6 +51,7 @@ impl SvdConfig {
             seed: 0,
             method: SvdMethod::default(),
             tree_collectives: false,
+            allow_degraded: false,
         }
     }
 
@@ -88,6 +94,12 @@ impl SvdConfig {
     /// Builder: binomial-tree collectives for the distributed driver.
     pub fn with_tree_collectives(mut self, tree: bool) -> Self {
         self.tree_collectives = tree;
+        self
+    }
+
+    /// Builder: survive permanent rank failures on the shrunken world.
+    pub fn with_allow_degraded(mut self, allow: bool) -> Self {
+        self.allow_degraded = allow;
         self
     }
 

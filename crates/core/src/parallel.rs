@@ -28,8 +28,8 @@
 //! identical for any kernel thread count (see DESIGN.md, "Threading
 //! model").
 
-use psvd_comm::collectives::{tree_allgather, tree_bcast, tree_gather};
-use psvd_comm::Communicator;
+use psvd_comm::collectives::{tree_allgather, tree_gather, try_tree_bcast, try_tree_gather};
+use psvd_comm::{CommError, Communicator};
 use psvd_linalg::gemm::matmul_into;
 use psvd_linalg::qr::qr_thin_into;
 use psvd_linalg::randomized::low_rank_svd;
@@ -44,6 +44,25 @@ use crate::config::SvdConfig;
 
 /// Tag base for the TSQR Q-block scatter (the paper uses `tag = rank + 10`).
 const TAG_QR_SCATTER: u64 = 10;
+
+/// Report of a run that survived permanent rank failures.
+///
+/// When `cfg.allow_degraded` is set and the communicator's world shrinks
+/// (a fault-injection rank death, in production a failed node), the driver
+/// keeps streaming on the survivors: the dead rank's row block simply
+/// drops out of the global factorization, every collective renumbers onto
+/// the shrunken world, and this record describes what was lost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedInfo {
+    /// World size when the driver was built.
+    pub initial_ranks: usize,
+    /// World size now.
+    pub surviving_ranks: usize,
+    /// Dead ranks, in the initial (physical) numbering.
+    pub failed_ranks: Vec<usize>,
+    /// Driver iteration count when the (latest) failure was detected.
+    pub detected_at_iteration: usize,
+}
 
 /// Distributed streaming truncated SVD over a row-partitioned snapshot
 /// stream. One instance lives on each rank, driven in SPMD style.
@@ -77,14 +96,24 @@ pub struct ParallelStreamingSvd<'a, C: Communicator> {
     next_ulocal: Matrix,
     /// Down-weighted singular values `ff · s`.
     weighted: Vec<f64>,
+    /// World size at construction.
+    initial_world: usize,
+    /// World size as of the last completed operation.
+    world_size: usize,
+    /// Set once the run has survived a rank failure.
+    degraded: Option<DegradedInfo>,
 }
 
 impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// New driver on this rank.
     pub fn new(comm: &'a C, cfg: SvdConfig) -> Self {
         let cfg = cfg.validated();
+        let size = comm.size();
         Self {
             comm,
+            initial_world: size,
+            world_size: size,
+            degraded: None,
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             ulocal: Matrix::zeros(0, 0),
@@ -155,6 +184,45 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         self.ws.reset_stats();
     }
 
+    /// `Some` once the run has survived a permanent rank failure (requires
+    /// `cfg.allow_degraded`).
+    pub fn degraded(&self) -> Option<&DegradedInfo> {
+        self.degraded.as_ref()
+    }
+
+    /// Reconcile the tracked world size with the communicator's. A shrink
+    /// means some rank died since the last operation: record it if the
+    /// configuration tolerates degraded runs, error out otherwise. Called
+    /// before and after every fallible driver operation, so a failure is
+    /// reported at the latest by the next call after the collective round
+    /// in which it happened.
+    fn note_world(&mut self) -> Result<(), CommError> {
+        let alive = self.comm.size();
+        if alive < self.world_size {
+            let failed = self.comm.failed_ranks();
+            if !self.cfg.allow_degraded {
+                let rank = failed.first().copied().unwrap_or(usize::MAX);
+                return Err(CommError::RankDead { rank });
+            }
+            self.world_size = alive;
+            match &mut self.degraded {
+                Some(info) => {
+                    info.surviving_ranks = alive;
+                    info.failed_ranks = failed;
+                }
+                None => {
+                    self.degraded = Some(DegradedInfo {
+                        initial_ranks: self.initial_world,
+                        surviving_ranks: alive,
+                        failed_ranks: failed,
+                        detected_at_iteration: self.iteration,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// APMOS distributed SVD (Listing 3): returns this rank's block of the
     /// `K` leading global left singular vectors and the singular values.
     pub fn parallel_svd(&mut self, a_local: &Matrix) -> (Matrix, Vec<f64>) {
@@ -167,6 +235,17 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// across calls — warm buffers make the local assembly allocation-free;
     /// the gathered/broadcast factors inherently transfer ownership).
     fn parallel_svd_into(&mut self, a_local: &Matrix, phi: &mut Matrix) -> Vec<f64> {
+        self.try_parallel_svd_into(a_local, phi)
+            .unwrap_or_else(|e| panic!("parallel_svd failed: {e}"))
+    }
+
+    /// Fallible APMOS round: surfaces permanent communication failures
+    /// (dead ranks, exhausted retries) instead of panicking.
+    fn try_parallel_svd_into(
+        &mut self,
+        a_local: &Matrix,
+        phi: &mut Matrix,
+    ) -> Result<Vec<f64>, CommError> {
         let n = a_local.cols();
         assert!(n > 0, "parallel_svd: empty snapshot set");
         let r1 = self.cfg.r1.min(n);
@@ -183,12 +262,14 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
 
         // Gather W at rank 0 and factorize there.
         let wglobal = if self.cfg.tree_collectives {
-            tree_gather(self.comm, wlocal, 0)
+            try_tree_gather(self.comm, wlocal, 0)?
         } else {
-            self.comm.gather(wlocal, 0)
+            self.comm.try_gather(wlocal, 0)?
         };
-        let factors = if self.comm.rank() == 0 {
-            let w = Matrix::hstack_all(&wglobal.expect("rank 0 gathers"));
+        // Root-ness = who holds the gathered blocks (see `qr_round` on
+        // death-round transitions).
+        let factors = if let Some(parts) = wglobal {
+            let w = Matrix::hstack_all(&parts);
             let p = w.rows().min(w.cols());
             let r2 = self.cfg.r2.min(p);
             let (x, s) = if self.cfg.low_rank {
@@ -202,9 +283,9 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
             None
         };
         let (x, s) = if self.cfg.tree_collectives {
-            tree_bcast(self.comm, factors, 0)
+            try_tree_bcast(self.comm, factors, 0)?
         } else {
-            self.comm.bcast(factors, 0)
+            self.comm.try_bcast(factors, 0)?
         };
 
         // Local slice of the global modes: Ũⁱ_j = (1/Λ̃_j) Aⁱ X̃_j.
@@ -216,7 +297,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
                 *v *= is;
             }
         }
-        s[..k].to_vec()
+        Ok(s[..k].to_vec())
     }
 
     /// TSQR (Listing 4): factorizes the row-distributed matrix as
@@ -241,6 +322,40 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// fallback — no thread-pool handoff for a factorization that takes
     /// microseconds.
     fn parallel_qr_into(&mut self, a_local: &Matrix, qlocal: &mut Matrix) -> (Matrix, Vec<f64>) {
+        self.try_parallel_qr_into(a_local, qlocal)
+            .unwrap_or_else(|e| panic!("parallel_qr failed: {e}"))
+    }
+
+    /// Fallible TSQR round: surfaces permanent communication failures
+    /// instead of panicking. The persistent factor buffers are restored on
+    /// every exit path, so an errored round leaves the instance reusable.
+    fn try_parallel_qr_into(
+        &mut self,
+        a_local: &Matrix,
+        qlocal: &mut Matrix,
+    ) -> Result<(Matrix, Vec<f64>), CommError> {
+        // Take the persistent buffers out of self so the communicator and
+        // RNG can be borrowed freely in the body; restored before
+        // propagating either outcome.
+        let mut local_q = std::mem::replace(&mut self.qr_q, Matrix::zeros(0, 0));
+        let mut gq = std::mem::replace(&mut self.qr_gq, Matrix::zeros(0, 0));
+        let mut gr = std::mem::replace(&mut self.qr_gr, Matrix::zeros(0, 0));
+        let result = self.qr_round(a_local, qlocal, &mut local_q, &mut gq, &mut gr);
+        self.qr_q = local_q;
+        self.qr_gq = gq;
+        self.qr_gr = gr;
+        result
+    }
+
+    /// The TSQR round proper, operating on buffers held by the caller.
+    fn qr_round(
+        &mut self,
+        a_local: &Matrix,
+        qlocal: &mut Matrix,
+        local_q: &mut Matrix,
+        gq: &mut Matrix,
+        gr: &mut Matrix,
+    ) -> Result<(Matrix, Vec<f64>), CommError> {
         let n = a_local.cols();
         assert!(
             a_local.rows() >= n,
@@ -249,40 +364,36 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
             a_local.rows(),
             n
         );
-        let rank = self.comm.rank();
-        let size = self.comm.size();
-
-        // Take the persistent buffers out of self so the communicator and
-        // RNG can be borrowed freely below; restored before returning.
-        let mut local_q = std::mem::replace(&mut self.qr_q, Matrix::zeros(0, 0));
-        let mut gq = std::mem::replace(&mut self.qr_gq, Matrix::zeros(0, 0));
-        let mut gr = std::mem::replace(&mut self.qr_gr, Matrix::zeros(0, 0));
-
         // Local thin QR; R is n x n because the block is tall. R is moved
         // into the gather, so it is built in a fresh matrix.
         let mut local_r = Matrix::zeros(0, 0);
-        qr_thin_into(a_local.view(), &mut local_q, &mut local_r, &mut self.ws);
+        qr_thin_into(a_local.view(), local_q, &mut local_r, &mut self.ws);
 
         // Gather the R factors, stack (reusing their storage), and
-        // re-factorize at rank 0.
+        // re-factorize at rank 0. The world shape is read only after the
+        // gather: its collective round boundary is where injected rank
+        // deaths activate, and the scatter below must address the
+        // post-transition world (root-ness = who holds the gathered Rs).
         let r_global = if self.cfg.tree_collectives {
-            tree_gather(self.comm, local_r, 0)
+            try_tree_gather(self.comm, local_r, 0)?
         } else {
-            self.comm.gather(local_r, 0)
+            self.comm.try_gather(local_r, 0)?
         };
-        let have_rfinal = if rank == 0 {
-            let stack = Matrix::vstack_owned(r_global.expect("rank 0 gathers"));
-            qr_thin_into(stack.view(), &mut gq, &mut gr, &mut self.ws);
+        let rank = self.comm.rank();
+        let size = self.comm.size();
+        let have_rfinal = if let Some(parts) = r_global {
+            let stack = Matrix::vstack_owned(parts);
+            qr_thin_into(stack.view(), gq, gr, &mut self.ws);
             // Scatter each rank's n-row block of the stacked Q; rank 0's
             // own block is consumed as a view, never copied.
             for dst in 1..size {
                 let block = gq.block(dst * n, (dst + 1) * n, 0, n).to_matrix();
-                self.comm.send(block, dst, TAG_QR_SCATTER + dst as u64);
+                self.comm.try_send(block, dst, TAG_QR_SCATTER + dst as u64)?;
             }
             matmul_into(local_q.view(), gq.block(0, n, 0, n), qlocal);
             true
         } else {
-            let block = self.comm.recv::<Matrix>(0, TAG_QR_SCATTER + rank as u64);
+            let block = self.comm.try_recv::<Matrix>(0, TAG_QR_SCATTER + rank as u64)?;
             matmul_into(local_q.view(), block.view(), qlocal);
             false
         };
@@ -291,46 +402,63 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         // broadcast to everyone.
         let factors = if have_rfinal {
             let (unew, snew) = if self.cfg.low_rank {
-                low_rank_svd(&gr, self.cfg.k.min(n), &mut self.rng)
+                low_rank_svd(gr, self.cfg.k.min(n), &mut self.rng)
             } else {
-                let f = svd_with(&gr, self.cfg.method);
+                let f = svd_with(gr, self.cfg.method);
                 (f.u, f.s)
             };
             Some((unew, snew))
         } else {
             None
         };
-        self.qr_q = local_q;
-        self.qr_gq = gq;
-        self.qr_gr = gr;
         if self.cfg.tree_collectives {
-            tree_bcast(self.comm, factors, 0)
+            try_tree_bcast(self.comm, factors, 0)
         } else {
-            self.comm.bcast(factors, 0)
+            self.comm.try_bcast(factors, 0)
         }
     }
 
     /// Ingest the first local batch `A0ⁱ` (`Mᵢ x B`) — Listing 2's
     /// `initialize`: one APMOS pass.
     pub fn initialize(&mut self, a_local: &Matrix) -> &mut Self {
+        self.try_initialize(a_local).unwrap_or_else(|e| panic!("initialize failed: {e}"))
+    }
+
+    /// Fallible [`ParallelStreamingSvd::initialize`]: permanent
+    /// communication failures surface as [`CommError`]. With
+    /// `cfg.allow_degraded` a surviving rank records the shrink in
+    /// [`ParallelStreamingSvd::degraded`] and keeps going.
+    pub fn try_initialize(&mut self, a_local: &Matrix) -> Result<&mut Self, CommError> {
         assert!(!self.is_initialized(), "initialize called twice");
+        self.note_world()?;
         let mut phi = std::mem::replace(&mut self.next_ulocal, Matrix::zeros(0, 0));
-        let s = self.parallel_svd_into(a_local, &mut phi);
+        let s = self.try_parallel_svd_into(a_local, &mut phi);
         self.next_ulocal = phi;
+        let s = s?;
         std::mem::swap(&mut self.ulocal, &mut self.next_ulocal);
         self.singular_values = s;
         self.snapshots_seen = a_local.cols();
-        self
+        self.note_world()?;
+        Ok(self)
     }
 
     /// Ingest a further local batch — Listing 2's `incorporate_data`:
     /// stack `ff·U·D` with the new data, TSQR, small SVD, truncate to `K`.
     pub fn incorporate_data(&mut self, a_local: &Matrix) -> &mut Self {
+        self.try_incorporate_data(a_local)
+            .unwrap_or_else(|e| panic!("incorporate_data failed: {e}"))
+    }
+
+    /// Fallible [`ParallelStreamingSvd::incorporate_data`] (see
+    /// [`ParallelStreamingSvd::try_initialize`] for the failure contract).
+    /// An errored update leaves the previous factorization intact.
+    pub fn try_incorporate_data(&mut self, a_local: &Matrix) -> Result<&mut Self, CommError> {
         assert!(self.is_initialized(), "incorporate_data before initialize");
         assert_eq!(a_local.rows(), self.ulocal.rows(), "batch row count changed mid-stream");
         if a_local.cols() == 0 {
-            return self;
+            return Ok(self);
         }
+        self.note_world()?;
         self.iteration += 1;
 
         // Build [ff * U_{i-1} D_{i-1} | A_i] row by row in the persistent
@@ -350,8 +478,17 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
 
         let stack = std::mem::replace(&mut self.stack, Matrix::zeros(0, 0));
         let mut qlocal = std::mem::replace(&mut self.qlocal, Matrix::zeros(0, 0));
-        let (unew, snew) = self.parallel_qr_into(&stack, &mut qlocal);
+        let round = self.try_parallel_qr_into(&stack, &mut qlocal);
         self.stack = stack;
+        let (unew, snew) = match round {
+            Ok(f) => f,
+            Err(e) => {
+                // Leave the previous factorization (and counters) intact.
+                self.qlocal = qlocal;
+                self.iteration -= 1;
+                return Err(e);
+            }
+        };
         let k = self.cfg.k.min(snew.len());
         matmul_into(qlocal.view(), unew.block(0, unew.rows(), 0, k), &mut self.next_ulocal);
         std::mem::swap(&mut self.ulocal, &mut self.next_ulocal);
@@ -359,12 +496,23 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         self.singular_values.clear();
         self.singular_values.extend_from_slice(&snew[..k]);
         self.snapshots_seen += a_local.cols();
-        self
+        self.note_world()?;
+        Ok(self)
     }
 
     /// Stream this rank's row block of an entire dataset in `batch`-column
     /// chunks.
     pub fn fit_batched(&mut self, a_local: &Matrix, batch: usize) -> &mut Self {
+        self.try_fit_batched(a_local, batch).unwrap_or_else(|e| panic!("fit_batched failed: {e}"))
+    }
+
+    /// Fallible [`ParallelStreamingSvd::fit_batched`]: stops at the first
+    /// batch whose collective round fails permanently.
+    pub fn try_fit_batched(
+        &mut self,
+        a_local: &Matrix,
+        batch: usize,
+    ) -> Result<&mut Self, CommError> {
         assert!(batch > 0, "batch size must be positive");
         let n = a_local.cols();
         let mut c0 = 0;
@@ -372,13 +520,13 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
             let c1 = (c0 + batch).min(n);
             let chunk = a_local.submatrix(0, a_local.rows(), c0, c1);
             if self.is_initialized() {
-                self.incorporate_data(&chunk);
+                self.try_incorporate_data(&chunk)?;
             } else {
-                self.initialize(&chunk);
+                self.try_initialize(&chunk)?;
             }
             c0 = c1;
         }
-        self
+        Ok(self)
     }
 
     /// Capture this rank's state for checkpointing (one checkpoint file

@@ -303,19 +303,50 @@ pub fn bidiagonal_svd(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) -> Svd {
 pub fn bidiagonal_svd_with_info(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) -> (Svd, SvdInfo) {
     let cap_u = rot_block(u.rows(), u.cols());
     let cap_v = rot_block(v.rows(), v.cols());
-    bidiagonal_svd_caps(d, e, u, v, cap_u, cap_v)
+    bidiagonal_svd_impl(d, e, u, v, cap_u, cap_v, None)
+}
+
+/// [`bidiagonal_svd_with_info`] under an explicit QR-sweep budget instead
+/// of the default `60 n² + 100` cap. A solve that exhausts the budget
+/// returns the best factorization found with `converged = false` and bumps
+/// [`convergence_stats::failures`](crate::svd::convergence_stats) exactly
+/// once — the hook tests use to exercise the non-convergence path, since a
+/// well-posed spectrum never trips the default cap.
+pub fn bidiagonal_svd_budgeted(
+    d: Vec<f64>,
+    e: Vec<f64>,
+    u: Matrix,
+    v: Matrix,
+    max_iter: usize,
+) -> (Svd, SvdInfo) {
+    let cap_u = rot_block(u.rows(), u.cols());
+    let cap_v = rot_block(v.rows(), v.cols());
+    bidiagonal_svd_impl(d, e, u, v, cap_u, cap_v, Some(max_iter))
 }
 
 /// The QR iteration with explicit rotation-window capacities, so tests can
 /// pit the accumulated path against the direct reference without touching
 /// the process-wide knob.
-pub(crate) fn bidiagonal_svd_caps(
+#[cfg(test)]
+fn bidiagonal_svd_caps(
+    d: Vec<f64>,
+    e: Vec<f64>,
+    u: Matrix,
+    v: Matrix,
+    cap_u: usize,
+    cap_v: usize,
+) -> (Svd, SvdInfo) {
+    bidiagonal_svd_impl(d, e, u, v, cap_u, cap_v, None)
+}
+
+fn bidiagonal_svd_impl(
     mut d: Vec<f64>,
     mut e: Vec<f64>,
     mut u: Matrix,
     mut v: Matrix,
     cap_u: usize,
     cap_v: usize,
+    budget: Option<usize>,
 ) -> (Svd, SvdInfo) {
     let n = d.len();
     if n == 0 {
@@ -325,7 +356,7 @@ pub(crate) fn bidiagonal_svd_caps(
     let bnorm =
         d.iter().chain(e.iter()).fold(0.0f64, |acc, x| acc.max(x.abs())).max(f64::MIN_POSITIVE);
 
-    let max_iter = 60 * n * n + 100;
+    let max_iter = budget.unwrap_or(60 * n * n + 100);
     let mut iter = 0;
     let mut converged = true;
     let mut ws = Workspace::new();
@@ -573,5 +604,45 @@ mod tests {
         assert!((r - 5.0).abs() < 1e-14);
         assert_eq!(givens(2.0, 0.0), (1.0, 0.0, 2.0));
         assert_eq!(givens(0.0, 2.0), (0.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn exhausted_budget_reports_non_convergence_exactly_once() {
+        // A strongly coupled bidiagonal needs several QR sweeps; a budget of
+        // one sweep cannot finish, so the solve must come back with
+        // `converged = false` and bump the process-wide failure counter by
+        // exactly one. Diff the counter rather than asserting its absolute
+        // value so concurrent tests can't interfere.
+        let d = vec![4.0, 3.0, 2.0, 1.0];
+        let e = vec![1.0, 1.0, 1.0];
+        let before = convergence_stats::failures();
+        let (f, info) = bidiagonal_svd_budgeted(
+            d.clone(),
+            e.clone(),
+            Matrix::identity(4),
+            Matrix::identity(4),
+            1,
+        );
+        assert!(!info.converged, "a one-sweep budget must not converge this spectrum");
+        assert!(info.iterations >= 1);
+        assert_eq!(
+            convergence_stats::failures() - before,
+            1,
+            "non-convergence must be recorded exactly once"
+        );
+        // The bail-out still hands back a usable factorization: orthonormal
+        // factors (rotations only) of the right shape, sigmas non-negative.
+        assert_eq!(f.u.shape(), (4, 4));
+        assert_eq!(f.vt.shape(), (4, 4));
+        assert!(orthogonality_error(&f.u) < 1e-12);
+        assert!(orthogonality_error(&f.vt.transpose()) < 1e-12);
+        assert!(f.s.iter().all(|&s| s >= 0.0));
+
+        // The same spectrum under an ample budget converges cleanly and
+        // leaves the failure counter alone.
+        let before = convergence_stats::failures();
+        let (_, ok) = bidiagonal_svd_budgeted(d, e, Matrix::identity(4), Matrix::identity(4), 1000);
+        assert!(ok.converged);
+        assert_eq!(convergence_stats::failures() - before, 0);
     }
 }

@@ -49,9 +49,12 @@ pub use psvd_linalg as linalg;
 
 /// The common imports for applications.
 pub mod prelude {
-    pub use psvd_comm::{Communicator, NetworkModel, SelfComm, World};
+    pub use psvd_comm::{
+        CommError, Communicator, FaultComm, FaultPlan, NetworkModel, RetryPolicy, SelfComm, World,
+    };
     pub use psvd_core::{
-        batch_truncated_svd, parallel_svd_once, ParallelStreamingSvd, SerialStreamingSvd, SvdConfig,
+        batch_truncated_svd, parallel_svd_once, DegradedInfo, ParallelStreamingSvd,
+        SerialStreamingSvd, SvdConfig,
     };
     pub use psvd_data::{BurgersConfig, Era5Config};
     pub use psvd_linalg::{svd, Matrix, RandomizedConfig, Svd, SvdMethod};

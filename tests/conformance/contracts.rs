@@ -1,0 +1,133 @@
+//! Differential contracts: the same stream through serial, APMOS/TSQR
+//! parallel, and randomized variants, over `SelfComm`, `ThreadComm`, and
+//! a fault-free `FaultComm`, must tell one consistent story.
+
+use psvd_comm::{Communicator, FaultComm, FaultPlan, SelfComm, World};
+use psvd_core::ParallelStreamingSvd;
+use psvd_data::partition::split_rows;
+use psvd_linalg::validate::{max_principal_angle, spectrum_error};
+use psvd_linalg::Matrix;
+
+use crate::harness::{
+    assert_descending, assert_orthonormal, batch_oracle, data_matrix, exact_config, serial_oracle,
+    ALL_SPECTRA,
+};
+
+const M: usize = 60;
+const N: usize = 24;
+const K: usize = 4;
+const BATCH: usize = 8;
+
+/// Run the distributed stream over `ranks` ranks of a `ThreadComm` world
+/// and gather the global modes at rank 0.
+fn parallel_run(a: &Matrix, ranks: usize) -> (Matrix, Vec<f64>) {
+    let cfg = exact_config(K, BATCH.max(K));
+    let blocks = split_rows(a, ranks);
+    let world = World::new(ranks);
+    let out = world.run(|comm| {
+        let mut d = ParallelStreamingSvd::new(comm, cfg);
+        d.fit_batched(&blocks[comm.rank()], BATCH);
+        let s = d.singular_values().to_vec();
+        (d.into_gathered_modes(0), s)
+    });
+    let (modes, s) = out.into_iter().next().unwrap();
+    (modes.expect("rank 0 gathers"), s)
+}
+
+#[test]
+fn serial_and_parallel_agree_across_spectra() {
+    for (i, kind) in ALL_SPECTRA.iter().enumerate() {
+        let a = data_matrix(*kind, M, N, 100 + i as u64);
+        let cfg = exact_config(K, BATCH.max(K));
+        let (serial_modes, serial_s) = serial_oracle(cfg, &a, BATCH);
+        assert_descending(&serial_s);
+        assert_orthonormal(&serial_modes, 1e-8);
+        for ranks in [2usize, 3] {
+            let (par_modes, par_s) = parallel_run(&a, ranks);
+            assert_descending(&par_s);
+            assert_orthonormal(&par_modes, 1e-8);
+            let serr = spectrum_error(&serial_s, &par_s);
+            assert!(serr < 1e-8, "{kind:?}/{ranks} ranks: sigma diverged by {serr}");
+            let aerr = max_principal_angle(&serial_modes, &par_modes);
+            assert!(aerr < 1e-6, "{kind:?}/{ranks} ranks: subspace diverged by {aerr}");
+        }
+    }
+}
+
+#[test]
+fn selfcomm_single_rank_is_the_serial_stream() {
+    // A 1-rank "distributed" run over SelfComm is the same algorithm as
+    // the serial driver up to the TSQR detour; the results must agree to
+    // round-off on every spectrum shape.
+    for (i, kind) in ALL_SPECTRA.iter().enumerate() {
+        let a = data_matrix(*kind, 40, 16, 200 + i as u64);
+        let cfg = exact_config(3, 8);
+        let (serial_modes, serial_s) = serial_oracle(cfg, &a, 8);
+        let comm = SelfComm::new();
+        let mut d = ParallelStreamingSvd::new(&comm, cfg);
+        d.fit_batched(&a, 8);
+        let s = d.singular_values().to_vec();
+        let modes = d.into_gathered_modes(0).unwrap();
+        assert!(spectrum_error(&serial_s, &s) < 1e-9, "{kind:?}");
+        assert!(max_principal_angle(&serial_modes, &modes) < 1e-7, "{kind:?}");
+    }
+}
+
+#[test]
+fn fault_free_faultcomm_is_transparent() {
+    // Wrapping the world in a FaultComm with an empty plan must not change
+    // a single bit of the factorization.
+    let a = data_matrix(crate::harness::Spectrum::Geometric, M, N, 7);
+    let cfg = exact_config(K, BATCH.max(K));
+    let blocks = split_rows(&a, 3);
+
+    let plain = {
+        let world = World::new(3);
+        world.run(|comm| {
+            let mut d = ParallelStreamingSvd::new(comm, cfg);
+            d.fit_batched(&blocks[comm.rank()], BATCH);
+            let s = d.singular_values().to_vec();
+            (d.into_gathered_modes(0), s)
+        })
+    };
+    let wrapped = {
+        let world = World::new(3);
+        world.run(|comm| {
+            let fc = FaultComm::new(comm, FaultPlan::new(1234));
+            let mut d = ParallelStreamingSvd::new(&fc, cfg);
+            d.fit_batched(&blocks[fc.rank()], BATCH);
+            let s = d.singular_values().to_vec();
+            (d.into_gathered_modes(0), s)
+        })
+    };
+    assert_eq!(plain[0].1, wrapped[0].1, "singular values must be bit-identical");
+    assert_eq!(plain[0].0, wrapped[0].0, "modes must be bit-identical");
+}
+
+#[test]
+fn randomized_variant_tracks_the_leading_modes() {
+    let a = data_matrix(crate::harness::Spectrum::Geometric, 80, 20, 9);
+    let k = 3;
+    let (_, s_ref) = batch_oracle(&a, k);
+    let cfg = psvd_core::SvdConfig::new(k)
+        .with_forget_factor(1.0)
+        .with_r1(20)
+        .with_r2(10)
+        .with_low_rank(true)
+        .with_power_iterations(2)
+        .with_seed(77);
+    let blocks = split_rows(&a, 2);
+    let world = World::new(2);
+    let out = world.run(|comm| {
+        let fc = FaultComm::new(comm, FaultPlan::new(5));
+        let mut d = ParallelStreamingSvd::new(&fc, cfg);
+        let (_, s) = d.parallel_svd(&blocks[fc.rank()]);
+        s
+    });
+    assert_descending(&out[0]);
+    for (got, want) in out[0].iter().zip(&s_ref) {
+        assert!((got - want).abs() / want < 0.05, "sigma {got} vs {want}");
+    }
+    // Every rank agrees on the spectrum.
+    assert!(out.windows(2).all(|w| w[0] == w[1]));
+}

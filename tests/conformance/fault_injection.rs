@@ -1,0 +1,141 @@
+//! Transient-fault schedules: every recovery must be invisible — the
+//! factorization bitwise-identical to the fault-free run — and every
+//! replay deterministic for a fixed seed.
+
+use psvd_comm::{Communicator, FaultComm, FaultPlan, FaultStats, World};
+use psvd_core::{ParallelStreamingSvd, SvdConfig};
+use psvd_data::partition::split_rows;
+use psvd_linalg::Matrix;
+
+use crate::harness::{data_matrix, exact_config, Spectrum};
+
+const M: usize = 60;
+const N: usize = 24;
+const RANKS: usize = 3;
+const BATCH: usize = 8;
+
+fn cfg(tree: bool) -> SvdConfig {
+    exact_config(4, BATCH).with_forget_factor(0.95).with_tree_collectives(tree)
+}
+
+/// Stream the whole matrix under a fault plan; returns per-rank
+/// `(gathered modes at 0, singular values, fault stats)`.
+fn faulted_run(
+    a: &Matrix,
+    tree: bool,
+    plan: &FaultPlan,
+) -> Vec<(Option<Matrix>, Vec<f64>, FaultStats)> {
+    let blocks = split_rows(a, RANKS);
+    let world = World::new(RANKS);
+    world.run(|comm| {
+        let fc = FaultComm::new(comm, plan.clone());
+        let mut d = ParallelStreamingSvd::new(&fc, cfg(tree));
+        d.fit_batched(&blocks[fc.rank()], BATCH);
+        let s = d.singular_values().to_vec();
+        let modes = d.into_gathered_modes(0);
+        let stats = fc.stats();
+        (modes, s, stats)
+    })
+}
+
+#[test]
+fn one_transient_drop_per_collective_is_bitwise_invisible() {
+    // Acceptance criterion: with every send's first attempt dropped (so at
+    // least one transient drop per collective), the retry path must
+    // reproduce the fault-free factorization bit for bit — on both the
+    // flat and the tree collectives.
+    let a = data_matrix(Spectrum::Geometric, M, N, 31);
+    for tree in [false, true] {
+        let clean = faulted_run(&a, tree, &FaultPlan::new(8));
+        let faulted = faulted_run(&a, tree, &FaultPlan::new(8).with_drop_prob(1.0));
+        assert_eq!(clean[0].1, faulted[0].1, "singular values (tree={tree})");
+        assert_eq!(clean[0].0, faulted[0].0, "modes (tree={tree})");
+        let drops: u64 = faulted.iter().map(|(_, _, s)| s.drops).sum();
+        let retries: u64 = faulted.iter().map(|(_, _, s)| s.retries).sum();
+        assert!(drops > 0, "the schedule must actually have dropped sends (tree={tree})");
+        assert_eq!(drops, retries, "every drop costs exactly one retry (tree={tree})");
+        assert!(clean.iter().all(|(_, _, s)| *s == FaultStats::default()));
+    }
+}
+
+#[test]
+fn corruption_and_truncation_recover_bitwise() {
+    // Receive-side payload mangling: the modeled retransmission delivers
+    // the sender's intact copy, so results are bitwise clean.
+    let a = data_matrix(Spectrum::Clustered, M, N, 32);
+    for tree in [false, true] {
+        let clean = faulted_run(&a, tree, &FaultPlan::new(12));
+        let faulted = faulted_run(&a, tree, &FaultPlan::new(12).with_corrupt_prob(1.0));
+        assert_eq!(clean[0].1, faulted[0].1, "singular values (tree={tree})");
+        assert_eq!(clean[0].0, faulted[0].0, "modes (tree={tree})");
+        let mangled: u64 = faulted.iter().map(|(_, _, s)| s.truncations + s.corruptions).sum();
+        assert!(mangled > 0, "the schedule must actually have mangled payloads");
+    }
+}
+
+#[test]
+fn delayed_reordered_messages_recover_bitwise() {
+    // Send-side delays exercise the receivers' out-of-order tag buffering;
+    // values are unchanged, so the factorization is too.
+    let a = data_matrix(Spectrum::Step, M, N, 33);
+    let clean = faulted_run(&a, false, &FaultPlan::new(21));
+    let faulted = faulted_run(&a, false, &FaultPlan::new(21).with_delay_prob(0.5, 2));
+    assert_eq!(clean[0].1, faulted[0].1, "singular values");
+    assert_eq!(clean[0].0, faulted[0].0, "modes");
+    let delays: u64 = faulted.iter().map(|(_, _, s)| s.delays).sum();
+    assert!(delays > 0, "the schedule must actually have delayed sends");
+}
+
+#[test]
+fn mixed_schedule_replays_identically_across_kernel_thread_counts() {
+    // Acceptance criterion: fault decisions are a pure function of the
+    // seed and per-rank op counters, so the replay — results AND injected
+    // fault counts — is identical whether the GEMM pool runs 1 thread or 4.
+    let a = data_matrix(Spectrum::Geometric, M, N, 34);
+    let plan =
+        FaultPlan::new(555).with_drop_prob(0.5).with_corrupt_prob(0.4).with_delay_prob(0.3, 2);
+    let before = psvd_linalg::par::num_threads();
+    psvd_linalg::par::set_num_threads(1);
+    let one = faulted_run(&a, false, &plan);
+    psvd_linalg::par::set_num_threads(4);
+    let four = faulted_run(&a, false, &plan);
+    psvd_linalg::par::set_num_threads(before);
+    assert_eq!(one, four, "replay must not depend on the kernel thread count");
+    // And replaying at the same thread count is trivially deterministic.
+    psvd_linalg::par::set_num_threads(before);
+    let again = faulted_run(&a, false, &plan);
+    assert_eq!(one, again);
+}
+
+#[test]
+fn retries_do_not_leak_payload_allocations() {
+    // Satellite: a retried collective must not allocate beyond the
+    // fault-free run. Recovery re-sends the retained payload (drops) or
+    // re-delivers the stashed intact copy (corruptions), so the traffic
+    // ledger's alloc_bytes — and the drivers' workspace hit rate — are
+    // unchanged by any transient schedule.
+    let a = data_matrix(Spectrum::Geometric, M, N, 35);
+    let blocks = split_rows(&a, RANKS);
+    let run = |plan: FaultPlan| {
+        let world = World::new(RANKS);
+        let scratch = world.run(|comm| {
+            let fc = FaultComm::new(comm, plan.clone());
+            let mut d = ParallelStreamingSvd::new(&fc, cfg(false));
+            let b = &blocks[fc.rank()];
+            d.fit_batched(&b.submatrix(0, b.rows(), 0, 16), BATCH); // warm-up
+            d.reset_scratch_stats();
+            d.fit_batched(&b.submatrix(0, b.rows(), 16, N), BATCH);
+            d.scratch_stats()
+        });
+        (world.stats().total_alloc_bytes(), world.stats().total_alloc_count(), scratch)
+    };
+    let (clean_bytes, clean_count, _) = run(FaultPlan::new(40));
+    let (fault_bytes, fault_count, scratch) =
+        run(FaultPlan::new(40).with_drop_prob(1.0).with_corrupt_prob(1.0));
+    assert_eq!(clean_bytes, fault_bytes, "retries must not charge payload allocations");
+    assert_eq!(clean_count, fault_count);
+    for s in &scratch {
+        assert_eq!(s.misses, 0, "faulted steady-state rounds must stay on the warm workspace");
+        assert_eq!(s.fresh_bytes, 0);
+    }
+}

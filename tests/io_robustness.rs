@@ -10,6 +10,28 @@ fn tmp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("psvd_fuzz_{name}_{}", std::process::id()))
 }
 
+/// Shared body of the bit-flip property below and its named regression
+/// cases: a single corrupted byte must either fail decoding or decode
+/// into a structurally consistent checkpoint (sizes matching lengths) —
+/// silent structural corruption is the only forbidden outcome.
+fn checkpoint_bitflip_case(flip: usize) -> Result<(), String> {
+    let mut s = SerialStreamingSvd::new(SvdConfig::new(3).with_forget_factor(1.0));
+    s.initialize(&Matrix::from_fn(12, 6, |i, j| ((i + 2 * j) as f64).sin()));
+    let mut bytes = s.checkpoint().to_bytes();
+    let idx = flip % bytes.len();
+    bytes[idx] ^= 0xFF;
+    if let Ok(ckpt) = SvdCheckpoint::from_bytes(&bytes) {
+        if ckpt.modes.cols() != ckpt.singular_values.len() {
+            return Err(format!(
+                "flip {flip}: decoded inconsistent checkpoint ({} mode cols, {} sigmas)",
+                ckpt.modes.cols(),
+                ckpt.singular_values.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -46,18 +68,20 @@ proptest! {
 
     #[test]
     fn checkpoint_bitflip_detected_or_consistent(flip in 0usize..200) {
-        // A single corrupted byte must either fail decoding or decode into
-        // a structurally consistent checkpoint (sizes matching lengths) —
-        // silent structural corruption is the only forbidden outcome.
-        let mut s = SerialStreamingSvd::new(SvdConfig::new(3).with_forget_factor(1.0));
-        s.initialize(&Matrix::from_fn(12, 6, |i, j| ((i + 2 * j) as f64).sin()));
-        let mut bytes = s.checkpoint().to_bytes();
-        let idx = flip % bytes.len();
-        bytes[idx] ^= 0xFF;
-        if let Ok(ckpt) = SvdCheckpoint::from_bytes(&bytes) {
-            prop_assert_eq!(ckpt.modes.cols(), ckpt.singular_values.len());
-        }
+        prop_assert!(checkpoint_bitflip_case(flip).is_ok());
     }
+}
+
+// Named regression cases promoted from io_robustness.proptest-regressions
+// so the seeds keep running even when proptest shrinks differently (see
+// DESIGN.md, "Promoting proptest regressions").
+
+#[test]
+fn regression_checkpoint_bitflip_flip_15() {
+    // Seed `cc da0d9407…` shrank to flip = 15: the most-significant byte
+    // of the header's row-count field, which inflates the promised payload
+    // past any sane allocation — the overflow-checked decoder must reject.
+    checkpoint_bitflip_case(15).unwrap();
 }
 
 #[test]

@@ -2,8 +2,42 @@
 //! sizes, roots, message schedules, and payload shapes.
 
 use proptest::prelude::*;
-use pyparsvd::comm::collectives::{tree_allreduce_sum, tree_bcast, tree_gather};
+use pyparsvd::comm::collectives::{tree_allgather, tree_allreduce_sum, tree_bcast, tree_gather};
 use pyparsvd::comm::{Communicator, NetworkModel, World};
+
+#[test]
+fn tree_collectives_bitwise_equal_flat_for_sizes_1_through_9() {
+    // Pins the tree collectives to the flat Communicator default methods:
+    // same payloads, same rank order, bit-for-bit — across every world
+    // size the binomial tree can shape differently (powers of two, odd
+    // sizes, and the degenerate single rank).
+    for size in 1usize..=9 {
+        let w = World::new(size);
+        let out = w.run(|c| {
+            // Irrational-ish payload values so any reassociation of the
+            // data path would show up in the bits.
+            let mine: Vec<f64> =
+                (0..4).map(|j| (c.rank() as f64 + 1.0).sqrt() * (j as f64 + 0.37).ln()).collect();
+            let flat_gather = c.gather(mine.clone(), 0);
+            let tree_gather_out = tree_gather(c, mine.clone(), 0);
+            let flat_allgather = c.allgather(mine.clone());
+            let tree_allgather_out = tree_allgather(c, mine.clone());
+            let seed = if c.rank() == 0 { Some(mine.clone()) } else { None };
+            let flat_bcast = c.bcast(seed.clone(), 0);
+            let tree_bcast_out = tree_bcast(c, seed, 0);
+            (
+                (flat_gather, tree_gather_out),
+                (flat_allgather, tree_allgather_out),
+                (flat_bcast, tree_bcast_out),
+            )
+        });
+        for (rank, (gather, allgather, bcast)) in out.into_iter().enumerate() {
+            assert_eq!(gather.0, gather.1, "gather diverged at size {size}, rank {rank}");
+            assert_eq!(allgather.0, allgather.1, "allgather diverged at size {size}, rank {rank}");
+            assert_eq!(bcast.0, bcast.1, "bcast diverged at size {size}, rank {rank}");
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
