@@ -1,0 +1,77 @@
+//! Criterion bench: every available micro-kernel head to head through the
+//! packed engine, at one thread so the numbers are pure kernel throughput
+//! (no partition effects). Three shapes: a compute-bound square, the
+//! tall-skinny streaming-SVD shape (exercising the A-streaming path), and
+//! a Gram-sized `AᵀB` panel product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psvd_linalg::gemm::{kernels, packed};
+use psvd_linalg::par;
+use psvd_linalg::random::{gaussian_matrix, seeded_rng};
+
+fn bench_kernels_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels_square");
+    group.sample_size(10);
+    par::set_num_threads(1);
+    for n in [256usize, 512] {
+        let a = gaussian_matrix(n, n, &mut seeded_rng(1));
+        let b = gaussian_matrix(n, n, &mut seeded_rng(2));
+        for &kern in kernels::available() {
+            group.bench_with_input(BenchmarkId::new(kern.name(), n), &n, |bench, _| {
+                bench.iter(|| packed::matmul_with(kern, &a, &b));
+            });
+        }
+    }
+    par::set_num_threads(0);
+    group.finish();
+}
+
+fn bench_kernels_tall_skinny(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels_tall_skinny");
+    group.sample_size(10);
+    par::set_num_threads(1);
+    let (m, k) = (65536usize, 64usize);
+    let a = gaussian_matrix(m, k, &mut seeded_rng(3));
+    let b = gaussian_matrix(k, k, &mut seeded_rng(4));
+    for &kern in kernels::available() {
+        group.bench_with_input(
+            BenchmarkId::new(kern.name(), format!("{m}x{k}")),
+            &m,
+            |bench, _| {
+                bench.iter(|| packed::matmul_with(kern, &a, &b));
+            },
+        );
+    }
+    par::set_num_threads(0);
+    group.finish();
+}
+
+fn bench_kernels_panel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels_panel");
+    group.sample_size(10);
+    par::set_num_threads(1);
+    // The projection shape of the randomized range finder: AᵀB with a
+    // tall A against a modest sketch.
+    let (m, k, n) = (16384usize, 96usize, 96usize);
+    let a = gaussian_matrix(m, k, &mut seeded_rng(5));
+    let b = gaussian_matrix(m, n, &mut seeded_rng(6));
+    for &kern in kernels::available() {
+        group.bench_with_input(
+            BenchmarkId::new(kern.name(), format!("{k}x{m}x{n}")),
+            &m,
+            |bench, _| {
+                bench.iter(|| packed::matmul_tn_with(kern, &a, &b));
+            },
+        );
+    }
+    par::set_num_threads(0);
+    group.finish();
+}
+
+criterion_group!(
+    gemm_kernels,
+    bench_kernels_square,
+    bench_kernels_tall_skinny,
+    bench_kernels_panel
+);
+criterion_main!(gemm_kernels);

@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 
 use psvd_bench::{time_it, Table};
 use psvd_core::{SerialStreamingSvd, SvdConfig};
-use psvd_linalg::gemm::{matmul, packed, reference};
+use psvd_linalg::gemm::{self, kernels, matmul, packed, reference};
 use psvd_linalg::qr::thin_qr;
 use psvd_linalg::random::{gaussian_matrix, seeded_rng};
 use psvd_linalg::{alloc_stats, par, Matrix};
@@ -34,6 +34,9 @@ struct Sample {
     k: usize,
     n: usize,
     engine: &'static str,
+    /// Micro-kernel the row ran under (`"-"` for the reference engine,
+    /// which has no micro-kernel).
+    kernel: &'static str,
     threads: usize,
     seconds: f64,
     gflops: f64,
@@ -85,12 +88,25 @@ fn main() {
     let thread_counts = [1usize, 2, 4, 8];
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    // Resolve the process-wide kernel and blocking up front so every row
+    // below records what actually ran. `current_blocking` honours
+    // `PSVD_GEMM_TUNE` (off / in-process autotune / profile file).
+    let kern = kernels::selected();
+    let (blk, blk_source) = gemm::current_blocking();
+    let kernel_names: Vec<&'static str> = kernels::available().iter().map(|k| k.name()).collect();
     println!(
-        "== GEMM scaling: packed engine (MR={} NR={}) vs serial reference, {hw} hw threads ==\n",
-        packed::MR,
-        packed::NR
+        "== GEMM scaling: packed engine (kernel {} {}x{}, blocking MC={} KC={} NC={} [{}]) \
+         vs serial reference, {hw} hw threads ==\n",
+        kern.name(),
+        kern.mr(),
+        kern.nr(),
+        blk.mc,
+        blk.kc,
+        blk.nc,
+        blk_source.label()
     );
-    let table = Table::new(&["case", "engine", "threads", "seconds", "GFLOP/s", "bitwise"]);
+    let table =
+        Table::new(&["case", "engine", "kernel", "threads", "seconds", "GFLOP/s", "bitwise"]);
     let mut samples: Vec<Sample> = Vec::new();
 
     for case in &cases {
@@ -104,6 +120,7 @@ fn main() {
         table.row(&[
             label.clone(),
             "reference".into(),
+            "-".into(),
             "1".into(),
             format!("{t_ref:.4}"),
             format!("{:.2}", gf / t_ref),
@@ -115,12 +132,47 @@ fn main() {
             k: case.k,
             n: case.n,
             engine: "reference",
+            kernel: "-",
             threads: 1,
             seconds: t_ref,
             gflops: gf / t_ref,
             deterministic: true,
         });
 
+        // Every available micro-kernel at one thread: the per-kernel
+        // GFLOP/s record, each checked against the reference result.
+        for &k in kernels::available() {
+            if k.name() == kern.name() {
+                continue; // the selected kernel gets the full sweep below
+            }
+            let (c, t) = best_of(reps, || packed::matmul_with(k, &a, &b));
+            let err = (&c - &c_ref).max_abs();
+            assert!(err < 1e-9 * case.k as f64, "{} vs reference diverged: {err}", k.name());
+            table.row(&[
+                label.clone(),
+                "packed".into(),
+                k.name().into(),
+                "1".into(),
+                format!("{t:.4}"),
+                format!("{:.2}", gf / t),
+                "ok".into(),
+            ]);
+            samples.push(Sample {
+                kind: case.kind,
+                m: case.m,
+                k: case.k,
+                n: case.n,
+                engine: "packed",
+                kernel: k.name(),
+                threads: 1,
+                seconds: t,
+                gflops: gf / t,
+                deterministic: true,
+            });
+        }
+
+        // The selected kernel across the thread sweep; bitwise checks are
+        // per fixed kernel (the determinism contract's unit).
         let mut baseline: Option<Matrix> = None;
         for &threads in &thread_counts {
             par::set_num_threads(threads);
@@ -139,6 +191,7 @@ fn main() {
             table.row(&[
                 label.clone(),
                 "packed".into(),
+                kern.name().into(),
                 threads.to_string(),
                 format!("{t:.4}"),
                 format!("{:.2}", gf / t),
@@ -150,6 +203,7 @@ fn main() {
                 k: case.k,
                 n: case.n,
                 engine: "packed",
+                kernel: kern.name(),
                 threads,
                 seconds: t,
                 gflops: gf / t,
@@ -171,16 +225,45 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"gemm_scaling\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"hardware_threads\": {hw},");
-    let _ =
-        writeln!(json, "  \"micro_kernel\": {{ \"mr\": {}, \"nr\": {} }},", packed::MR, packed::NR);
+    let _ = writeln!(
+        json,
+        "  \"kernel\": {{ \"name\": \"{}\", \"mr\": {}, \"nr\": {}, \"fused\": {} }},",
+        kern.name(),
+        kern.mr(),
+        kern.nr(),
+        kern.fused()
+    );
+    let _ = writeln!(
+        json,
+        "  \"kernels_available\": [{}],",
+        kernel_names.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "  \"blocking\": {{ \"mc\": {}, \"kc\": {}, \"nc\": {}, \"source\": \"{}\" }},",
+        blk.mc,
+        blk.kc,
+        blk.nc,
+        blk_source.label()
+    );
     let _ = writeln!(json, "  \"deterministic\": {},", mismatches == 0);
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
             json,
             "    {{ \"kind\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"engine\": \"{}\", \
-             \"threads\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}, \"bitwise_match\": {} }}",
-            s.kind, s.m, s.k, s.n, s.engine, s.threads, s.seconds, s.gflops, s.deterministic
+             \"kernel\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}, \
+             \"bitwise_match\": {} }}",
+            s.kind,
+            s.m,
+            s.k,
+            s.n,
+            s.engine,
+            s.kernel,
+            s.threads,
+            s.seconds,
+            s.gflops,
+            s.deterministic
         );
         json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }

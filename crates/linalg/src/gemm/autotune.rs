@@ -1,0 +1,262 @@
+//! One-shot cache-blocking autotuner.
+//!
+//! Times a small grid of `MC`/`KC`/`NC` candidates — sized from the
+//! detected L1d/L2 capacities — on a compute-bound square GEMM through
+//! the real packed engine with the active micro-kernel, and installs the
+//! fastest triple process-wide. It runs at most once per process
+//! (results land in the same `OnceLock` the lazy default resolution
+//! uses), triggered by `PSVD_GEMM_TUNE=1` at first GEMM or explicitly
+//! via [`autotune`].
+//!
+//! With `PSVD_GEMM_TUNE=<path>` the winner is serialized to `<path>` as
+//! a `key=value` profile stamped with the kernel name and tile shape;
+//! later runs load it instead of re-timing, and silently re-tune (and
+//! rewrite) if the file is missing, malformed, or was tuned for a
+//! different kernel.
+//!
+//! Tuning never compromises determinism *within* a process — blocking is
+//! immutable once resolved — but two processes tuned to different `KC`
+//! values are distinct rounding universes. Runs that must be bitwise
+//! reproducible across machines should pin a profile file or leave
+//! tuning off.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use super::blocking::{Blocking, BlockingSource};
+use super::kernel::{self, MicroKernel};
+use super::packed;
+use crate::matrix::Matrix;
+
+/// One timed candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneSample {
+    pub mc: usize,
+    pub kc: usize,
+    pub nc: usize,
+    pub gflops: f64,
+}
+
+/// What [`autotune`] resolved: the installed blocking, the kernel it was
+/// tuned for, how it was obtained, and (when timing actually ran this
+/// process) the full candidate table.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    pub blocking: Blocking,
+    pub kernel: &'static str,
+    pub source: BlockingSource,
+    /// Empty when the blocking came from defaults or a loaded profile.
+    pub candidates: Vec<TuneSample>,
+}
+
+/// Candidate table from the most recent in-process tuning run, if any.
+static LAST_SAMPLES: OnceLock<Vec<TuneSample>> = OnceLock::new();
+
+/// Detected (L1d, L2) data-cache capacities in bytes, via sysfs;
+/// conservative 32 KiB / 1 MiB fallbacks when unreadable (containers,
+/// non-Linux).
+pub(crate) fn detect_caches() -> (usize, usize) {
+    fn read_kib(index: &str) -> Option<usize> {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/{index}");
+        let ty = std::fs::read_to_string(format!("{base}/type")).ok()?;
+        if ty.trim() == "Instruction" {
+            return None;
+        }
+        let size = std::fs::read_to_string(format!("{base}/size")).ok()?;
+        size.trim().strip_suffix('K')?.parse::<usize>().ok().map(|k| k * 1024)
+    }
+    fn level(index: &str) -> Option<usize> {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/{index}");
+        std::fs::read_to_string(format!("{base}/level")).ok()?.trim().parse().ok()
+    }
+    let (mut l1, mut l2) = (0usize, 0usize);
+    for i in 0..6 {
+        let index = format!("index{i}");
+        if let (Some(lv), Some(bytes)) = (level(&index), read_kib(&index)) {
+            match lv {
+                1 => l1 = l1.max(bytes),
+                2 => l2 = l2.max(bytes),
+                _ => {}
+            }
+        }
+    }
+    (if l1 == 0 { 32 * 1024 } else { l1 }, if l2 == 0 { 1024 * 1024 } else { l2 })
+}
+
+/// The candidate grid for a kernel: `KC` sized so an NR-wide B strip
+/// plus an MR-tall A strip stay within L1, `MC` so the packed A block
+/// fills a fraction of L2, plus neighbors of each — every candidate
+/// validated through [`Blocking::try_new`].
+pub(crate) fn candidate_grid(kern: &dyn MicroKernel) -> Vec<Blocking> {
+    let (l1, l2) = detect_caches();
+    let (mr, nr) = (kern.mr(), kern.nr());
+    // B strip (kc * nr) + A strip (kc * mr) + tile within L1 f64s.
+    let kc_l1 = (l1 / 8 / (mr + nr)).max(64).next_power_of_two() / 2 * 2;
+    // Packed A (mc * kc) targeting ~half of L2.
+    let mc_l2 = |kc: usize| ((l2 / 2 / 8 / kc.max(1)) / mr).max(1) * mr;
+    let mut kcs = vec![kc_l1 / 2, kc_l1, kc_l1 * 2, 256];
+    kcs.sort_unstable();
+    kcs.dedup();
+    let mut out = Vec::new();
+    for &kc in &kcs {
+        let mc0 = mc_l2(kc);
+        for mc in [mc0 / 2, mc0, mc0 * 2, 128] {
+            for nc in [2048usize, 4096] {
+                if let Ok(b) = Blocking::try_new(mc, kc, nc, kern) {
+                    if !out.contains(&b) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push(Blocking::default_for(kern));
+    }
+    out
+}
+
+fn time_candidate(kern: &dyn MicroKernel, blk: Blocking, a: &Matrix, b: &Matrix) -> f64 {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let flops = (2 * m * n * k) as f64;
+    // One warm-up, then best of two timed reps (best-of filters scheduler
+    // noise better than the mean for sub-100ms runs).
+    let _ = packed::matmul_with_blocking(kern, blk, a, b);
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let c = packed::matmul_with_blocking(kern, blk, a, b);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&c);
+        best = best.min(dt);
+    }
+    flops / best / 1e9
+}
+
+/// Time the candidate grid and return the winner plus the full table.
+/// Called through the blocking `OnceLock`, so at most once per process.
+pub(crate) fn tune_now(kern: &dyn MicroKernel) -> (Blocking, Vec<TuneSample>) {
+    // Compute-bound but quick: ~448^3 keeps the whole sweep well under a
+    // second per candidate pair at a few GFLOP/s.
+    let dim = 448;
+    let a = Matrix::from_fn(dim, dim, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+    let b = Matrix::from_fn(dim, dim, |i, j| ((i * 17 + j * 11) % 9) as f64 - 4.0);
+    let mut samples = Vec::new();
+    let mut winner = (Blocking::default_for(kern), 0.0f64);
+    for blk in candidate_grid(kern) {
+        let gflops = time_candidate(kern, blk, &a, &b);
+        samples.push(TuneSample { mc: blk.mc, kc: blk.kc, nc: blk.nc, gflops });
+        if gflops > winner.1 {
+            winner = (blk, gflops);
+        }
+    }
+    let _ = LAST_SAMPLES.set(samples.clone());
+    (winner.0, samples)
+}
+
+/// Serialize a tuned profile (`key=value`, one per line).
+fn serialize_profile(kern: &dyn MicroKernel, blk: Blocking) -> String {
+    format!(
+        "# psvd gemm tuning profile\nkernel={}\nmr={}\nnr={}\nmc={}\nkc={}\nnc={}\n",
+        kern.name(),
+        kern.mr(),
+        kern.nr(),
+        blk.mc,
+        blk.kc,
+        blk.nc
+    )
+}
+
+/// Parse a profile; `None` on any malformation or kernel/tile mismatch
+/// (the caller re-tunes rather than trusting a stale file).
+fn parse_profile(text: &str, kern: &dyn MicroKernel) -> Option<Blocking> {
+    let mut kv = std::collections::HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line.split_once('=')?;
+        kv.insert(k.trim(), v.trim());
+    }
+    if *kv.get("kernel")? != kern.name() {
+        return None;
+    }
+    let num = |key: &str| kv.get(key)?.parse::<usize>().ok();
+    if num("mr")? != kern.mr() || num("nr")? != kern.nr() {
+        return None;
+    }
+    Blocking::try_new(num("mc")?, num("kc")?, num("nc")?, kern).ok()
+}
+
+/// `PSVD_GEMM_TUNE=<path>` resolution: load a valid profile, else tune
+/// and write the winner there (write failures are non-fatal — the tuned
+/// blocking is still installed for this process).
+pub(crate) fn load_or_tune(path: &str, kern: &dyn MicroKernel) -> (Blocking, BlockingSource) {
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Some(blk) = parse_profile(&text, kern) {
+            return (blk, BlockingSource::Profile);
+        }
+    }
+    let (blk, _) = tune_now(kern);
+    if let Err(e) = std::fs::write(path, serialize_profile(kern, blk)) {
+        eprintln!("psvd: could not write gemm tuning profile to {path}: {e}");
+    }
+    (blk, BlockingSource::Tuned)
+}
+
+/// Resolve the process-wide blocking through the autotuner (regardless
+/// of `PSVD_GEMM_TUNE`, though a `<path>` mode still prefers its
+/// profile) and report what was installed. If blocking was already
+/// resolved — by an earlier GEMM or a previous call — the existing
+/// resolution is reported instead; the one-shot result is immutable, so
+/// call this before the first large GEMM for tuning to take effect.
+pub fn autotune() -> TuneReport {
+    let ((blocking, source), _ran) = super::blocking::resolve_by_tuning();
+    let candidates = match source {
+        BlockingSource::Tuned => LAST_SAMPLES.get().cloned().unwrap_or_default(),
+        _ => Vec::new(),
+    };
+    TuneReport { blocking, kernel: kernel::selected().name(), source, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::kernel::ScalarKernel;
+
+    #[test]
+    fn detected_caches_are_plausible() {
+        let (l1, l2) = detect_caches();
+        assert!((4 * 1024..=1024 * 1024).contains(&l1), "L1d {l1} bytes");
+        assert!(l2 >= l1, "L2 {l2} < L1 {l1}");
+    }
+
+    #[test]
+    fn candidate_grid_is_valid_and_nonempty() {
+        for kern in kernel::available() {
+            let grid = candidate_grid(*kern);
+            assert!(!grid.is_empty());
+            for blk in grid {
+                assert!(Blocking::try_new(blk.mc, blk.kc, blk.nc, *kern).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn profile_roundtrips_and_rejects_mismatches() {
+        let k = ScalarKernel;
+        let blk = Blocking::try_new(64, 128, 2048, &k).unwrap();
+        let text = serialize_profile(&k, blk);
+        assert_eq!(parse_profile(&text, &k), Some(blk));
+        // Wrong kernel name.
+        assert_eq!(parse_profile(&text.replace("scalar", "fma"), &k), None);
+        // Tampered tile shape.
+        assert_eq!(parse_profile(&text.replace("mr=4", "mr=8"), &k), None);
+        // Malformed values.
+        assert_eq!(parse_profile(&text.replace("kc=128", "kc=lots"), &k), None);
+        assert_eq!(parse_profile("", &k), None);
+        // Invalid blocking for the kernel is rejected by validation.
+        assert_eq!(parse_profile(&text.replace("mc=64", "mc=66"), &k), None);
+    }
+}

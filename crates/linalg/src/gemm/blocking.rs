@@ -1,0 +1,246 @@
+//! Cache-blocking parameters (`MC` / `KC` / `NC`) and their process-wide
+//! resolution.
+//!
+//! The packed engine walks `C` in `MC x NC` macro-tiles fed by `KC`-deep
+//! K-panels. The parameters are validated against the active micro-kernel
+//! ([`Blocking::try_new`]) — `MC` must be a multiple of its `mr` and `NC`
+//! of its `nr` so packed strips never straddle a block boundary — and
+//! resolved exactly once per process:
+//!
+//! 1. `PSVD_GEMM_TUNE` unset / `0` / `off` — the static defaults
+//!    ([`Blocking::default_for`]). With the scalar kernel forced, this is
+//!    bit-for-bit the pre-SIMD engine.
+//! 2. `PSVD_GEMM_TUNE=1` / `on` — the one-shot autotuner runs at first
+//!    GEMM (or when [`crate::gemm::autotune`] is called explicitly) and
+//!    its winner is installed for the process lifetime.
+//! 3. `PSVD_GEMM_TUNE=<path>` — a serialized tuning profile is loaded
+//!    from `<path>` if present and consistent with the active kernel;
+//!    otherwise the autotuner runs and writes the winner there.
+//!
+//! Only `KC` changes numerical results (each `C` element accumulates one
+//! rounded partial sum per K-panel), and only between processes resolved
+//! to different values: within a process the resolved triple is
+//! immutable, so the bitwise-determinism contract holds per (kernel,
+//! blocking, thread-count) with blocking fixed at resolution time. `MC`
+//! and `NC` only re-tile loops and never affect a single bit.
+
+use std::sync::OnceLock;
+
+use super::kernel::{self, MicroKernel};
+
+/// Default row-block height (multiple of every kernel's `mr`).
+pub(crate) const DEFAULT_MC: usize = 128;
+/// Default K-panel depth (the pre-SIMD engine's value; `KC` is the one
+/// parameter that affects rounding, so this default is load-bearing for
+/// scalar-kernel bitwise reproduction).
+pub(crate) const DEFAULT_KC: usize = 256;
+/// Default column-chunk width. Wider than every shape the SVD drivers
+/// produce, so by default the whole of `op(B)` is packed once per call —
+/// exactly the pre-SIMD engine's behavior.
+pub(crate) const DEFAULT_NC: usize = 4096;
+
+/// Upper bound on `mc * kc` (packed-A elements per thread): 16 MiB of
+/// f64. Guards against absurd autotune/profile values.
+const MAX_PACK_A_ELEMS: usize = 1 << 21;
+
+/// A validated `MC`/`KC`/`NC` cache-blocking triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocking {
+    /// Row-block height per packed-A block (multiple of the kernel `mr`).
+    pub mc: usize,
+    /// K-panel depth.
+    pub kc: usize,
+    /// Column-chunk width per packed-B chunk (multiple of the kernel `nr`).
+    pub nc: usize,
+}
+
+/// Rejected blocking parameters, with the constraint that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockingError {
+    /// A parameter was zero.
+    Zero(&'static str),
+    /// `MC` is not a multiple of the kernel's `mr`.
+    McMisaligned { mc: usize, mr: usize, kernel: &'static str },
+    /// `NC` is not a multiple of the kernel's `nr`.
+    NcMisaligned { nc: usize, nr: usize, kernel: &'static str },
+    /// `mc * kc` exceeds the packed-A buffer cap.
+    PackTooLarge { mc: usize, kc: usize, max_elems: usize },
+}
+
+impl std::fmt::Display for BlockingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockingError::Zero(which) => write!(f, "blocking parameter {which} must be nonzero"),
+            BlockingError::McMisaligned { mc, mr, kernel } => {
+                write!(f, "MC = {mc} is not a multiple of kernel {kernel:?} mr = {mr}")
+            }
+            BlockingError::NcMisaligned { nc, nr, kernel } => {
+                write!(f, "NC = {nc} is not a multiple of kernel {kernel:?} nr = {nr}")
+            }
+            BlockingError::PackTooLarge { mc, kc, max_elems } => {
+                write!(f, "MC x KC = {mc} x {kc} exceeds the packed-A cap of {max_elems} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockingError {}
+
+impl Blocking {
+    /// Validate a blocking triple against a micro-kernel's tile shape.
+    pub fn try_new(
+        mc: usize,
+        kc: usize,
+        nc: usize,
+        kernel: &dyn MicroKernel,
+    ) -> Result<Self, BlockingError> {
+        for (v, name) in [(mc, "MC"), (kc, "KC"), (nc, "NC")] {
+            if v == 0 {
+                return Err(BlockingError::Zero(name));
+            }
+        }
+        if !mc.is_multiple_of(kernel.mr()) {
+            return Err(BlockingError::McMisaligned { mc, mr: kernel.mr(), kernel: kernel.name() });
+        }
+        if !nc.is_multiple_of(kernel.nr()) {
+            return Err(BlockingError::NcMisaligned { nc, nr: kernel.nr(), kernel: kernel.name() });
+        }
+        if mc.saturating_mul(kc) > MAX_PACK_A_ELEMS {
+            return Err(BlockingError::PackTooLarge { mc, kc, max_elems: MAX_PACK_A_ELEMS });
+        }
+        Ok(Blocking { mc, kc, nc })
+    }
+
+    /// The static defaults for a kernel: `MC` is [`DEFAULT_MC`] rounded
+    /// down to the kernel's `mr` (exactly 128 for the scalar oracle, so
+    /// the pre-SIMD engine's blocking is reproduced verbatim; `MC` never
+    /// affects bits in any case), `KC`/`NC` are the fixed defaults.
+    pub fn default_for(kernel: &dyn MicroKernel) -> Self {
+        let mc = (DEFAULT_MC / kernel.mr()).max(1) * kernel.mr();
+        Blocking::try_new(mc, DEFAULT_KC, DEFAULT_NC, kernel)
+            .expect("static defaults must be valid for every shipped kernel")
+    }
+}
+
+/// How the process-wide blocking was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingSource {
+    /// Static defaults (tuning off).
+    Default,
+    /// The in-process autotuner picked it this run.
+    Tuned,
+    /// Loaded from a serialized profile (`PSVD_GEMM_TUNE=<path>`).
+    Profile,
+}
+
+impl BlockingSource {
+    /// Stable lowercase label for bench JSON / logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockingSource::Default => "default",
+            BlockingSource::Tuned => "tuned",
+            BlockingSource::Profile => "profile",
+        }
+    }
+}
+
+/// What `PSVD_GEMM_TUNE` asked for, parsed once.
+pub(crate) enum TuneMode {
+    Off,
+    InProcess,
+    Profile(String),
+}
+
+pub(crate) fn tune_mode() -> &'static TuneMode {
+    static MODE: OnceLock<TuneMode> = OnceLock::new();
+    MODE.get_or_init(|| match std::env::var("PSVD_GEMM_TUNE") {
+        Err(_) => TuneMode::Off,
+        Ok(v) => {
+            let t = v.trim();
+            if t.is_empty() || t.eq_ignore_ascii_case("0") || t.eq_ignore_ascii_case("off") {
+                TuneMode::Off
+            } else if t.eq_ignore_ascii_case("1")
+                || t.eq_ignore_ascii_case("on")
+                || t.eq_ignore_ascii_case("true")
+            {
+                TuneMode::InProcess
+            } else {
+                TuneMode::Profile(t.to_string())
+            }
+        }
+    })
+}
+
+static RESOLVED: OnceLock<(Blocking, BlockingSource)> = OnceLock::new();
+
+/// The process-wide blocking, resolving it on first use per the module
+/// docs. Immutable once returned.
+pub(crate) fn resolved() -> Blocking {
+    resolved_with_source().0
+}
+
+pub(crate) fn resolved_with_source() -> (Blocking, BlockingSource) {
+    *RESOLVED.get_or_init(|| {
+        let kern = kernel::selected();
+        match tune_mode() {
+            TuneMode::Off => (Blocking::default_for(kern), BlockingSource::Default),
+            TuneMode::InProcess => (super::autotune::tune_now(kern).0, BlockingSource::Tuned),
+            TuneMode::Profile(path) => super::autotune::load_or_tune(path, kern),
+        }
+    })
+}
+
+/// Force resolution through the autotuner right now (ignoring an `Off`
+/// tune mode), unless blocking has already been resolved — the one-shot
+/// result is process-wide and immutable, so call this before the first
+/// large GEMM to take effect. Returns the resolution and whether this
+/// call performed it.
+pub(crate) fn resolve_by_tuning() -> ((Blocking, BlockingSource), bool) {
+    let already = RESOLVED.get().is_some();
+    let out = *RESOLVED.get_or_init(|| {
+        let kern = kernel::selected();
+        match tune_mode() {
+            TuneMode::Profile(path) => super::autotune::load_or_tune(path, kern),
+            _ => (super::autotune::tune_now(kern).0, BlockingSource::Tuned),
+        }
+    });
+    (out, !already)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::kernel::ScalarKernel;
+
+    #[test]
+    fn defaults_validate_for_every_kernel() {
+        for kern in kernel::available() {
+            let b = Blocking::default_for(*kern);
+            assert_eq!(b.mc % kern.mr(), 0, "{}: MC not mr-aligned", kern.name());
+            assert!(b.mc <= DEFAULT_MC && b.mc + kern.mr() > DEFAULT_MC);
+            assert_eq!((b.kc, b.nc), (DEFAULT_KC, DEFAULT_NC));
+        }
+        // The scalar oracle keeps the pre-SIMD engine's exact MC.
+        assert_eq!(Blocking::default_for(&ScalarKernel).mc, DEFAULT_MC);
+    }
+
+    #[test]
+    fn misaligned_mc_and_nc_are_rejected() {
+        let k = ScalarKernel;
+        assert_eq!(
+            Blocking::try_new(130, 256, 4096, &k),
+            Err(BlockingError::McMisaligned { mc: 130, mr: 4, kernel: "scalar" })
+        );
+        assert_eq!(
+            Blocking::try_new(128, 256, 4100, &k),
+            Err(BlockingError::NcMisaligned { nc: 4100, nr: 8, kernel: "scalar" })
+        );
+        assert_eq!(Blocking::try_new(0, 256, 4096, &k), Err(BlockingError::Zero("MC")));
+        assert!(matches!(
+            Blocking::try_new(1 << 12, 1 << 12, 4096, &k),
+            Err(BlockingError::PackTooLarge { .. })
+        ));
+        let err = Blocking::try_new(130, 256, 4096, &k).unwrap_err();
+        assert!(err.to_string().contains("MC = 130"));
+    }
+}

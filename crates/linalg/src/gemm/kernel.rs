@@ -1,0 +1,316 @@
+//! Micro-kernel abstraction and runtime CPU dispatch.
+//!
+//! The packed engine's innermost computation is an `MR x NR` register-tile
+//! update. This module defines the [`MicroKernel`] trait that tile lives
+//! behind, the portable [`ScalarKernel`] (the bitwise determinism oracle —
+//! its floating-point op sequence is exactly the pre-SIMD engine's), and
+//! the process-wide selection logic:
+//!
+//! 1. `PSVD_GEMM_KERNEL=<name>` forces a kernel by name (`scalar`, and on
+//!    x86_64 with the matching CPU features `avx2` / `fma`); an unknown or
+//!    unavailable name panics with the available list, so misconfigured
+//!    tests fail loudly instead of silently measuring the wrong kernel.
+//! 2. Otherwise the widest kernel the CPU supports is detected once at
+//!    first use (`fma` > `avx2` > `scalar` on x86_64; `scalar` elsewhere).
+//!
+//! Selection happens once per process and is immutable afterwards, which
+//! is what keeps the per-(kernel, blocking, thread-count) bitwise
+//! determinism contract meaningful: within a process, every GEMM sees the
+//! same kernel. Tests and benches that want a *different* kernel pass one
+//! explicitly via [`crate::gemm::packed::matmul_with`] and friends instead
+//! of mutating global state.
+//!
+//! ## Rounding classes
+//!
+//! Kernels whose per-element update is round(mul) then round(add) in
+//! ascending `k` ([`MicroKernel::fused`] `== false`) are **bitwise
+//! identical** to the scalar oracle — the AVX2 kernel is pure-SIMD data
+//! parallelism, not a reassociation. Fused kernels (`fma`) round once per
+//! multiply-add and therefore differ from the oracle at the last ulp;
+//! they are still bitwise deterministic across thread counts and shapes,
+//! just a distinct rounding class.
+
+use std::sync::OnceLock;
+
+/// Hard upper bound on micro-tile rows any kernel may declare. The engine
+/// sizes its stack accumulator tile from these, so they are compile-time
+/// constants rather than per-kernel queries.
+pub const MAX_MR: usize = 8;
+/// Hard upper bound on micro-tile columns any kernel may declare.
+pub const MAX_NR: usize = 8;
+
+/// One register-tile micro-kernel: `acc += A-strip * B-strip` over a
+/// single K-panel.
+///
+/// `astrip` holds `kc` steps of `mr()` values (packed column-major within
+/// the strip: element `(ir, kk)` at `kk * mr + ir`), `bstrip` holds `kc`
+/// steps of `nr()` values (`(kk, jr)` at `kk * nr + jr`), and `acc` is the
+/// row-major `mr() x nr()` accumulator tile. Every implementation must
+/// accumulate each `acc` element in ascending `kk` — that invariant (plus
+/// the engine never splitting K across threads) is what makes results a
+/// pure function of (kernel, blocking, shape), independent of thread
+/// count.
+pub trait MicroKernel: Sync {
+    /// Stable name used by `PSVD_GEMM_KERNEL`, test matrices and bench
+    /// JSON.
+    fn name(&self) -> &'static str;
+
+    /// Micro-tile rows (`<=` [`MAX_MR`]; the engine's row partition and
+    /// `MC` must be multiples of this).
+    fn mr(&self) -> usize;
+
+    /// Micro-tile columns (`<=` [`MAX_NR`]).
+    fn nr(&self) -> usize;
+
+    /// True when the kernel contracts multiply-add into a single rounding
+    /// (FMA). Non-fused kernels are bitwise identical to [`ScalarKernel`].
+    fn fused(&self) -> bool {
+        false
+    }
+
+    /// `acc += astrip * bstrip` over one K-panel of packed operands.
+    /// `astrip.len() == kc * mr()`, `bstrip.len() == kc * nr()`,
+    /// `acc.len() == mr() * nr()`.
+    fn run(&self, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]);
+
+    /// The same flop sequence as [`run`](MicroKernel::run), reading the A
+    /// operand in place instead of from a packed strip: element
+    /// `(ir, kk)` is `*ap.add(ir * ars + kk)`. This is the tall-skinny
+    /// streaming path's entry — it skips A packing entirely for row-major
+    /// operands. Must produce bitwise-identical results to `run` on the
+    /// equivalent packed strip.
+    ///
+    /// # Safety
+    ///
+    /// `ap` must point to `mr()` full rows of at least `kc` readable
+    /// elements at row stride `ars` (callers handle partial edge strips
+    /// by packing instead).
+    unsafe fn run_strided(
+        &self,
+        kc: usize,
+        ap: *const f64,
+        ars: usize,
+        bstrip: &[f64],
+        acc: &mut [f64],
+    );
+}
+
+/// The portable reference micro-kernel: a branch-free 4x8 tile whose
+/// fixed-trip loops LLVM unrolls and autovectorizes. Its per-element op
+/// sequence is exactly the pre-SIMD packed engine's, which makes it the
+/// determinism oracle every other kernel is validated against.
+pub struct ScalarKernel;
+
+/// Micro-tile rows of the scalar oracle.
+pub const SCALAR_MR: usize = 4;
+/// Micro-tile columns of the scalar oracle.
+pub const SCALAR_NR: usize = 8;
+
+impl MicroKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn mr(&self) -> usize {
+        SCALAR_MR
+    }
+
+    fn nr(&self) -> usize {
+        SCALAR_NR
+    }
+
+    fn run(&self, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+        debug_assert_eq!(astrip.len() % SCALAR_MR, 0);
+        debug_assert_eq!(bstrip.len() % SCALAR_NR, 0);
+        // Fixed-size tile on the stack so LLVM keeps the accumulators in
+        // vector registers across the K loop (a slice-typed accumulator
+        // defeats that). The copies are exact, so the op sequence per
+        // element is unchanged.
+        let mut tile = [0.0f64; SCALAR_MR * SCALAR_NR];
+        tile.copy_from_slice(&acc[..SCALAR_MR * SCALAR_NR]);
+        for (avals, bvals) in astrip.chunks_exact(SCALAR_MR).zip(bstrip.chunks_exact(SCALAR_NR)) {
+            let (a0, a1, a2, a3) = (avals[0], avals[1], avals[2], avals[3]);
+            for (j, &bj) in bvals.iter().enumerate() {
+                tile[j] += a0 * bj;
+                tile[SCALAR_NR + j] += a1 * bj;
+                tile[2 * SCALAR_NR + j] += a2 * bj;
+                tile[3 * SCALAR_NR + j] += a3 * bj;
+            }
+        }
+        acc[..SCALAR_MR * SCALAR_NR].copy_from_slice(&tile);
+    }
+
+    unsafe fn run_strided(
+        &self,
+        kc: usize,
+        ap: *const f64,
+        ars: usize,
+        bstrip: &[f64],
+        acc: &mut [f64],
+    ) {
+        debug_assert!(bstrip.len() >= kc * SCALAR_NR);
+        let mut tile = [0.0f64; SCALAR_MR * SCALAR_NR];
+        tile.copy_from_slice(&acc[..SCALAR_MR * SCALAR_NR]);
+        for kk in 0..kc {
+            let (a0, a1, a2, a3) =
+                (*ap.add(kk), *ap.add(ars + kk), *ap.add(2 * ars + kk), *ap.add(3 * ars + kk));
+            let bvals = &bstrip[kk * SCALAR_NR..(kk + 1) * SCALAR_NR];
+            for (j, &bj) in bvals.iter().enumerate() {
+                tile[j] += a0 * bj;
+                tile[SCALAR_NR + j] += a1 * bj;
+                tile[2 * SCALAR_NR + j] += a2 * bj;
+                tile[3 * SCALAR_NR + j] += a3 * bj;
+            }
+        }
+        acc[..SCALAR_MR * SCALAR_NR].copy_from_slice(&tile);
+    }
+}
+
+static SCALAR: ScalarKernel = ScalarKernel;
+
+/// Every micro-kernel this process can run, detection-ordered from
+/// portable to widest (`scalar` first, preferred kernel last). `scalar`
+/// is always present.
+pub fn available() -> &'static [&'static dyn MicroKernel] {
+    static AVAILABLE: OnceLock<Vec<&'static dyn MicroKernel>> = OnceLock::new();
+    AVAILABLE.get_or_init(|| {
+        #[allow(unused_mut)]
+        let mut list: Vec<&'static dyn MicroKernel> = vec![&SCALAR];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                list.push(&super::x86::AVX2);
+                if std::arch::is_x86_feature_detected!("fma") {
+                    list.push(&super::x86::FMA);
+                }
+            }
+        }
+        list
+    })
+}
+
+/// Look a kernel up by its stable name, if available on this host.
+pub fn by_name(name: &str) -> Option<&'static dyn MicroKernel> {
+    available().iter().copied().find(|k| k.name() == name)
+}
+
+/// Resolve a kernel from an optional override string (the testable core
+/// of [`selected`]): `None` picks the widest available kernel; `Some`
+/// must name an available kernel exactly.
+pub(crate) fn choose(over: Option<&str>) -> Result<&'static dyn MicroKernel, String> {
+    match over {
+        None => Ok(*available().last().expect("scalar kernel always present")),
+        Some(name) => {
+            let name = name.trim();
+            by_name(name).ok_or_else(|| {
+                let names: Vec<&str> = available().iter().map(|k| k.name()).collect();
+                format!(
+                    "PSVD_GEMM_KERNEL={name:?} is not available on this host; \
+                     available kernels: {names:?}"
+                )
+            })
+        }
+    }
+}
+
+/// The process-wide micro-kernel, resolved once at first use from
+/// `PSVD_GEMM_KERNEL` or CPU-feature detection (see module docs).
+pub fn selected() -> &'static dyn MicroKernel {
+    static SELECTED: OnceLock<&'static dyn MicroKernel> = OnceLock::new();
+    *SELECTED.get_or_init(|| {
+        let over = std::env::var("PSVD_GEMM_KERNEL").ok().filter(|v| !v.trim().is_empty());
+        choose(over.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available_and_first() {
+        let list = available();
+        assert!(!list.is_empty());
+        assert_eq!(list[0].name(), "scalar");
+        assert!(by_name("scalar").is_some());
+    }
+
+    #[test]
+    fn tile_bounds_hold_for_every_kernel() {
+        for k in available() {
+            assert!(k.mr() >= 1 && k.mr() <= MAX_MR, "{} mr out of range", k.name());
+            assert!(k.nr() >= 1 && k.nr() <= MAX_NR, "{} nr out of range", k.name());
+        }
+    }
+
+    #[test]
+    fn choose_rejects_unknown_names() {
+        let err = choose(Some("no-such-kernel")).err().expect("must be rejected");
+        assert!(err.contains("no-such-kernel"), "error should name the bad kernel: {err}");
+        assert!(err.contains("scalar"), "error should list available kernels: {err}");
+    }
+
+    #[test]
+    fn choose_default_prefers_widest() {
+        let k = choose(None).unwrap();
+        assert_eq!(k.name(), available().last().unwrap().name());
+    }
+
+    #[test]
+    fn run_strided_bitwise_matches_run_packed() {
+        for kern in available() {
+            let (mr, nr) = (kern.mr(), kern.nr());
+            let kc = 37;
+            // A strip laid out as mr rows of a wider row-major buffer.
+            let ars = kc + 5;
+            let arows: Vec<f64> =
+                (0..mr * ars).map(|i| ((i * 13 % 97) as f64 * 0.31).sin()).collect();
+            let bstrip: Vec<f64> =
+                (0..kc * nr).map(|i| ((i * 7 % 89) as f64 * 0.17).cos()).collect();
+            // Pack the same A values into the strip layout run() expects.
+            let mut astrip = vec![0.0; kc * mr];
+            for kk in 0..kc {
+                for ir in 0..mr {
+                    astrip[kk * mr + ir] = arows[ir * ars + kk];
+                }
+            }
+            let mut acc_packed = vec![0.0; mr * nr];
+            kern.run(&astrip, &bstrip, &mut acc_packed);
+            let mut acc_strided = vec![0.0; mr * nr];
+            // SAFETY: arows holds mr rows of ars >= kc elements each.
+            unsafe { kern.run_strided(kc, arows.as_ptr(), ars, &bstrip, &mut acc_strided) };
+            assert_eq!(acc_packed, acc_strided, "{}: strided A changed bits", kern.name());
+        }
+    }
+
+    #[test]
+    fn non_fused_kernels_bitwise_match_scalar() {
+        let scalar = by_name("scalar").unwrap();
+        let kc = 41;
+        for kern in available().iter().filter(|k| !k.fused()) {
+            let (mr, nr) = (kern.mr(), kern.nr());
+            let astrip: Vec<f64> =
+                (0..kc * mr).map(|i| ((i * 11 % 83) as f64 * 0.23).sin()).collect();
+            let bstrip: Vec<f64> =
+                (0..kc * nr).map(|i| ((i * 5 % 79) as f64 * 0.19).cos()).collect();
+            let mut acc = vec![0.0; mr * nr];
+            kern.run(&astrip, &bstrip, &mut acc);
+            // Re-run element-wise through the scalar oracle's op order:
+            // each acc element is an independent ascending-k mul-then-add
+            // chain, so tiles of different shapes still compare 1:1.
+            let mut want = vec![0.0; mr * nr];
+            for kk in 0..kc {
+                for ir in 0..mr {
+                    for jr in 0..nr {
+                        want[ir * nr + jr] += astrip[kk * mr + ir] * bstrip[kk * nr + jr];
+                    }
+                }
+            }
+            assert_eq!(acc, want, "{}: diverged from the scalar op order", kern.name());
+        }
+        // And the oracle itself agrees with the element-wise chain.
+        let mut acc = vec![0.0; scalar.mr() * scalar.nr()];
+        scalar.run(&vec![1.5; kc * 4], &vec![0.25; kc * 8], &mut acc);
+        assert!(acc.iter().all(|&v| v == 1.5 * 0.25 * kc as f64));
+    }
+}

@@ -1,0 +1,613 @@
+//! Matrix multiplication kernels.
+//!
+//! Two tiers share one public API:
+//!
+//! * [`reference`] — simple cache-blocked serial loops. These are the
+//!   semantic ground truth: easy to audit, tested directly against naive
+//!   triple loops, and used verbatim for problems too small to amortize
+//!   packing and thread dispatch.
+//! * [`packed`] — a BLIS-style packed-panel engine whose inner `MR x NR`
+//!   register tile is a [`kernels::MicroKernel`] selected once per
+//!   process by runtime CPU-feature detection (explicit AVX2/FMA
+//!   `std::arch` kernels on x86_64, a portable scalar oracle everywhere;
+//!   override with `PSVD_GEMM_KERNEL`), parallelized over row blocks of
+//!   `C` by the persistent worker pool in [`crate::par`]. Cache blocking
+//!   (`MC`/`KC`/`NC`) comes from validated defaults or the one-shot
+//!   [`autotune`]r (`PSVD_GEMM_TUNE`), and shapes with `m >> n, k` take
+//!   a tall-skinny streaming path that skips A-packing entirely.
+//!
+//! The top-level functions ([`matmul`], [`matmul_tn`], [`matmul_nt`],
+//! [`gram`], [`matvec`], [`matvec_t`]) pick a tier from the *problem size
+//! only* — never from the thread count — so a given problem always takes
+//! the same code path and, because the engine partitions output elements
+//! (no split-K reductions), produces bitwise-identical results for every
+//! value of `PSVD_NUM_THREADS`, including 1. The full determinism
+//! contract is per (kernel, blocking, thread-count): with the kernel and
+//! blocking fixed — and both are immutable once resolved for a process —
+//! any thread count gives the same bits, and `PSVD_GEMM_KERNEL=scalar`
+//! with default blocking reproduces the pre-SIMD engine bit-for-bit.
+//!
+//! Transpose-aware variants avoid materializing explicit transposes for
+//! the `AᵀB` / `ABᵀ` patterns the SVD drivers hit constantly (Gram
+//! matrices, projections); the packed engine absorbs transposition into
+//! its panel packing, so both layouts run the same micro-kernel.
+
+mod blocking;
+mod kernel;
+mod pack;
+mod tall_skinny;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+pub mod autotune;
+pub mod packed;
+pub mod reference;
+
+pub use autotune::{autotune, TuneReport, TuneSample};
+pub use blocking::{Blocking, BlockingError, BlockingSource};
+pub use pack::{strip_layout, PackLayoutError};
+
+/// Micro-kernel introspection: the [`MicroKernel`](kernels::MicroKernel)
+/// trait, the host's available kernel list, name lookup, and the
+/// process-wide selection. Tests and benches drive specific kernels
+/// through [`packed::matmul_with`] and friends; nothing here is mutable.
+pub mod kernels {
+    pub use super::kernel::{available, by_name, selected, MicroKernel, ScalarKernel};
+    pub use super::kernel::{MAX_MR, MAX_NR, SCALAR_MR, SCALAR_NR};
+}
+
+/// The process-wide cache blocking and how it was obtained (resolving it
+/// on first use — see [`autotune`] and the `PSVD_GEMM_TUNE` modes).
+pub fn current_blocking() -> (Blocking, BlockingSource) {
+    blocking::resolved_with_source()
+}
+
+use crate::matrix::Matrix;
+use crate::view::{MatView, MatViewMut};
+
+/// Flop count (`2mnk`) above which matrix-matrix products use the packed
+/// parallel engine. Below it, packing overhead dominates and the serial
+/// reference loops win.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// Flop count (`2mn`) above which matrix-vector products are threaded.
+const PAR_MIN_MV_FLOPS: usize = 1 << 18;
+
+/// `C = A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    if 2 * a.rows() * a.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::matmul(a, b)
+    } else {
+        reference::matmul(a, b)
+    }
+}
+
+/// `C = Aᵀ * B` without materializing `Aᵀ`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
+    if 2 * a.cols() * a.rows() * b.cols() >= PAR_MIN_FLOPS {
+        packed::matmul_tn(a, b)
+    } else {
+        reference::matmul_tn(a, b)
+    }
+}
+
+/// `C = A * Bᵀ` without materializing `Bᵀ`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
+    if 2 * a.rows() * a.cols() * b.rows() >= PAR_MIN_FLOPS {
+        packed::matmul_nt(a, b)
+    } else {
+        reference::matmul_nt(a, b)
+    }
+}
+
+/// `y = A * x`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+    if 2 * a.rows() * a.cols() >= PAR_MIN_MV_FLOPS {
+        packed::matvec(a, x)
+    } else {
+        reference::matvec(a, x)
+    }
+}
+
+/// `y = Aᵀ * x`.
+pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
+    if 2 * a.rows() * a.cols() >= PAR_MIN_MV_FLOPS {
+        packed::matvec_t(a, x)
+    } else {
+        reference::matvec_t(a, x)
+    }
+}
+
+/// The Gram matrix `AᵀA` (symmetric; only the upper triangle is computed,
+/// then mirrored, halving the flops of a general `AᵀB`).
+pub fn gram(a: &Matrix) -> Matrix {
+    let mut g = Matrix::zeros(a.cols(), a.cols());
+    gram_view_dispatch(a.view(), &mut g);
+    g
+}
+
+// --- View-consuming `_into` entry points ---------------------------------
+//
+// Same tier dispatch as the allocating functions above — a pure function
+// of the problem *shape*, never of strides or thread count — so each
+// `_into` call is bitwise identical to its allocating counterpart and
+// stays bitwise deterministic across thread counts. Outputs are reshaped
+// in place: when the destination buffer already has enough capacity, the
+// call performs zero heap allocation. Input views borrow their matrices
+// immutably while `c` is borrowed mutably, so input/output aliasing is
+// rejected at compile time.
+
+/// `C = A * B` written into `c`. Bitwise identical to [`matmul`].
+pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    c.reshape_zeroed(a.rows(), b.cols());
+    let ldc = b.cols();
+    if 2 * a.rows() * a.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(a, b, c.as_mut_slice(), ldc);
+    } else {
+        reference::gemm_view(a, b, c.as_mut_slice(), ldc);
+    }
+}
+
+/// `C = Aᵀ * B` written into `c` without materializing `Aᵀ`. Bitwise
+/// identical to [`matmul_tn`].
+pub fn matmul_tn_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
+    let at = a.transposed();
+    c.reshape_zeroed(at.rows(), b.cols());
+    let ldc = b.cols();
+    if 2 * at.rows() * at.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(at, b, c.as_mut_slice(), ldc);
+    } else {
+        reference::gemm_view(at, b, c.as_mut_slice(), ldc);
+    }
+}
+
+/// `C = A * Bᵀ` written into `c` without materializing `Bᵀ`. Bitwise
+/// identical to [`matmul_nt`].
+pub fn matmul_nt_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
+    let bt = b.transposed();
+    c.reshape_zeroed(a.rows(), bt.cols());
+    let ldc = bt.cols();
+    if 2 * a.rows() * a.cols() * bt.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(a, bt, c.as_mut_slice(), ldc);
+    } else {
+        reference::gemm_view(a, bt, c.as_mut_slice(), ldc);
+    }
+}
+
+/// `C += A * B` accumulated into a mutable strided view with unit column
+/// stride (e.g. a [`Matrix::block_mut`] trailing-matrix region). This is
+/// the update primitive of the blocked compact-WY factorizations: both
+/// engines accumulate per output element in ascending `k`, so the tier
+/// dispatch (a pure function of the problem shape) keeps results bitwise
+/// deterministic across thread counts, exactly like [`matmul_into`].
+pub fn matmul_acc_into(a: MatView<'_>, b: MatView<'_>, c: &mut MatViewMut<'_>) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_acc_into: inner dimensions mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (a.rows(), b.cols()),
+        "matmul_acc_into: output shape mismatch"
+    );
+    assert_eq!(c.cs, 1, "matmul_acc_into: output must have unit column stride");
+    let ldc = c.rs;
+    if 2 * a.rows() * a.cols() * b.cols() >= PAR_MIN_FLOPS {
+        packed::gemm(a, b, c.data, ldc);
+    } else {
+        reference::gemm_view(a, b, c.data, ldc);
+    }
+}
+
+/// `G = AᵀA` written into `g`. Bitwise identical to [`gram`].
+pub fn gram_into(a: MatView<'_>, g: &mut Matrix) {
+    gram_view_dispatch(a, g);
+}
+
+fn gram_view_dispatch(a: MatView<'_>, g: &mut Matrix) {
+    g.reshape_zeroed(a.cols(), a.cols());
+    if a.rows() * a.cols() * a.cols() >= PAR_MIN_FLOPS {
+        packed::gram_view(a, g.as_mut_slice());
+    } else {
+        reference::gram_view(a, g.as_mut_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn test_mat(r: usize, c: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| ((i * 31 + j * 17) as f64 * seed).sin())
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_rectangular() {
+        let a = test_mat(37, 53, 0.7);
+        let b = test_mat(53, 29, 1.3);
+        let c = matmul(&a, &b);
+        let d = naive(&a, &b);
+        assert!((&c - &d).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_crosses_block_boundaries() {
+        let a = test_mat(130, 70, 0.3);
+        let b = test_mat(70, 65, 0.9);
+        assert!((&matmul(&a, &b) - &naive(&a, &b)).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = test_mat(20, 20, 0.5);
+        let i = Matrix::identity(20);
+        assert!((&matmul(&a, &i) - &a).max_abs() < 1e-15);
+        assert!((&matmul(&i, &a) - &a).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = test_mat(40, 13, 0.2);
+        let b = test_mat(40, 21, 0.4);
+        let c = matmul_tn(&a, &b);
+        let d = matmul(&a.transpose(), &b);
+        assert!((&c - &d).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = test_mat(23, 40, 0.2);
+        let b = test_mat(31, 40, 0.4);
+        let c = matmul_nt(&a, &b);
+        let d = matmul(&a, &b.transpose());
+        assert!((&c - &d).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = test_mat(17, 9, 0.8);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).cos()).collect();
+        let y = matvec(&a, &x);
+        let xm = Matrix::from_columns(std::slice::from_ref(&x));
+        let ym = matmul(&a, &xm);
+        for i in 0..17 {
+            assert!((y[i] - ym[(i, 0)]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches() {
+        let a = test_mat(17, 9, 0.8);
+        let x: Vec<f64> = (0..17).map(|i| (i as f64).cos()).collect();
+        let y = matvec_t(&a, &x);
+        let expected = matvec(&a.transpose(), &x);
+        for (yv, ev) in y.iter().zip(&expected) {
+            assert!((yv - ev).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn gram_matches_tn() {
+        let a = test_mat(50, 12, 0.6);
+        let g = gram(&a);
+        let g2 = matmul_tn(&a, &a);
+        assert!((&g - &g2).max_abs() < 1e-12);
+        // Symmetry.
+        assert!((&g - &g.transpose()).max_abs() == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        matmul(&a, &b);
+    }
+
+    // --- Packed engine vs reference ---------------------------------
+
+    #[test]
+    fn packed_matmul_matches_reference_odd_shapes() {
+        // Shapes chosen to straddle MR/NR/KC/MC tile boundaries.
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 17), (129, 257, 65), (130, 300, 33)]
+        {
+            let a = test_mat(m, k, 0.37);
+            let b = test_mat(k, n, 0.73);
+            let diff = (&packed::matmul(&a, &b) - &reference::matmul(&a, &b)).max_abs();
+            assert!(diff < 1e-11, "({m},{k},{n}) diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn packed_handles_degenerate_shapes() {
+        // k = 0: the product is defined and identically zero.
+        let a = Matrix::zeros(4, 0);
+        let b = Matrix::zeros(0, 6);
+        assert_eq!(packed::matmul(&a, &b), Matrix::zeros(4, 6));
+        // Single row / single column operands.
+        let r = test_mat(1, 40, 0.5);
+        let c = test_mat(40, 1, 0.9);
+        assert!((&packed::matmul(&r, &c) - &reference::matmul(&r, &c)).max_abs() < 1e-12);
+        assert!((&packed::matmul(&c, &r) - &reference::matmul(&c, &r)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn packed_tn_nt_match_reference() {
+        let a = test_mat(70, 37, 0.21);
+        let b = test_mat(70, 51, 0.43);
+        assert!((&packed::matmul_tn(&a, &b) - &reference::matmul_tn(&a, &b)).max_abs() < 1e-11);
+        let a = test_mat(37, 70, 0.21);
+        let b = test_mat(51, 70, 0.43);
+        assert!((&packed::matmul_nt(&a, &b) - &reference::matmul_nt(&a, &b)).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn packed_gram_upper_triangle_and_mirror() {
+        let a = test_mat(83, 29, 0.61);
+        let g = packed::gram(&a);
+        // The threaded gram keeps the reference accumulation order, so
+        // agreement is exact, not approximate.
+        assert_eq!(g, reference::gram(&a));
+        assert!((&g - &reference::matmul_tn(&a, &a)).max_abs() < 1e-11);
+        assert!((&g - &g.transpose()).max_abs() == 0.0);
+    }
+
+    #[test]
+    fn packed_matvecs_bitwise_match_reference() {
+        let a = test_mat(67, 45, 0.83);
+        let x: Vec<f64> = (0..45).map(|i| (i as f64 * 0.17).cos()).collect();
+        assert_eq!(packed::matvec(&a, &x), reference::matvec(&a, &x));
+        let xt: Vec<f64> = (0..67).map(|i| (i as f64 * 0.11).sin()).collect();
+        assert_eq!(packed::matvec_t(&a, &xt), reference::matvec_t(&a, &xt));
+    }
+
+    #[test]
+    fn into_kernels_bitwise_match_allocating() {
+        // Straddle the dispatch threshold: 90*97*93*2 < 2^20 < 137*95*171*2.
+        for &(m, k, n) in &[(12, 9, 10), (90, 97, 93), (137, 95, 171)] {
+            let a = test_mat(m, k, 0.37);
+            let b = test_mat(k, n, 0.73);
+            let bt = b.transpose();
+            let mut c = Matrix::zeros(1, 1);
+            matmul_into(a.view(), b.view(), &mut c);
+            assert_eq!(c, matmul(&a, &b), "matmul_into ({m},{k},{n})");
+            let mut ctn = Matrix::zeros(0, 0);
+            let atall = test_mat(k, m, 0.51);
+            matmul_tn_into(atall.view(), b.view(), &mut ctn);
+            assert_eq!(ctn, matmul_tn(&atall, &b), "matmul_tn_into ({k},{m},{n})");
+            let mut cnt = Matrix::zeros(0, 0);
+            matmul_nt_into(a.view(), bt.view(), &mut cnt);
+            assert_eq!(cnt, matmul_nt(&a, &bt), "matmul_nt_into ({m},{k},{n})");
+            let mut g = Matrix::zeros(0, 0);
+            gram_into(a.view(), &mut g);
+            assert_eq!(g, gram(&a), "gram_into ({m},{k})");
+        }
+    }
+
+    #[test]
+    fn into_kernels_accept_strided_views() {
+        let big = test_mat(60, 50, 0.41);
+        // A strided interior block vs its materialized copy.
+        let blk = big.block(7, 43, 5, 29);
+        let cpy = big.submatrix(7, 43, 5, 29);
+        let rhs = test_mat(24, 11, 0.77);
+        let mut c_view = Matrix::zeros(0, 0);
+        let mut c_copy = Matrix::zeros(0, 0);
+        matmul_into(blk, rhs.view(), &mut c_view);
+        matmul_into(cpy.view(), rhs.view(), &mut c_copy);
+        assert_eq!(c_view, c_copy, "strided A block must not change bits");
+        // Transposed view on the left of a plain product == matmul_tn.
+        let mut c_t = Matrix::zeros(0, 0);
+        matmul_into(big.view().transposed(), big.view(), &mut c_t);
+        assert_eq!(c_t, matmul_tn(&big, &big));
+        let mut g_blk = Matrix::zeros(0, 0);
+        gram_into(blk, &mut g_blk);
+        assert_eq!(g_blk, gram(&cpy), "gram of strided block");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions mismatch")]
+    fn matmul_into_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        matmul_into(a.view(), b.view(), &mut Matrix::zeros(0, 0));
+    }
+
+    #[test]
+    fn packed_bitwise_identical_across_thread_counts() {
+        let a = test_mat(137, 95, 0.29);
+        let b = test_mat(95, 71, 0.53);
+        let baseline = {
+            par::set_num_threads(1);
+            packed::matmul(&a, &b)
+        };
+        for threads in [2, 3, 4, 8] {
+            par::set_num_threads(threads);
+            let c = packed::matmul(&a, &b);
+            assert_eq!(c, baseline, "thread count {threads} changed bits");
+        }
+        par::set_num_threads(0);
+    }
+
+    // --- Kernel family invariants ------------------------------------
+
+    /// The per-element op-order oracle of the packed engine: each `C`
+    /// element is a sum over ascending `KC`-deep K-panels, every panel's
+    /// partial accumulated from zero in ascending `k` with separate
+    /// mul/add roundings, then added to `C` once. This is the pre-SIMD
+    /// engine's exact flop sequence, written independently of the tile
+    /// machinery — if a kernel, a path, or a refactor moves one bit,
+    /// comparison with this oracle catches it.
+    fn panel_oracle(a: &Matrix, b: &Matrix, kc: usize) -> Matrix {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut tot = 0.0f64;
+                let mut kb = 0;
+                while kb < k {
+                    let kmax = (kb + kc).min(k);
+                    let mut p = 0.0f64;
+                    for kk in kb..kmax {
+                        p += a[(i, kk)] * b[(kk, j)];
+                    }
+                    tot += p;
+                    kb = kmax;
+                }
+                c[(i, j)] = tot;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn non_fused_kernels_bitwise_match_panel_oracle() {
+        // Shapes straddling MR/NR strips and the KC panel boundary.
+        for &(m, k, n) in &[(13, 300, 21), (64, 256, 64), (65, 257, 9)] {
+            let a = test_mat(m, k, 0.33);
+            let b = test_mat(k, n, 0.71);
+            let want = panel_oracle(&a, &b, blocking::DEFAULT_KC);
+            for kern in kernels::available().iter().filter(|kern| !kern.fused()) {
+                let got = packed::matmul_with(*kern, &a, &b);
+                assert_eq!(got, want, "{} ({m},{k},{n}) moved bits off the oracle", kern.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_stay_within_tolerance_of_oracle() {
+        let (m, k, n) = (65, 300, 33);
+        let a = test_mat(m, k, 0.27);
+        let b = test_mat(k, n, 0.81);
+        let want = panel_oracle(&a, &b, blocking::DEFAULT_KC);
+        for kern in kernels::available().iter().filter(|kern| kern.fused()) {
+            let got = packed::matmul_with(*kern, &a, &b);
+            let diff = (&got - &want).max_abs();
+            assert!(diff < 1e-12, "{} diverged by {diff}", kern.name());
+        }
+    }
+
+    #[test]
+    fn tall_skinny_path_bitwise_matches_full_blocked() {
+        // A shape the heuristic routes to the streaming path, plus edge
+        // rows (2043 % mr != 0 for every kernel) and a strided operand.
+        let a = test_mat(2043, 48, 0.19);
+        let b = test_mat(48, 32, 0.57);
+        for kern in kernels::available() {
+            let blk = Blocking::default_for(*kern);
+            assert!(tall_skinny::applies(*kern, a.rows(), a.cols(), b.cols()));
+            let mut c_ts = Matrix::zeros(a.rows(), b.cols());
+            let ldc = c_ts.cols();
+            tall_skinny::gemm(*kern, blk.kc, a.view(), b.view(), c_ts.as_mut_slice(), ldc);
+            let mut c_full = Matrix::zeros(a.rows(), b.cols());
+            packed::full_blocked(*kern, blk, a.view(), b.view(), c_full.as_mut_slice(), ldc);
+            assert_eq!(c_ts, c_full, "{}: paths disagree", kern.name());
+            // Strided A (transposed view of a wide matrix) takes the
+            // packing fallback per strip; still identical.
+            let wide = test_mat(48, 2043, 0.23);
+            let mut c_str = Matrix::zeros(a.rows(), b.cols());
+            tall_skinny::gemm(
+                *kern,
+                blk.kc,
+                wide.view().transposed(),
+                b.view(),
+                c_str.as_mut_slice(),
+                ldc,
+            );
+            let mut c_str_full = Matrix::zeros(a.rows(), b.cols());
+            packed::full_blocked(
+                *kern,
+                blk,
+                wide.view().transposed(),
+                b.view(),
+                c_str_full.as_mut_slice(),
+                ldc,
+            );
+            assert_eq!(c_str, c_str_full, "{}: strided paths disagree", kern.name());
+        }
+    }
+
+    #[test]
+    fn tall_skinny_heuristic_catches_tsqr_shapes_only() {
+        for kern in kernels::available() {
+            // The regression shape from the bench suite.
+            assert!(tall_skinny::applies(*kern, 65536, 64, 64));
+            // TSQR panel products.
+            assert!(tall_skinny::applies(*kern, 16384, 32, 32));
+            // Square and near-square stay on the full blocked path.
+            assert!(!tall_skinny::applies(*kern, 1024, 1024, 1024));
+            assert!(!tall_skinny::applies(*kern, 512, 96, 512));
+        }
+    }
+
+    #[test]
+    fn per_kernel_results_are_thread_count_invariant() {
+        // A tall-skinny shape so the streaming path's partition is also
+        // exercised, for every kernel on the host.
+        let a = test_mat(2048, 48, 0.29);
+        let b = test_mat(48, 32, 0.53);
+        for kern in kernels::available() {
+            par::set_num_threads(1);
+            let baseline = packed::matmul_with(*kern, &a, &b);
+            for threads in [2, 3, 8] {
+                par::set_num_threads(threads);
+                let c = packed::matmul_with(*kern, &a, &b);
+                assert_eq!(c, baseline, "{} x {threads} threads changed bits", kern.name());
+            }
+            par::set_num_threads(0);
+        }
+    }
+}

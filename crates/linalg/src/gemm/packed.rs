@@ -1,0 +1,433 @@
+//! Packed-panel GEMM engine.
+//!
+//! The classic (BLIS-style) decomposition: columns of `C` are walked in
+//! `NC`-wide chunks; per chunk the matching columns of `op(B)` are packed
+//! once into NR-wide strips (all K-panels), and each thread packs its own
+//! `MC x KC` blocks of `op(A)` into MR-tall row strips. The innermost
+//! computation is an `MR x NR` register-tile [`MicroKernel`] selected at
+//! process startup by CPU-feature detection (see [`super::kernel`]):
+//! explicitly vectorized AVX2/FMA tiles on x86_64, with the portable
+//! scalar tile as the determinism oracle. `MC`/`KC`/`NC` come from the
+//! process-wide [`super::blocking`] resolution (defaults or the one-shot
+//! autotuner).
+//!
+//! Shapes where packing overhead dominates compute — `m >> n, k`, the
+//! tall-skinny products TSQR and the randomized range finder feed this
+//! engine — skip the full blocked path for [`super::tall_skinny`], which
+//! packs the (tiny) `op(B)` once and streams `op(A)` row-panels straight
+//! through the kernel. The two paths are bitwise identical per (kernel,
+//! `KC`), so the dispatch heuristic is a pure speed decision.
+//!
+//! ## Parallel decomposition and determinism
+//!
+//! Threads own disjoint row ranges of `C` aligned to the selected
+//! kernel's `mr` ([`par::strip_partition`]); nothing else is shared
+//! mutably. Every `C` element accumulates its K-panel partial sums in
+//! ascending panel order on whichever single thread owns it, so the
+//! floating-point op sequence per element is a function of (kernel,
+//! blocking, problem shape) only — results are bitwise identical for any
+//! thread count. The K dimension is never split across threads.
+//!
+//! Transposition is free here: `op(A)`/`op(B)` are strided views
+//! resolved during packing, after which N/T/NT all run the same kernel.
+
+use super::blocking::{self, Blocking};
+use super::kernel::{self, MicroKernel, MAX_MR, MAX_NR};
+use super::pack::{pack_a_strip, pack_b_strip};
+use super::tall_skinny;
+use crate::matrix::Matrix;
+use crate::par::{self, SendPtr};
+use crate::view::MatView;
+
+/// `C += op(A) * op(B)` through the engine with the process-selected
+/// kernel and blocking (any size), written to `c` with row stride `ldc`
+/// (`ldc = n` for a dense output). `op(X)` is any strided [`MatView`] —
+/// normal, transposed or a sub-block; packing resolves the strides, after
+/// which every layout runs the same micro-kernel.
+pub(crate) fn gemm(a: MatView<'_>, b: MatView<'_>, c: &mut [f64], ldc: usize) {
+    gemm_with(kernel::selected(), blocking::resolved(), a, b, c, ldc)
+}
+
+/// [`gemm`] with the kernel and blocking pinned explicitly — the entry
+/// the autotuner times candidates through and the kernel-matrix tests
+/// drive every available kernel through.
+pub(crate) fn gemm_with(
+    kern: &dyn MicroKernel,
+    blk: Blocking,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    debug_assert_eq!(k, b.rows);
+    debug_assert!(ldc >= n);
+    debug_assert!(m == 0 || n == 0 || c.len() >= (m - 1) * ldc + n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if tall_skinny::applies(kern, m, k, n) {
+        tall_skinny::gemm(kern, blk.kc, a, b, c, ldc);
+    } else {
+        full_blocked(kern, blk, a, b, c, ldc);
+    }
+}
+
+/// The full `MC`/`KC`/`NC` blocked path (bitwise identical to the
+/// tall-skinny path at the same kernel and `KC`; exposed separately so
+/// tests can pin both paths on one shape).
+pub(crate) fn full_blocked(
+    kern: &dyn MicroKernel,
+    blk: Blocking,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let (mr, nr) = (kern.mr(), kern.nr());
+    // Row strips assume they never straddle an MC block edge, and packed-B
+    // chunks that NC is strip-aligned; a blocking tuned for a different
+    // kernel's tile would silently double-count rows.
+    assert_eq!(blk.mc % mr, 0, "MC = {} not aligned to kernel {:?} mr = {mr}", blk.mc, kern.name());
+    assert_eq!(blk.nc % nr, 0, "NC = {} not aligned to kernel {:?} nr = {nr}", blk.nc, kern.name());
+    let mut jc = 0;
+    while jc < n {
+        let ncw = blk.nc.min(n - jc);
+        // --- Pack op(B) columns [jc, jc + ncw), panel-major then
+        // NR-strip-major. The strip for K-panel [kb, kb + kc) and column
+        // panel jp starts at kb * npj * nr + jp * kc * nr and holds kc
+        // steps of nr values, zero-padded past column n. Strips are
+        // disjoint per jp, so the packing parallelizes over column
+        // panels.
+        let npj = ncw.div_ceil(nr);
+        let mut bpack = vec![0.0f64; k * npj * nr];
+        {
+            let bptr = SendPtr(bpack.as_mut_ptr());
+            par::parallel_for(npj, 8, |jp0, jp1| {
+                for jp in jp0..jp1 {
+                    let mut kb = 0;
+                    while kb < k {
+                        let kc = blk.kc.min(k - kb);
+                        let base = kb * npj * nr + jp * kc * nr;
+                        // SAFETY: jp strips are disjoint and this thread
+                        // owns [jp0, jp1).
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(bptr.get().add(base), kc * nr)
+                        };
+                        pack_b_strip(b, kb, kc, jc + jp * nr, nr, dst);
+                        kb += kc;
+                    }
+                }
+            });
+        }
+
+        // --- Partition rows of C into mr-aligned contiguous ranges, one
+        // per thread. The partition decides only *who* computes each
+        // element, never the order of its flops.
+        let (used, per) = par::strip_partition(m.div_ceil(mr));
+        let cptr = SendPtr(c.as_mut_ptr());
+        let bp = &bpack[..];
+        par::run(used, &|tid: usize| {
+            let r0 = tid * per * mr;
+            let r1 = (r0 + per * mr).min(m);
+            if r0 >= r1 {
+                return;
+            }
+            thread_body(kern, blk, a, bp, cptr, jc, ncw, ldc, npj, r0, r1);
+        });
+        jc += ncw;
+    }
+}
+
+/// One thread's share of a column chunk: rows `[r0, r1)` of `C` (`r0`
+/// mr-aligned), columns `[jc, jc + ncw)`.
+#[allow(clippy::too_many_arguments)]
+fn thread_body(
+    kern: &dyn MicroKernel,
+    blk: Blocking,
+    a: MatView<'_>,
+    bpack: &[f64],
+    cptr: SendPtr,
+    jc: usize,
+    ncw: usize,
+    ldc: usize,
+    npj: usize,
+    r0: usize,
+    r1: usize,
+) {
+    let (mr, nr) = (kern.mr(), kern.nr());
+    let k = a.cols;
+    let mut apack = vec![0.0f64; blk.mc * blk.kc];
+    let mut acc_buf = [0.0f64; MAX_MR * MAX_NR];
+    let acc = &mut acc_buf[..mr * nr];
+    let mut kb = 0;
+    // K-panels ascending: this ordering is what fixes each C element's
+    // accumulation sequence independent of the partition.
+    while kb < k {
+        let kc = blk.kc.min(k - kb);
+        let panel_base = kb * npj * nr;
+        let mut mb = r0;
+        while mb < r1 {
+            let mc = blk.mc.min(r1 - mb);
+            let mstrips = mc.div_ceil(mr);
+            // Pack this MC x kc block of op(A) into mr-tall strips,
+            // zero-padding rows past r1 (only possible at the bottom edge
+            // of the matrix, since r1 is mr-aligned elsewhere).
+            for ip in 0..mstrips {
+                let i0 = mb + ip * mr;
+                let rows_here = mr.min(r1 - i0);
+                pack_a_strip(
+                    a,
+                    i0,
+                    rows_here,
+                    kb,
+                    kc,
+                    mr,
+                    &mut apack[ip * kc * mr..(ip + 1) * kc * mr],
+                );
+            }
+            for jp in 0..npj {
+                let bstrip = &bpack[panel_base + jp * kc * nr..panel_base + (jp + 1) * kc * nr];
+                let jcount = nr.min(ncw - jp * nr);
+                for ip in 0..mstrips {
+                    let i0 = mb + ip * mr;
+                    acc.fill(0.0);
+                    kern.run(&apack[ip * kc * mr..(ip + 1) * kc * mr], bstrip, acc);
+                    let rows_here = mr.min(r1 - i0);
+                    // SAFETY: rows [r0, r1) belong to this thread's
+                    // disjoint range.
+                    unsafe { writeback(cptr, acc, nr, i0, rows_here, jc + jp * nr, jcount, ldc) };
+                }
+            }
+            mb += mc;
+        }
+        kb += kc;
+    }
+}
+
+/// Scatter one accumulator tile into `C`: rows `[i0, i0 + rows)`, columns
+/// `[j0, j0 + jcount)`, accumulating (`+=`).
+///
+/// # Safety
+///
+/// The caller must own rows `[i0, i0 + rows)` of the `C` buffer behind
+/// `cptr` exclusively (the engines partition rows disjointly across
+/// threads) and `acc` must hold at least `rows * nr` elements.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) unsafe fn writeback(
+    cptr: SendPtr,
+    acc: &[f64],
+    nr: usize,
+    i0: usize,
+    rows: usize,
+    j0: usize,
+    jcount: usize,
+    ldc: usize,
+) {
+    for ir in 0..rows {
+        let src = &acc[ir * nr..ir * nr + jcount];
+        let dst = cptr.get().add((i0 + ir) * ldc + j0);
+        for (jr, &v) in src.iter().enumerate() {
+            *dst.add(jr) += v;
+        }
+    }
+}
+
+/// `C = A * B` through the packed engine regardless of size.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_with(kernel::selected(), a, b)
+}
+
+/// `C = Aᵀ * B` through the packed engine regardless of size.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_tn_with(kernel::selected(), a, b)
+}
+
+/// `C = A * Bᵀ` through the packed engine regardless of size.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_nt_with(kernel::selected(), a, b)
+}
+
+/// [`matmul`] with the micro-kernel pinned explicitly. This is the
+/// kernel-matrix entry for tests and benches: no global state is touched,
+/// so different kernels can be compared concurrently. The process-wide
+/// blocking is used when it is aligned to this kernel's tile (always true
+/// for the selected kernel); otherwise the kernel's own defaults — `MC`
+/// must be a multiple of the kernel `mr`, and a blocking resolved for a
+/// different tile shape need not be.
+pub fn matmul_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_with_blocking(kern, blocking_for(kern), a, b)
+}
+
+/// The process blocking when compatible with `kern`'s tile, else the
+/// kernel's defaults.
+fn blocking_for(kern: &dyn MicroKernel) -> Blocking {
+    let blk = blocking::resolved();
+    if blk.mc.is_multiple_of(kern.mr()) && blk.nc.is_multiple_of(kern.nr()) {
+        blk
+    } else {
+        Blocking::default_for(kern)
+    }
+}
+
+/// [`matmul`] with both the micro-kernel and the blocking pinned.
+pub fn matmul_with_blocking(
+    kern: &dyn MicroKernel,
+    blk: Blocking,
+    a: &Matrix,
+    b: &Matrix,
+) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    let ldc = c.cols();
+    gemm_with(kern, blk, a.view(), b.view(), c.as_mut_slice(), ldc);
+    c
+}
+
+/// [`matmul_tn`] with the micro-kernel pinned explicitly.
+pub fn matmul_tn_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    let ldc = c.cols();
+    gemm_with(kern, blocking_for(kern), a.view().transposed(), b.view(), c.as_mut_slice(), ldc);
+    c
+}
+
+/// [`matmul_nt`] with the micro-kernel pinned explicitly.
+pub fn matmul_nt_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    let ldc = c.cols();
+    gemm_with(kern, blocking_for(kern), a.view(), b.view().transposed(), c.as_mut_slice(), ldc);
+    c
+}
+
+/// `AᵀA`, threaded: upper triangle only, mirrored afterwards (~half
+/// the flops of `matmul_tn(a, a)`).
+///
+/// Deliberately NOT the tile engine: the Gram matrices here are small
+/// squares of very tall inputs (`M >> N`), where the reference rank-1
+/// sweep already streams `A` once at unit stride with `G` cache
+/// resident — packing would re-copy `A` per K-panel for no compute
+/// win. Instead the rank-1 sweep itself is parallelized over row
+/// strips of `G` (strips sized so each carries an equal share of the
+/// triangle). Every `G` element keeps the reference kernel's exact
+/// ascending-`kk` accumulation order, so the result is bitwise equal
+/// to `reference::gram` at every thread count — and independent of the
+/// selected micro-kernel, which this path never touches.
+pub fn gram(a: &Matrix) -> Matrix {
+    let mut g = Matrix::zeros(a.cols(), a.cols());
+    gram_view(a.view(), g.as_mut_slice());
+    g
+}
+
+/// The view form of [`gram`]: same strip partition, same per-element
+/// ascending-`kk` accumulation order, writing into `g` (length
+/// `n*n`). Strided views take an indexed inner loop; the op sequence
+/// per element is unchanged, so results stay bitwise equal to
+/// `reference::gram` for any thread count and any strides.
+pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
+    let n = a.cols;
+    let rows = a.rows;
+    debug_assert_eq!(g.len(), n * n);
+    if n > 0 && rows > 0 {
+        let gptr = SendPtr(g.as_mut_ptr());
+        let threads = par::num_threads().min(n).max(1);
+        // Row strip boundaries equalizing upper-triangle area: row i
+        // owns n - i elements, so the strip ending at fraction t of
+        // the area ends at row n * (1 - sqrt(1 - t)).
+        let bound = |t: usize| -> usize {
+            let frac = t as f64 / threads as f64;
+            ((n as f64) * (1.0 - (1.0 - frac).sqrt())).round() as usize
+        };
+        par::run(threads, &|tid: usize| {
+            let (i0, i1) = (bound(tid).min(n), bound(tid + 1).min(n));
+            if i0 >= i1 {
+                return;
+            }
+            // SAFETY: row ranges [i0, i1) are disjoint across threads,
+            // so these &mut subslices of G never overlap. Going
+            // through a real slice (not per-element raw writes) keeps
+            // the inner loop autovectorizable.
+            let gs =
+                unsafe { std::slice::from_raw_parts_mut(gptr.get().add(i0 * n), (i1 - i0) * n) };
+            for kk in 0..rows {
+                if a.cs == 1 {
+                    let row = &a.data[kk * a.rs..kk * a.rs + n];
+                    for i in i0..i1 {
+                        let ri = row[i];
+                        let grow = &mut gs[(i - i0) * n + i..(i - i0) * n + n];
+                        for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
+                            *gv += ri * rv;
+                        }
+                    }
+                } else {
+                    for i in i0..i1 {
+                        let ri = a.at(kk, i);
+                        let grow = &mut gs[(i - i0) * n + i..(i - i0) * n + n];
+                        for (gv, j) in grow.iter_mut().zip(i..n) {
+                            *gv += ri * a.at(kk, j);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    for i in 0..n {
+        for j in 0..i {
+            g[i * n + j] = g[j * n + i];
+        }
+    }
+}
+
+/// `y = A * x`, rows partitioned across threads. Each `y[i]` is one
+/// serial dot product, so the result is identical to the reference
+/// kernel at any thread count.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+    let m = a.rows();
+    let mut y = vec![0.0f64; m];
+    let yptr = SendPtr(y.as_mut_ptr());
+    par::parallel_for(m, 64, |i0, i1| {
+        for i in i0..i1 {
+            let s: f64 = a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum();
+            // SAFETY: rows [i0, i1) are this thread's disjoint range.
+            unsafe { *yptr.get().add(i) = s };
+        }
+    });
+    y
+}
+
+/// `y = Aᵀ * x`, output *columns* partitioned across threads; every
+/// thread sweeps all rows of its column slice in ascending row order —
+/// the exact accumulation order of the reference kernel — so no
+/// reduction is split and results match bitwise at any thread count.
+pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
+    let n = a.cols();
+    let mut y = vec![0.0f64; n];
+    let yptr = SendPtr(y.as_mut_ptr());
+    par::parallel_for(n, 64, |j0, j1| {
+        // SAFETY: columns [j0, j1) are this thread's disjoint range,
+        // so these &mut subslices of y never overlap. A real slice
+        // keeps the inner loop autovectorizable.
+        let ys = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(j0), j1 - j0) };
+        for (i, &xi) in x.iter().enumerate() {
+            let arow = &a.row(i)[j0..j1];
+            for (yv, av) in ys.iter_mut().zip(arow) {
+                *yv += av * xi;
+            }
+        }
+    });
+    y
+}

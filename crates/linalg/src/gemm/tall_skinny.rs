@@ -1,0 +1,130 @@
+//! The tall-skinny GEMM path: `m >> n, k`, where the full blocked engine
+//! loses to plain loops on memory traffic alone.
+//!
+//! For these shapes — every TSQR panel product and randomized-range
+//! update in the SVD drivers has `n, k <= ~128` and `m` in the tens of
+//! thousands — `op(B)` fits comfortably in L1/L2, so the MC x KC A-packing
+//! of the full path is pure overhead: it reads and writes all of `op(A)`
+//! once per K-panel before the kernel reads it *again*, on a problem
+//! whose arithmetic intensity is too low to hide even one extra pass.
+//! This path instead packs the tiny `op(B)` once and streams `op(A)`
+//! row-panels straight through the micro-kernel's strided entry
+//! ([`MicroKernel::run_strided`]), which broadcasts directly from the
+//! row-major operand — `op(A)` is read exactly once, `C` written exactly
+//! once.
+//!
+//! Strided or edge row-strips (`a.cs != 1`, or fewer than `mr` rows) fall
+//! back to packing that one strip into a small per-thread buffer and
+//! calling the ordinary [`MicroKernel::run`] — the packed strip holds the
+//! same values the broadcast would read, so both entries produce
+//! identical bits.
+//!
+//! The K loop walks the same ascending `KC`-deep panels as the full
+//! blocked path, with the accumulator zeroed per panel and flushed once
+//! per panel, so for a fixed (kernel, `KC`) each `C` element sees the
+//! exact flop sequence of the full path: the dispatch heuristic
+//! ([`applies`]) is a pure speed decision, free to change between
+//! releases without moving a bit.
+
+use super::kernel::{MicroKernel, MAX_MR, MAX_NR};
+use super::pack::{pack_a_strip, pack_b_strip};
+use super::packed::writeback;
+use crate::par::{self, SendPtr};
+use crate::view::MatView;
+
+/// Should `m x k * k x n` take the tall-skinny path? True when the packed
+/// `op(B)` panel set stays cache-resident (small `n` and `k * n`) and `m`
+/// dominates enough that the full path's extra pass over `op(A)` is the
+/// cost that matters.
+pub(crate) fn applies(kern: &dyn MicroKernel, m: usize, k: usize, n: usize) -> bool {
+    let nr = kern.nr();
+    // n small enough that B strips stay few; k*n bounded so all packed
+    // panels of B sit in L2 (~256 KiB of f64); m at least an order of
+    // magnitude past the wide dimensions.
+    n <= 16 * nr && k * n <= 32 * 1024 && m >= 8 * k.max(n).max(64)
+}
+
+/// `C += op(A) * op(B)` for tall-skinny shapes, with the accumulation
+/// order of the full blocked path at panel depth `kc_max`.
+pub(crate) fn gemm(
+    kern: &dyn MicroKernel,
+    kc_max: usize,
+    a: MatView<'_>,
+    b: MatView<'_>,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let (mr, nr) = (kern.mr(), kern.nr());
+    // Pack all of op(B) serially — it is tiny here — into the same
+    // panel-major strip layout the full path uses.
+    let npj = n.div_ceil(nr);
+    let mut bpack = vec![0.0f64; k * npj * nr];
+    {
+        let mut kb = 0;
+        while kb < k {
+            let kc = kc_max.min(k - kb);
+            for jp in 0..npj {
+                let base = kb * npj * nr + jp * kc * nr;
+                pack_b_strip(b, kb, kc, jp * nr, nr, &mut bpack[base..base + kc * nr]);
+            }
+            kb += kc;
+        }
+    }
+
+    let (used, per) = par::strip_partition(m.div_ceil(mr));
+    let cptr = SendPtr(c.as_mut_ptr());
+    let bp = &bpack[..];
+    par::run(used, &|tid: usize| {
+        let r0 = tid * per * mr;
+        let r1 = (r0 + per * mr).min(m);
+        if r0 >= r1 {
+            return;
+        }
+        let mut acc_buf = [0.0f64; MAX_MR * MAX_NR];
+        let acc = &mut acc_buf[..mr * nr];
+        // Lazily sized: only edge/strided strips ever pack.
+        let mut apack: Vec<f64> = Vec::new();
+        let mut i0 = r0;
+        while i0 < r1 {
+            let rows_here = mr.min(r1 - i0);
+            let direct = rows_here == mr && a.cs == 1;
+            let mut kb = 0;
+            while kb < k {
+                let kc = kc_max.min(k - kb);
+                let panel_base = kb * npj * nr;
+                if !direct {
+                    apack.resize(kc * mr, 0.0);
+                    pack_a_strip(a, i0, rows_here, kb, kc, mr, &mut apack[..kc * mr]);
+                }
+                for jp in 0..npj {
+                    let bstrip = &bp[panel_base + jp * kc * nr..panel_base + (jp + 1) * kc * nr];
+                    acc.fill(0.0);
+                    if direct {
+                        // SAFETY: rows [i0, i0 + mr) x cols [kb, kb + kc)
+                        // are in-bounds of the row-major `a`, and the
+                        // selected kernel's features were detected at
+                        // startup.
+                        unsafe {
+                            kern.run_strided(
+                                kc,
+                                a.data.as_ptr().add(i0 * a.rs + kb),
+                                a.rs,
+                                bstrip,
+                                acc,
+                            )
+                        };
+                    } else {
+                        kern.run(&apack[..kc * mr], bstrip, acc);
+                    }
+                    let jcount = nr.min(n - jp * nr);
+                    // SAFETY: rows [r0, r1) belong to this thread's
+                    // disjoint range.
+                    unsafe { writeback(cptr, acc, nr, i0, rows_here, jp * nr, jcount, ldc) };
+                }
+                kb += kc;
+            }
+            i0 += mr;
+        }
+    });
+}

@@ -1,0 +1,203 @@
+//! Explicitly vectorized x86_64 micro-kernels (`std::arch` intrinsics).
+//!
+//! Two kernels behind [`MicroKernel`]:
+//!
+//! * [`AVX2`] — a 4x8 tile of `_mm256_mul_pd` + `_mm256_add_pd`. Pure data
+//!   parallelism over the scalar oracle's op sequence (same two roundings
+//!   per update, same ascending-k order), so its results are **bitwise
+//!   identical** to the scalar kernel — useful both as a faster drop-in
+//!   where FMA is absent and as evidence that vectorization itself never
+//!   moves a bit.
+//! * [`FMA`] — a 6x8 tile of `_mm256_fmadd_pd`: 12 ymm accumulators plus
+//!   the two B vectors and one rotating A broadcast exactly fill the
+//!   16-register budget with nothing spilled (the classic Haswell DGEMM
+//!   shape); the single-rounded fused update doubles peak flops but is a
+//!   distinct rounding class (`fused() == true`), last-ulp different from
+//!   the oracle.
+//!
+//! Both kernels implement the strided-A entry by broadcasting straight
+//! from the row-major operand, which is what lets the tall-skinny path
+//! skip A packing without changing a bit: broadcast-from-memory reads the
+//! same values the packed strip would hold, and the flop order is
+//! unchanged.
+//!
+//! # Safety
+//!
+//! The statics below are only ever handed out by `kernel::available()`
+//! after `is_x86_feature_detected!` confirms the matching CPU features,
+//! so the `unsafe` trait-method bodies' only obligation is the documented
+//! slice/pointer geometry.
+
+use std::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+    _mm256_storeu_pd,
+};
+
+use super::kernel::MicroKernel;
+
+/// The 4x8 AVX2 multiply-add kernel (bitwise equal to `scalar`).
+pub(crate) static AVX2: Avx2Kernel = Avx2Kernel;
+/// The 6x8 FMA kernel (fused rounding class).
+pub(crate) static FMA: FmaKernel = FmaKernel;
+
+pub(crate) struct Avx2Kernel;
+
+const AVX2_MR: usize = 4;
+const AVX2_NR: usize = 8;
+
+impl MicroKernel for Avx2Kernel {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn mr(&self) -> usize {
+        AVX2_MR
+    }
+
+    fn nr(&self) -> usize {
+        AVX2_NR
+    }
+
+    fn run(&self, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+        // SAFETY: only reachable once AVX2 detection has passed (see
+        // module docs); slice geometry is the trait contract.
+        unsafe { avx2_4x8(astrip, bstrip, acc) }
+    }
+
+    unsafe fn run_strided(
+        &self,
+        kc: usize,
+        ap: *const f64,
+        ars: usize,
+        bstrip: &[f64],
+        acc: &mut [f64],
+    ) {
+        // SAFETY: feature detection as above; pointer geometry is the
+        // caller's contract.
+        unsafe { avx2_4x8_strided(kc, ap, ars, bstrip, acc) }
+    }
+}
+
+pub(crate) struct FmaKernel;
+
+const FMA_MR: usize = 6;
+const FMA_NR: usize = 8;
+
+impl MicroKernel for FmaKernel {
+    fn name(&self) -> &'static str {
+        "fma"
+    }
+
+    fn mr(&self) -> usize {
+        FMA_MR
+    }
+
+    fn nr(&self) -> usize {
+        FMA_NR
+    }
+
+    fn fused(&self) -> bool {
+        true
+    }
+
+    fn run(&self, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+        // SAFETY: only reachable once AVX2+FMA detection has passed.
+        unsafe { fma_6x8(astrip, bstrip, acc) }
+    }
+
+    unsafe fn run_strided(
+        &self,
+        kc: usize,
+        ap: *const f64,
+        ars: usize,
+        bstrip: &[f64],
+        acc: &mut [f64],
+    ) {
+        // SAFETY: feature detection as above; pointer geometry is the
+        // caller's contract.
+        unsafe { fma_6x8_strided(kc, ap, ars, bstrip, acc) }
+    }
+}
+
+/// Load / store helpers for an `ROWS x 8` accumulator tile held as
+/// `[[__m256d; 2]; ROWS]`.
+#[inline]
+unsafe fn load_tile<const ROWS: usize>(acc: &[f64]) -> [[__m256d; 2]; ROWS] {
+    debug_assert!(acc.len() >= ROWS * 8);
+    let mut c = [[_mm256_set1_pd(0.0); 2]; ROWS];
+    for (ir, row) in c.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_pd(acc.as_ptr().add(ir * 8));
+        row[1] = _mm256_loadu_pd(acc.as_ptr().add(ir * 8 + 4));
+    }
+    c
+}
+
+#[inline]
+unsafe fn store_tile<const ROWS: usize>(c: &[[__m256d; 2]; ROWS], acc: &mut [f64]) {
+    for (ir, row) in c.iter().enumerate() {
+        _mm256_storeu_pd(acc.as_mut_ptr().add(ir * 8), row[0]);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(ir * 8 + 4), row[1]);
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_4x8(astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+    let mut c = load_tile::<AVX2_MR>(acc);
+    for (avals, bvals) in astrip.chunks_exact(AVX2_MR).zip(bstrip.chunks_exact(AVX2_NR)) {
+        let b0 = _mm256_loadu_pd(bvals.as_ptr());
+        let b1 = _mm256_loadu_pd(bvals.as_ptr().add(4));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_pd(avals[ir]);
+            row[0] = _mm256_add_pd(row[0], _mm256_mul_pd(ai, b0));
+            row[1] = _mm256_add_pd(row[1], _mm256_mul_pd(ai, b1));
+        }
+    }
+    store_tile(&c, acc);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_4x8_strided(kc: usize, ap: *const f64, ars: usize, bstrip: &[f64], acc: &mut [f64]) {
+    debug_assert!(bstrip.len() >= kc * AVX2_NR);
+    let mut c = load_tile::<AVX2_MR>(acc);
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_pd(bstrip.as_ptr().add(kk * AVX2_NR));
+        let b1 = _mm256_loadu_pd(bstrip.as_ptr().add(kk * AVX2_NR + 4));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_pd(*ap.add(ir * ars + kk));
+            row[0] = _mm256_add_pd(row[0], _mm256_mul_pd(ai, b0));
+            row[1] = _mm256_add_pd(row[1], _mm256_mul_pd(ai, b1));
+        }
+    }
+    store_tile(&c, acc);
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fma_6x8(astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+    let mut c = load_tile::<FMA_MR>(acc);
+    for (avals, bvals) in astrip.chunks_exact(FMA_MR).zip(bstrip.chunks_exact(FMA_NR)) {
+        let b0 = _mm256_loadu_pd(bvals.as_ptr());
+        let b1 = _mm256_loadu_pd(bvals.as_ptr().add(4));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_pd(avals[ir]);
+            row[0] = _mm256_fmadd_pd(ai, b0, row[0]);
+            row[1] = _mm256_fmadd_pd(ai, b1, row[1]);
+        }
+    }
+    store_tile(&c, acc);
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fma_6x8_strided(kc: usize, ap: *const f64, ars: usize, bstrip: &[f64], acc: &mut [f64]) {
+    debug_assert!(bstrip.len() >= kc * FMA_NR);
+    let mut c = load_tile::<FMA_MR>(acc);
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_pd(bstrip.as_ptr().add(kk * FMA_NR));
+        let b1 = _mm256_loadu_pd(bstrip.as_ptr().add(kk * FMA_NR + 4));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_pd(*ap.add(ir * ars + kk));
+            row[0] = _mm256_fmadd_pd(ai, b0, row[0]);
+            row[1] = _mm256_fmadd_pd(ai, b1, row[1]);
+        }
+    }
+    store_tile(&c, acc);
+}

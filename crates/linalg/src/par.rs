@@ -250,6 +250,19 @@ pub fn parallel_for(items: usize, grain: usize, body: impl Fn(usize, usize) + Sy
     });
 }
 
+/// Partition `strips` row strips into equal contiguous shares, one per
+/// effective thread: returns `(used, per)` where thread `tid < used` owns
+/// strips `[tid * per, (tid + 1) * per)`. The GEMM engines size their
+/// strips from the *selected micro-kernel's* `mr` (tile heights follow
+/// the kernel, not a fixed constant), so the partition — like the rest
+/// of the determinism contract — depends only on (shape, kernel, thread
+/// count), and threads always receive whole, `mr`-aligned strips.
+pub fn strip_partition(strips: usize) -> (usize, usize) {
+    let threads = num_threads().min(strips).max(1);
+    let per = strips.div_ceil(threads);
+    (strips.div_ceil(per.max(1)), per)
+}
+
 /// Shared-mutable pointer token for kernels whose threads write disjoint
 /// index sets of one buffer. The *caller* is responsible for disjointness.
 #[derive(Clone, Copy)]

@@ -8,6 +8,15 @@
 #
 #   scripts/bench_gemm.sh            # quick sweep (~seconds) + clippy
 #   scripts/bench_gemm.sh --full     # full sweep incl. 1024^3 and 65536x64
+#
+# The JSON records the selected micro-kernel (PSVD_GEMM_KERNEL or CPU
+# detection), the resolved MC/KC/NC blocking and its source
+# (default/tuned/profile per PSVD_GEMM_TUNE), one-thread GFLOP/s for every
+# available kernel, and per-(case, threads) bitwise-determinism checks for
+# the selected kernel. Both env vars pass straight through this script:
+#
+#   PSVD_GEMM_KERNEL=scalar scripts/bench_gemm.sh        # pin the oracle
+#   PSVD_GEMM_TUNE=1 scripts/bench_gemm.sh --full        # autotune first
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,10 +1,11 @@
 //! Property tests for the packed parallel GEMM engine: agreement with the
 //! serial reference kernels on arbitrary rectangular shapes (including
-//! degenerate and tile-boundary-straddling ones) and bitwise determinism
-//! across kernel thread counts.
+//! degenerate and tile-boundary-straddling ones), the micro-kernel matrix
+//! (every available SIMD kernel against the scalar oracle), and bitwise
+//! determinism across kernel thread counts per fixed kernel.
 
 use proptest::prelude::*;
-use psvd_linalg::gemm::{self, packed, reference};
+use psvd_linalg::gemm::{self, kernels, packed, reference, Blocking, BlockingError};
 use psvd_linalg::par;
 use psvd_linalg::random::{gaussian_matrix, seeded_rng};
 use psvd_linalg::Matrix;
@@ -161,4 +162,160 @@ fn small_problems_take_reference_path_exactly() {
     let b = rand_mat(9, 10, 22);
     assert_eq!(gemm::matmul(&a, &b), reference::matmul(&a, &b));
     assert_eq!(gemm::gram(&a), reference::gram(&a));
+}
+
+// --- Micro-kernel matrix ----------------------------------------------
+//
+// Every kernel the host can run, against the scalar determinism oracle.
+// Non-fused kernels (pure SIMD data parallelism over the oracle's op
+// sequence) must match the oracle bit for bit; fused (FMA) kernels round
+// once per multiply-add and get a rounding tolerance instead — but both
+// classes must be bitwise self-consistent across thread counts.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernel_matrix_matches_scalar_oracle(
+        m in 1usize..60,
+        k in 1usize..80,
+        n in 1usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(k, n, seed.wrapping_add(6));
+        let scalar = kernels::by_name("scalar").expect("scalar kernel always present");
+        let oracle = packed::matmul_with(scalar, &a, &b);
+        for &kern in kernels::available() {
+            let c = packed::matmul_with(kern, &a, &b);
+            if kern.fused() {
+                let diff = (&c - &oracle).max_abs();
+                prop_assert!(diff < TOL, "{} ({m},{k},{n}) diverged by {diff}", kern.name());
+            } else {
+                prop_assert_eq!(
+                    &c, &oracle,
+                    "{} ({},{},{}) must be bitwise equal to the scalar oracle",
+                    kern.name(), m, k, n
+                );
+            }
+        }
+    }
+}
+
+/// Per-kernel boundary shapes: exactly on, one under, and one over each
+/// kernel's own MR/NR tile edges and the KC/MC block edges of its default
+/// blocking — where packing zero-pads and writeback clips.
+#[test]
+fn kernel_matrix_boundary_shapes() {
+    let scalar = kernels::by_name("scalar").expect("scalar kernel always present");
+    for &kern in kernels::available() {
+        let blk = Blocking::default_for(kern);
+        let (mr, nr) = (kern.mr(), kern.nr());
+        let ms = [mr - 1, mr, mr + 1, blk.mc - 1, blk.mc, blk.mc + 1];
+        let ns = [nr.max(2) - 1, nr, nr + 1];
+        let ks = [blk.kc - 1, blk.kc, blk.kc + 1];
+        for (i, &m) in ms.iter().enumerate() {
+            let m = m.max(1);
+            let n = ns[i % ns.len()];
+            let k = ks[i % ks.len()];
+            let a = rand_mat(m, k, 31 + i as u64);
+            let b = rand_mat(k, n, 131 + i as u64);
+            let oracle = packed::matmul_with(scalar, &a, &b);
+            let c = packed::matmul_with(kern, &a, &b);
+            if kern.fused() {
+                let diff = (&c - &oracle).max_abs();
+                assert!(diff < TOL, "{} ({m},{k},{n}) diverged by {diff}", kern.name());
+            } else {
+                assert_eq!(c, oracle, "{} ({m},{k},{n}) moved bits", kern.name());
+            }
+            // Transposed entries run the same kernel through packing.
+            let at = a.transpose();
+            let c_tn = packed::matmul_tn_with(kern, &at, &b);
+            if kern.fused() {
+                assert!((&c_tn - &oracle).max_abs() < TOL, "{} tn", kern.name());
+            } else {
+                assert_eq!(c_tn, oracle, "{} tn ({m},{k},{n}) moved bits", kern.name());
+            }
+        }
+    }
+}
+
+/// Bitwise determinism across thread counts, per fixed kernel, on both a
+/// square-ish shape (full blocked path) and a tall-skinny shape (the
+/// streaming path with a partial bottom strip).
+#[test]
+fn every_kernel_is_thread_count_invariant() {
+    for &(m, k, n) in &[(137usize, 95usize, 71usize), (2048, 48, 32), (2043, 64, 24)] {
+        let a = rand_mat(m, k, 41);
+        let b = rand_mat(k, n, 42);
+        for &kern in kernels::available() {
+            par::set_num_threads(1);
+            let baseline = packed::matmul_with(kern, &a, &b);
+            for threads in [2usize, 3, 4, 8] {
+                par::set_num_threads(threads);
+                let c = packed::matmul_with(kern, &a, &b);
+                assert_eq!(
+                    c,
+                    baseline,
+                    "{} ({m},{k},{n}) x {threads} threads changed bits",
+                    kern.name()
+                );
+            }
+            par::set_num_threads(0);
+        }
+    }
+}
+
+/// The tall-skinny dispatch shape (the streaming-SVD regime that used to
+/// regress below the reference kernels) agrees with the reference result
+/// through the public adaptive entry point.
+#[test]
+fn tall_skinny_dispatch_matches_reference() {
+    let a = rand_mat(8192, 64, 51);
+    let b = rand_mat(64, 64, 52);
+    let diff = (&gemm::matmul(&a, &b) - &reference::matmul(&a, &b)).max_abs();
+    assert!(diff < TOL, "tall-skinny dispatch diverged by {diff}");
+}
+
+/// Blocking validation: the autotuner's inputs are checked against the
+/// kernel tile, so a bad profile or grid candidate fails loudly.
+#[test]
+fn blocking_validation_rejects_misaligned_parameters() {
+    let scalar = kernels::by_name("scalar").expect("scalar kernel always present");
+    assert!(Blocking::try_new(128, 256, 4096, scalar).is_ok());
+    assert!(matches!(
+        Blocking::try_new(127, 256, 4096, scalar),
+        Err(BlockingError::McMisaligned { .. })
+    ));
+    assert!(matches!(
+        Blocking::try_new(128, 256, 4097, scalar),
+        Err(BlockingError::NcMisaligned { .. })
+    ));
+    assert!(matches!(Blocking::try_new(128, 0, 4096, scalar), Err(BlockingError::Zero(_))));
+    for &kern in kernels::available() {
+        let d = Blocking::default_for(kern);
+        assert!(Blocking::try_new(d.mc, d.kc, d.nc, kern).is_ok(), "{}", kern.name());
+    }
+}
+
+/// `autotune()` reports the process resolution: a blocking valid for the
+/// selected kernel, with a coherent source label. (If another test
+/// already resolved blocking, the existing resolution is reported — the
+/// one-shot result is immutable by design.)
+#[test]
+fn autotune_reports_valid_blocking() {
+    let report = gemm::autotune();
+    let kern = kernels::selected();
+    assert_eq!(report.kernel, kern.name());
+    assert!(
+        Blocking::try_new(report.blocking.mc, report.blocking.kc, report.blocking.nc, kern).is_ok()
+    );
+    assert!(["default", "tuned", "profile"].contains(&report.source.label()));
+    let (blk, source) = gemm::current_blocking();
+    assert_eq!(blk, report.blocking);
+    assert_eq!(source.label(), report.source.label());
+    for cand in &report.candidates {
+        assert!(cand.gflops >= 0.0);
+        assert!(Blocking::try_new(cand.mc, cand.kc, cand.nc, kern).is_ok());
+    }
 }
