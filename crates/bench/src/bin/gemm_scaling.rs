@@ -19,7 +19,7 @@ use psvd_core::{SerialStreamingSvd, SvdConfig};
 use psvd_linalg::gemm::{self, kernels, matmul, packed, reference};
 use psvd_linalg::qr::thin_qr;
 use psvd_linalg::random::{gaussian_matrix, seeded_rng};
-use psvd_linalg::{alloc_stats, par, Matrix};
+use psvd_linalg::{alloc_stats, par, Matrix, Scalar};
 
 struct Case {
     kind: &'static str,
@@ -30,6 +30,8 @@ struct Case {
 
 struct Sample {
     kind: &'static str,
+    /// Element dtype the row ran at (`"f64"` or `"f32"`).
+    dtype: &'static str,
     m: usize,
     k: usize,
     n: usize,
@@ -90,10 +92,13 @@ fn main() {
 
     // Resolve the process-wide kernel and blocking up front so every row
     // below records what actually ran. `current_blocking` honours
-    // `PSVD_GEMM_TUNE` (off / in-process autotune / profile file).
-    let kern = kernels::selected();
+    // `PSVD_GEMM_TUNE` (off / in-process autotune / profile file). Kernel
+    // and blocking resolve per element dtype; the header and JSON report
+    // the f64 pair, the per-row kernel column records each dtype's own.
+    let kern = kernels::selected::<f64>();
     let (blk, blk_source) = gemm::current_blocking();
-    let kernel_names: Vec<&'static str> = kernels::available().iter().map(|k| k.name()).collect();
+    let kernel_names: Vec<&'static str> =
+        kernels::available::<f64>().iter().map(|k| k.name()).collect();
     println!(
         "== GEMM scaling: packed engine (kernel {} {}x{}, blocking MC={} KC={} NC={} [{}]) \
          vs serial reference, {hw} hw threads ==\n",
@@ -105,113 +110,13 @@ fn main() {
         blk.nc,
         blk_source.label()
     );
-    let table =
-        Table::new(&["case", "engine", "kernel", "threads", "seconds", "GFLOP/s", "bitwise"]);
+    let table = Table::new(&[
+        "case", "dtype", "engine", "kernel", "threads", "seconds", "GFLOP/s", "bitwise",
+    ]);
     let mut samples: Vec<Sample> = Vec::new();
 
-    for case in &cases {
-        let a = gaussian_matrix(case.m, case.k, &mut seeded_rng(42));
-        let b = gaussian_matrix(case.k, case.n, &mut seeded_rng(43));
-        let label = format!("{}x{}x{}", case.m, case.k, case.n);
-        let gf = flops(case) / 1e9;
-
-        par::set_num_threads(1);
-        let (c_ref, t_ref) = best_of(reps, || reference::matmul(&a, &b));
-        table.row(&[
-            label.clone(),
-            "reference".into(),
-            "-".into(),
-            "1".into(),
-            format!("{t_ref:.4}"),
-            format!("{:.2}", gf / t_ref),
-            "-".into(),
-        ]);
-        samples.push(Sample {
-            kind: case.kind,
-            m: case.m,
-            k: case.k,
-            n: case.n,
-            engine: "reference",
-            kernel: "-",
-            threads: 1,
-            seconds: t_ref,
-            gflops: gf / t_ref,
-            deterministic: true,
-        });
-
-        // Every available micro-kernel at one thread: the per-kernel
-        // GFLOP/s record, each checked against the reference result.
-        for &k in kernels::available() {
-            if k.name() == kern.name() {
-                continue; // the selected kernel gets the full sweep below
-            }
-            let (c, t) = best_of(reps, || packed::matmul_with(k, &a, &b));
-            let err = (&c - &c_ref).max_abs();
-            assert!(err < 1e-9 * case.k as f64, "{} vs reference diverged: {err}", k.name());
-            table.row(&[
-                label.clone(),
-                "packed".into(),
-                k.name().into(),
-                "1".into(),
-                format!("{t:.4}"),
-                format!("{:.2}", gf / t),
-                "ok".into(),
-            ]);
-            samples.push(Sample {
-                kind: case.kind,
-                m: case.m,
-                k: case.k,
-                n: case.n,
-                engine: "packed",
-                kernel: k.name(),
-                threads: 1,
-                seconds: t,
-                gflops: gf / t,
-                deterministic: true,
-            });
-        }
-
-        // The selected kernel across the thread sweep; bitwise checks are
-        // per fixed kernel (the determinism contract's unit).
-        let mut baseline: Option<Matrix> = None;
-        for &threads in &thread_counts {
-            par::set_num_threads(threads);
-            let (c, t) = best_of(reps, || packed::matmul(&a, &b));
-            let deterministic = match &baseline {
-                None => {
-                    // Semantic cross-check against the reference kernel at
-                    // the baseline thread count.
-                    let err = (&c - &c_ref).max_abs();
-                    assert!(err < 1e-9 * case.k as f64, "packed vs reference diverged: {err}");
-                    baseline = Some(c);
-                    true
-                }
-                Some(base) => *base == c,
-            };
-            table.row(&[
-                label.clone(),
-                "packed".into(),
-                kern.name().into(),
-                threads.to_string(),
-                format!("{t:.4}"),
-                format!("{:.2}", gf / t),
-                if deterministic { "ok" } else { "MISMATCH" }.into(),
-            ]);
-            samples.push(Sample {
-                kind: case.kind,
-                m: case.m,
-                k: case.k,
-                n: case.n,
-                engine: "packed",
-                kernel: kern.name(),
-                threads,
-                seconds: t,
-                gflops: gf / t,
-                deterministic,
-            });
-        }
-        par::set_num_threads(0);
-    }
+    sweep_dtype::<f64>(&cases, reps, &thread_counts, &table, &mut samples);
+    sweep_dtype::<f32>(&cases, reps, &thread_counts, &table, &mut samples);
 
     let mismatches = samples.iter().filter(|s| !s.deterministic).count();
     println!(
@@ -251,10 +156,11 @@ fn main() {
     for (i, s) in samples.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{ \"kind\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"engine\": \"{}\", \
-             \"kernel\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}, \
-             \"bitwise_match\": {} }}",
+            "    {{ \"kind\": \"{}\", \"dtype\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"engine\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
+             \"gflops\": {:.3}, \"bitwise_match\": {} }}",
             s.kind,
+            s.dtype,
             s.m,
             s.k,
             s.n,
@@ -275,6 +181,140 @@ fn main() {
     println!("wrote {alloc_path}");
 
     assert_eq!(mismatches, 0, "bitwise determinism violated — see {out_path}");
+}
+
+/// One full (reference + per-kernel + thread-sweep) pass at element
+/// dtype `T`. Operands are drawn once in f64 and demoted, so the f32 rows
+/// time the same logical problem; the bitwise determinism checks are per
+/// (dtype, kernel, blocking) — the contract's unit.
+fn sweep_dtype<T: Scalar>(
+    cases: &[Case],
+    reps: usize,
+    thread_counts: &[usize],
+    table: &Table,
+    samples: &mut Vec<Sample>,
+) {
+    let kern = kernels::selected::<T>();
+    // Semantic (not bitwise) tolerance, scaled to the dtype's epsilon so
+    // the f32 rows get the same relative slack the f64 rows always had.
+    let tol_scale = 1e-9 * (T::EPSILON.to_f64() / f64::EPSILON);
+    for case in cases {
+        let a: Matrix<T> = gaussian_matrix(case.m, case.k, &mut seeded_rng(42)).cast();
+        let b: Matrix<T> = gaussian_matrix(case.k, case.n, &mut seeded_rng(43)).cast();
+        let label = format!("{}x{}x{}", case.m, case.k, case.n);
+        let gf = flops(case) / 1e9;
+        let tol = tol_scale * case.k as f64;
+        let max_abs_diff = |x: &Matrix<T>, y: &Matrix<T>| {
+            let mut worst = 0.0f64;
+            for (xv, yv) in x.as_slice().iter().zip(y.as_slice()) {
+                worst = worst.max((*xv - *yv).abs().to_f64());
+            }
+            worst
+        };
+
+        par::set_num_threads(1);
+        let (c_ref, t_ref) = best_of(reps, || reference::matmul(&a, &b));
+        table.row(&[
+            label.clone(),
+            T::NAME.into(),
+            "reference".into(),
+            "-".into(),
+            "1".into(),
+            format!("{t_ref:.4}"),
+            format!("{:.2}", gf / t_ref),
+            "-".into(),
+        ]);
+        samples.push(Sample {
+            kind: case.kind,
+            dtype: T::NAME,
+            m: case.m,
+            k: case.k,
+            n: case.n,
+            engine: "reference",
+            kernel: "-",
+            threads: 1,
+            seconds: t_ref,
+            gflops: gf / t_ref,
+            deterministic: true,
+        });
+
+        // Every available micro-kernel at one thread: the per-kernel
+        // GFLOP/s record, each checked against the reference result.
+        for &k in kernels::available::<T>() {
+            if k.name() == kern.name() {
+                continue; // the selected kernel gets the full sweep below
+            }
+            let (c, t) = best_of(reps, || packed::matmul_with(k, &a, &b));
+            let err = max_abs_diff(&c, &c_ref);
+            assert!(err < tol, "{} {} vs reference diverged: {err}", T::NAME, k.name());
+            table.row(&[
+                label.clone(),
+                T::NAME.into(),
+                "packed".into(),
+                k.name().into(),
+                "1".into(),
+                format!("{t:.4}"),
+                format!("{:.2}", gf / t),
+                "ok".into(),
+            ]);
+            samples.push(Sample {
+                kind: case.kind,
+                dtype: T::NAME,
+                m: case.m,
+                k: case.k,
+                n: case.n,
+                engine: "packed",
+                kernel: k.name(),
+                threads: 1,
+                seconds: t,
+                gflops: gf / t,
+                deterministic: true,
+            });
+        }
+
+        // The selected kernel across the thread sweep; bitwise checks are
+        // per fixed (dtype, kernel) — the determinism contract's unit.
+        let mut baseline: Option<Matrix<T>> = None;
+        for &threads in thread_counts {
+            par::set_num_threads(threads);
+            let (c, t) = best_of(reps, || packed::matmul(&a, &b));
+            let deterministic = match &baseline {
+                None => {
+                    // Semantic cross-check against the reference kernel at
+                    // the baseline thread count.
+                    let err = max_abs_diff(&c, &c_ref);
+                    assert!(err < tol, "{} packed vs reference diverged: {err}", T::NAME);
+                    baseline = Some(c);
+                    true
+                }
+                Some(base) => *base == c,
+            };
+            table.row(&[
+                label.clone(),
+                T::NAME.into(),
+                "packed".into(),
+                kern.name().into(),
+                threads.to_string(),
+                format!("{t:.4}"),
+                format!("{:.2}", gf / t),
+                if deterministic { "ok" } else { "MISMATCH" }.into(),
+            ]);
+            samples.push(Sample {
+                kind: case.kind,
+                dtype: T::NAME,
+                m: case.m,
+                k: case.k,
+                n: case.n,
+                engine: "packed",
+                kernel: kern.name(),
+                threads,
+                seconds: t,
+                gflops: gf / t,
+                deterministic,
+            });
+        }
+        par::set_num_threads(0);
+    }
 }
 
 /// Allocation ledger for the streaming hot loop (`BENCH_alloc.json`):

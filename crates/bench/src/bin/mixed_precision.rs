@@ -1,0 +1,185 @@
+//! Mixed-precision streaming benchmark: wall time, wire bytes and singular
+//! value accuracy of the distributed streaming SVD at each precision mode,
+//! emitting machine-readable JSON (`BENCH_mixed.json`).
+//!
+//! ```text
+//! cargo run -p psvd-bench --release --bin mixed_precision [-- --quick] [--out PATH]
+//! ```
+//!
+//! Three legs over the same Burgers snapshot stream (paper Section 4.3):
+//!
+//! * `f64` — the all-double baseline; its singular values are the oracle.
+//! * `mixed` — `Precision::Mixed`: every matrix payload demotes to f32 on
+//!   the wire, local re-orthogonalization and factors stay f64.
+//! * `f32` — the fully single-precision driver instantiation
+//!   (`ParallelStreamingSvd<_, f32>`), the dtype-generic end of the design.
+//!
+//! Two contracts are gated (the timings are informational):
+//! mixed wire bytes land in (0.40, 0.60) of the f64 leg, and every mixed
+//! singular value is within `1e-5 · sigma_max` of the oracle.
+
+use std::fmt::Write as _;
+
+use psvd_bench::time_it;
+use psvd_comm::{Communicator, World};
+use psvd_core::{ParallelStreamingSvd, Precision, SerialStreamingSvd, SvdConfig};
+use psvd_data::burgers::{snapshot_matrix, BurgersConfig};
+use psvd_data::partition::split_rows;
+use psvd_linalg::{Matrix, Scalar};
+
+struct Leg {
+    label: &'static str,
+    seconds: f64,
+    wire_bytes: u64,
+    /// `max_j |sigma_j - oracle_j| / sigma_max`; 0 for the oracle leg.
+    sigma_err: f64,
+}
+
+/// One distributed streaming run at element dtype `T`: returns the
+/// singular values (identical on every rank — asserted), the wall time of
+/// the `world.run` region and the total wire bytes moved.
+fn run_leg<T: Scalar + psvd_comm::Payload>(
+    data: &Matrix<T>,
+    cfg: SvdConfig,
+    ranks: usize,
+    batch: usize,
+) -> (Vec<f64>, f64, u64) {
+    let blocks = split_rows(data, ranks);
+    let world = World::new(ranks);
+    let (out, seconds) = time_it(|| {
+        world.run(|comm| {
+            let mut d = ParallelStreamingSvd::<_, T>::new(comm, cfg);
+            d.fit_batched(&blocks[comm.rank()], batch);
+            let _ = d.allgather_modes();
+            d.singular_values().to_vec()
+        })
+    });
+    for (rank, s) in out.iter().enumerate() {
+        assert_eq!(s, &out[0], "rank {rank} disagrees on singular values");
+    }
+    (out[0].iter().map(|s| s.to_f64()).collect(), seconds, world.stats().total_bytes())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_mixed.json".to_string());
+
+    let (data_cfg, ranks, batch) = if quick {
+        (BurgersConfig::small(), 4usize, 8usize)
+    } else {
+        (BurgersConfig { grid_points: 4096, snapshots: 256, ..BurgersConfig::default() }, 8, 16)
+    };
+    let k = 5;
+    let cfg = SvdConfig::new(k).with_forget_factor(1.0);
+    let data = snapshot_matrix(&data_cfg);
+    println!(
+        "== mixed-precision streaming: {}x{} Burgers snapshots, {ranks} ranks, \
+         batch {batch}, K = {k} ==\n",
+        data.rows(),
+        data.cols()
+    );
+
+    // Serial f64 oracle, so the distributed legs are also checked against a
+    // communicator-free reference (streaming order is the same stream).
+    let mut serial = SerialStreamingSvd::new(cfg.with_precision(Precision::F64));
+    serial.fit_batched(&data, batch);
+    let sigma_max = serial.singular_values()[0];
+
+    let (f64_sigma, f64_secs, f64_bytes) =
+        run_leg::<f64>(&data, cfg.with_precision(Precision::F64), ranks, batch);
+    for (s, oracle) in f64_sigma.iter().zip(serial.singular_values()) {
+        assert!(
+            (s - oracle).abs() <= 1e-9 * sigma_max,
+            "distributed f64 drifted from the serial oracle: {s} vs {oracle}"
+        );
+    }
+
+    let sigma_err = |sigma: &[f64]| -> f64 {
+        sigma.iter().zip(&f64_sigma).map(|(s, o)| (s - o).abs() / sigma_max).fold(0.0f64, f64::max)
+    };
+
+    let (mixed_sigma, mixed_secs, mixed_bytes) =
+        run_leg::<f64>(&data, cfg.with_precision(Precision::Mixed), ranks, batch);
+    let (f32_sigma, f32_secs, f32_bytes) =
+        run_leg::<f32>(&data.cast(), cfg.with_precision(Precision::F32), ranks, batch);
+
+    let legs = [
+        Leg { label: "f64", seconds: f64_secs, wire_bytes: f64_bytes, sigma_err: 0.0 },
+        Leg {
+            label: "mixed",
+            seconds: mixed_secs,
+            wire_bytes: mixed_bytes,
+            sigma_err: sigma_err(&mixed_sigma),
+        },
+        Leg {
+            label: "f32",
+            seconds: f32_secs,
+            wire_bytes: f32_bytes,
+            sigma_err: sigma_err(&f32_sigma),
+        },
+    ];
+
+    println!(
+        "{:>8}  {:>9}  {:>12}  {:>10}  {:>14}",
+        "mode", "seconds", "wire bytes", "vs f64", "max sigma err"
+    );
+    println!("{}", "-".repeat(62));
+    for leg in &legs {
+        println!(
+            "{:>8}  {:>9.4}  {:>12}  {:>10.3}  {:>14.3e}",
+            leg.label,
+            leg.seconds,
+            leg.wire_bytes,
+            leg.wire_bytes as f64 / f64_bytes as f64,
+            leg.sigma_err
+        );
+    }
+
+    let wire_ratio = mixed_bytes as f64 / f64_bytes as f64;
+    let mixed_err = legs[1].sigma_err;
+    println!(
+        "\nmixed mode: {:.1}% of f64 wire bytes, max sigma error {mixed_err:.3e} \
+         (gates: ratio in (0.40, 0.60), error <= 1e-5)",
+        100.0 * wire_ratio
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"mixed_precision\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"rows\": {},", data.rows());
+    let _ = writeln!(json, "  \"cols\": {},", data.cols());
+    let _ = writeln!(json, "  \"ranks\": {ranks},");
+    let _ = writeln!(json, "  \"batch\": {batch},");
+    let _ = writeln!(json, "  \"k\": {k},");
+    let _ = writeln!(json, "  \"mixed_wire_ratio\": {wire_ratio:.4},");
+    json.push_str("  \"results\": [\n");
+    for (i, leg) in legs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"precision\": \"{}\", \"seconds\": {:.6}, \"wire_bytes\": {}, \
+             \"wire_ratio_vs_f64\": {:.4}, \"max_sigma_rel_err\": {:.6e} }}",
+            leg.label,
+            leg.seconds,
+            leg.wire_bytes,
+            leg.wire_bytes as f64 / f64_bytes as f64,
+            leg.sigma_err
+        );
+        json.push_str(if i + 1 < legs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_mixed.json");
+    println!("wrote {out_path}");
+
+    assert!(
+        (0.40..0.60).contains(&wire_ratio),
+        "mixed wire ratio {wire_ratio:.3} outside (0.40, 0.60)"
+    );
+    assert!(mixed_err <= 1e-5, "mixed sigma error {mixed_err:.3e} exceeds 1e-5 of sigma_max");
+}

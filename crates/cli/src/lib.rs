@@ -20,7 +20,7 @@ use std::path::Path;
 use args::ParsedArgs;
 use psvd_comm::{Communicator, World};
 use psvd_core::postprocess::{write_modes_csv, write_singular_values_csv};
-use psvd_core::{ParallelStreamingSvd, SerialStreamingSvd, SvdConfig};
+use psvd_core::{ParallelStreamingSvd, Precision, SerialStreamingSvd, SvdConfig};
 use psvd_data::burgers::{snapshot_matrix, BurgersConfig};
 use psvd_data::era5::{generate as generate_era5, Era5Config};
 use psvd_data::ncsim::{self, NcsimReader};
@@ -294,7 +294,12 @@ fn cmd_validate(a: &ParsedArgs) -> Result<Vec<String>, String> {
     let parallel = run_svd(file, cfg, ranks, batch)?;
     let spec_err = spectrum_error(&serial.singular_values, &parallel.singular_values);
     let angle = max_principal_angle(&serial.modes, &parallel.modes);
-    let ok = spec_err < 1e-6 && angle < 1e-4;
+    // Mixed precision demotes wire payloads to f32, so the parallel run
+    // legitimately departs from the (wire-free) serial one at single
+    // precision; hold it to f32-level agreement instead of f64-level.
+    let (spec_tol, angle_tol) =
+        if cfg.precision == Precision::Mixed { (1e-5, 1e-2) } else { (1e-6, 1e-4) };
+    let ok = spec_err < spec_tol && angle < angle_tol;
     let mut out = vec![
         format!("serial vs {ranks}-rank parallel on {file} (K = {k}):"),
         format!("  spectrum error : {spec_err:.3e}"),
@@ -302,7 +307,7 @@ fn cmd_validate(a: &ParsedArgs) -> Result<Vec<String>, String> {
         format!("  verdict        : {}", if ok { "PASS" } else { "FAIL" }),
     ];
     if !ok {
-        out.push("  (expected spectrum error < 1e-6 and angle < 1e-4)".into());
+        out.push(format!("  (expected spectrum error < {spec_tol:e} and angle < {angle_tol:e})"));
         return Err(out.join("\n"));
     }
     Ok(out)

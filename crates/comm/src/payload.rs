@@ -2,9 +2,13 @@
 //!
 //! Every value that travels between ranks implements [`Payload`], which the
 //! traffic recorder uses to charge byte volumes (the sizes a real MPI
-//! implementation would put on the wire for contiguous `f64` buffers).
+//! implementation would put on the wire for contiguous element buffers).
+//! Matrix payloads are dtype-aware: an `f32` matrix is charged exactly
+//! half the data bytes of its `f64` counterpart (`size_of::<T>()` per
+//! element) — this is the accounting behind the mixed-precision mode's
+//! ~2x wire reduction.
 
-use psvd_linalg::Matrix;
+use psvd_linalg::{Matrix, Scalar};
 
 /// A value that can be shipped between ranks.
 pub trait Payload: Send + 'static {
@@ -21,6 +25,12 @@ impl Payload for () {
 impl Payload for f64 {
     fn byte_len(&self) -> usize {
         8
+    }
+}
+
+impl Payload for f32 {
+    fn byte_len(&self) -> usize {
+        4
     }
 }
 
@@ -48,10 +58,10 @@ impl<T: Payload> Payload for Vec<T> {
     }
 }
 
-impl Payload for Matrix {
+impl<T: Scalar> Payload for Matrix<T> {
     fn byte_len(&self) -> usize {
         // Dims header + contiguous data, as an MPI derived type would ship.
-        16 + 8 * self.rows() * self.cols()
+        16 + std::mem::size_of::<T>() * self.rows() * self.cols()
     }
 }
 
@@ -88,7 +98,20 @@ mod tests {
     #[test]
     fn vector_and_matrix_sizes() {
         assert_eq!(vec![0.0f64; 10].byte_len(), 80);
-        assert_eq!(Matrix::zeros(3, 4).byte_len(), 16 + 96);
+        assert_eq!(Matrix::<f64>::zeros(3, 4).byte_len(), 16 + 96);
+    }
+
+    #[test]
+    fn matrix_wire_size_is_dtype_aware() {
+        // f32 data bytes are exactly half of f64's for the same shape;
+        // only the 16-byte dims header is dtype-independent.
+        let wide = Matrix::<f64>::zeros(7, 9);
+        let narrow = Matrix::<f32>::zeros(7, 9);
+        assert_eq!(wide.byte_len(), 16 + 8 * 63);
+        assert_eq!(narrow.byte_len(), 16 + 4 * 63);
+        assert_eq!(narrow.byte_len() - 16, (wide.byte_len() - 16) / 2);
+        assert_eq!(1.0f32.byte_len(), 4);
+        assert_eq!(vec![0.0f32; 10].byte_len(), 40);
     }
 
     #[test]

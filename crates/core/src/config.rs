@@ -2,6 +2,57 @@
 
 use psvd_linalg::SvdMethod;
 
+/// Arithmetic / wire precision for a streaming run.
+///
+/// The element dtype of a driver is a compile-time choice (the `T`
+/// parameter of [`crate::SerialStreamingSvd`] /
+/// [`crate::ParallelStreamingSvd`], default `f64`); this enum selects the
+/// *policy* layered on top:
+///
+/// - `F64` / `F32`: run everything at the driver's native dtype. The two
+///   variants exist so entry points that construct drivers from the
+///   environment (benches, the conformance harness) can pick the
+///   instantiation; inside a driver both behave identically.
+/// - `Mixed`: keep all local factorization arithmetic at the native
+///   dtype (f64 re-orthogonalization, f64 final factors) but demote
+///   every matrix payload crossing the communicator to `f32`, halving
+///   APMOS gather / TSQR gather+scatter wire bytes, and run the
+///   randomized inner SVDs with an f32 range finder
+///   ([`psvd_linalg::randomized::mixed_randomized_svd`]). Singular
+///   values stay within ~`ε_f32 · σ₁` of the all-f64 run (the
+///   conformance suite pins 1e-5 relative); results remain bitwise
+///   deterministic across thread counts and collective shapes.
+///
+/// `SvdConfig::new` seeds this from `PSVD_PRECISION` (`f64`, `f32`,
+/// `mixed`; unset means `f64`), so a whole test or bench process can be
+/// flipped from the environment; `with_precision` overrides per config.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// Native f64 everywhere (the default).
+    #[default]
+    F64,
+    /// Native f32 everywhere (honored by dtype-choosing entry points).
+    F32,
+    /// Native-precision math with f32 wire payloads and f32 range finding.
+    Mixed,
+}
+
+impl Precision {
+    /// Read `PSVD_PRECISION` (`f64` | `f32` | `mixed`, case-insensitive);
+    /// unset or empty means [`Precision::F64`]. Panics on other values.
+    pub fn from_env() -> Self {
+        match std::env::var("PSVD_PRECISION") {
+            Err(_) => Precision::F64,
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "" | "f64" => Precision::F64,
+                "f32" => Precision::F32,
+                "mixed" => Precision::Mixed,
+                other => panic!("PSVD_PRECISION must be f64, f32 or mixed, got {other:?}"),
+            },
+        }
+    }
+}
+
 /// Parameters of the streaming / distributed / randomized SVD.
 ///
 /// Defaults follow the paper: `forget_factor = 0.95`, `r1 = 50`
@@ -35,6 +86,8 @@ pub struct SvdConfig {
     /// `DegradedInfo`) instead of erroring out of the fallible driver
     /// operations.
     pub allow_degraded: bool,
+    /// Arithmetic / wire precision policy (see [`Precision`]).
+    pub precision: Precision,
 }
 
 impl SvdConfig {
@@ -52,6 +105,7 @@ impl SvdConfig {
             method: SvdMethod::default(),
             tree_collectives: false,
             allow_degraded: false,
+            precision: Precision::from_env(),
         }
     }
 
@@ -100,6 +154,12 @@ impl SvdConfig {
     /// Builder: survive permanent rank failures on the shrunken world.
     pub fn with_allow_degraded(mut self, allow: bool) -> Self {
         self.allow_degraded = allow;
+        self
+    }
+
+    /// Builder: precision policy (overrides the `PSVD_PRECISION` seed).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -186,6 +246,17 @@ mod tests {
     #[should_panic(expected = "r2")]
     fn r2_below_k_rejected() {
         let _ = SvdConfig::new(10).with_r2(3).validated();
+    }
+
+    #[test]
+    fn precision_builder_overrides_default() {
+        let c = SvdConfig::new(3);
+        // Whatever the environment seeded, the builder wins.
+        let m = c.with_precision(Precision::Mixed);
+        assert_eq!(m.precision, Precision::Mixed);
+        let back = m.with_precision(Precision::F64);
+        assert_eq!(back.precision, Precision::F64);
+        assert_eq!(Precision::default(), Precision::F64);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod streaming_dmd;
 
 pub use brand::BrandIncrementalSvd;
 pub use checkpoint::SvdCheckpoint;
-pub use config::SvdConfig;
+pub use config::{Precision, SvdConfig};
 pub use dmd::{dmd, Dmd};
 pub use hierarchical::hierarchical_parallel_svd;
 pub use parallel::{parallel_svd_once, DegradedInfo, ParallelStreamingSvd};

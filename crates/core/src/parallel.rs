@@ -29,18 +29,75 @@
 //! model").
 
 use psvd_comm::collectives::{tree_allgather, tree_gather, try_tree_bcast, try_tree_gather};
-use psvd_comm::{CommError, Communicator};
+use psvd_comm::{CommError, Communicator, Payload};
 use psvd_linalg::gemm::matmul_into;
 use psvd_linalg::qr::qr_thin_into;
-use psvd_linalg::randomized::low_rank_svd;
+use psvd_linalg::randomized::{low_rank_svd, mixed_low_rank_svd};
 use psvd_linalg::snapshots::generate_right_vectors;
 use psvd_linalg::svd::svd_with;
 use psvd_linalg::workspace::{Workspace, WorkspaceStats};
-use psvd_linalg::Matrix;
+use psvd_linalg::{Matrix, Scalar};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::SvdConfig;
+use crate::config::{Precision, SvdConfig};
+
+/// Gather `m` at `root`. In mixed-precision mode every block is demoted
+/// to `f32` *before* entering the collective (so root and non-root
+/// contributions are charged — and rounded — identically) and promoted
+/// back on receipt; otherwise blocks travel at the native dtype. The
+/// demotion happens ahead of the tree/flat split, so both collective
+/// shapes move bit-identical payloads.
+fn gather_blocks<C: Communicator, T: Scalar>(
+    comm: &C,
+    tree: bool,
+    mixed: bool,
+    m: Matrix<T>,
+    root: usize,
+) -> Result<Option<Vec<Matrix<T>>>, CommError> {
+    if mixed {
+        let demoted = m.cast::<f32>();
+        let parts = if tree {
+            try_tree_gather(comm, demoted, root)?
+        } else {
+            comm.try_gather(demoted, root)?
+        };
+        Ok(parts.map(|ps| ps.into_iter().map(|p| p.cast::<T>()).collect()))
+    } else if tree {
+        try_tree_gather(comm, m, root)
+    } else {
+        comm.try_gather(m, root)
+    }
+}
+
+/// Broadcast the `(factor matrix, singular values)` pair from `root`. In
+/// mixed-precision mode the matrix travels as `f32` and the singular
+/// values as `f64` (they are `K` numbers — demoting them would halve
+/// nothing and cost the σ accuracy contract); every rank, root included,
+/// consumes the promoted wire copy so all ranks hold bit-identical
+/// factors.
+fn bcast_factors<C: Communicator, T: Scalar + Payload>(
+    comm: &C,
+    tree: bool,
+    mixed: bool,
+    factors: Option<(Matrix<T>, Vec<T>)>,
+    root: usize,
+) -> Result<(Matrix<T>, Vec<T>), CommError> {
+    if mixed {
+        let demoted = factors
+            .map(|(x, s)| (x.cast::<f32>(), s.iter().map(|v| v.to_f64()).collect::<Vec<f64>>()));
+        let (x, s) = if tree {
+            try_tree_bcast(comm, demoted, root)?
+        } else {
+            comm.try_bcast(demoted, root)?
+        };
+        Ok((x.cast::<T>(), s.into_iter().map(T::from_f64).collect()))
+    } else if tree {
+        try_tree_bcast(comm, factors, root)
+    } else {
+        comm.try_bcast(factors, root)
+    }
+}
 
 /// Tag base for the TSQR Q-block scatter (the paper uses `tag = rank + 10`).
 const TAG_QR_SCATTER: u64 = 10;
@@ -73,29 +130,35 @@ pub struct DegradedInfo {
 /// ownership through the communicator (gathered `R` blocks, scattered `Q`
 /// blocks, broadcast SVD factors) — those are inherent to message passing
 /// and are accounted by the communicator's traffic statistics.
-pub struct ParallelStreamingSvd<'a, C: Communicator> {
+///
+/// Generic over the element dtype `T` (default `f64`); in mixed-precision
+/// mode (`cfg.precision == Mixed`) every matrix crossing the communicator
+/// is demoted to `f32` on the wire and promoted back on receipt, and the
+/// root's randomized inner SVDs run the f32-sketch / f64-re-orthogonalize
+/// pipeline — see DESIGN.md, "Scalar genericity & mixed precision".
+pub struct ParallelStreamingSvd<'a, C: Communicator, T: Scalar = f64> {
     comm: &'a C,
     cfg: SvdConfig,
-    ulocal: Matrix,
-    singular_values: Vec<f64>,
+    ulocal: Matrix<T>,
+    singular_values: Vec<T>,
     iteration: usize,
     snapshots_seen: usize,
     rng: StdRng,
     /// Scratch arena feeding the QR kernels.
     ws: Workspace,
     /// Persistent `[ff·U·D | A_i]` stack buffer.
-    stack: Matrix,
+    stack: Matrix<T>,
     /// Persistent local thin-QR `Q` factor (TSQR step 1).
-    qr_q: Matrix,
+    qr_q: Matrix<T>,
     /// Persistent global `Q`/`R` factors of the stacked R re-QR (root only).
-    qr_gq: Matrix,
-    qr_gr: Matrix,
+    qr_gq: Matrix<T>,
+    qr_gr: Matrix<T>,
     /// Persistent `Q_local · block` product buffer.
-    qlocal: Matrix,
+    qlocal: Matrix<T>,
     /// Buffer the next mode block is formed in before swapping into place.
-    next_ulocal: Matrix,
+    next_ulocal: Matrix<T>,
     /// Down-weighted singular values `ff · s`.
-    weighted: Vec<f64>,
+    weighted: Vec<T>,
     /// World size at construction.
     initial_world: usize,
     /// World size as of the last completed operation.
@@ -104,7 +167,7 @@ pub struct ParallelStreamingSvd<'a, C: Communicator> {
     degraded: Option<DegradedInfo>,
 }
 
-impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
+impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
     /// New driver on this rank.
     pub fn new(comm: &'a C, cfg: SvdConfig) -> Self {
         let cfg = cfg.validated();
@@ -157,19 +220,19 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     }
 
     /// This rank's rows of the current global modes (`Mᵢ x K`).
-    pub fn local_modes(&self) -> &Matrix {
+    pub fn local_modes(&self) -> &Matrix<T> {
         &self.ulocal
     }
 
     /// Current estimate of the leading singular values (identical on all
     /// ranks).
-    pub fn singular_values(&self) -> &[f64] {
+    pub fn singular_values(&self) -> &[T] {
         &self.singular_values
     }
 
     /// Consume the tracker, handing out this rank's modes and the singular
     /// values without copying them.
-    pub fn into_modes(self) -> (Matrix, Vec<f64>) {
+    pub fn into_modes(self) -> (Matrix<T>, Vec<T>) {
         (self.ulocal, self.singular_values)
     }
 
@@ -225,7 +288,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
 
     /// APMOS distributed SVD (Listing 3): returns this rank's block of the
     /// `K` leading global left singular vectors and the singular values.
-    pub fn parallel_svd(&mut self, a_local: &Matrix) -> (Matrix, Vec<f64>) {
+    pub fn parallel_svd(&mut self, a_local: &Matrix<T>) -> (Matrix<T>, Vec<T>) {
         let mut phi = Matrix::zeros(0, 0);
         let s = self.parallel_svd_into(a_local, &mut phi);
         (phi, s)
@@ -234,7 +297,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// APMOS round writing this rank's mode block into `phi` (reused
     /// across calls — warm buffers make the local assembly allocation-free;
     /// the gathered/broadcast factors inherently transfer ownership).
-    fn parallel_svd_into(&mut self, a_local: &Matrix, phi: &mut Matrix) -> Vec<f64> {
+    fn parallel_svd_into(&mut self, a_local: &Matrix<T>, phi: &mut Matrix<T>) -> Vec<T> {
         self.try_parallel_svd_into(a_local, phi)
             .unwrap_or_else(|e| panic!("parallel_svd failed: {e}"))
     }
@@ -243,12 +306,13 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// (dead ranks, exhausted retries) instead of panicking.
     fn try_parallel_svd_into(
         &mut self,
-        a_local: &Matrix,
-        phi: &mut Matrix,
-    ) -> Result<Vec<f64>, CommError> {
+        a_local: &Matrix<T>,
+        phi: &mut Matrix<T>,
+    ) -> Result<Vec<T>, CommError> {
         let n = a_local.cols();
         assert!(n > 0, "parallel_svd: empty snapshot set");
         let r1 = self.cfg.r1.min(n);
+        let mixed = self.cfg.precision == Precision::Mixed;
 
         // Local right vectors by the method of snapshots, truncated to r1.
         let (mut wlocal, slocal) = generate_right_vectors(a_local, r1);
@@ -261,36 +325,23 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         }
 
         // Gather W at rank 0 and factorize there.
-        let wglobal = if self.cfg.tree_collectives {
-            try_tree_gather(self.comm, wlocal, 0)?
-        } else {
-            self.comm.try_gather(wlocal, 0)?
-        };
+        let wglobal = gather_blocks(self.comm, self.cfg.tree_collectives, mixed, wlocal, 0)?;
         // Root-ness = who holds the gathered blocks (see `qr_round` on
         // death-round transitions).
         let factors = if let Some(parts) = wglobal {
             let w = Matrix::hstack_all(&parts);
             let p = w.rows().min(w.cols());
             let r2 = self.cfg.r2.min(p);
-            let (x, s) = if self.cfg.low_rank {
-                low_rank_svd(&w, r2, &mut self.rng)
-            } else {
-                let f = svd_with(&w, self.cfg.method);
-                (f.u, f.s)
-            };
+            let (x, s) = self.small_factorize(&w, r2);
             Some((x.first_columns(r2), s[..r2.min(s.len())].to_vec()))
         } else {
             None
         };
-        let (x, s) = if self.cfg.tree_collectives {
-            try_tree_bcast(self.comm, factors, 0)?
-        } else {
-            self.comm.try_bcast(factors, 0)?
-        };
+        let (x, s) = bcast_factors(self.comm, self.cfg.tree_collectives, mixed, factors, 0)?;
 
         // Local slice of the global modes: Ũⁱ_j = (1/Λ̃_j) Aⁱ X̃_j.
-        let k = self.cfg.k.min(s.iter().filter(|&&v| v > 0.0).count());
-        let inv_s: Vec<f64> = s[..k].iter().map(|&v| 1.0 / v).collect();
+        let k = self.cfg.k.min(s.iter().filter(|&&v| v > T::ZERO).count());
+        let inv_s: Vec<T> = s[..k].iter().map(|&v| T::ONE / v).collect();
         matmul_into(a_local.view(), x.block(0, x.rows(), 0, k), phi);
         for i in 0..phi.rows() {
             for (v, &is) in phi.row_mut(i).iter_mut().zip(&inv_s) {
@@ -300,10 +351,27 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         Ok(s[..k].to_vec())
     }
 
+    /// Rank 0's inner SVD of a small gathered factor: randomized when
+    /// `low_rank` (through the mixed f32-sketch pipeline in mixed mode),
+    /// dense otherwise.
+    fn small_factorize(&mut self, w: &Matrix<T>, rank: usize) -> (Matrix<T>, Vec<T>) {
+        if self.cfg.low_rank {
+            if self.cfg.precision == Precision::Mixed {
+                let (x, s) = mixed_low_rank_svd(&w.cast::<f64>(), rank, &mut self.rng);
+                (x.cast(), s.into_iter().map(T::from_f64).collect())
+            } else {
+                low_rank_svd(w, rank, &mut self.rng)
+            }
+        } else {
+            let f = svd_with(w, self.cfg.method);
+            (f.u, f.s)
+        }
+    }
+
     /// TSQR (Listing 4): factorizes the row-distributed matrix as
     /// `A = Q R`, returning `(Q_local, U_R, s_R)` where `U_R Σ_R V_Rᵀ` is
     /// the SVD of the final `R` (step I2/2 of the Levy–Lindenbaum loop).
-    pub fn parallel_qr(&mut self, a_local: &Matrix) -> (Matrix, Matrix, Vec<f64>) {
+    pub fn parallel_qr(&mut self, a_local: &Matrix<T>) -> (Matrix<T>, Matrix<T>, Vec<T>) {
         let mut qlocal = Matrix::zeros(0, 0);
         let (unew, snew) = self.parallel_qr_into(a_local, &mut qlocal);
         (qlocal, unew, snew)
@@ -321,7 +389,11 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// stays on the unblocked reference path with its serial reflector
     /// fallback — no thread-pool handoff for a factorization that takes
     /// microseconds.
-    fn parallel_qr_into(&mut self, a_local: &Matrix, qlocal: &mut Matrix) -> (Matrix, Vec<f64>) {
+    fn parallel_qr_into(
+        &mut self,
+        a_local: &Matrix<T>,
+        qlocal: &mut Matrix<T>,
+    ) -> (Matrix<T>, Vec<T>) {
         self.try_parallel_qr_into(a_local, qlocal)
             .unwrap_or_else(|e| panic!("parallel_qr failed: {e}"))
     }
@@ -331,9 +403,9 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// every exit path, so an errored round leaves the instance reusable.
     fn try_parallel_qr_into(
         &mut self,
-        a_local: &Matrix,
-        qlocal: &mut Matrix,
-    ) -> Result<(Matrix, Vec<f64>), CommError> {
+        a_local: &Matrix<T>,
+        qlocal: &mut Matrix<T>,
+    ) -> Result<(Matrix<T>, Vec<T>), CommError> {
         // Take the persistent buffers out of self so the communicator and
         // RNG can be borrowed freely in the body; restored before
         // propagating either outcome.
@@ -350,12 +422,13 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// The TSQR round proper, operating on buffers held by the caller.
     fn qr_round(
         &mut self,
-        a_local: &Matrix,
-        qlocal: &mut Matrix,
-        local_q: &mut Matrix,
-        gq: &mut Matrix,
-        gr: &mut Matrix,
-    ) -> Result<(Matrix, Vec<f64>), CommError> {
+        a_local: &Matrix<T>,
+        qlocal: &mut Matrix<T>,
+        local_q: &mut Matrix<T>,
+        gq: &mut Matrix<T>,
+        gr: &mut Matrix<T>,
+    ) -> Result<(Matrix<T>, Vec<T>), CommError> {
+        let mixed = self.cfg.precision == Precision::Mixed;
         let n = a_local.cols();
         assert!(
             a_local.rows() >= n,
@@ -374,35 +447,49 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         // gather: its collective round boundary is where injected rank
         // deaths activate, and the scatter below must address the
         // post-transition world (root-ness = who holds the gathered Rs).
-        let r_global = if self.cfg.tree_collectives {
-            try_tree_gather(self.comm, local_r, 0)?
-        } else {
-            self.comm.try_gather(local_r, 0)?
-        };
+        let r_global = gather_blocks(self.comm, self.cfg.tree_collectives, mixed, local_r, 0)?;
         let rank = self.comm.rank();
         let size = self.comm.size();
         let have_rfinal = if let Some(parts) = r_global {
             let stack = Matrix::vstack_owned(parts);
             qr_thin_into(stack.view(), gq, gr, &mut self.ws);
             // Scatter each rank's n-row block of the stacked Q; rank 0's
-            // own block is consumed as a view, never copied.
+            // own block is consumed as a view, never copied. Mixed mode
+            // demotes the scattered blocks to f32 on the wire.
             for dst in 1..size {
-                let block = gq.block(dst * n, (dst + 1) * n, 0, n).to_matrix();
-                self.comm.try_send(block, dst, TAG_QR_SCATTER + dst as u64)?;
+                let block = gq.block(dst * n, (dst + 1) * n, 0, n);
+                if mixed {
+                    let demoted: Matrix<f32> = block.to_matrix().cast();
+                    self.comm.try_send(demoted, dst, TAG_QR_SCATTER + dst as u64)?;
+                } else {
+                    self.comm.try_send(block.to_matrix(), dst, TAG_QR_SCATTER + dst as u64)?;
+                }
             }
             matmul_into(local_q.view(), gq.block(0, n, 0, n), qlocal);
             true
         } else {
-            let block = self.comm.try_recv::<Matrix>(0, TAG_QR_SCATTER + rank as u64)?;
-            matmul_into(local_q.view(), block.view(), qlocal);
+            if mixed {
+                let block = self.comm.try_recv::<Matrix<f32>>(0, TAG_QR_SCATTER + rank as u64)?;
+                let promoted: Matrix<T> = block.cast();
+                matmul_into(local_q.view(), promoted.view(), qlocal);
+            } else {
+                let block = self.comm.try_recv::<Matrix<T>>(0, TAG_QR_SCATTER + rank as u64)?;
+                matmul_into(local_q.view(), block.view(), qlocal);
+            }
             false
         };
 
         // SVD of the small final R at rank 0 (randomized if configured),
         // broadcast to everyone.
         let factors = if have_rfinal {
+            let rank_cap = self.cfg.k.min(n);
             let (unew, snew) = if self.cfg.low_rank {
-                low_rank_svd(gr, self.cfg.k.min(n), &mut self.rng)
+                if mixed {
+                    let (x, s) = mixed_low_rank_svd(&gr.cast::<f64>(), rank_cap, &mut self.rng);
+                    (x.cast(), s.into_iter().map(T::from_f64).collect())
+                } else {
+                    low_rank_svd(gr, rank_cap, &mut self.rng)
+                }
             } else {
                 let f = svd_with(gr, self.cfg.method);
                 (f.u, f.s)
@@ -411,16 +498,12 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         } else {
             None
         };
-        if self.cfg.tree_collectives {
-            try_tree_bcast(self.comm, factors, 0)
-        } else {
-            self.comm.try_bcast(factors, 0)
-        }
+        bcast_factors(self.comm, self.cfg.tree_collectives, mixed, factors, 0)
     }
 
     /// Ingest the first local batch `A0ⁱ` (`Mᵢ x B`) — Listing 2's
     /// `initialize`: one APMOS pass.
-    pub fn initialize(&mut self, a_local: &Matrix) -> &mut Self {
+    pub fn initialize(&mut self, a_local: &Matrix<T>) -> &mut Self {
         self.try_initialize(a_local).unwrap_or_else(|e| panic!("initialize failed: {e}"))
     }
 
@@ -428,7 +511,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// communication failures surface as [`CommError`]. With
     /// `cfg.allow_degraded` a surviving rank records the shrink in
     /// [`ParallelStreamingSvd::degraded`] and keeps going.
-    pub fn try_initialize(&mut self, a_local: &Matrix) -> Result<&mut Self, CommError> {
+    pub fn try_initialize(&mut self, a_local: &Matrix<T>) -> Result<&mut Self, CommError> {
         assert!(!self.is_initialized(), "initialize called twice");
         self.note_world()?;
         let mut phi = std::mem::replace(&mut self.next_ulocal, Matrix::zeros(0, 0));
@@ -444,7 +527,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
 
     /// Ingest a further local batch — Listing 2's `incorporate_data`:
     /// stack `ff·U·D` with the new data, TSQR, small SVD, truncate to `K`.
-    pub fn incorporate_data(&mut self, a_local: &Matrix) -> &mut Self {
+    pub fn incorporate_data(&mut self, a_local: &Matrix<T>) -> &mut Self {
         self.try_incorporate_data(a_local)
             .unwrap_or_else(|e| panic!("incorporate_data failed: {e}"))
     }
@@ -452,7 +535,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// Fallible [`ParallelStreamingSvd::incorporate_data`] (see
     /// [`ParallelStreamingSvd::try_initialize`] for the failure contract).
     /// An errored update leaves the previous factorization intact.
-    pub fn try_incorporate_data(&mut self, a_local: &Matrix) -> Result<&mut Self, CommError> {
+    pub fn try_incorporate_data(&mut self, a_local: &Matrix<T>) -> Result<&mut Self, CommError> {
         assert!(self.is_initialized(), "incorporate_data before initialize");
         assert_eq!(a_local.rows(), self.ulocal.rows(), "batch row count changed mid-stream");
         if a_local.cols() == 0 {
@@ -465,8 +548,9 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         // stack buffer — same multiplies as mul_diag + hstack, no
         // transient matrices.
         let (m, k0) = self.ulocal.shape();
+        let ff = T::from_f64(self.cfg.forget_factor);
         self.weighted.clear();
-        self.weighted.extend(self.singular_values.iter().map(|s| s * self.cfg.forget_factor));
+        self.weighted.extend(self.singular_values.iter().map(|s| *s * ff));
         self.stack.reshape_for_overwrite(m, k0 + a_local.cols());
         for i in 0..m {
             let dst = self.stack.row_mut(i);
@@ -502,7 +586,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
 
     /// Stream this rank's row block of an entire dataset in `batch`-column
     /// chunks.
-    pub fn fit_batched(&mut self, a_local: &Matrix, batch: usize) -> &mut Self {
+    pub fn fit_batched(&mut self, a_local: &Matrix<T>, batch: usize) -> &mut Self {
         self.try_fit_batched(a_local, batch).unwrap_or_else(|e| panic!("fit_batched failed: {e}"))
     }
 
@@ -510,7 +594,7 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// batch whose collective round fails permanently.
     pub fn try_fit_batched(
         &mut self,
-        a_local: &Matrix,
+        a_local: &Matrix<T>,
         batch: usize,
     ) -> Result<&mut Self, CommError> {
         assert!(batch > 0, "batch size must be positive");
@@ -529,6 +613,70 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         Ok(self)
     }
 
+    /// Gather the distributed modes into the global `M x K` matrix at
+    /// `root` (rank order = row order). Returns `Some` at the root. Copies
+    /// this rank's block into the gather; when the tracker is finished,
+    /// [`ParallelStreamingSvd::into_gathered_modes`] moves it instead.
+    pub fn gather_modes(&self, root: usize) -> Option<Matrix<T>> {
+        if self.cfg.precision == Precision::Mixed {
+            let demoted = self.ulocal.cast::<f32>();
+            let blocks = if self.cfg.tree_collectives {
+                tree_gather(self.comm, demoted, root)
+            } else {
+                self.comm.gather(demoted, root)
+            };
+            return blocks.map(|b| Matrix::vstack_owned(b.iter().map(|p| p.cast::<T>()).collect()));
+        }
+        let blocks = if self.cfg.tree_collectives {
+            tree_gather(self.comm, self.ulocal.clone(), root)
+        } else {
+            self.comm.gather(self.ulocal.clone(), root)
+        };
+        blocks.map(|b| Matrix::vstack_all(&b))
+    }
+
+    /// Consume the tracker and gather the distributed modes at `root`,
+    /// moving this rank's block into the collective (no snapshot copy) and
+    /// assembling the result by reusing the gathered storage.
+    pub fn into_gathered_modes(self, root: usize) -> Option<Matrix<T>> {
+        if self.cfg.precision == Precision::Mixed {
+            return self.gather_modes(root);
+        }
+        let blocks = if self.cfg.tree_collectives {
+            tree_gather(self.comm, self.ulocal, root)
+        } else {
+            self.comm.gather(self.ulocal, root)
+        };
+        blocks.map(Matrix::vstack_owned)
+    }
+
+    /// Gather the distributed modes into the global `M x K` matrix on
+    /// *every* rank — [`ParallelStreamingSvd::gather_modes`] followed by a
+    /// broadcast, both tree-structured when `cfg.tree_collectives` is set
+    /// so no stage funnels flat through rank 0.
+    pub fn allgather_modes(&self) -> Matrix<T> {
+        if self.cfg.precision == Precision::Mixed {
+            let demoted = self.ulocal.cast::<f32>();
+            let blocks = if self.cfg.tree_collectives {
+                tree_allgather(self.comm, demoted)
+            } else {
+                self.comm.allgather(demoted)
+            };
+            return Matrix::vstack_owned(blocks.iter().map(|p| p.cast::<T>()).collect());
+        }
+        let blocks = if self.cfg.tree_collectives {
+            tree_allgather(self.comm, self.ulocal.clone())
+        } else {
+            self.comm.allgather(self.ulocal.clone())
+        };
+        Matrix::vstack_owned(blocks)
+    }
+}
+
+/// Checkpointing is defined on the `f64` instantiation only — the
+/// on-disk [`crate::checkpoint::SvdCheckpoint`] format is fixed at
+/// double precision.
+impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
     /// Capture this rank's state for checkpointing (one checkpoint file
     /// per rank; pair with [`ParallelStreamingSvd::restore`]). Copies the
     /// mode block — use [`ParallelStreamingSvd::into_checkpoint`] when the
@@ -566,53 +714,15 @@ impl<'a, C: Communicator> ParallelStreamingSvd<'a, C> {
         d.snapshots_seen = ckpt.snapshots_seen;
         d
     }
-
-    /// Gather the distributed modes into the global `M x K` matrix at
-    /// `root` (rank order = row order). Returns `Some` at the root. Copies
-    /// this rank's block into the gather; when the tracker is finished,
-    /// [`ParallelStreamingSvd::into_gathered_modes`] moves it instead.
-    pub fn gather_modes(&self, root: usize) -> Option<Matrix> {
-        let blocks = if self.cfg.tree_collectives {
-            tree_gather(self.comm, self.ulocal.clone(), root)
-        } else {
-            self.comm.gather(self.ulocal.clone(), root)
-        };
-        blocks.map(|b| Matrix::vstack_all(&b))
-    }
-
-    /// Consume the tracker and gather the distributed modes at `root`,
-    /// moving this rank's block into the collective (no snapshot copy) and
-    /// assembling the result by reusing the gathered storage.
-    pub fn into_gathered_modes(self, root: usize) -> Option<Matrix> {
-        let blocks = if self.cfg.tree_collectives {
-            tree_gather(self.comm, self.ulocal, root)
-        } else {
-            self.comm.gather(self.ulocal, root)
-        };
-        blocks.map(Matrix::vstack_owned)
-    }
-
-    /// Gather the distributed modes into the global `M x K` matrix on
-    /// *every* rank — [`ParallelStreamingSvd::gather_modes`] followed by a
-    /// broadcast, both tree-structured when `cfg.tree_collectives` is set
-    /// so no stage funnels flat through rank 0.
-    pub fn allgather_modes(&self) -> Matrix {
-        let blocks = if self.cfg.tree_collectives {
-            tree_allgather(self.comm, self.ulocal.clone())
-        } else {
-            self.comm.allgather(self.ulocal.clone())
-        };
-        Matrix::vstack_owned(blocks)
-    }
 }
 
 /// One-shot distributed (optionally randomized) SVD without streaming —
 /// the configuration the paper's weak-scaling experiment times.
-pub fn parallel_svd_once<C: Communicator>(
+pub fn parallel_svd_once<C: Communicator, T: Scalar + Payload>(
     comm: &C,
     cfg: SvdConfig,
-    a_local: &Matrix,
-) -> (Matrix, Vec<f64>) {
+    a_local: &Matrix<T>,
+) -> (Matrix<T>, Vec<T>) {
     let mut driver = ParallelStreamingSvd::new(comm, cfg);
     driver.parallel_svd(a_local)
 }
@@ -640,7 +750,11 @@ mod tests {
         // W Wᵀ = Σᵢ AⁱᵀAⁱ = AᵀA.
         let a = decaying_matrix(96, 12, 1);
         let k = 5;
-        let cfg = SvdConfig::new(k).with_r1(12).with_r2(12).with_forget_factor(1.0);
+        let cfg = SvdConfig::new(k)
+            .with_r1(12)
+            .with_r2(12)
+            .with_forget_factor(1.0)
+            .with_precision(Precision::F64);
         let world = World::new(4);
         let blocks = split_rows(&a, 4);
         let out = world.run(|comm| {
@@ -676,7 +790,7 @@ mod tests {
     #[test]
     fn tsqr_factorizes_distributed_matrix() {
         let a = decaying_matrix(64, 8, 3);
-        let cfg = SvdConfig::new(4).with_forget_factor(1.0);
+        let cfg = SvdConfig::new(4).with_forget_factor(1.0).with_precision(Precision::F64);
         let world = World::new(4);
         let blocks = split_rows(&a, 4);
         let out = world.run(|comm| {
@@ -702,7 +816,11 @@ mod tests {
         let a = decaying_matrix(72, 30, 4);
         let k = 5;
         let batch = 6;
-        let cfg = SvdConfig::new(k).with_forget_factor(0.95).with_r1(30).with_r2(30);
+        let cfg = SvdConfig::new(k)
+            .with_forget_factor(0.95)
+            .with_r1(30)
+            .with_r2(30)
+            .with_precision(Precision::F64);
 
         let mut serial = SerialStreamingSvd::new(cfg);
         serial.fit_batched(&a, batch);
@@ -728,7 +846,11 @@ mod tests {
     #[test]
     fn single_rank_parallel_equals_serial() {
         let a = decaying_matrix(40, 16, 5);
-        let cfg = SvdConfig::new(3).with_forget_factor(1.0).with_r1(16).with_r2(16);
+        let cfg = SvdConfig::new(3)
+            .with_forget_factor(1.0)
+            .with_r1(16)
+            .with_r2(16)
+            .with_precision(Precision::F64);
         let mut serial = SerialStreamingSvd::new(cfg);
         serial.fit_batched(&a, 4);
 
@@ -746,7 +868,11 @@ mod tests {
     #[test]
     fn gather_modes_assembles_in_rank_order() {
         let a = decaying_matrix(60, 10, 6);
-        let cfg = SvdConfig::new(2).with_forget_factor(1.0).with_r1(10).with_r2(10);
+        let cfg = SvdConfig::new(2)
+            .with_forget_factor(1.0)
+            .with_r1(10)
+            .with_r2(10)
+            .with_precision(Precision::F64);
         let world = World::new(4);
         let blocks = split_rows(&a, 4);
         let out = world.run(|comm| {
@@ -879,7 +1005,7 @@ mod tests {
         let world = World::new(1);
         world.run(|comm| {
             let mut d = ParallelStreamingSvd::new(comm, cfg);
-            let wide = Matrix::zeros(3, 8);
+            let wide = Matrix::<f64>::zeros(3, 8);
             let _ = d.parallel_qr(&wide);
         });
     }

@@ -23,14 +23,14 @@
 
 use psvd_linalg::gemm::matmul_into;
 use psvd_linalg::qr::qr_thin_into;
-use psvd_linalg::randomized::randomized_svd;
+use psvd_linalg::randomized::{mixed_randomized_svd, randomized_svd};
 use psvd_linalg::svd::svd_with;
 use psvd_linalg::workspace::{Workspace, WorkspaceStats};
-use psvd_linalg::{Matrix, Svd};
+use psvd_linalg::{Matrix, Scalar, Svd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::SvdConfig;
+use crate::config::{Precision, SvdConfig};
 
 /// Streaming truncated SVD of a (conceptually unbounded) snapshot stream.
 ///
@@ -40,27 +40,35 @@ use crate::config::SvdConfig;
 /// performs no transient matrix allocations (the `O((K+B)²)` core SVD
 /// still allocates its small factors; see DESIGN.md). Verified via
 /// [`SerialStreamingSvd::scratch_stats`].
-pub struct SerialStreamingSvd {
+///
+/// Generic over the element dtype `T` (default `f64`): every buffer,
+/// factorization and product runs at `T`'s precision, and the
+/// per-dtype determinism contract of the underlying kernels carries
+/// through — the stream is bitwise reproducible at any thread count for
+/// a fixed dtype. `cfg.precision == Mixed` additionally swaps the
+/// randomized inner SVD for the f32-range-finder /
+/// f64-re-orthogonalization pipeline.
+pub struct SerialStreamingSvd<T: Scalar = f64> {
     cfg: SvdConfig,
-    modes: Matrix,
-    singular_values: Vec<f64>,
+    modes: Matrix<T>,
+    singular_values: Vec<T>,
     iteration: usize,
     snapshots_seen: usize,
     rng: StdRng,
     /// Scratch arena feeding the QR kernel.
     ws: Workspace,
     /// Persistent `[ff·U·D | A_i]` stack buffer.
-    stack: Matrix,
+    stack: Matrix<T>,
     /// Persistent thin-QR factor buffers.
-    qbuf: Matrix,
-    rbuf: Matrix,
+    qbuf: Matrix<T>,
+    rbuf: Matrix<T>,
     /// Buffer the next mode matrix is formed in before swapping into place.
-    next_modes: Matrix,
+    next_modes: Matrix<T>,
     /// Down-weighted singular values `ff · s`.
-    weighted: Vec<f64>,
+    weighted: Vec<T>,
 }
 
-impl SerialStreamingSvd {
+impl<T: Scalar> SerialStreamingSvd<T> {
     /// New driver; call [`SerialStreamingSvd::initialize`] with the first
     /// batch before incorporating further data.
     pub fn new(cfg: SvdConfig) -> Self {
@@ -103,18 +111,18 @@ impl SerialStreamingSvd {
 
     /// Current estimate of the `K` leading left singular vectors (`M x K`,
     /// fewer columns if fewer snapshots have been seen).
-    pub fn modes(&self) -> &Matrix {
+    pub fn modes(&self) -> &Matrix<T> {
         &self.modes
     }
 
     /// Current estimate of the `K` leading singular values.
-    pub fn singular_values(&self) -> &[f64] {
+    pub fn singular_values(&self) -> &[T] {
         &self.singular_values
     }
 
     /// Consume the tracker, handing out the modes and singular values
     /// without copying them.
-    pub fn into_modes(self) -> (Matrix, Vec<f64>) {
+    pub fn into_modes(self) -> (Matrix<T>, Vec<T>) {
         (self.modes, self.singular_values)
     }
 
@@ -131,10 +139,25 @@ impl SerialStreamingSvd {
         self.ws.reset_stats();
     }
 
-    fn small_svd(&mut self, a: &Matrix) -> Svd {
+    fn small_svd(&mut self, a: &Matrix<T>) -> Svd<T> {
         if self.cfg.low_rank {
             let rank = self.cfg.k.min(a.rows().min(a.cols()));
-            randomized_svd(a, &self.cfg.randomized(rank), &mut self.rng)
+            if self.cfg.precision == Precision::Mixed {
+                // f32 range finding, f64 re-orthogonalization and factors,
+                // narrowed back to the driver dtype (exact when T = f64).
+                let f = mixed_randomized_svd(
+                    &a.cast::<f64>(),
+                    &self.cfg.randomized(rank),
+                    &mut self.rng,
+                );
+                Svd {
+                    u: f.u.cast(),
+                    s: f.s.iter().map(|&x| T::from_f64(x)).collect(),
+                    vt: f.vt.cast(),
+                }
+            } else {
+                randomized_svd(a, &self.cfg.randomized(rank), &mut self.rng)
+            }
         } else {
             svd_with(a, self.cfg.method)
         }
@@ -155,7 +178,7 @@ impl SerialStreamingSvd {
     }
 
     /// Ingest the first batch `A0` (`M x B`).
-    pub fn initialize(&mut self, a0: &Matrix) -> &mut Self {
+    pub fn initialize(&mut self, a0: &Matrix<T>) -> &mut Self {
         assert!(!self.is_initialized(), "initialize called twice");
         assert!(a0.cols() > 0, "first batch is empty");
         qr_thin_into(a0.view(), &mut self.qbuf, &mut self.rbuf, &mut self.ws);
@@ -166,7 +189,7 @@ impl SerialStreamingSvd {
 
     /// Ingest a further batch `Ai` (`M x B`), down-weighting history by the
     /// forget factor.
-    pub fn incorporate_data(&mut self, ai: &Matrix) -> &mut Self {
+    pub fn incorporate_data(&mut self, ai: &Matrix<T>) -> &mut Self {
         assert!(self.is_initialized(), "incorporate_data before initialize");
         assert_eq!(ai.rows(), self.modes.rows(), "batch row count changed mid-stream");
         if ai.cols() == 0 {
@@ -178,8 +201,9 @@ impl SerialStreamingSvd {
         // stack buffer — the same multiplies as mul_diag + hstack, without
         // materializing either intermediate.
         let (m, k0) = self.modes.shape();
+        let ff = T::from_f64(self.cfg.forget_factor);
         self.weighted.clear();
-        self.weighted.extend(self.singular_values.iter().map(|s| s * self.cfg.forget_factor));
+        self.weighted.extend(self.singular_values.iter().map(|s| *s * ff));
         self.stack.reshape_for_overwrite(m, k0 + ai.cols());
         for i in 0..m {
             let dst = self.stack.row_mut(i);
@@ -200,14 +224,14 @@ impl SerialStreamingSvd {
     }
 
     /// Modal coefficients of a snapshot: `c = Uᵀ x` (length = mode count).
-    pub fn project(&self, snapshot: &[f64]) -> Vec<f64> {
+    pub fn project(&self, snapshot: &[T]) -> Vec<T> {
         assert!(self.is_initialized(), "project before initialize");
         assert_eq!(snapshot.len(), self.modes.rows(), "snapshot length mismatch");
         psvd_linalg::gemm::matvec_t(&self.modes, snapshot)
     }
 
     /// Reconstruct a snapshot from modal coefficients: `x ≈ U c`.
-    pub fn reconstruct(&self, coefficients: &[f64]) -> Vec<f64> {
+    pub fn reconstruct(&self, coefficients: &[T]) -> Vec<T> {
         assert!(self.is_initialized(), "reconstruct before initialize");
         psvd_linalg::gemm::matvec(&self.modes, coefficients)
     }
@@ -215,23 +239,23 @@ impl SerialStreamingSvd {
     /// How much of a snapshot the tracked subspace misses:
     /// `‖x − U Uᵀ x‖₂ / ‖x‖₂` — the online novelty signal (near zero for
     /// data resembling history, jumping on regime change).
-    pub fn residual_fraction(&self, snapshot: &[f64]) -> f64 {
+    pub fn residual_fraction(&self, snapshot: &[T]) -> f64 {
         let coeffs = self.project(snapshot);
         let rec = self.reconstruct(&coeffs);
-        let mut num = 0.0;
-        let mut den = 0.0;
+        let mut num = T::ZERO;
+        let mut den = T::ZERO;
         for (x, r) in snapshot.iter().zip(&rec) {
-            num += (x - r) * (x - r);
-            den += x * x;
+            num += (*x - *r) * (*x - *r);
+            den += *x * *x;
         }
-        (num / den.max(f64::MIN_POSITIVE)).sqrt()
+        (num / den.max(T::MIN_POSITIVE)).sqrt().to_f64()
     }
 
     /// Overwrite the tracker's state (used by checkpoint restore).
     pub(crate) fn restore_state(
         &mut self,
-        modes: Matrix,
-        singular_values: Vec<f64>,
+        modes: Matrix<T>,
+        singular_values: Vec<T>,
         iteration: usize,
         snapshots_seen: usize,
     ) {
@@ -245,7 +269,7 @@ impl SerialStreamingSvd {
 
     /// Stream an entire matrix in `batch`-column chunks: `initialize` on the
     /// first, `incorporate_data` on the rest.
-    pub fn fit_batched(&mut self, data: &Matrix, batch: usize) -> &mut Self {
+    pub fn fit_batched(&mut self, data: &Matrix<T>, batch: usize) -> &mut Self {
         assert!(batch > 0, "batch size must be positive");
         let n = data.cols();
         let mut c0 = 0;
@@ -265,7 +289,7 @@ impl SerialStreamingSvd {
 
 /// One-shot K-truncated SVD of the full matrix — the reference the
 /// streaming result converges to when `ff = 1`.
-pub fn batch_truncated_svd(data: &Matrix, k: usize) -> (Matrix, Vec<f64>) {
+pub fn batch_truncated_svd<T: Scalar>(data: &Matrix<T>, k: usize) -> (Matrix<T>, Vec<T>) {
     let f = psvd_linalg::svd(data).truncated(k);
     (f.u, f.s)
 }
@@ -398,7 +422,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "initialize called twice")]
     fn double_initialize_panics() {
-        let a = Matrix::identity(4);
+        let a = Matrix::<f64>::identity(4);
         let mut s = SerialStreamingSvd::new(SvdConfig::new(2));
         s.initialize(&a);
         s.initialize(&a);
@@ -407,14 +431,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "before initialize")]
     fn incorporate_before_initialize_panics() {
-        let a = Matrix::identity(4);
+        let a = Matrix::<f64>::identity(4);
         let mut s = SerialStreamingSvd::new(SvdConfig::new(2));
         s.incorporate_data(&a);
     }
 
     #[test]
     fn k_larger_than_data_clamps() {
-        let a = Matrix::identity(3);
+        let a = Matrix::<f64>::identity(3);
         let mut s = SerialStreamingSvd::new(SvdConfig::new(10).with_forget_factor(1.0));
         s.initialize(&a);
         assert_eq!(s.modes().cols(), 3);
@@ -453,7 +477,7 @@ mod tests {
 
     #[test]
     fn empty_update_is_noop() {
-        let a = Matrix::identity(4);
+        let a = Matrix::<f64>::identity(4);
         let mut s = SerialStreamingSvd::new(SvdConfig::new(2));
         s.initialize(&a);
         let before = s.modes().clone();

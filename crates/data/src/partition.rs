@@ -4,7 +4,7 @@
 //! rows). These helpers produce balanced blocks: the first `m % n_ranks`
 //! ranks receive one extra row.
 
-use psvd_linalg::Matrix;
+use psvd_linalg::{Matrix, Scalar};
 
 /// Half-open row range `[start, end)` owned by `rank` out of `n_ranks` when
 /// distributing `m` rows. Balanced: sizes differ by at most one.
@@ -24,8 +24,10 @@ pub fn block_len(m: usize, n_ranks: usize, rank: usize) -> usize {
     b - a
 }
 
-/// Split a matrix into per-rank row blocks (cloned).
-pub fn split_rows(a: &Matrix, n_ranks: usize) -> Vec<Matrix> {
+/// Split a matrix into per-rank row blocks (cloned). Generic over the
+/// element dtype so f32 and mixed-precision pipelines partition the same
+/// way f64 ones do.
+pub fn split_rows<T: Scalar>(a: &Matrix<T>, n_ranks: usize) -> Vec<Matrix<T>> {
     (0..n_ranks)
         .map(|r| {
             let (start, end) = block_range(a.rows(), n_ranks, r);
@@ -35,7 +37,7 @@ pub fn split_rows(a: &Matrix, n_ranks: usize) -> Vec<Matrix> {
 }
 
 /// Reassemble per-rank row blocks into the global matrix.
-pub fn join_rows(blocks: &[Matrix]) -> Matrix {
+pub fn join_rows<T: Scalar>(blocks: &[Matrix<T>]) -> Matrix<T> {
     Matrix::vstack_all(blocks)
 }
 

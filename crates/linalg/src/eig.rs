@@ -7,15 +7,16 @@
 //! small (`N x N`, `N` = snapshot count) matrices that appear here.
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 
 /// Eigendecomposition of a symmetric matrix: `a = V diag(λ) Vᵀ`,
 /// eigenvalues sorted in descending order.
 #[derive(Clone, Debug)]
-pub struct SymEig {
+pub struct SymEig<T: Scalar = f64> {
     /// Eigenvalues, descending.
-    pub values: Vec<f64>,
+    pub values: Vec<T>,
     /// Eigenvectors as columns, in the same order as `values`.
-    pub vectors: Matrix,
+    pub vectors: Matrix<T>,
 }
 
 /// Maximum number of full Jacobi sweeps before giving up.
@@ -26,7 +27,7 @@ const MAX_SWEEPS: usize = 64;
 /// The input must be symmetric; only its upper triangle is trusted (the
 /// matrix is symmetrized internally to guard against round-off asymmetry
 /// from Gram-matrix accumulation). Panics if `a` is not square.
-pub fn sym_eig(a: &Matrix) -> SymEig {
+pub fn sym_eig<T: Scalar>(a: &Matrix<T>) -> SymEig<T> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "sym_eig: matrix must be square");
     if n == 0 {
@@ -34,14 +35,18 @@ pub fn sym_eig(a: &Matrix) -> SymEig {
     }
 
     // Work on a symmetrized copy.
-    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let half = T::from_f64(0.5);
+    let mut m = Matrix::from_fn(n, n, |i, j| half * (a[(i, j)] + a[(j, i)]));
     let mut v = Matrix::identity(n);
 
-    let scale = m.max_abs().max(1e-300);
-    let tol = 1e-15 * scale;
+    // Convergence threshold scaled to the dtype's epsilon; the factor is
+    // exactly 1e-15 at f64 (the pre-generic value, preserving bits) and
+    // the epsilon-ratio-scaled equivalent (~5.4e-7) at f32.
+    let scale = m.max_abs().max(T::from_f64(1e-300));
+    let tol = T::from_f64(1e-15 * (T::EPSILON.to_f64() / f64::EPSILON)) * scale;
 
     for _sweep in 0..MAX_SWEEPS {
-        let mut off: f64 = 0.0;
+        let mut off: T = T::ZERO;
         for i in 0..n {
             for j in i + 1..n {
                 off = off.max(m[(i, j)].abs());
@@ -53,19 +58,19 @@ pub fn sym_eig(a: &Matrix) -> SymEig {
         for p in 0..n {
             for q in p + 1..n {
                 let apq = m[(p, q)];
-                if apq.abs() <= tol * 1e-2 {
+                if apq.abs() <= tol * T::from_f64(1e-2) {
                     continue;
                 }
                 let app = m[(p, p)];
                 let aqq = m[(q, q)];
                 // Classic Jacobi rotation: choose t = tan(theta) stably.
-                let theta = (aqq - app) / (2.0 * apq);
-                let t = if theta >= 0.0 {
-                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                let theta = (aqq - app) / (T::from_f64(2.0) * apq);
+                let t = if theta >= T::ZERO {
+                    T::ONE / (theta + (T::ONE + theta * theta).sqrt())
                 } else {
-                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    T::ONE / (theta - (T::ONE + theta * theta).sqrt())
                 };
-                let c = 1.0 / (1.0 + t * t).sqrt();
+                let c = T::ONE / (T::ONE + t * t).sqrt();
                 let s = t * c;
 
                 // Update M = Jᵀ M J on rows/cols p and q.
@@ -94,9 +99,9 @@ pub fn sym_eig(a: &Matrix) -> SymEig {
 
     // Extract, sort descending, and canonicalize vector signs (largest-|entry|
     // component positive) so results are deterministic.
-    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (m[(i, i)], v.col(i))).collect();
+    let mut pairs: Vec<(T, Vec<T>)> = (0..n).map(|i| (m[(i, i)], v.col(i))).collect();
     pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN eigenvalue"));
-    let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let values: Vec<T> = pairs.iter().map(|p| p.0).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (j, (_, col)) in pairs.iter().enumerate() {
         let mut col = col.clone();
@@ -104,11 +109,11 @@ pub fn sym_eig(a: &Matrix) -> SymEig {
             .iter()
             .cloned()
             .fold(
-                (0.0f64, 0.0f64),
+                (T::ZERO, T::ZERO),
                 |(mx, val), x| if x.abs() > mx { (x.abs(), x) } else { (mx, val) },
             )
             .1;
-        if pivot < 0.0 {
+        if pivot < T::ZERO {
             for x in &mut col {
                 *x = -*x;
             }
@@ -179,7 +184,7 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        let e = sym_eig(&Matrix::zeros(0, 0));
+        let e = sym_eig(&Matrix::<f64>::zeros(0, 0));
         assert!(e.values.is_empty());
         let e1 = sym_eig(&Matrix::from_diag(&[7.0]));
         assert_eq!(e1.values, vec![7.0]);

@@ -27,6 +27,8 @@ use super::blocking::{Blocking, BlockingSource};
 use super::kernel::{self, MicroKernel};
 use super::packed;
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use std::mem::size_of;
 
 /// One timed candidate.
 #[derive(Debug, Clone, Copy)]
@@ -87,14 +89,15 @@ pub(crate) fn detect_caches() -> (usize, usize) {
 /// plus an MR-tall A strip stay within L1, `MC` so the packed A block
 /// fills a fraction of L2, plus neighbors of each — every candidate
 /// validated through [`Blocking::try_new`].
-pub(crate) fn candidate_grid(kern: &dyn MicroKernel) -> Vec<Blocking> {
+pub(crate) fn candidate_grid<T: Scalar>(kern: &dyn MicroKernel<T>) -> Vec<Blocking> {
     let (l1, l2) = detect_caches();
     let (mr, nr) = (kern.mr(), kern.nr());
-    // B strip (kc * nr) + A strip (kc * mr) + tile within L1 f64s.
-    let kc_l1 = (l1 / 8 / (mr + nr)).max(64).next_power_of_two() / 2 * 2;
+    // B strip (kc * nr) + A strip (kc * mr) + tile within L1 elements
+    // of the concrete dtype: an f32 strip fits twice the depth of f64.
+    let kc_l1 = (l1 / size_of::<T>() / (mr + nr)).max(64).next_power_of_two() / 2 * 2;
     // Packed A (mc * kc) targeting ~half of L2.
-    let mc_l2 = |kc: usize| ((l2 / 2 / 8 / kc.max(1)) / mr).max(1) * mr;
-    let mut kcs = vec![kc_l1 / 2, kc_l1, kc_l1 * 2, 256];
+    let mc_l2 = |kc: usize| ((l2 / 2 / size_of::<T>() / kc.max(1)) / mr).max(1) * mr;
+    let mut kcs = vec![kc_l1 / 2, kc_l1, kc_l1 * 2, super::blocking::default_kc::<T>()];
     kcs.sort_unstable();
     kcs.dedup();
     let mut out = Vec::new();
@@ -116,7 +119,12 @@ pub(crate) fn candidate_grid(kern: &dyn MicroKernel) -> Vec<Blocking> {
     out
 }
 
-fn time_candidate(kern: &dyn MicroKernel, blk: Blocking, a: &Matrix, b: &Matrix) -> f64 {
+fn time_candidate<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
+    blk: Blocking,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> f64 {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let flops = (2 * m * n * k) as f64;
     // One warm-up, then best of two timed reps (best-of filters scheduler
@@ -135,12 +143,14 @@ fn time_candidate(kern: &dyn MicroKernel, blk: Blocking, a: &Matrix, b: &Matrix)
 
 /// Time the candidate grid and return the winner plus the full table.
 /// Called through the blocking `OnceLock`, so at most once per process.
-pub(crate) fn tune_now(kern: &dyn MicroKernel) -> (Blocking, Vec<TuneSample>) {
+pub(crate) fn tune_now<T: Scalar>(kern: &dyn MicroKernel<T>) -> (Blocking, Vec<TuneSample>) {
     // Compute-bound but quick: ~448^3 keeps the whole sweep well under a
     // second per candidate pair at a few GFLOP/s.
     let dim = 448;
-    let a = Matrix::from_fn(dim, dim, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
-    let b = Matrix::from_fn(dim, dim, |i, j| ((i * 17 + j * 11) % 9) as f64 - 4.0);
+    let a =
+        Matrix::<T>::from_fn(dim, dim, |i, j| T::from_f64(((i * 31 + j * 7) % 13) as f64 - 6.0));
+    let b =
+        Matrix::<T>::from_fn(dim, dim, |i, j| T::from_f64(((i * 17 + j * 11) % 9) as f64 - 4.0));
     let mut samples = Vec::new();
     let mut winner = (Blocking::default_for(kern), 0.0f64);
     for blk in candidate_grid(kern) {
@@ -155,9 +165,10 @@ pub(crate) fn tune_now(kern: &dyn MicroKernel) -> (Blocking, Vec<TuneSample>) {
 }
 
 /// Serialize a tuned profile (`key=value`, one per line).
-fn serialize_profile(kern: &dyn MicroKernel, blk: Blocking) -> String {
+fn serialize_profile<T: Scalar>(kern: &dyn MicroKernel<T>, blk: Blocking) -> String {
     format!(
-        "# psvd gemm tuning profile\nkernel={}\nmr={}\nnr={}\nmc={}\nkc={}\nnc={}\n",
+        "# psvd gemm tuning profile\ndtype={}\nkernel={}\nmr={}\nnr={}\nmc={}\nkc={}\nnc={}\n",
+        T::NAME,
         kern.name(),
         kern.mr(),
         kern.nr(),
@@ -169,7 +180,7 @@ fn serialize_profile(kern: &dyn MicroKernel, blk: Blocking) -> String {
 
 /// Parse a profile; `None` on any malformation or kernel/tile mismatch
 /// (the caller re-tunes rather than trusting a stale file).
-fn parse_profile(text: &str, kern: &dyn MicroKernel) -> Option<Blocking> {
+fn parse_profile<T: Scalar>(text: &str, kern: &dyn MicroKernel<T>) -> Option<Blocking> {
     let mut kv = std::collections::HashMap::new();
     for line in text.lines() {
         let line = line.trim();
@@ -179,7 +190,7 @@ fn parse_profile(text: &str, kern: &dyn MicroKernel) -> Option<Blocking> {
         let (k, v) = line.split_once('=')?;
         kv.insert(k.trim(), v.trim());
     }
-    if *kv.get("kernel")? != kern.name() {
+    if *kv.get("dtype")? != T::NAME || *kv.get("kernel")? != kern.name() {
         return None;
     }
     let num = |key: &str| kv.get(key)?.parse::<usize>().ok();
@@ -192,7 +203,10 @@ fn parse_profile(text: &str, kern: &dyn MicroKernel) -> Option<Blocking> {
 /// `PSVD_GEMM_TUNE=<path>` resolution: load a valid profile, else tune
 /// and write the winner there (write failures are non-fatal — the tuned
 /// blocking is still installed for this process).
-pub(crate) fn load_or_tune(path: &str, kern: &dyn MicroKernel) -> (Blocking, BlockingSource) {
+pub(crate) fn load_or_tune<T: Scalar>(
+    path: &str,
+    kern: &dyn MicroKernel<T>,
+) -> (Blocking, BlockingSource) {
     if let Ok(text) = std::fs::read_to_string(path) {
         if let Some(blk) = parse_profile(&text, kern) {
             return (blk, BlockingSource::Profile);
@@ -212,12 +226,18 @@ pub(crate) fn load_or_tune(path: &str, kern: &dyn MicroKernel) -> (Blocking, Blo
 /// resolution is reported instead; the one-shot result is immutable, so
 /// call this before the first large GEMM for tuning to take effect.
 pub fn autotune() -> TuneReport {
-    let ((blocking, source), _ran) = super::blocking::resolve_by_tuning();
+    autotune_for::<f64>()
+}
+
+/// Dtype-specific [`autotune`]: resolves the process-wide blocking for
+/// `T`'s kernel registry. Each dtype has its own one-shot resolution.
+pub fn autotune_for<T: Scalar>() -> TuneReport {
+    let ((blocking, source), _ran) = super::blocking::resolve_by_tuning::<T>();
     let candidates = match source {
         BlockingSource::Tuned => LAST_SAMPLES.get().cloned().unwrap_or_default(),
         _ => Vec::new(),
     };
-    TuneReport { blocking, kernel: kernel::selected().name(), source, candidates }
+    TuneReport { blocking, kernel: kernel::selected::<T>().name(), source, candidates }
 }
 
 #[cfg(test)]
@@ -234,29 +254,35 @@ mod tests {
 
     #[test]
     fn candidate_grid_is_valid_and_nonempty() {
-        for kern in kernel::available() {
-            let grid = candidate_grid(*kern);
-            assert!(!grid.is_empty());
-            for blk in grid {
-                assert!(Blocking::try_new(blk.mc, blk.kc, blk.nc, *kern).is_ok());
+        fn probe<T: Scalar>() {
+            for kern in kernel::available::<T>() {
+                let grid = candidate_grid(*kern);
+                assert!(!grid.is_empty());
+                for blk in grid {
+                    assert!(Blocking::try_new(blk.mc, blk.kc, blk.nc, *kern).is_ok());
+                }
             }
         }
+        probe::<f64>();
+        probe::<f32>();
     }
 
     #[test]
     fn profile_roundtrips_and_rejects_mismatches() {
         let k = ScalarKernel;
-        let blk = Blocking::try_new(64, 128, 2048, &k).unwrap();
-        let text = serialize_profile(&k, blk);
-        assert_eq!(parse_profile(&text, &k), Some(blk));
+        let blk = Blocking::try_new::<f64>(64, 128, 2048, &k).unwrap();
+        let text = serialize_profile::<f64>(&k, blk);
+        assert_eq!(parse_profile::<f64>(&text, &k), Some(blk));
+        // A profile tuned for one dtype never applies to the other.
+        assert_eq!(parse_profile::<f32>(&text, &k), None);
         // Wrong kernel name.
-        assert_eq!(parse_profile(&text.replace("scalar", "fma"), &k), None);
+        assert_eq!(parse_profile::<f64>(&text.replace("scalar", "fma"), &k), None);
         // Tampered tile shape.
-        assert_eq!(parse_profile(&text.replace("mr=4", "mr=8"), &k), None);
+        assert_eq!(parse_profile::<f64>(&text.replace("mr=4", "mr=8"), &k), None);
         // Malformed values.
-        assert_eq!(parse_profile(&text.replace("kc=128", "kc=lots"), &k), None);
-        assert_eq!(parse_profile("", &k), None);
+        assert_eq!(parse_profile::<f64>(&text.replace("kc=128", "kc=lots"), &k), None);
+        assert_eq!(parse_profile::<f64>("", &k), None);
         // Invalid blocking for the kernel is rejected by validation.
-        assert_eq!(parse_profile(&text.replace("mc=64", "mc=66"), &k), None);
+        assert_eq!(parse_profile::<f64>(&text.replace("mc=64", "mc=66"), &k), None);
     }
 }

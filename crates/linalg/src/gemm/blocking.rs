@@ -5,43 +5,60 @@
 //! K-panels. The parameters are validated against the active micro-kernel
 //! ([`Blocking::try_new`]) — `MC` must be a multiple of its `mr` and `NC`
 //! of its `nr` so packed strips never straddle a block boundary — and
-//! resolved exactly once per process:
+//! resolved exactly once per process *per dtype* (the cells live in
+//! [`Scalar::gemm_cells`]):
 //!
 //! 1. `PSVD_GEMM_TUNE` unset / `0` / `off` — the static defaults
-//!    ([`Blocking::default_for`]). With the scalar kernel forced, this is
-//!    bit-for-bit the pre-SIMD engine.
+//!    ([`Blocking::default_for`]). With the scalar kernel forced at f64,
+//!    this is bit-for-bit the pre-SIMD engine.
 //! 2. `PSVD_GEMM_TUNE=1` / `on` — the one-shot autotuner runs at first
 //!    GEMM (or when [`crate::gemm::autotune`] is called explicitly) and
 //!    its winner is installed for the process lifetime.
 //! 3. `PSVD_GEMM_TUNE=<path>` — a serialized tuning profile is loaded
-//!    from `<path>` if present and consistent with the active kernel;
-//!    otherwise the autotuner runs and writes the winner there.
+//!    from `<path>` if present and consistent with the active kernel and
+//!    dtype; otherwise the autotuner runs and writes the winner there.
+//!
+//! Cache capacities are measured in **bytes**, so the defaults are keyed
+//! by element size: `KC` holds a constant K-panel byte footprint
+//! ([`DEFAULT_KC_BYTES`]), which lands on the historical 256 at f64 and
+//! 512 at f32 — twice the reduction depth in the same L1 working set.
 //!
 //! Only `KC` changes numerical results (each `C` element accumulates one
 //! rounded partial sum per K-panel), and only between processes resolved
 //! to different values: within a process the resolved triple is
 //! immutable, so the bitwise-determinism contract holds per (kernel,
-//! blocking, thread-count) with blocking fixed at resolution time. `MC`
-//! and `NC` only re-tile loops and never affect a single bit.
+//! blocking, thread-count, dtype) with blocking fixed at resolution
+//! time. `MC` and `NC` only re-tile loops and never affect a single bit.
 
-use std::sync::OnceLock;
+use crate::scalar::Scalar;
 
 use super::kernel::{self, MicroKernel};
 
 /// Default row-block height (multiple of every kernel's `mr`).
 pub(crate) const DEFAULT_MC: usize = 128;
-/// Default K-panel depth (the pre-SIMD engine's value; `KC` is the one
-/// parameter that affects rounding, so this default is load-bearing for
-/// scalar-kernel bitwise reproduction).
-pub(crate) const DEFAULT_KC: usize = 256;
+/// Default K-panel byte depth: `KC = DEFAULT_KC_BYTES / size_of::<T>()`.
+/// At f64 this is the pre-SIMD engine's 256 (`KC` is the one parameter
+/// that affects rounding, so that value is load-bearing for
+/// scalar-kernel bitwise reproduction); at f32 it is 512.
+pub(crate) const DEFAULT_KC_BYTES: usize = 2048;
 /// Default column-chunk width. Wider than every shape the SVD drivers
 /// produce, so by default the whole of `op(B)` is packed once per call —
 /// exactly the pre-SIMD engine's behavior.
 pub(crate) const DEFAULT_NC: usize = 4096;
 
-/// Upper bound on `mc * kc` (packed-A elements per thread): 16 MiB of
-/// f64. Guards against absurd autotune/profile values.
-const MAX_PACK_A_ELEMS: usize = 1 << 21;
+/// Upper bound on the packed-A bytes per thread (16 MiB). Guards against
+/// absurd autotune/profile values; the element cap follows the dtype.
+const MAX_PACK_A_BYTES: usize = 1 << 24;
+
+/// The default `KC` for dtype `T` (see [`DEFAULT_KC_BYTES`]).
+pub(crate) fn default_kc<T: Scalar>() -> usize {
+    DEFAULT_KC_BYTES / std::mem::size_of::<T>()
+}
+
+/// Upper bound on `mc * kc` in *elements* of `T`.
+pub(crate) fn max_pack_a_elems<T: Scalar>() -> usize {
+    MAX_PACK_A_BYTES / std::mem::size_of::<T>()
+}
 
 /// A validated `MC`/`KC`/`NC` cache-blocking triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +80,8 @@ pub enum BlockingError {
     McMisaligned { mc: usize, mr: usize, kernel: &'static str },
     /// `NC` is not a multiple of the kernel's `nr`.
     NcMisaligned { nc: usize, nr: usize, kernel: &'static str },
-    /// `mc * kc` exceeds the packed-A buffer cap.
+    /// `mc * kc` exceeds the packed-A buffer cap (in elements of the
+    /// dtype being validated).
     PackTooLarge { mc: usize, kc: usize, max_elems: usize },
 }
 
@@ -87,12 +105,13 @@ impl std::fmt::Display for BlockingError {
 impl std::error::Error for BlockingError {}
 
 impl Blocking {
-    /// Validate a blocking triple against a micro-kernel's tile shape.
-    pub fn try_new(
+    /// Validate a blocking triple against a micro-kernel's tile shape
+    /// (and the dtype's byte-based packed-A cap).
+    pub fn try_new<T: Scalar>(
         mc: usize,
         kc: usize,
         nc: usize,
-        kernel: &dyn MicroKernel,
+        kernel: &dyn MicroKernel<T>,
     ) -> Result<Self, BlockingError> {
         for (v, name) in [(mc, "MC"), (kc, "KC"), (nc, "NC")] {
             if v == 0 {
@@ -105,8 +124,9 @@ impl Blocking {
         if !nc.is_multiple_of(kernel.nr()) {
             return Err(BlockingError::NcMisaligned { nc, nr: kernel.nr(), kernel: kernel.name() });
         }
-        if mc.saturating_mul(kc) > MAX_PACK_A_ELEMS {
-            return Err(BlockingError::PackTooLarge { mc, kc, max_elems: MAX_PACK_A_ELEMS });
+        let max_elems = max_pack_a_elems::<T>();
+        if mc.saturating_mul(kc) > max_elems {
+            return Err(BlockingError::PackTooLarge { mc, kc, max_elems });
         }
         Ok(Blocking { mc, kc, nc })
     }
@@ -114,10 +134,11 @@ impl Blocking {
     /// The static defaults for a kernel: `MC` is [`DEFAULT_MC`] rounded
     /// down to the kernel's `mr` (exactly 128 for the scalar oracle, so
     /// the pre-SIMD engine's blocking is reproduced verbatim; `MC` never
-    /// affects bits in any case), `KC`/`NC` are the fixed defaults.
-    pub fn default_for(kernel: &dyn MicroKernel) -> Self {
+    /// affects bits in any case), `KC` holds a constant byte footprint
+    /// ([`default_kc`]), `NC` is the fixed default.
+    pub fn default_for<T: Scalar>(kernel: &dyn MicroKernel<T>) -> Self {
         let mc = (DEFAULT_MC / kernel.mr()).max(1) * kernel.mr();
-        Blocking::try_new(mc, DEFAULT_KC, DEFAULT_NC, kernel)
+        Blocking::try_new(mc, default_kc::<T>(), DEFAULT_NC, kernel)
             .expect("static defaults must be valid for every shipped kernel")
     }
 }
@@ -152,7 +173,7 @@ pub(crate) enum TuneMode {
 }
 
 pub(crate) fn tune_mode() -> &'static TuneMode {
-    static MODE: OnceLock<TuneMode> = OnceLock::new();
+    static MODE: std::sync::OnceLock<TuneMode> = std::sync::OnceLock::new();
     MODE.get_or_init(|| match std::env::var("PSVD_GEMM_TUNE") {
         Err(_) => TuneMode::Off,
         Ok(v) => {
@@ -171,17 +192,15 @@ pub(crate) fn tune_mode() -> &'static TuneMode {
     })
 }
 
-static RESOLVED: OnceLock<(Blocking, BlockingSource)> = OnceLock::new();
-
-/// The process-wide blocking, resolving it on first use per the module
-/// docs. Immutable once returned.
-pub(crate) fn resolved() -> Blocking {
-    resolved_with_source().0
+/// The process-wide blocking for dtype `T`, resolving it on first use per
+/// the module docs. Immutable once returned.
+pub(crate) fn resolved<T: Scalar>() -> Blocking {
+    resolved_with_source::<T>().0
 }
 
-pub(crate) fn resolved_with_source() -> (Blocking, BlockingSource) {
-    *RESOLVED.get_or_init(|| {
-        let kern = kernel::selected();
+pub(crate) fn resolved_with_source<T: Scalar>() -> (Blocking, BlockingSource) {
+    *T::gemm_cells().blocking.get_or_init(|| {
+        let kern = kernel::selected::<T>();
         match tune_mode() {
             TuneMode::Off => (Blocking::default_for(kern), BlockingSource::Default),
             TuneMode::InProcess => (super::autotune::tune_now(kern).0, BlockingSource::Tuned),
@@ -191,14 +210,15 @@ pub(crate) fn resolved_with_source() -> (Blocking, BlockingSource) {
 }
 
 /// Force resolution through the autotuner right now (ignoring an `Off`
-/// tune mode), unless blocking has already been resolved — the one-shot
-/// result is process-wide and immutable, so call this before the first
-/// large GEMM to take effect. Returns the resolution and whether this
-/// call performed it.
-pub(crate) fn resolve_by_tuning() -> ((Blocking, BlockingSource), bool) {
-    let already = RESOLVED.get().is_some();
-    let out = *RESOLVED.get_or_init(|| {
-        let kern = kernel::selected();
+/// tune mode), unless blocking has already been resolved for `T` — the
+/// one-shot result is process-wide and immutable, so call this before
+/// the first large GEMM to take effect. Returns the resolution and
+/// whether this call performed it.
+pub(crate) fn resolve_by_tuning<T: Scalar>() -> ((Blocking, BlockingSource), bool) {
+    let cell = &T::gemm_cells().blocking;
+    let already = cell.get().is_some();
+    let out = *cell.get_or_init(|| {
+        let kern = kernel::selected::<T>();
         match tune_mode() {
             TuneMode::Profile(path) => super::autotune::load_or_tune(path, kern),
             _ => (super::autotune::tune_now(kern).0, BlockingSource::Tuned),
@@ -214,33 +234,53 @@ mod tests {
 
     #[test]
     fn defaults_validate_for_every_kernel() {
-        for kern in kernel::available() {
+        for kern in kernel::available::<f64>() {
             let b = Blocking::default_for(*kern);
             assert_eq!(b.mc % kern.mr(), 0, "{}: MC not mr-aligned", kern.name());
             assert!(b.mc <= DEFAULT_MC && b.mc + kern.mr() > DEFAULT_MC);
-            assert_eq!((b.kc, b.nc), (DEFAULT_KC, DEFAULT_NC));
+            assert_eq!((b.kc, b.nc), (256, DEFAULT_NC));
         }
-        // The scalar oracle keeps the pre-SIMD engine's exact MC.
-        assert_eq!(Blocking::default_for(&ScalarKernel).mc, DEFAULT_MC);
+        for kern in kernel::available::<f32>() {
+            let b = Blocking::default_for(*kern);
+            assert_eq!(b.mc % kern.mr(), 0, "{}: MC not mr-aligned", kern.name());
+            assert_eq!(
+                (b.kc, b.nc),
+                (512, DEFAULT_NC),
+                "f32 K-panels are twice as deep in the same byte budget"
+            );
+        }
+        // The scalar oracle keeps the pre-SIMD engine's exact MC and KC.
+        let b = Blocking::default_for::<f64>(&ScalarKernel);
+        assert_eq!((b.mc, b.kc), (DEFAULT_MC, 256));
     }
 
     #[test]
     fn misaligned_mc_and_nc_are_rejected() {
         let k = ScalarKernel;
         assert_eq!(
-            Blocking::try_new(130, 256, 4096, &k),
+            Blocking::try_new::<f64>(130, 256, 4096, &k),
             Err(BlockingError::McMisaligned { mc: 130, mr: 4, kernel: "scalar" })
         );
         assert_eq!(
-            Blocking::try_new(128, 256, 4100, &k),
+            Blocking::try_new::<f64>(128, 256, 4100, &k),
             Err(BlockingError::NcMisaligned { nc: 4100, nr: 8, kernel: "scalar" })
         );
-        assert_eq!(Blocking::try_new(0, 256, 4096, &k), Err(BlockingError::Zero("MC")));
+        assert_eq!(Blocking::try_new::<f64>(0, 256, 4096, &k), Err(BlockingError::Zero("MC")));
         assert!(matches!(
-            Blocking::try_new(1 << 12, 1 << 12, 4096, &k),
+            Blocking::try_new::<f64>(1 << 12, 1 << 12, 4096, &k),
             Err(BlockingError::PackTooLarge { .. })
         ));
-        let err = Blocking::try_new(130, 256, 4096, &k).unwrap_err();
+        let err = Blocking::try_new::<f64>(130, 256, 4096, &k).unwrap_err();
         assert!(err.to_string().contains("MC = 130"));
+    }
+
+    #[test]
+    fn pack_cap_is_byte_based() {
+        let k = ScalarKernel;
+        // 1<<12 x 1<<10 elements: 32 MiB at f64 (rejected), 16 MiB at
+        // f32 (the boundary — accepted).
+        assert!(Blocking::try_new::<f64>(1 << 12, 1 << 10, 4096, &k).is_err());
+        assert!(Blocking::try_new::<f32>(1 << 12, 1 << 10, 4096, &k).is_ok());
+        assert_eq!(max_pack_a_elems::<f32>(), 2 * max_pack_a_elems::<f64>());
     }
 }

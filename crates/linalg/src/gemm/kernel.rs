@@ -2,45 +2,53 @@
 //!
 //! The packed engine's innermost computation is an `MR x NR` register-tile
 //! update. This module defines the [`MicroKernel`] trait that tile lives
-//! behind, the portable [`ScalarKernel`] (the bitwise determinism oracle —
-//! its floating-point op sequence is exactly the pre-SIMD engine's), and
-//! the process-wide selection logic:
+//! behind — generic over the sealed [`Scalar`] element type, `f64` by
+//! default — the portable [`ScalarKernel`] (the bitwise determinism oracle
+//! for *each* dtype — its floating-point op sequence is exactly the
+//! pre-SIMD engine's), and the per-dtype process-wide selection logic:
 //!
 //! 1. `PSVD_GEMM_KERNEL=<name>` forces a kernel by name (`scalar`, and on
-//!    x86_64 with the matching CPU features `avx2` / `fma`); an unknown or
-//!    unavailable name panics with the available list, so misconfigured
-//!    tests fail loudly instead of silently measuring the wrong kernel.
+//!    x86_64 with the matching CPU features `avx2` / `fma`; the names are
+//!    dtype-agnostic — at f32 they resolve to the double-width `_ps`
+//!    variants); an unknown or unavailable name panics with the available
+//!    list, so misconfigured tests fail loudly instead of silently
+//!    measuring the wrong kernel.
 //! 2. Otherwise the widest kernel the CPU supports is detected once at
 //!    first use (`fma` > `avx2` > `scalar` on x86_64; `scalar` elsewhere).
 //!
-//! Selection happens once per process and is immutable afterwards, which
-//! is what keeps the per-(kernel, blocking, thread-count) bitwise
-//! determinism contract meaningful: within a process, every GEMM sees the
-//! same kernel. Tests and benches that want a *different* kernel pass one
-//! explicitly via [`crate::gemm::packed::matmul_with`] and friends instead
-//! of mutating global state.
+//! Selection happens once per process *per dtype* (the registries live in
+//! [`Scalar::gemm_cells`] — Rust has no generic statics) and is immutable
+//! afterwards, which is what keeps the per-(kernel, blocking,
+//! thread-count, dtype) bitwise determinism contract meaningful: within a
+//! process, every GEMM at a given dtype sees the same kernel. Tests and
+//! benches that want a *different* kernel pass one explicitly via
+//! [`crate::gemm::packed::matmul_with`] and friends instead of mutating
+//! global state.
 //!
 //! ## Rounding classes
 //!
 //! Kernels whose per-element update is round(mul) then round(add) in
 //! ascending `k` ([`MicroKernel::fused`] `== false`) are **bitwise
-//! identical** to the scalar oracle — the AVX2 kernel is pure-SIMD data
-//! parallelism, not a reassociation. Fused kernels (`fma`) round once per
-//! multiply-add and therefore differ from the oracle at the last ulp;
-//! they are still bitwise deterministic across thread counts and shapes,
-//! just a distinct rounding class.
+//! identical** to the scalar oracle at the same dtype — the AVX2 kernels
+//! are pure-SIMD data parallelism, not a reassociation. Fused kernels
+//! (`fma`) round once per multiply-add and therefore differ from the
+//! oracle at the last ulp; they are still bitwise deterministic across
+//! thread counts and shapes, just a distinct rounding class. Rounding
+//! classes never mix across dtypes: an f32 kernel's results relate to the
+//! f32 oracle, not to any f64 path.
 
-use std::sync::OnceLock;
+use crate::scalar::Scalar;
 
 /// Hard upper bound on micro-tile rows any kernel may declare. The engine
 /// sizes its stack accumulator tile from these, so they are compile-time
 /// constants rather than per-kernel queries.
 pub const MAX_MR: usize = 8;
-/// Hard upper bound on micro-tile columns any kernel may declare.
-pub const MAX_NR: usize = 8;
+/// Hard upper bound on micro-tile columns any kernel may declare
+/// (16 admits the double-width f32 SIMD tiles).
+pub const MAX_NR: usize = 16;
 
 /// One register-tile micro-kernel: `acc += A-strip * B-strip` over a
-/// single K-panel.
+/// single K-panel, at element type `T`.
 ///
 /// `astrip` holds `kc` steps of `mr()` values (packed column-major within
 /// the strip: element `(ir, kk)` at `kk * mr + ir`), `bstrip` holds `kc`
@@ -48,9 +56,9 @@ pub const MAX_NR: usize = 8;
 /// row-major `mr() x nr()` accumulator tile. Every implementation must
 /// accumulate each `acc` element in ascending `kk` — that invariant (plus
 /// the engine never splitting K across threads) is what makes results a
-/// pure function of (kernel, blocking, shape), independent of thread
-/// count.
-pub trait MicroKernel: Sync {
+/// pure function of (kernel, blocking, shape, dtype), independent of
+/// thread count.
+pub trait MicroKernel<T: Scalar = f64>: Sync {
     /// Stable name used by `PSVD_GEMM_KERNEL`, test matrices and bench
     /// JSON.
     fn name(&self) -> &'static str;
@@ -63,7 +71,8 @@ pub trait MicroKernel: Sync {
     fn nr(&self) -> usize;
 
     /// True when the kernel contracts multiply-add into a single rounding
-    /// (FMA). Non-fused kernels are bitwise identical to [`ScalarKernel`].
+    /// (FMA). Non-fused kernels are bitwise identical to [`ScalarKernel`]
+    /// at the same dtype.
     fn fused(&self) -> bool {
         false
     }
@@ -71,7 +80,7 @@ pub trait MicroKernel: Sync {
     /// `acc += astrip * bstrip` over one K-panel of packed operands.
     /// `astrip.len() == kc * mr()`, `bstrip.len() == kc * nr()`,
     /// `acc.len() == mr() * nr()`.
-    fn run(&self, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]);
+    fn run(&self, astrip: &[T], bstrip: &[T], acc: &mut [T]);
 
     /// The same flop sequence as [`run`](MicroKernel::run), reading the A
     /// operand in place instead of from a packed strip: element
@@ -85,20 +94,14 @@ pub trait MicroKernel: Sync {
     /// `ap` must point to `mr()` full rows of at least `kc` readable
     /// elements at row stride `ars` (callers handle partial edge strips
     /// by packing instead).
-    unsafe fn run_strided(
-        &self,
-        kc: usize,
-        ap: *const f64,
-        ars: usize,
-        bstrip: &[f64],
-        acc: &mut [f64],
-    );
+    unsafe fn run_strided(&self, kc: usize, ap: *const T, ars: usize, bstrip: &[T], acc: &mut [T]);
 }
 
 /// The portable reference micro-kernel: a branch-free 4x8 tile whose
-/// fixed-trip loops LLVM unrolls and autovectorizes. Its per-element op
-/// sequence is exactly the pre-SIMD packed engine's, which makes it the
-/// determinism oracle every other kernel is validated against.
+/// fixed-trip loops LLVM unrolls and autovectorizes, implemented for both
+/// dtypes with the identical op sequence. Its per-element op sequence is
+/// exactly the pre-SIMD packed engine's, which makes it the determinism
+/// oracle every other kernel (of the same dtype) is validated against.
 pub struct ScalarKernel;
 
 /// Micro-tile rows of the scalar oracle.
@@ -106,7 +109,7 @@ pub const SCALAR_MR: usize = 4;
 /// Micro-tile columns of the scalar oracle.
 pub const SCALAR_NR: usize = 8;
 
-impl MicroKernel for ScalarKernel {
+impl<T: Scalar> MicroKernel<T> for ScalarKernel {
     fn name(&self) -> &'static str {
         "scalar"
     }
@@ -119,14 +122,14 @@ impl MicroKernel for ScalarKernel {
         SCALAR_NR
     }
 
-    fn run(&self, astrip: &[f64], bstrip: &[f64], acc: &mut [f64]) {
+    fn run(&self, astrip: &[T], bstrip: &[T], acc: &mut [T]) {
         debug_assert_eq!(astrip.len() % SCALAR_MR, 0);
         debug_assert_eq!(bstrip.len() % SCALAR_NR, 0);
         // Fixed-size tile on the stack so LLVM keeps the accumulators in
         // vector registers across the K loop (a slice-typed accumulator
         // defeats that). The copies are exact, so the op sequence per
         // element is unchanged.
-        let mut tile = [0.0f64; SCALAR_MR * SCALAR_NR];
+        let mut tile = [T::ZERO; SCALAR_MR * SCALAR_NR];
         tile.copy_from_slice(&acc[..SCALAR_MR * SCALAR_NR]);
         for (avals, bvals) in astrip.chunks_exact(SCALAR_MR).zip(bstrip.chunks_exact(SCALAR_NR)) {
             let (a0, a1, a2, a3) = (avals[0], avals[1], avals[2], avals[3]);
@@ -140,16 +143,9 @@ impl MicroKernel for ScalarKernel {
         acc[..SCALAR_MR * SCALAR_NR].copy_from_slice(&tile);
     }
 
-    unsafe fn run_strided(
-        &self,
-        kc: usize,
-        ap: *const f64,
-        ars: usize,
-        bstrip: &[f64],
-        acc: &mut [f64],
-    ) {
+    unsafe fn run_strided(&self, kc: usize, ap: *const T, ars: usize, bstrip: &[T], acc: &mut [T]) {
         debug_assert!(bstrip.len() >= kc * SCALAR_NR);
-        let mut tile = [0.0f64; SCALAR_MR * SCALAR_NR];
+        let mut tile = [T::ZERO; SCALAR_MR * SCALAR_NR];
         tile.copy_from_slice(&acc[..SCALAR_MR * SCALAR_NR]);
         for kk in 0..kc {
             let (a0, a1, a2, a3) =
@@ -168,58 +164,78 @@ impl MicroKernel for ScalarKernel {
 
 static SCALAR: ScalarKernel = ScalarKernel;
 
-/// Every micro-kernel this process can run, detection-ordered from
-/// portable to widest (`scalar` first, preferred kernel last). `scalar`
-/// is always present.
-pub fn available() -> &'static [&'static dyn MicroKernel] {
-    static AVAILABLE: OnceLock<Vec<&'static dyn MicroKernel>> = OnceLock::new();
-    AVAILABLE.get_or_init(|| {
-        #[allow(unused_mut)]
-        let mut list: Vec<&'static dyn MicroKernel> = vec![&SCALAR];
-        #[cfg(target_arch = "x86_64")]
-        {
-            if std::arch::is_x86_feature_detected!("avx2") {
-                list.push(&super::x86::AVX2);
-                if std::arch::is_x86_feature_detected!("fma") {
-                    list.push(&super::x86::FMA);
-                }
+/// Detect the f64 kernels this host can run (scalar first, widest last).
+pub(crate) fn detect_f64() -> Vec<&'static dyn MicroKernel<f64>> {
+    #[allow(unused_mut)]
+    let mut list: Vec<&'static dyn MicroKernel<f64>> = vec![&SCALAR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            list.push(&super::x86::AVX2);
+            if std::arch::is_x86_feature_detected!("fma") {
+                list.push(&super::x86::FMA);
             }
         }
-        list
-    })
+    }
+    list
 }
 
-/// Look a kernel up by its stable name, if available on this host.
-pub fn by_name(name: &str) -> Option<&'static dyn MicroKernel> {
-    available().iter().copied().find(|k| k.name() == name)
+/// Detect the f32 kernels this host can run (scalar first, widest last).
+/// The SIMD variants carry the same `name()`s as their f64 siblings but
+/// run 8-lane `_ps` tiles twice as wide.
+pub(crate) fn detect_f32() -> Vec<&'static dyn MicroKernel<f32>> {
+    #[allow(unused_mut)]
+    let mut list: Vec<&'static dyn MicroKernel<f32>> = vec![&SCALAR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            list.push(&super::x86::AVX2_F32);
+            if std::arch::is_x86_feature_detected!("fma") {
+                list.push(&super::x86::FMA_F32);
+            }
+        }
+    }
+    list
+}
+
+/// Every micro-kernel this process can run at dtype `T`, detection-ordered
+/// from portable to widest (`scalar` first, preferred kernel last).
+/// `scalar` is always present.
+pub fn available<T: Scalar>() -> &'static [&'static dyn MicroKernel<T>] {
+    T::gemm_cells().registry.get_or_init(T::detect_kernels).as_slice()
+}
+
+/// Look a kernel up by its stable name, if available on this host at `T`.
+pub fn by_name<T: Scalar>(name: &str) -> Option<&'static dyn MicroKernel<T>> {
+    available::<T>().iter().copied().find(|k| k.name() == name)
 }
 
 /// Resolve a kernel from an optional override string (the testable core
 /// of [`selected`]): `None` picks the widest available kernel; `Some`
 /// must name an available kernel exactly.
-pub(crate) fn choose(over: Option<&str>) -> Result<&'static dyn MicroKernel, String> {
+pub(crate) fn choose<T: Scalar>(over: Option<&str>) -> Result<&'static dyn MicroKernel<T>, String> {
     match over {
-        None => Ok(*available().last().expect("scalar kernel always present")),
+        None => Ok(*available::<T>().last().expect("scalar kernel always present")),
         Some(name) => {
             let name = name.trim();
-            by_name(name).ok_or_else(|| {
-                let names: Vec<&str> = available().iter().map(|k| k.name()).collect();
+            by_name::<T>(name).ok_or_else(|| {
+                let names: Vec<&str> = available::<T>().iter().map(|k| k.name()).collect();
                 format!(
-                    "PSVD_GEMM_KERNEL={name:?} is not available on this host; \
-                     available kernels: {names:?}"
+                    "PSVD_GEMM_KERNEL={name:?} is not available on this host at {}; \
+                     available kernels: {names:?}",
+                    T::NAME
                 )
             })
         }
     }
 }
 
-/// The process-wide micro-kernel, resolved once at first use from
-/// `PSVD_GEMM_KERNEL` or CPU-feature detection (see module docs).
-pub fn selected() -> &'static dyn MicroKernel {
-    static SELECTED: OnceLock<&'static dyn MicroKernel> = OnceLock::new();
-    *SELECTED.get_or_init(|| {
+/// The process-wide micro-kernel for dtype `T`, resolved once at first
+/// use from `PSVD_GEMM_KERNEL` or CPU-feature detection (see module docs).
+pub fn selected<T: Scalar>() -> &'static dyn MicroKernel<T> {
+    *T::gemm_cells().selected.get_or_init(|| {
         let over = std::env::var("PSVD_GEMM_KERNEL").ok().filter(|v| !v.trim().is_empty());
-        choose(over.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+        choose::<T>(over.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     })
 }
 
@@ -229,88 +245,139 @@ mod tests {
 
     #[test]
     fn scalar_is_always_available_and_first() {
-        let list = available();
-        assert!(!list.is_empty());
-        assert_eq!(list[0].name(), "scalar");
-        assert!(by_name("scalar").is_some());
+        fn probe<T: Scalar>() {
+            let list = available::<T>();
+            assert!(!list.is_empty());
+            assert_eq!(list[0].name(), "scalar");
+            assert!(by_name::<T>("scalar").is_some());
+        }
+        probe::<f64>();
+        probe::<f32>();
     }
 
     #[test]
     fn tile_bounds_hold_for_every_kernel() {
-        for k in available() {
-            assert!(k.mr() >= 1 && k.mr() <= MAX_MR, "{} mr out of range", k.name());
-            assert!(k.nr() >= 1 && k.nr() <= MAX_NR, "{} nr out of range", k.name());
+        fn probe<T: Scalar>() {
+            for k in available::<T>() {
+                assert!(k.mr() >= 1 && k.mr() <= MAX_MR, "{} mr out of range", k.name());
+                assert!(k.nr() >= 1 && k.nr() <= MAX_NR, "{} nr out of range", k.name());
+            }
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+
+    #[test]
+    fn f32_simd_tiles_are_twice_as_wide() {
+        for k64 in available::<f64>() {
+            let k32 = by_name::<f32>(k64.name())
+                .unwrap_or_else(|| panic!("{} missing at f32", k64.name()));
+            assert_eq!(k32.fused(), k64.fused(), "{}: rounding class differs", k64.name());
+            if k64.name() != "scalar" {
+                assert_eq!(k32.nr(), 2 * k64.nr(), "{}: f32 nr must double", k64.name());
+            }
         }
     }
 
     #[test]
     fn choose_rejects_unknown_names() {
-        let err = choose(Some("no-such-kernel")).err().expect("must be rejected");
+        let err = choose::<f64>(Some("no-such-kernel")).err().expect("must be rejected");
         assert!(err.contains("no-such-kernel"), "error should name the bad kernel: {err}");
         assert!(err.contains("scalar"), "error should list available kernels: {err}");
+        assert!(choose::<f32>(Some("no-such-kernel")).is_err());
     }
 
     #[test]
     fn choose_default_prefers_widest() {
-        let k = choose(None).unwrap();
-        assert_eq!(k.name(), available().last().unwrap().name());
+        fn probe<T: Scalar>() {
+            let k = choose::<T>(None).unwrap();
+            assert_eq!(k.name(), available::<T>().last().unwrap().name());
+        }
+        probe::<f64>();
+        probe::<f32>();
     }
 
     #[test]
     fn run_strided_bitwise_matches_run_packed() {
-        for kern in available() {
-            let (mr, nr) = (kern.mr(), kern.nr());
-            let kc = 37;
-            // A strip laid out as mr rows of a wider row-major buffer.
-            let ars = kc + 5;
-            let arows: Vec<f64> =
-                (0..mr * ars).map(|i| ((i * 13 % 97) as f64 * 0.31).sin()).collect();
-            let bstrip: Vec<f64> =
-                (0..kc * nr).map(|i| ((i * 7 % 89) as f64 * 0.17).cos()).collect();
-            // Pack the same A values into the strip layout run() expects.
-            let mut astrip = vec![0.0; kc * mr];
-            for kk in 0..kc {
-                for ir in 0..mr {
-                    astrip[kk * mr + ir] = arows[ir * ars + kk];
+        fn probe<T: Scalar>() {
+            for kern in available::<T>() {
+                let (mr, nr) = (kern.mr(), kern.nr());
+                let kc = 37;
+                // A strip laid out as mr rows of a wider row-major buffer.
+                let ars = kc + 5;
+                let arows: Vec<T> = (0..mr * ars)
+                    .map(|i| T::from_f64(((i * 13 % 97) as f64 * 0.31).sin()))
+                    .collect();
+                let bstrip: Vec<T> =
+                    (0..kc * nr).map(|i| T::from_f64(((i * 7 % 89) as f64 * 0.17).cos())).collect();
+                // Pack the same A values into the strip layout run() expects.
+                let mut astrip = vec![T::ZERO; kc * mr];
+                for kk in 0..kc {
+                    for ir in 0..mr {
+                        astrip[kk * mr + ir] = arows[ir * ars + kk];
+                    }
                 }
+                let mut acc_packed = vec![T::ZERO; mr * nr];
+                kern.run(&astrip, &bstrip, &mut acc_packed);
+                let mut acc_strided = vec![T::ZERO; mr * nr];
+                // SAFETY: arows holds mr rows of ars >= kc elements each.
+                unsafe { kern.run_strided(kc, arows.as_ptr(), ars, &bstrip, &mut acc_strided) };
+                assert_eq!(
+                    acc_packed,
+                    acc_strided,
+                    "{} ({}): strided A changed bits",
+                    kern.name(),
+                    T::NAME
+                );
             }
-            let mut acc_packed = vec![0.0; mr * nr];
-            kern.run(&astrip, &bstrip, &mut acc_packed);
-            let mut acc_strided = vec![0.0; mr * nr];
-            // SAFETY: arows holds mr rows of ars >= kc elements each.
-            unsafe { kern.run_strided(kc, arows.as_ptr(), ars, &bstrip, &mut acc_strided) };
-            assert_eq!(acc_packed, acc_strided, "{}: strided A changed bits", kern.name());
         }
+        probe::<f64>();
+        probe::<f32>();
     }
 
     #[test]
     fn non_fused_kernels_bitwise_match_scalar() {
-        let scalar = by_name("scalar").unwrap();
-        let kc = 41;
-        for kern in available().iter().filter(|k| !k.fused()) {
-            let (mr, nr) = (kern.mr(), kern.nr());
-            let astrip: Vec<f64> =
-                (0..kc * mr).map(|i| ((i * 11 % 83) as f64 * 0.23).sin()).collect();
-            let bstrip: Vec<f64> =
-                (0..kc * nr).map(|i| ((i * 5 % 79) as f64 * 0.19).cos()).collect();
-            let mut acc = vec![0.0; mr * nr];
-            kern.run(&astrip, &bstrip, &mut acc);
-            // Re-run element-wise through the scalar oracle's op order:
-            // each acc element is an independent ascending-k mul-then-add
-            // chain, so tiles of different shapes still compare 1:1.
-            let mut want = vec![0.0; mr * nr];
-            for kk in 0..kc {
-                for ir in 0..mr {
-                    for jr in 0..nr {
-                        want[ir * nr + jr] += astrip[kk * mr + ir] * bstrip[kk * nr + jr];
+        fn probe<T: Scalar>() {
+            let kc = 41;
+            for kern in available::<T>().iter().filter(|k| !k.fused()) {
+                let (mr, nr) = (kern.mr(), kern.nr());
+                let astrip: Vec<T> = (0..kc * mr)
+                    .map(|i| T::from_f64(((i * 11 % 83) as f64 * 0.23).sin()))
+                    .collect();
+                let bstrip: Vec<T> =
+                    (0..kc * nr).map(|i| T::from_f64(((i * 5 % 79) as f64 * 0.19).cos())).collect();
+                let mut acc = vec![T::ZERO; mr * nr];
+                kern.run(&astrip, &bstrip, &mut acc);
+                // Re-run element-wise through the scalar oracle's op order:
+                // each acc element is an independent ascending-k mul-then-add
+                // chain, so tiles of different shapes still compare 1:1.
+                let mut want = vec![T::ZERO; mr * nr];
+                for kk in 0..kc {
+                    for ir in 0..mr {
+                        for jr in 0..nr {
+                            want[ir * nr + jr] += astrip[kk * mr + ir] * bstrip[kk * nr + jr];
+                        }
                     }
                 }
+                assert_eq!(
+                    acc,
+                    want,
+                    "{} ({}): diverged from the scalar op order",
+                    kern.name(),
+                    T::NAME
+                );
             }
-            assert_eq!(acc, want, "{}: diverged from the scalar op order", kern.name());
+            // And the oracle itself agrees with the element-wise chain.
+            let scalar = by_name::<T>("scalar").unwrap();
+            let mut acc = vec![T::ZERO; scalar.mr() * scalar.nr()];
+            scalar.run(
+                &vec![T::from_f64(1.5); kc * SCALAR_MR],
+                &vec![T::from_f64(0.25); kc * SCALAR_NR],
+                &mut acc,
+            );
+            assert!(acc.iter().all(|&v| v == T::from_f64(1.5 * 0.25 * kc as f64)));
         }
-        // And the oracle itself agrees with the element-wise chain.
-        let mut acc = vec![0.0; scalar.mr() * scalar.nr()];
-        scalar.run(&vec![1.5; kc * 4], &vec![0.25; kc * 8], &mut acc);
-        assert!(acc.iter().all(|&v| v == 1.5 * 0.25 * kc as f64));
+        probe::<f64>();
+        probe::<f32>();
     }
 }

@@ -32,8 +32,8 @@
 //! matrices, projections); the packed engine absorbs transposition into
 //! its panel packing, so both layouts run the same micro-kernel.
 
-mod blocking;
-mod kernel;
+pub(crate) mod blocking;
+pub(crate) mod kernel;
 mod pack;
 mod tall_skinny;
 #[cfg(target_arch = "x86_64")]
@@ -43,7 +43,7 @@ pub mod autotune;
 pub mod packed;
 pub mod reference;
 
-pub use autotune::{autotune, TuneReport, TuneSample};
+pub use autotune::{autotune, autotune_for, TuneReport, TuneSample};
 pub use blocking::{Blocking, BlockingError, BlockingSource};
 pub use pack::{strip_layout, PackLayoutError};
 
@@ -58,11 +58,18 @@ pub mod kernels {
 
 /// The process-wide cache blocking and how it was obtained (resolving it
 /// on first use — see [`autotune`] and the `PSVD_GEMM_TUNE` modes).
+/// Each element dtype resolves its own blocking; this reports `f64`'s.
 pub fn current_blocking() -> (Blocking, BlockingSource) {
-    blocking::resolved_with_source()
+    blocking::resolved_with_source::<f64>()
+}
+
+/// [`current_blocking`] for a specific element dtype.
+pub fn current_blocking_for<T: Scalar>() -> (Blocking, BlockingSource) {
+    blocking::resolved_with_source::<T>()
 }
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 use crate::view::{MatView, MatViewMut};
 
 /// Flop count (`2mnk`) above which matrix-matrix products use the packed
@@ -74,7 +81,7 @@ const PAR_MIN_FLOPS: usize = 1 << 20;
 const PAR_MIN_MV_FLOPS: usize = 1 << 18;
 
 /// `C = A * B`.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -92,7 +99,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C = Aᵀ * B` without materializing `Aᵀ`.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul_tn<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
     if 2 * a.cols() * a.rows() * b.cols() >= PAR_MIN_FLOPS {
         packed::matmul_tn(a, b)
@@ -102,7 +109,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C = A * Bᵀ` without materializing `Bᵀ`.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul_nt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
     if 2 * a.rows() * a.cols() * b.rows() >= PAR_MIN_FLOPS {
         packed::matmul_nt(a, b)
@@ -112,7 +119,7 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `y = A * x`.
-pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+pub fn matvec<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
     if 2 * a.rows() * a.cols() >= PAR_MIN_MV_FLOPS {
         packed::matvec(a, x)
@@ -122,7 +129,7 @@ pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
 }
 
 /// `y = Aᵀ * x`.
-pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+pub fn matvec_t<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
     if 2 * a.rows() * a.cols() >= PAR_MIN_MV_FLOPS {
         packed::matvec_t(a, x)
@@ -133,7 +140,7 @@ pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
 
 /// The Gram matrix `AᵀA` (symmetric; only the upper triangle is computed,
 /// then mirrored, halving the flops of a general `AᵀB`).
-pub fn gram(a: &Matrix) -> Matrix {
+pub fn gram<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
     let mut g = Matrix::zeros(a.cols(), a.cols());
     gram_view_dispatch(a.view(), &mut g);
     g
@@ -151,7 +158,7 @@ pub fn gram(a: &Matrix) -> Matrix {
 // rejected at compile time.
 
 /// `C = A * B` written into `c`. Bitwise identical to [`matmul`].
-pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+pub fn matmul_into<T: Scalar>(a: MatView<'_, T>, b: MatView<'_, T>, c: &mut Matrix<T>) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -172,7 +179,7 @@ pub fn matmul_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
 
 /// `C = Aᵀ * B` written into `c` without materializing `Aᵀ`. Bitwise
 /// identical to [`matmul_tn`].
-pub fn matmul_tn_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+pub fn matmul_tn_into<T: Scalar>(a: MatView<'_, T>, b: MatView<'_, T>, c: &mut Matrix<T>) {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
     let at = a.transposed();
     c.reshape_zeroed(at.rows(), b.cols());
@@ -186,7 +193,7 @@ pub fn matmul_tn_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
 
 /// `C = A * Bᵀ` written into `c` without materializing `Bᵀ`. Bitwise
 /// identical to [`matmul_nt`].
-pub fn matmul_nt_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
+pub fn matmul_nt_into<T: Scalar>(a: MatView<'_, T>, b: MatView<'_, T>, c: &mut Matrix<T>) {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
     let bt = b.transposed();
     c.reshape_zeroed(a.rows(), bt.cols());
@@ -204,7 +211,7 @@ pub fn matmul_nt_into(a: MatView<'_>, b: MatView<'_>, c: &mut Matrix) {
 /// engines accumulate per output element in ascending `k`, so the tier
 /// dispatch (a pure function of the problem shape) keeps results bitwise
 /// deterministic across thread counts, exactly like [`matmul_into`].
-pub fn matmul_acc_into(a: MatView<'_>, b: MatView<'_>, c: &mut MatViewMut<'_>) {
+pub fn matmul_acc_into<T: Scalar>(a: MatView<'_, T>, b: MatView<'_, T>, c: &mut MatViewMut<'_, T>) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -229,11 +236,11 @@ pub fn matmul_acc_into(a: MatView<'_>, b: MatView<'_>, c: &mut MatViewMut<'_>) {
 }
 
 /// `G = AᵀA` written into `g`. Bitwise identical to [`gram`].
-pub fn gram_into(a: MatView<'_>, g: &mut Matrix) {
+pub fn gram_into<T: Scalar>(a: MatView<'_, T>, g: &mut Matrix<T>) {
     gram_view_dispatch(a, g);
 }
 
-fn gram_view_dispatch(a: MatView<'_>, g: &mut Matrix) {
+fn gram_view_dispatch<T: Scalar>(a: MatView<'_, T>, g: &mut Matrix<T>) {
     g.reshape_zeroed(a.cols(), a.cols());
     if a.rows() * a.cols() * a.cols() >= PAR_MIN_FLOPS {
         packed::gram_view(a, g.as_mut_slice());
@@ -351,7 +358,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions mismatch")]
     fn matmul_dim_mismatch_panics() {
-        let a = Matrix::zeros(2, 3);
+        let a = Matrix::<f64>::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         matmul(&a, &b);
     }
@@ -374,7 +381,7 @@ mod tests {
     #[test]
     fn packed_handles_degenerate_shapes() {
         // k = 0: the product is defined and identically zero.
-        let a = Matrix::zeros(4, 0);
+        let a = Matrix::<f64>::zeros(4, 0);
         let b = Matrix::zeros(0, 6);
         assert_eq!(packed::matmul(&a, &b), Matrix::zeros(4, 6));
         // Single row / single column operands.
@@ -461,7 +468,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions mismatch")]
     fn matmul_into_dim_mismatch_panics() {
-        let a = Matrix::zeros(2, 3);
+        let a = Matrix::<f64>::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         matmul_into(a.view(), b.view(), &mut Matrix::zeros(0, 0));
     }
@@ -519,8 +526,8 @@ mod tests {
         for &(m, k, n) in &[(13, 300, 21), (64, 256, 64), (65, 257, 9)] {
             let a = test_mat(m, k, 0.33);
             let b = test_mat(k, n, 0.71);
-            let want = panel_oracle(&a, &b, blocking::DEFAULT_KC);
-            for kern in kernels::available().iter().filter(|kern| !kern.fused()) {
+            let want = panel_oracle(&a, &b, blocking::default_kc::<f64>());
+            for kern in kernels::available::<f64>().iter().filter(|kern| !kern.fused()) {
                 let got = packed::matmul_with(*kern, &a, &b);
                 assert_eq!(got, want, "{} ({m},{k},{n}) moved bits off the oracle", kern.name());
             }
@@ -532,12 +539,69 @@ mod tests {
         let (m, k, n) = (65, 300, 33);
         let a = test_mat(m, k, 0.27);
         let b = test_mat(k, n, 0.81);
-        let want = panel_oracle(&a, &b, blocking::DEFAULT_KC);
-        for kern in kernels::available().iter().filter(|kern| kern.fused()) {
+        let want = panel_oracle(&a, &b, blocking::default_kc::<f64>());
+        for kern in kernels::available::<f64>().iter().filter(|kern| kern.fused()) {
             let got = packed::matmul_with(*kern, &a, &b);
             let diff = (&got - &want).max_abs();
             assert!(diff < 1e-12, "{} diverged by {diff}", kern.name());
         }
+    }
+
+    /// The same per-element op-order oracle at f32: non-fused f32
+    /// kernels must land on identical bits, panel depth and all.
+    fn panel_oracle_f32(a: &Matrix<f32>, b: &Matrix<f32>, kc: usize) -> Matrix<f32> {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Matrix::<f32>::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut tot = 0.0f32;
+                let mut kb = 0;
+                while kb < k {
+                    let kmax = (kb + kc).min(k);
+                    let mut p = 0.0f32;
+                    for kk in kb..kmax {
+                        p += a[(i, kk)] * b[(kk, j)];
+                    }
+                    tot += p;
+                    kb = kmax;
+                }
+                c[(i, j)] = tot;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn f32_non_fused_kernels_bitwise_match_panel_oracle() {
+        for &(m, k, n) in &[(13, 600, 21), (65, 513, 9)] {
+            let a = Matrix::<f32>::from_fn(m, k, |i, j| ((i * 31 + j * 17) as f32 * 0.33).sin());
+            let b = Matrix::<f32>::from_fn(k, n, |i, j| ((i * 31 + j * 17) as f32 * 0.71).sin());
+            let want = panel_oracle_f32(&a, &b, blocking::default_kc::<f32>());
+            for kern in kernels::available::<f32>().iter().filter(|kern| !kern.fused()) {
+                let got = packed::matmul_with(*kern, &a, &b);
+                assert_eq!(
+                    got,
+                    want,
+                    "{} f32 ({m},{k},{n}) moved bits off the oracle",
+                    kern.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_matmul_dispatch_matches_reference() {
+        let a = Matrix::<f32>::from_fn(137, 95, |i, j| ((i * 7 + j * 3) as f32 * 0.29).sin());
+        let b = Matrix::<f32>::from_fn(95, 71, |i, j| ((i * 5 + j * 11) as f32 * 0.53).sin());
+        let big = matmul(&a, &b);
+        let small = reference::matmul(&a, &b);
+        let mut worst = 0.0f32;
+        for i in 0..137 {
+            for j in 0..71 {
+                worst = worst.max((big[(i, j)] - small[(i, j)]).abs());
+            }
+        }
+        assert!(worst < 1e-3, "f32 packed vs reference diverged by {worst}");
     }
 
     #[test]
@@ -546,7 +610,7 @@ mod tests {
         // rows (2043 % mr != 0 for every kernel) and a strided operand.
         let a = test_mat(2043, 48, 0.19);
         let b = test_mat(48, 32, 0.57);
-        for kern in kernels::available() {
+        for kern in kernels::available::<f64>() {
             let blk = Blocking::default_for(*kern);
             assert!(tall_skinny::applies(*kern, a.rows(), a.cols(), b.cols()));
             let mut c_ts = Matrix::zeros(a.rows(), b.cols());
@@ -582,7 +646,7 @@ mod tests {
 
     #[test]
     fn tall_skinny_heuristic_catches_tsqr_shapes_only() {
-        for kern in kernels::available() {
+        for kern in kernels::available::<f64>() {
             // The regression shape from the bench suite.
             assert!(tall_skinny::applies(*kern, 65536, 64, 64));
             // TSQR panel products.
@@ -599,7 +663,7 @@ mod tests {
         // exercised, for every kernel on the host.
         let a = test_mat(2048, 48, 0.29);
         let b = test_mat(48, 32, 0.53);
-        for kern in kernels::available() {
+        for kern in kernels::available::<f64>() {
             par::set_num_threads(1);
             let baseline = packed::matmul_with(*kern, &a, &b);
             for threads in [2, 3, 8] {

@@ -15,6 +15,7 @@
 //! error; the packing routines turn it into an immediate panic with the
 //! full geometry in the message.
 
+use crate::scalar::Scalar;
 use crate::view::MatView;
 
 /// A packed-buffer strip whose length disagrees with its tile geometry.
@@ -67,13 +68,13 @@ pub fn strip_layout(
 /// `[j0, j0 + nr)` clipped to the view edge and zero-padded, into `dst`
 /// laid out `(kk, jr) -> kk * nr + jr`. `dst.len()` must be exactly
 /// `kc * nr` (checked, release builds included).
-pub(crate) fn pack_b_strip(
-    b: MatView<'_>,
+pub(crate) fn pack_b_strip<T: Scalar>(
+    b: MatView<'_, T>,
     kb: usize,
     kc: usize,
     j0: usize,
     nr: usize,
-    dst: &mut [f64],
+    dst: &mut [T],
 ) {
     strip_layout("B", kc, nr, dst.len()).unwrap_or_else(|e| panic!("{e}"));
     let jcount = nr.min(b.cols.saturating_sub(j0));
@@ -84,7 +85,7 @@ pub(crate) fn pack_b_strip(
             let row = &mut dst[kk * nr..(kk + 1) * nr];
             let src = (kb + kk) * b.rs + j0;
             row[..jcount].copy_from_slice(&b.data[src..src + jcount]);
-            row[jcount..].fill(0.0);
+            row[jcount..].fill(T::ZERO);
         }
     } else {
         for jr in 0..jcount {
@@ -94,7 +95,7 @@ pub(crate) fn pack_b_strip(
         }
         for jr in jcount..nr {
             for kk in 0..kc {
-                dst[kk * nr + jr] = 0.0;
+                dst[kk * nr + jr] = T::ZERO;
             }
         }
     }
@@ -105,14 +106,14 @@ pub(crate) fn pack_b_strip(
 /// zero-padded), columns `[kb, kb + kc)`, into `dst` laid out
 /// `(ir, kk) -> kk * mr + ir`. `dst.len()` must be exactly `kc * mr`
 /// (checked, release builds included).
-pub(crate) fn pack_a_strip(
-    a: MatView<'_>,
+pub(crate) fn pack_a_strip<T: Scalar>(
+    a: MatView<'_, T>,
     i0: usize,
     rows: usize,
     kb: usize,
     kc: usize,
     mr: usize,
-    dst: &mut [f64],
+    dst: &mut [T],
 ) {
     strip_layout("A", kc, mr, dst.len()).unwrap_or_else(|e| panic!("{e}"));
     debug_assert!(rows <= mr);
@@ -128,7 +129,7 @@ pub(crate) fn pack_a_strip(
         }
         for ir in rows..mr {
             for kk in 0..kc {
-                dst[kk * mr + ir] = 0.0;
+                dst[kk * mr + ir] = T::ZERO;
             }
         }
     } else {
@@ -137,7 +138,7 @@ pub(crate) fn pack_a_strip(
             for (ir, out) in step.iter_mut().take(rows).enumerate() {
                 *out = a.at(i0 + ir, kb + kk);
             }
-            step[rows..].fill(0.0);
+            step[rows..].fill(T::ZERO);
         }
     }
 }

@@ -37,6 +37,7 @@ use super::pack::{pack_a_strip, pack_b_strip};
 use super::tall_skinny;
 use crate::matrix::Matrix;
 use crate::par::{self, SendPtr};
+use crate::scalar::Scalar;
 use crate::view::MatView;
 
 /// `C += op(A) * op(B)` through the engine with the process-selected
@@ -44,19 +45,19 @@ use crate::view::MatView;
 /// (`ldc = n` for a dense output). `op(X)` is any strided [`MatView`] —
 /// normal, transposed or a sub-block; packing resolves the strides, after
 /// which every layout runs the same micro-kernel.
-pub(crate) fn gemm(a: MatView<'_>, b: MatView<'_>, c: &mut [f64], ldc: usize) {
-    gemm_with(kernel::selected(), blocking::resolved(), a, b, c, ldc)
+pub(crate) fn gemm<T: Scalar>(a: MatView<'_, T>, b: MatView<'_, T>, c: &mut [T], ldc: usize) {
+    gemm_with(kernel::selected::<T>(), blocking::resolved::<T>(), a, b, c, ldc)
 }
 
 /// [`gemm`] with the kernel and blocking pinned explicitly — the entry
 /// the autotuner times candidates through and the kernel-matrix tests
 /// drive every available kernel through.
-pub(crate) fn gemm_with(
-    kern: &dyn MicroKernel,
+pub(crate) fn gemm_with<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
     blk: Blocking,
-    a: MatView<'_>,
-    b: MatView<'_>,
-    c: &mut [f64],
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    c: &mut [T],
     ldc: usize,
 ) {
     let (m, k, n) = (a.rows, a.cols, b.cols);
@@ -76,12 +77,12 @@ pub(crate) fn gemm_with(
 /// The full `MC`/`KC`/`NC` blocked path (bitwise identical to the
 /// tall-skinny path at the same kernel and `KC`; exposed separately so
 /// tests can pin both paths on one shape).
-pub(crate) fn full_blocked(
-    kern: &dyn MicroKernel,
+pub(crate) fn full_blocked<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
     blk: Blocking,
-    a: MatView<'_>,
-    b: MatView<'_>,
-    c: &mut [f64],
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    c: &mut [T],
     ldc: usize,
 ) {
     let (m, k, n) = (a.rows, a.cols, b.cols);
@@ -101,7 +102,7 @@ pub(crate) fn full_blocked(
         // disjoint per jp, so the packing parallelizes over column
         // panels.
         let npj = ncw.div_ceil(nr);
-        let mut bpack = vec![0.0f64; k * npj * nr];
+        let mut bpack = vec![T::ZERO; k * npj * nr];
         {
             let bptr = SendPtr(bpack.as_mut_ptr());
             par::parallel_for(npj, 8, |jp0, jp1| {
@@ -143,12 +144,12 @@ pub(crate) fn full_blocked(
 /// One thread's share of a column chunk: rows `[r0, r1)` of `C` (`r0`
 /// mr-aligned), columns `[jc, jc + ncw)`.
 #[allow(clippy::too_many_arguments)]
-fn thread_body(
-    kern: &dyn MicroKernel,
+fn thread_body<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
     blk: Blocking,
-    a: MatView<'_>,
-    bpack: &[f64],
-    cptr: SendPtr,
+    a: MatView<'_, T>,
+    bpack: &[T],
+    cptr: SendPtr<T>,
     jc: usize,
     ncw: usize,
     ldc: usize,
@@ -158,8 +159,8 @@ fn thread_body(
 ) {
     let (mr, nr) = (kern.mr(), kern.nr());
     let k = a.cols;
-    let mut apack = vec![0.0f64; blk.mc * blk.kc];
-    let mut acc_buf = [0.0f64; MAX_MR * MAX_NR];
+    let mut apack = vec![T::ZERO; blk.mc * blk.kc];
+    let mut acc_buf = [T::ZERO; MAX_MR * MAX_NR];
     let acc = &mut acc_buf[..mr * nr];
     let mut kb = 0;
     // K-panels ascending: this ordering is what fixes each C element's
@@ -192,7 +193,7 @@ fn thread_body(
                 let jcount = nr.min(ncw - jp * nr);
                 for ip in 0..mstrips {
                     let i0 = mb + ip * mr;
-                    acc.fill(0.0);
+                    acc.fill(T::ZERO);
                     kern.run(&apack[ip * kc * mr..(ip + 1) * kc * mr], bstrip, acc);
                     let rows_here = mr.min(r1 - i0);
                     // SAFETY: rows [r0, r1) belong to this thread's
@@ -216,9 +217,9 @@ fn thread_body(
 /// threads) and `acc` must hold at least `rows * nr` elements.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-pub(crate) unsafe fn writeback(
-    cptr: SendPtr,
-    acc: &[f64],
+pub(crate) unsafe fn writeback<T: Scalar>(
+    cptr: SendPtr<T>,
+    acc: &[T],
     nr: usize,
     i0: usize,
     rows: usize,
@@ -236,18 +237,18 @@ pub(crate) unsafe fn writeback(
 }
 
 /// `C = A * B` through the packed engine regardless of size.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    matmul_with(kernel::selected(), a, b)
+pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    matmul_with(kernel::selected::<T>(), a, b)
 }
 
 /// `C = Aᵀ * B` through the packed engine regardless of size.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
-    matmul_tn_with(kernel::selected(), a, b)
+pub fn matmul_tn<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    matmul_tn_with(kernel::selected::<T>(), a, b)
 }
 
 /// `C = A * Bᵀ` through the packed engine regardless of size.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    matmul_nt_with(kernel::selected(), a, b)
+pub fn matmul_nt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    matmul_nt_with(kernel::selected::<T>(), a, b)
 }
 
 /// [`matmul`] with the micro-kernel pinned explicitly. This is the
@@ -257,14 +258,18 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 /// for the selected kernel); otherwise the kernel's own defaults — `MC`
 /// must be a multiple of the kernel `mr`, and a blocking resolved for a
 /// different tile shape need not be.
-pub fn matmul_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul_with<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
     matmul_with_blocking(kern, blocking_for(kern), a, b)
 }
 
 /// The process blocking when compatible with `kern`'s tile, else the
 /// kernel's defaults.
-fn blocking_for(kern: &dyn MicroKernel) -> Blocking {
-    let blk = blocking::resolved();
+fn blocking_for<T: Scalar>(kern: &dyn MicroKernel<T>) -> Blocking {
+    let blk = blocking::resolved::<T>();
     if blk.mc.is_multiple_of(kern.mr()) && blk.nc.is_multiple_of(kern.nr()) {
         blk
     } else {
@@ -273,12 +278,12 @@ fn blocking_for(kern: &dyn MicroKernel) -> Blocking {
 }
 
 /// [`matmul`] with both the micro-kernel and the blocking pinned.
-pub fn matmul_with_blocking(
-    kern: &dyn MicroKernel,
+pub fn matmul_with_blocking<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
     blk: Blocking,
-    a: &Matrix,
-    b: &Matrix,
-) -> Matrix {
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -295,7 +300,11 @@ pub fn matmul_with_blocking(
 }
 
 /// [`matmul_tn`] with the micro-kernel pinned explicitly.
-pub fn matmul_tn_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul_tn_with<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
     let mut c = Matrix::zeros(a.cols(), b.cols());
     let ldc = c.cols();
@@ -304,7 +313,11 @@ pub fn matmul_tn_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix 
 }
 
 /// [`matmul_nt`] with the micro-kernel pinned explicitly.
-pub fn matmul_nt_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul_nt_with<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
     let mut c = Matrix::zeros(a.rows(), b.rows());
     let ldc = c.cols();
@@ -325,7 +338,7 @@ pub fn matmul_nt_with(kern: &dyn MicroKernel, a: &Matrix, b: &Matrix) -> Matrix 
 /// ascending-`kk` accumulation order, so the result is bitwise equal
 /// to `reference::gram` at every thread count — and independent of the
 /// selected micro-kernel, which this path never touches.
-pub fn gram(a: &Matrix) -> Matrix {
+pub fn gram<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
     let mut g = Matrix::zeros(a.cols(), a.cols());
     gram_view(a.view(), g.as_mut_slice());
     g
@@ -336,7 +349,7 @@ pub fn gram(a: &Matrix) -> Matrix {
 /// `n*n`). Strided views take an indexed inner loop; the op sequence
 /// per element is unchanged, so results stay bitwise equal to
 /// `reference::gram` for any thread count and any strides.
-pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
+pub(crate) fn gram_view<T: Scalar>(a: MatView<'_, T>, g: &mut [T]) {
     let n = a.cols;
     let rows = a.rows;
     debug_assert_eq!(g.len(), n * n);
@@ -368,7 +381,7 @@ pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
                         let ri = row[i];
                         let grow = &mut gs[(i - i0) * n + i..(i - i0) * n + n];
                         for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
-                            *gv += ri * rv;
+                            *gv += ri * *rv;
                         }
                     }
                 } else {
@@ -393,14 +406,14 @@ pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
 /// `y = A * x`, rows partitioned across threads. Each `y[i]` is one
 /// serial dot product, so the result is identical to the reference
 /// kernel at any thread count.
-pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+pub fn matvec<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
     let m = a.rows();
-    let mut y = vec![0.0f64; m];
+    let mut y = vec![T::ZERO; m];
     let yptr = SendPtr(y.as_mut_ptr());
     par::parallel_for(m, 64, |i0, i1| {
         for i in i0..i1 {
-            let s: f64 = a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum();
+            let s: T = a.row(i).iter().zip(x).map(|(av, xv)| *av * *xv).sum();
             // SAFETY: rows [i0, i1) are this thread's disjoint range.
             unsafe { *yptr.get().add(i) = s };
         }
@@ -412,10 +425,10 @@ pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
 /// thread sweeps all rows of its column slice in ascending row order —
 /// the exact accumulation order of the reference kernel — so no
 /// reduction is split and results match bitwise at any thread count.
-pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+pub fn matvec_t<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
     let n = a.cols();
-    let mut y = vec![0.0f64; n];
+    let mut y = vec![T::ZERO; n];
     let yptr = SendPtr(y.as_mut_ptr());
     par::parallel_for(n, 64, |j0, j1| {
         // SAFETY: columns [j0, j1) are this thread's disjoint range,
@@ -425,7 +438,7 @@ pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
         for (i, &xi) in x.iter().enumerate() {
             let arow = &a.row(i)[j0..j1];
             for (yv, av) in ys.iter_mut().zip(arow) {
-                *yv += av * xi;
+                *yv += *av * xi;
             }
         }
     });

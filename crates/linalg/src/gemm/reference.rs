@@ -4,6 +4,7 @@
 //! their flop sequence per output element is obvious from the source.
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 use crate::view::MatView;
 
 /// Cache block edge for the blocked kernels.
@@ -17,7 +18,7 @@ const BLOCK: usize = 64;
 /// `k` from zero), so this single kernel is bitwise identical to every
 /// one of them — strides decide only where operands are *read* and
 /// *written*, never the op order.
-pub(crate) fn gemm_view(a: MatView<'_>, b: MatView<'_>, c: &mut [f64], ldc: usize) {
+pub(crate) fn gemm_view<T: Scalar>(a: MatView<'_, T>, b: MatView<'_, T>, c: &mut [T], ldc: usize) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     debug_assert_eq!(k, b.rows());
     debug_assert!(ldc >= n);
@@ -36,7 +37,7 @@ pub(crate) fn gemm_view(a: MatView<'_>, b: MatView<'_>, c: &mut [f64], ldc: usiz
                             let off = kk * b.rs;
                             let brow = &b.data[off + jb..off + jmax];
                             for (cv, bv) in crow.iter_mut().zip(brow) {
-                                *cv += aik * bv;
+                                *cv += aik * *bv;
                             }
                         } else {
                             for (cv, j) in crow.iter_mut().zip(jb..jmax) {
@@ -53,7 +54,7 @@ pub(crate) fn gemm_view(a: MatView<'_>, b: MatView<'_>, c: &mut [f64], ldc: usiz
 /// `G = AᵀA` of a strided view into `g` (length `n*n`): the rank-1
 /// upper-triangle sweep of [`gram`], generalized to views, with the
 /// identical ascending-`kk` accumulation order.
-pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
+pub(crate) fn gram_view<T: Scalar>(a: MatView<'_, T>, g: &mut [T]) {
     let n = a.cols();
     debug_assert_eq!(g.len(), n * n);
     for kk in 0..a.rows() {
@@ -63,7 +64,7 @@ pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
                 let ri = row[i];
                 let grow = &mut g[i * n + i..(i + 1) * n];
                 for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
-                    *gv += ri * rv;
+                    *gv += ri * *rv;
                 }
             }
         } else {
@@ -84,7 +85,7 @@ pub(crate) fn gram_view(a: MatView<'_>, g: &mut [f64]) {
 }
 
 /// `C = A * B`.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -113,7 +114,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
                         let brow = &bd[kk * n + jb..kk * n + jmax];
                         let crow = &mut cd[i * n + jb..i * n + jmax];
                         for (cv, bv) in crow.iter_mut().zip(brow) {
-                            *cv += aik * bv;
+                            *cv += aik * *bv;
                         }
                     }
                 }
@@ -124,7 +125,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C = Aᵀ * B` without materializing `Aᵀ`.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul_tn<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: row counts must match");
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Matrix::zeros(m, n);
@@ -137,7 +138,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         for (i, &aki) in arow.iter().enumerate() {
             let crow = &mut cd[i * n..(i + 1) * n];
             for (cv, bv) in crow.iter_mut().zip(brow) {
-                *cv += aki * bv;
+                *cv += aki * *bv;
             }
         }
     }
@@ -145,7 +146,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C = A * Bᵀ` without materializing `Bᵀ`.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn matmul_nt<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: column counts must match");
     let (m, n) = (a.rows(), b.rows());
     let mut c = Matrix::zeros(m, n);
@@ -153,9 +154,9 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
         let arow = a.row(i);
         for j in 0..n {
             let brow = b.row(j);
-            let mut s = 0.0;
+            let mut s = T::ZERO;
             for (av, bv) in arow.iter().zip(brow) {
-                s += av * bv;
+                s += *av * *bv;
             }
             c[(i, j)] = s;
         }
@@ -164,18 +165,18 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `y = A * x`.
-pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+pub fn matvec<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
-    (0..a.rows()).map(|i| a.row(i).iter().zip(x).map(|(av, xv)| av * xv).sum()).collect()
+    (0..a.rows()).map(|i| a.row(i).iter().zip(x).map(|(av, xv)| *av * *xv).sum()).collect()
 }
 
 /// `y = Aᵀ * x`.
-pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+pub fn matvec_t<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Vec<T> {
     assert_eq!(a.rows(), x.len(), "matvec_t: dimension mismatch");
-    let mut y = vec![0.0; a.cols()];
+    let mut y = vec![T::ZERO; a.cols()];
     for (i, &xi) in x.iter().enumerate() {
         for (yv, av) in y.iter_mut().zip(a.row(i)) {
-            *yv += av * xi;
+            *yv += *av * xi;
         }
     }
     y
@@ -183,7 +184,7 @@ pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
 
 /// The Gram matrix `AᵀA`: rank-1 updates over the upper triangle only,
 /// mirrored at the end (half the flops of a general `AᵀB`).
-pub fn gram(a: &Matrix) -> Matrix {
+pub fn gram<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
     let n = a.cols();
     let mut g = Matrix::zeros(n, n);
     let gd = g.as_mut_slice();
@@ -193,7 +194,7 @@ pub fn gram(a: &Matrix) -> Matrix {
             let ri = row[i];
             let grow = &mut gd[i * n + i..(i + 1) * n];
             for (gv, rv) in grow.iter_mut().zip(&row[i..]) {
-                *gv += ri * rv;
+                *gv += ri * *rv;
             }
         }
     }

@@ -30,13 +30,14 @@ use super::kernel::{MicroKernel, MAX_MR, MAX_NR};
 use super::pack::{pack_a_strip, pack_b_strip};
 use super::packed::writeback;
 use crate::par::{self, SendPtr};
+use crate::scalar::Scalar;
 use crate::view::MatView;
 
 /// Should `m x k * k x n` take the tall-skinny path? True when the packed
 /// `op(B)` panel set stays cache-resident (small `n` and `k * n`) and `m`
 /// dominates enough that the full path's extra pass over `op(A)` is the
 /// cost that matters.
-pub(crate) fn applies(kern: &dyn MicroKernel, m: usize, k: usize, n: usize) -> bool {
+pub(crate) fn applies<T: Scalar>(kern: &dyn MicroKernel<T>, m: usize, k: usize, n: usize) -> bool {
     let nr = kern.nr();
     // n small enough that B strips stay few; k*n bounded so all packed
     // panels of B sit in L2 (~256 KiB of f64); m at least an order of
@@ -46,12 +47,12 @@ pub(crate) fn applies(kern: &dyn MicroKernel, m: usize, k: usize, n: usize) -> b
 
 /// `C += op(A) * op(B)` for tall-skinny shapes, with the accumulation
 /// order of the full blocked path at panel depth `kc_max`.
-pub(crate) fn gemm(
-    kern: &dyn MicroKernel,
+pub(crate) fn gemm<T: Scalar>(
+    kern: &dyn MicroKernel<T>,
     kc_max: usize,
-    a: MatView<'_>,
-    b: MatView<'_>,
-    c: &mut [f64],
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    c: &mut [T],
     ldc: usize,
 ) {
     let (m, k, n) = (a.rows, a.cols, b.cols);
@@ -59,7 +60,7 @@ pub(crate) fn gemm(
     // Pack all of op(B) serially — it is tiny here — into the same
     // panel-major strip layout the full path uses.
     let npj = n.div_ceil(nr);
-    let mut bpack = vec![0.0f64; k * npj * nr];
+    let mut bpack = vec![T::ZERO; k * npj * nr];
     {
         let mut kb = 0;
         while kb < k {
@@ -81,10 +82,10 @@ pub(crate) fn gemm(
         if r0 >= r1 {
             return;
         }
-        let mut acc_buf = [0.0f64; MAX_MR * MAX_NR];
+        let mut acc_buf = [T::ZERO; MAX_MR * MAX_NR];
         let acc = &mut acc_buf[..mr * nr];
         // Lazily sized: only edge/strided strips ever pack.
-        let mut apack: Vec<f64> = Vec::new();
+        let mut apack: Vec<T> = Vec::new();
         let mut i0 = r0;
         while i0 < r1 {
             let rows_here = mr.min(r1 - i0);
@@ -94,12 +95,12 @@ pub(crate) fn gemm(
                 let kc = kc_max.min(k - kb);
                 let panel_base = kb * npj * nr;
                 if !direct {
-                    apack.resize(kc * mr, 0.0);
+                    apack.resize(kc * mr, T::ZERO);
                     pack_a_strip(a, i0, rows_here, kb, kc, mr, &mut apack[..kc * mr]);
                 }
                 for jp in 0..npj {
                     let bstrip = &bp[panel_base + jp * kc * nr..panel_base + (jp + 1) * kc * nr];
-                    acc.fill(0.0);
+                    acc.fill(T::ZERO);
                     if direct {
                         // SAFETY: rows [i0, i0 + mr) x cols [kb, kb + kc)
                         // are in-bounds of the row-major `a`, and the

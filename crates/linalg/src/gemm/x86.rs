@@ -1,21 +1,27 @@
 //! Explicitly vectorized x86_64 micro-kernels (`std::arch` intrinsics).
 //!
-//! Two kernels behind [`MicroKernel`]:
+//! Four kernels behind [`MicroKernel`], two per dtype:
 //!
-//! * [`AVX2`] — a 4x8 tile of `_mm256_mul_pd` + `_mm256_add_pd`. Pure data
-//!   parallelism over the scalar oracle's op sequence (same two roundings
-//!   per update, same ascending-k order), so its results are **bitwise
-//!   identical** to the scalar kernel — useful both as a faster drop-in
-//!   where FMA is absent and as evidence that vectorization itself never
-//!   moves a bit.
-//! * [`FMA`] — a 6x8 tile of `_mm256_fmadd_pd`: 12 ymm accumulators plus
-//!   the two B vectors and one rotating A broadcast exactly fill the
+//! * [`AVX2`] (f64) — a 4x8 tile of `_mm256_mul_pd` + `_mm256_add_pd`.
+//!   Pure data parallelism over the scalar oracle's op sequence (same two
+//!   roundings per update, same ascending-k order), so its results are
+//!   **bitwise identical** to the scalar kernel — useful both as a faster
+//!   drop-in where FMA is absent and as evidence that vectorization
+//!   itself never moves a bit.
+//! * [`FMA`] (f64) — a 6x8 tile of `_mm256_fmadd_pd`: 12 ymm accumulators
+//!   plus the two B vectors and one rotating A broadcast exactly fill the
 //!   16-register budget with nothing spilled (the classic Haswell DGEMM
 //!   shape); the single-rounded fused update doubles peak flops but is a
 //!   distinct rounding class (`fused() == true`), last-ulp different from
 //!   the oracle.
+//! * [`AVX2_F32`] / [`FMA_F32`] — the same two tile shapes at f32 with
+//!   the column dimension doubled (4x16 and 6x16): a 256-bit ymm holds 8
+//!   single-precision lanes instead of 4, so the same 12-accumulator
+//!   register budget covers twice the tile area and twice the flops per
+//!   cycle. Same rounding-class split: the f32 AVX2 kernel is bitwise
+//!   identical to the f32 scalar oracle, the f32 FMA kernel is fused.
 //!
-//! Both kernels implement the strided-A entry by broadcasting straight
+//! All kernels implement the strided-A entry by broadcasting straight
 //! from the row-major operand, which is what lets the tall-skinny path
 //! skip A packing without changing a bit: broadcast-from-memory reads the
 //! same values the packed strip would hold, and the flop order is
@@ -29,23 +35,29 @@
 //! slice/pointer geometry.
 
 use std::arch::x86_64::{
-    __m256d, _mm256_add_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
-    _mm256_storeu_pd,
+    __m256, __m256d, _mm256_add_pd, _mm256_add_ps, _mm256_fmadd_pd, _mm256_fmadd_ps,
+    _mm256_loadu_pd, _mm256_loadu_ps, _mm256_mul_pd, _mm256_mul_ps, _mm256_set1_pd, _mm256_set1_ps,
+    _mm256_storeu_pd, _mm256_storeu_ps,
 };
 
 use super::kernel::MicroKernel;
 
-/// The 4x8 AVX2 multiply-add kernel (bitwise equal to `scalar`).
+/// The 4x8 AVX2 f64 multiply-add kernel (bitwise equal to `scalar`).
 pub(crate) static AVX2: Avx2Kernel = Avx2Kernel;
-/// The 6x8 FMA kernel (fused rounding class).
+/// The 6x8 FMA f64 kernel (fused rounding class).
 pub(crate) static FMA: FmaKernel = FmaKernel;
+/// The 4x16 AVX2 f32 multiply-add kernel (bitwise equal to the f32
+/// `scalar` oracle).
+pub(crate) static AVX2_F32: Avx2KernelF32 = Avx2KernelF32;
+/// The 6x16 FMA f32 kernel (fused rounding class).
+pub(crate) static FMA_F32: FmaKernelF32 = FmaKernelF32;
 
 pub(crate) struct Avx2Kernel;
 
 const AVX2_MR: usize = 4;
 const AVX2_NR: usize = 8;
 
-impl MicroKernel for Avx2Kernel {
+impl MicroKernel<f64> for Avx2Kernel {
     fn name(&self) -> &'static str {
         "avx2"
     }
@@ -83,7 +95,7 @@ pub(crate) struct FmaKernel;
 const FMA_MR: usize = 6;
 const FMA_NR: usize = 8;
 
-impl MicroKernel for FmaKernel {
+impl MicroKernel<f64> for FmaKernel {
     fn name(&self) -> &'static str {
         "fma"
     }
@@ -119,7 +131,85 @@ impl MicroKernel for FmaKernel {
     }
 }
 
-/// Load / store helpers for an `ROWS x 8` accumulator tile held as
+pub(crate) struct Avx2KernelF32;
+
+const AVX2_F32_MR: usize = 4;
+const AVX2_F32_NR: usize = 16;
+
+impl MicroKernel<f32> for Avx2KernelF32 {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn mr(&self) -> usize {
+        AVX2_F32_MR
+    }
+
+    fn nr(&self) -> usize {
+        AVX2_F32_NR
+    }
+
+    fn run(&self, astrip: &[f32], bstrip: &[f32], acc: &mut [f32]) {
+        // SAFETY: only reachable once AVX2 detection has passed.
+        unsafe { avx2_4x16(astrip, bstrip, acc) }
+    }
+
+    unsafe fn run_strided(
+        &self,
+        kc: usize,
+        ap: *const f32,
+        ars: usize,
+        bstrip: &[f32],
+        acc: &mut [f32],
+    ) {
+        // SAFETY: feature detection as above; pointer geometry is the
+        // caller's contract.
+        unsafe { avx2_4x16_strided(kc, ap, ars, bstrip, acc) }
+    }
+}
+
+pub(crate) struct FmaKernelF32;
+
+const FMA_F32_MR: usize = 6;
+const FMA_F32_NR: usize = 16;
+
+impl MicroKernel<f32> for FmaKernelF32 {
+    fn name(&self) -> &'static str {
+        "fma"
+    }
+
+    fn mr(&self) -> usize {
+        FMA_F32_MR
+    }
+
+    fn nr(&self) -> usize {
+        FMA_F32_NR
+    }
+
+    fn fused(&self) -> bool {
+        true
+    }
+
+    fn run(&self, astrip: &[f32], bstrip: &[f32], acc: &mut [f32]) {
+        // SAFETY: only reachable once AVX2+FMA detection has passed.
+        unsafe { fma_6x16(astrip, bstrip, acc) }
+    }
+
+    unsafe fn run_strided(
+        &self,
+        kc: usize,
+        ap: *const f32,
+        ars: usize,
+        bstrip: &[f32],
+        acc: &mut [f32],
+    ) {
+        // SAFETY: feature detection as above; pointer geometry is the
+        // caller's contract.
+        unsafe { fma_6x16_strided(kc, ap, ars, bstrip, acc) }
+    }
+}
+
+/// Load / store helpers for an `ROWS x 8` f64 accumulator tile held as
 /// `[[__m256d; 2]; ROWS]`.
 #[inline]
 unsafe fn load_tile<const ROWS: usize>(acc: &[f64]) -> [[__m256d; 2]; ROWS] {
@@ -137,6 +227,28 @@ unsafe fn store_tile<const ROWS: usize>(c: &[[__m256d; 2]; ROWS], acc: &mut [f64
     for (ir, row) in c.iter().enumerate() {
         _mm256_storeu_pd(acc.as_mut_ptr().add(ir * 8), row[0]);
         _mm256_storeu_pd(acc.as_mut_ptr().add(ir * 8 + 4), row[1]);
+    }
+}
+
+/// Load / store helpers for an `ROWS x 16` f32 accumulator tile held as
+/// `[[__m256; 2]; ROWS]` — same two-vector shape as the f64 tile, twice
+/// the lanes.
+#[inline]
+unsafe fn load_tile_f32<const ROWS: usize>(acc: &[f32]) -> [[__m256; 2]; ROWS] {
+    debug_assert!(acc.len() >= ROWS * 16);
+    let mut c = [[_mm256_set1_ps(0.0); 2]; ROWS];
+    for (ir, row) in c.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_ps(acc.as_ptr().add(ir * 16));
+        row[1] = _mm256_loadu_ps(acc.as_ptr().add(ir * 16 + 8));
+    }
+    c
+}
+
+#[inline]
+unsafe fn store_tile_f32<const ROWS: usize>(c: &[[__m256; 2]; ROWS], acc: &mut [f32]) {
+    for (ir, row) in c.iter().enumerate() {
+        _mm256_storeu_ps(acc.as_mut_ptr().add(ir * 16), row[0]);
+        _mm256_storeu_ps(acc.as_mut_ptr().add(ir * 16 + 8), row[1]);
     }
 }
 
@@ -200,4 +312,72 @@ unsafe fn fma_6x8_strided(kc: usize, ap: *const f64, ars: usize, bstrip: &[f64],
         }
     }
     store_tile(&c, acc);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_4x16(astrip: &[f32], bstrip: &[f32], acc: &mut [f32]) {
+    let mut c = load_tile_f32::<AVX2_F32_MR>(acc);
+    for (avals, bvals) in astrip.chunks_exact(AVX2_F32_MR).zip(bstrip.chunks_exact(AVX2_F32_NR)) {
+        let b0 = _mm256_loadu_ps(bvals.as_ptr());
+        let b1 = _mm256_loadu_ps(bvals.as_ptr().add(8));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_ps(avals[ir]);
+            row[0] = _mm256_add_ps(row[0], _mm256_mul_ps(ai, b0));
+            row[1] = _mm256_add_ps(row[1], _mm256_mul_ps(ai, b1));
+        }
+    }
+    store_tile_f32(&c, acc);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_4x16_strided(
+    kc: usize,
+    ap: *const f32,
+    ars: usize,
+    bstrip: &[f32],
+    acc: &mut [f32],
+) {
+    debug_assert!(bstrip.len() >= kc * AVX2_F32_NR);
+    let mut c = load_tile_f32::<AVX2_F32_MR>(acc);
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(bstrip.as_ptr().add(kk * AVX2_F32_NR));
+        let b1 = _mm256_loadu_ps(bstrip.as_ptr().add(kk * AVX2_F32_NR + 8));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_ps(*ap.add(ir * ars + kk));
+            row[0] = _mm256_add_ps(row[0], _mm256_mul_ps(ai, b0));
+            row[1] = _mm256_add_ps(row[1], _mm256_mul_ps(ai, b1));
+        }
+    }
+    store_tile_f32(&c, acc);
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fma_6x16(astrip: &[f32], bstrip: &[f32], acc: &mut [f32]) {
+    let mut c = load_tile_f32::<FMA_F32_MR>(acc);
+    for (avals, bvals) in astrip.chunks_exact(FMA_F32_MR).zip(bstrip.chunks_exact(FMA_F32_NR)) {
+        let b0 = _mm256_loadu_ps(bvals.as_ptr());
+        let b1 = _mm256_loadu_ps(bvals.as_ptr().add(8));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_ps(avals[ir]);
+            row[0] = _mm256_fmadd_ps(ai, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(ai, b1, row[1]);
+        }
+    }
+    store_tile_f32(&c, acc);
+}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn fma_6x16_strided(kc: usize, ap: *const f32, ars: usize, bstrip: &[f32], acc: &mut [f32]) {
+    debug_assert!(bstrip.len() >= kc * FMA_F32_NR);
+    let mut c = load_tile_f32::<FMA_F32_MR>(acc);
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(bstrip.as_ptr().add(kk * FMA_F32_NR));
+        let b1 = _mm256_loadu_ps(bstrip.as_ptr().add(kk * FMA_F32_NR + 8));
+        for (ir, row) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_ps(*ap.add(ir * ars + kk));
+            row[0] = _mm256_fmadd_ps(ai, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(ai, b1, row[1]);
+        }
+    }
+    store_tile_f32(&c, acc);
 }

@@ -36,6 +36,7 @@ pub mod qr;
 pub mod random;
 pub mod randomized;
 pub mod rot;
+pub mod scalar;
 pub mod schur;
 pub mod snapshots;
 pub mod svd;
@@ -51,6 +52,7 @@ pub use pinv::{lstsq, pseudoinverse};
 pub use qr::{qr_block, qr_thin_into, set_qr_block, thin_qr, QrFactors};
 pub use randomized::{low_rank_svd, randomized_svd, RandomizedConfig};
 pub use rot::{rot_block, set_rot_block, RotAccumulator, RotStats};
+pub use scalar::Scalar;
 pub use snapshots::generate_right_vectors;
 pub use svd::{convergence_stats, svd, svd_with, truncated_svd, Svd, SvdInfo, SvdMethod};
 pub use view::{MatView, MatViewMut};

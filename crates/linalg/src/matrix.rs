@@ -1,12 +1,16 @@
-//! Dense row-major matrix of `f64`.
+//! Dense row-major matrix, generic over the element type.
 //!
 //! This is the workhorse container for the whole workspace. It is deliberately
-//! simple: a `Vec<f64>` in row-major order plus the two dimensions. All
-//! factorization kernels in this crate operate on it, and the distributed
-//! algorithms in `psvd-core` ship its row/column blocks between ranks.
+//! simple: a `Vec<T>` in row-major order plus the two dimensions, where `T`
+//! is one of the sealed [`Scalar`] dtypes (`f64` by default, so all
+//! pre-generic code and call sites read unchanged). All factorization
+//! kernels in this crate operate on it, and the distributed algorithms in
+//! `psvd-core` ship its row/column blocks between ranks.
 
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::scalar::Scalar;
 
 pub mod alloc_stats {
     //! Process-wide matrix-allocation counters.
@@ -19,6 +23,9 @@ pub mod alloc_stats {
     //! measures its transient allocation traffic directly — that is what
     //! the `gemm_scaling` bench records into `BENCH_alloc.json`.
     //!
+    //! Byte counts are dtype-aware: an `f32` buffer of `len` elements
+    //! charges half the bytes of an `f64` one.
+    //!
     //! The counters are atomics, so they are safe (if noisy) under
     //! concurrent tests; single-threaded measurement is exact.
 
@@ -27,13 +34,13 @@ pub mod alloc_stats {
     static COUNT: AtomicU64 = AtomicU64::new(0);
     static BYTES: AtomicU64 = AtomicU64::new(0);
 
-    /// Record one fresh buffer of `len` f64 elements (no-op for `len == 0`,
-    /// which `Vec` serves without touching the heap).
+    /// Record one fresh buffer of `len` elements of `T` (no-op for
+    /// `len == 0`, which `Vec` serves without touching the heap).
     #[inline]
-    pub(crate) fn record(len: usize) {
+    pub(crate) fn record<T>(len: usize) {
         if len > 0 {
             COUNT.fetch_add(1, Ordering::Relaxed);
-            BYTES.fetch_add((len * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+            BYTES.fetch_add((len * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
         }
     }
 
@@ -49,31 +56,31 @@ pub mod alloc_stats {
     }
 }
 
-/// A dense, row-major `rows x cols` matrix of `f64`.
+/// A dense, row-major `rows x cols` matrix of `T` (default `f64`).
 #[derive(PartialEq)]
-pub struct Matrix {
+pub struct Matrix<T: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Clone for Matrix {
+impl<T: Scalar> Clone for Matrix<T> {
     fn clone(&self) -> Self {
-        alloc_stats::record(self.data.len());
+        alloc_stats::record::<T>(self.data.len());
         Self { rows: self.rows, cols: self.cols, data: self.data.clone() }
     }
 }
 
-impl Matrix {
+impl<T: Scalar> Matrix<T> {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        alloc_stats::record(rows * cols);
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        alloc_stats::record::<T>(rows * cols);
+        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
     }
 
     /// Create a matrix filled with a constant.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        alloc_stats::record(rows * cols);
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        alloc_stats::record::<T>(rows * cols);
         Self { rows, cols, data: vec![value; rows * cols] }
     }
 
@@ -81,14 +88,14 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = T::ONE;
         }
         m
     }
 
     /// Build a matrix from a function of `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        alloc_stats::record(rows * cols);
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        alloc_stats::record::<T>(rows * cols);
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -104,7 +111,7 @@ impl Matrix {
     /// [`alloc_stats`]: the caller already owns the buffer (it may come
     /// from a [`crate::workspace::Workspace`] pool), so no fresh heap
     /// traffic happens here.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -115,10 +122,10 @@ impl Matrix {
     }
 
     /// Build from a slice of rows. Panics if rows are ragged.
-    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Vec::len);
-        alloc_stats::record(nrows * ncols);
+        alloc_stats::record::<T>(nrows * ncols);
         let mut data = Vec::with_capacity(nrows * ncols);
         for r in rows {
             assert_eq!(r.len(), ncols, "ragged row in from_rows");
@@ -128,7 +135,7 @@ impl Matrix {
     }
 
     /// Build from a slice of columns. Panics if columns are ragged.
-    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+    pub fn from_columns(cols: &[Vec<T>]) -> Self {
         let ncols = cols.len();
         let nrows = cols.first().map_or(0, Vec::len);
         let mut m = Self::zeros(nrows, ncols);
@@ -142,7 +149,7 @@ impl Matrix {
     }
 
     /// A diagonal matrix with the given entries.
-    pub fn from_diag(diag: &[f64]) -> Self {
+    pub fn from_diag(diag: &[T]) -> Self {
         let n = diag.len();
         let mut m = Self::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
@@ -152,7 +159,7 @@ impl Matrix {
     }
 
     /// A rectangular `rows x cols` matrix with `diag` on the main diagonal.
-    pub fn from_diag_rect(rows: usize, cols: usize, diag: &[f64]) -> Self {
+    pub fn from_diag_rect(rows: usize, cols: usize, diag: &[T]) -> Self {
         let mut m = Self::zeros(rows, cols);
         for (i, &d) in diag.iter().enumerate().take(rows.min(cols)) {
             m[(i, i)] = d;
@@ -185,31 +192,31 @@ impl Matrix {
 
     /// Borrow the underlying row-major data.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutably borrow the underlying row-major data.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Consume into the underlying row-major data.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<T> {
         self.data
     }
 
     /// Borrow row `i` as a slice.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[T] {
         debug_assert!(i < self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutably borrow row `i` as a slice.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
         debug_assert!(i < self.rows);
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
@@ -217,21 +224,21 @@ impl Matrix {
     /// Copy column `j` into a new vector. Allocates; prefer
     /// [`col_iter`](Matrix::col_iter) or
     /// [`col_view`](Matrix::col_view) in hot paths.
-    pub fn col(&self, j: usize) -> Vec<f64> {
+    pub fn col(&self, j: usize) -> Vec<T> {
         debug_assert!(j < self.cols);
-        alloc_stats::record(self.rows);
+        alloc_stats::record::<T>(self.rows);
         self.col_iter(j).collect()
     }
 
     /// Iterate over column `j` without allocating.
     #[inline]
-    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = T> + '_ {
         debug_assert!(j < self.cols);
         self.data.iter().skip(j).step_by(self.cols.max(1)).take(self.rows).copied()
     }
 
     /// Set column `j` from a slice.
-    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+    pub fn set_col(&mut self, j: usize, values: &[T]) {
         assert_eq!(values.len(), self.rows, "column length mismatch");
         for (i, &v) in values.iter().enumerate() {
             self[(i, j)] = v;
@@ -239,7 +246,7 @@ impl Matrix {
     }
 
     /// Set row `i` from a slice.
-    pub fn set_row(&mut self, i: usize, values: &[f64]) {
+    pub fn set_row(&mut self, i: usize, values: &[T]) {
         assert_eq!(values.len(), self.cols, "row length mismatch");
         self.row_mut(i).copy_from_slice(values);
     }
@@ -250,10 +257,10 @@ impl Matrix {
     pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
         let n = rows * cols;
         if n > self.data.capacity() {
-            alloc_stats::record(n);
+            alloc_stats::record::<T>(n);
         }
         self.data.clear();
-        self.data.resize(n, 0.0);
+        self.data.resize(n, T::ZERO);
         self.rows = rows;
         self.cols = cols;
     }
@@ -264,9 +271,9 @@ impl Matrix {
     pub fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
         let n = rows * cols;
         if n > self.data.capacity() {
-            alloc_stats::record(n);
+            alloc_stats::record::<T>(n);
         }
-        self.data.resize(n, 0.0);
+        self.data.resize(n, T::ZERO);
         self.rows = rows;
         self.cols = cols;
     }
@@ -277,12 +284,12 @@ impl Matrix {
     pub fn reshape_identity(&mut self, n: usize) {
         self.reshape_zeroed(n, n);
         for i in 0..n {
-            self.data[i * n + i] = 1.0;
+            self.data[i * n + i] = T::ONE;
         }
     }
 
     /// The transpose.
-    pub fn transpose(&self) -> Matrix {
+    pub fn transpose(&self) -> Matrix<T> {
         let mut t = Matrix::zeros(self.cols, self.rows);
         self.transpose_into(&mut t);
         t
@@ -291,7 +298,7 @@ impl Matrix {
     /// Transpose into `out`, reshaping it (allocation-free when `out`'s
     /// buffer is big enough). Bitwise identical to
     /// [`transpose`](Matrix::transpose) — it is a pure data movement.
-    pub fn transpose_into(&self, out: &mut Matrix) {
+    pub fn transpose_into(&self, out: &mut Matrix<T>) {
         out.reshape_for_overwrite(self.cols, self.rows);
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
@@ -307,7 +314,7 @@ impl Matrix {
     }
 
     /// Copy a contiguous block `[r0, r1) x [c0, c1)`.
-    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix<T> {
         assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
         assert!(c0 <= c1 && c1 <= self.cols, "col range out of bounds");
         let mut m = Matrix::zeros(r1 - r0, c1 - c0);
@@ -318,17 +325,17 @@ impl Matrix {
     }
 
     /// The first `k` columns.
-    pub fn first_columns(&self, k: usize) -> Matrix {
+    pub fn first_columns(&self, k: usize) -> Matrix<T> {
         self.submatrix(0, self.rows, 0, k.min(self.cols))
     }
 
     /// The rows `[r0, r1)`.
-    pub fn row_block(&self, r0: usize, r1: usize) -> Matrix {
+    pub fn row_block(&self, r0: usize, r1: usize) -> Matrix<T> {
         self.submatrix(r0, r1, 0, self.cols)
     }
 
     /// Select columns by index list.
-    pub fn select_columns(&self, idx: &[usize]) -> Matrix {
+    pub fn select_columns(&self, idx: &[usize]) -> Matrix<T> {
         let mut m = Matrix::zeros(self.rows, idx.len());
         for (jj, &j) in idx.iter().enumerate() {
             assert!(j < self.cols, "column index out of bounds");
@@ -340,7 +347,7 @@ impl Matrix {
     }
 
     /// Horizontal concatenation `[self | other]`.
-    pub fn hstack(&self, other: &Matrix) -> Matrix {
+    pub fn hstack(&self, other: &Matrix<T>) -> Matrix<T> {
         if self.is_empty() && self.rows == 0 {
             return other.clone();
         }
@@ -354,12 +361,12 @@ impl Matrix {
     }
 
     /// Vertical concatenation `[self; other]`.
-    pub fn vstack(&self, other: &Matrix) -> Matrix {
+    pub fn vstack(&self, other: &Matrix<T>) -> Matrix<T> {
         if self.is_empty() && self.cols == 0 {
             return other.clone();
         }
         assert_eq!(self.cols, other.cols, "vstack: column count mismatch");
-        alloc_stats::record((self.rows + other.rows) * self.cols);
+        alloc_stats::record::<T>((self.rows + other.rows) * self.cols);
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
@@ -367,7 +374,7 @@ impl Matrix {
     }
 
     /// Horizontal concatenation of many blocks.
-    pub fn hstack_all(blocks: &[Matrix]) -> Matrix {
+    pub fn hstack_all(blocks: &[Matrix<T>]) -> Matrix<T> {
         assert!(!blocks.is_empty(), "hstack_all: empty block list");
         let rows = blocks[0].rows;
         let total: usize = blocks.iter().map(|b| b.cols).sum();
@@ -384,11 +391,11 @@ impl Matrix {
     }
 
     /// Vertical concatenation of many blocks.
-    pub fn vstack_all(blocks: &[Matrix]) -> Matrix {
+    pub fn vstack_all(blocks: &[Matrix<T>]) -> Matrix<T> {
         assert!(!blocks.is_empty(), "vstack_all: empty block list");
         let cols = blocks[0].cols;
         let total: usize = blocks.iter().map(|b| b.rows).sum();
-        alloc_stats::record(total * cols);
+        alloc_stats::record::<T>(total * cols);
         let mut data = Vec::with_capacity(total * cols);
         for b in blocks {
             assert_eq!(b.cols, cols, "vstack_all: column count mismatch");
@@ -402,7 +409,7 @@ impl Matrix {
     /// unlike [`vstack_all`](Matrix::vstack_all) on cloned inputs — no
     /// block is deep-copied twice. This is the gather primitive the
     /// distributed drivers use on owned per-rank payloads.
-    pub fn vstack_owned(blocks: Vec<Matrix>) -> Matrix {
+    pub fn vstack_owned(blocks: Vec<Matrix<T>>) -> Matrix<T> {
         assert!(!blocks.is_empty(), "vstack_owned: empty block list");
         let total: usize = blocks.iter().map(|b| b.rows).sum();
         let mut it = blocks.into_iter();
@@ -411,7 +418,7 @@ impl Matrix {
         let mut rows = first.rows;
         let mut data = first.data;
         if total * cols > data.capacity() {
-            alloc_stats::record(total * cols);
+            alloc_stats::record::<T>(total * cols);
             data.reserve_exact(total * cols - data.len());
         }
         for b in it {
@@ -425,7 +432,7 @@ impl Matrix {
     /// Horizontal concatenation `[self | other]` written into `out`,
     /// reshaping it (allocation-free when `out`'s buffer is big enough).
     /// Bitwise identical to [`hstack`](Matrix::hstack).
-    pub fn hstack_into(&self, other: &Matrix, out: &mut Matrix) {
+    pub fn hstack_into(&self, other: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(self.rows, other.rows, "hstack: row count mismatch");
         out.reshape_for_overwrite(self.rows, self.cols + other.cols);
         for i in 0..self.rows {
@@ -436,32 +443,51 @@ impl Matrix {
     }
 
     /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        alloc_stats::record(self.data.len());
+    pub fn map(&self, f: impl Fn(T) -> T) -> Matrix<T> {
+        alloc_stats::record::<T>(self.data.len());
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
+    /// Convert every element to another [`Scalar`] dtype (one rounding
+    /// per element when narrowing `f64 → f32`; exact when widening). This
+    /// is the precision boundary the mixed-precision pipeline crosses —
+    /// see DESIGN.md, "Scalar genericity & mixed precision".
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        let mut out = Matrix::zeros(0, 0);
+        self.cast_into(&mut out);
+        out
+    }
+
+    /// [`cast`](Matrix::cast) into a caller-owned buffer (allocation-free
+    /// when `out`'s capacity suffices).
+    pub fn cast_into<U: Scalar>(&self, out: &mut Matrix<U>) {
+        out.reshape_for_overwrite(self.rows, self.cols);
+        for (dst, &src) in out.data.iter_mut().zip(&self.data) {
+            *dst = U::from_f64(src.to_f64());
+        }
+    }
+
     /// In-place scale by a scalar.
-    pub fn scale_mut(&mut self, s: f64) {
+    pub fn scale_mut(&mut self, s: T) {
         for x in &mut self.data {
             *x *= s;
         }
     }
 
     /// Scale by a scalar into a new matrix.
-    pub fn scaled(&self, s: f64) -> Matrix {
+    pub fn scaled(&self, s: T) -> Matrix<T> {
         self.map(|x| x * s)
     }
 
     /// Scale column `j` in place.
-    pub fn scale_col_mut(&mut self, j: usize, s: f64) {
+    pub fn scale_col_mut(&mut self, j: usize, s: T) {
         for i in 0..self.rows {
             self[(i, j)] *= s;
         }
     }
 
     /// `self * diag(d)` — scales column `j` by `d[j]`.
-    pub fn mul_diag(&self, d: &[f64]) -> Matrix {
+    pub fn mul_diag(&self, d: &[T]) -> Matrix<T> {
         assert_eq!(d.len(), self.cols, "mul_diag: diagonal length mismatch");
         let mut m = self.clone();
         for i in 0..m.rows {
@@ -474,7 +500,7 @@ impl Matrix {
     }
 
     /// `diag(d) * self` — scales row `i` by `d[i]`.
-    pub fn diag_mul(&self, d: &[f64]) -> Matrix {
+    pub fn diag_mul(&self, d: &[T]) -> Matrix<T> {
         assert_eq!(d.len(), self.rows, "diag_mul: diagonal length mismatch");
         let mut m = self.clone();
         for (i, &di) in d.iter().enumerate() {
@@ -486,27 +512,27 @@ impl Matrix {
     }
 
     /// Main diagonal entries.
-    pub fn diagonal(&self) -> Vec<f64> {
+    pub fn diagonal(&self) -> Vec<T> {
         (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
     }
 
     /// Frobenius norm.
-    pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    pub fn frobenius_norm(&self) -> T {
+        self.data.iter().map(|&x| x * x).sum::<T>().sqrt()
     }
 
     /// Max absolute entry.
-    pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+    pub fn max_abs(&self) -> T {
+        self.data.iter().fold(T::ZERO, |acc, x| acc.max(x.abs()))
     }
 
     /// Euclidean norm of column `j`.
-    pub fn col_norm(&self, j: usize) -> f64 {
-        self.col_iter(j).map(|x| x * x).sum::<f64>().sqrt()
+    pub fn col_norm(&self, j: usize) -> T {
+        self.col_iter(j).map(|x| x * x).sum::<T>().sqrt()
     }
 
     /// Dot product of columns `a` and `b`.
-    pub fn col_dot(&self, a: usize, b: usize) -> f64 {
+    pub fn col_dot(&self, a: usize, b: usize) -> T {
         self.col_iter(a).zip(self.col_iter(b)).map(|(x, y)| x * y).sum()
     }
 
@@ -516,58 +542,58 @@ impl Matrix {
     }
 }
 
-impl Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &T {
         debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
         &self.data[i * self.cols + j]
     }
 }
 
-impl IndexMut<(usize, usize)> for Matrix {
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
         debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
         &mut self.data[i * self.cols + j]
     }
 }
 
-impl Add<&Matrix> for &Matrix {
-    type Output = Matrix;
-    fn add(self, rhs: &Matrix) -> Matrix {
+impl<T: Scalar> Add<&Matrix<T>> for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn add(self, rhs: &Matrix<T>) -> Matrix<T> {
         assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
-        alloc_stats::record(self.data.len());
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        alloc_stats::record::<T>(self.data.len());
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 }
 
-impl Sub<&Matrix> for &Matrix {
-    type Output = Matrix;
-    fn sub(self, rhs: &Matrix) -> Matrix {
+impl<T: Scalar> Sub<&Matrix<T>> for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn sub(self, rhs: &Matrix<T>) -> Matrix<T> {
         assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
-        alloc_stats::record(self.data.len());
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        alloc_stats::record::<T>(self.data.len());
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 }
 
-impl Neg for &Matrix {
-    type Output = Matrix;
-    fn neg(self) -> Matrix {
+impl<T: Scalar> Neg for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn neg(self) -> Matrix<T> {
         self.map(|x| -x)
     }
 }
 
-impl Mul<&Matrix> for &Matrix {
-    type Output = Matrix;
-    fn mul(self, rhs: &Matrix) -> Matrix {
+impl<T: Scalar> Mul<&Matrix<T>> for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn mul(self, rhs: &Matrix<T>) -> Matrix<T> {
         crate::gemm::matmul(self, rhs)
     }
 }
 
-impl fmt::Debug for Matrix {
+impl<T: Scalar> fmt::Debug for Matrix<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         let show_rows = self.rows.min(8);
@@ -591,14 +617,14 @@ mod tests {
 
     #[test]
     fn zeros_and_shape() {
-        let m = Matrix::zeros(3, 4);
+        let m = Matrix::<f64>::zeros(3, 4);
         assert_eq!(m.shape(), (3, 4));
         assert!(m.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]
     fn identity_diagonal() {
-        let m = Matrix::identity(4);
+        let m = Matrix::<f64>::identity(4);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
@@ -703,7 +729,7 @@ mod tests {
 
     #[test]
     fn col_set_get() {
-        let mut m = Matrix::zeros(3, 2);
+        let mut m = Matrix::<f64>::zeros(3, 2);
         m.set_col(1, &[1.0, 2.0, 3.0]);
         assert_eq!(m.col(1), vec![1.0, 2.0, 3.0]);
         assert_eq!(m.col(0), vec![0.0; 3]);
@@ -743,7 +769,7 @@ mod tests {
 
     #[test]
     fn all_finite_detects_nan() {
-        let mut m = Matrix::zeros(2, 2);
+        let mut m = Matrix::<f64>::zeros(2, 2);
         assert!(m.all_finite());
         m[(0, 1)] = f64::NAN;
         assert!(!m.all_finite());
@@ -763,12 +789,12 @@ mod tests {
             let it: Vec<f64> = m.col_iter(j).collect();
             assert_eq!(it, m.col(j));
         }
-        assert_eq!(Matrix::zeros(0, 2).col_iter(1).count(), 0);
+        assert_eq!(Matrix::<f64>::zeros(0, 2).col_iter(1).count(), 0);
     }
 
     #[test]
     fn reshape_reuses_capacity() {
-        let mut m = Matrix::zeros(6, 6);
+        let mut m = Matrix::<f64>::zeros(6, 6);
         let ptr = m.as_slice().as_ptr();
         m.reshape_zeroed(4, 9);
         assert_eq!(m.shape(), (4, 9));
@@ -808,7 +834,7 @@ mod tests {
     #[test]
     fn alloc_stats_counts_fresh_buffers_not_reshapes() {
         let (c0, b0) = alloc_stats::snapshot();
-        let mut m = Matrix::zeros(8, 8); // fresh: counted
+        let mut m = Matrix::<f64>::zeros(8, 8); // fresh: counted
         let (c1, b1) = alloc_stats::snapshot();
         assert!(c1 > c0 && b1 >= b0 + 8 * 8 * 8);
         let before = alloc_stats::snapshot();
@@ -819,5 +845,32 @@ mod tests {
         // did not (pointer stability proves no realloc happened).
         let _ = before;
         assert_eq!(m.shape(), (8, 8));
+    }
+
+    #[test]
+    fn f32_matrix_basic_ops() {
+        let m = Matrix::<f32>::from_fn(3, 3, |i, j| (i * 3 + j) as f32);
+        assert_eq!(m.transpose()[(2, 1)], m[(1, 2)]);
+        assert_eq!(m.max_abs(), 8.0f32);
+        let id = Matrix::<f32>::identity(3);
+        assert_eq!(id.frobenius_norm(), 3.0f32.sqrt());
+    }
+
+    #[test]
+    fn cast_round_trips_and_narrows() {
+        let m = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j) as f64 * 0.37).sin());
+        let narrow: Matrix<f32> = m.cast();
+        assert_eq!(narrow.shape(), m.shape());
+        for (w, n) in m.as_slice().iter().zip(narrow.as_slice()) {
+            assert_eq!(*n, *w as f32, "cast must be a single rounding");
+        }
+        // Widening an f32 matrix is exact.
+        let back: Matrix<f64> = narrow.cast();
+        for (n, b) in narrow.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(*b, *n as f64);
+        }
+        // Exactly representable values survive the round trip bit-for-bit.
+        let exact = Matrix::from_fn(2, 2, |i, j| (i + 2 * j) as f64);
+        assert_eq!(exact.cast::<f32>().cast::<f64>(), exact);
     }
 }

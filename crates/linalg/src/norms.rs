@@ -2,17 +2,18 @@
 
 use crate::gemm::{gram, matvec, matvec_t};
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 
 /// `‖QᵀQ − I‖_max`: how far the columns of `q` are from orthonormal.
-pub fn orthogonality_error(q: &Matrix) -> f64 {
+pub fn orthogonality_error<T: Scalar>(q: &Matrix<T>) -> f64 {
     // gram computes only the upper triangle and mirrors it — half the
     // flops of the general matmul_tn(q, q) this used to call.
     let g = gram(q);
     let mut err: f64 = 0.0;
     for i in 0..g.rows() {
         for j in 0..g.cols() {
-            let target = if i == j { 1.0 } else { 0.0 };
-            err = err.max((g[(i, j)] - target).abs());
+            let target = if i == j { T::ONE } else { T::ZERO };
+            err = err.max((g[(i, j)] - target).abs().to_f64());
         }
     }
     err
@@ -22,42 +23,42 @@ pub fn orthogonality_error(q: &Matrix) -> f64 {
 ///
 /// Deterministic start vector (all ones, normalized); `iters` rounds of
 /// `x ← AᵀA x` normalization. Good to a few digits for diagnostics.
-pub fn spectral_norm_estimate(a: &Matrix, iters: usize) -> f64 {
+pub fn spectral_norm_estimate<T: Scalar>(a: &Matrix<T>, iters: usize) -> f64 {
     if a.rows() == 0 || a.cols() == 0 {
         return 0.0;
     }
     let n = a.cols();
-    let mut x = vec![1.0 / (n as f64).sqrt(); n];
-    let mut sigma = 0.0;
+    let mut x = vec![T::from_f64(1.0 / (n as f64).sqrt()); n];
+    let mut sigma = T::ZERO;
     for _ in 0..iters {
         let y = matvec(a, &x);
         let z = matvec_t(a, &y);
-        let norm = z.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if norm == 0.0 {
+        let norm = z.iter().map(|v| *v * *v).sum::<T>().sqrt();
+        if norm == T::ZERO {
             return 0.0;
         }
         for (xi, zi) in x.iter_mut().zip(&z) {
-            *xi = zi / norm;
+            *xi = *zi / norm;
         }
         sigma = norm.sqrt();
     }
-    sigma
+    sigma.to_f64()
 }
 
 /// Relative Frobenius distance `‖A − B‖_F / max(1, ‖A‖_F)`.
-pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
-    (a - b).frobenius_norm() / a.frobenius_norm().max(1.0)
+pub fn relative_error<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> f64 {
+    (a - b).frobenius_norm().to_f64() / a.frobenius_norm().to_f64().max(1.0)
 }
 
 /// Euclidean norm of a vector.
-pub fn vec_norm(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+pub fn vec_norm<T: Scalar>(v: &[T]) -> T {
+    v.iter().map(|x| *x * *x).sum::<T>().sqrt()
 }
 
 /// Dot product of two equal-length vectors.
-pub fn vec_dot(a: &[f64], b: &[f64]) -> f64 {
+pub fn vec_dot<T: Scalar>(a: &[T], b: &[T]) -> T {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    a.iter().zip(b).map(|(x, y)| *x * *y).sum()
 }
 
 #[cfg(test)]
@@ -67,7 +68,7 @@ mod tests {
 
     #[test]
     fn orthogonality_of_identity() {
-        assert_eq!(orthogonality_error(&Matrix::identity(5)), 0.0);
+        assert_eq!(orthogonality_error(&Matrix::<f64>::identity(5)), 0.0);
     }
 
     #[test]
@@ -93,7 +94,7 @@ mod tests {
 
     #[test]
     fn spectral_norm_zero_matrix() {
-        assert_eq!(spectral_norm_estimate(&Matrix::zeros(4, 3), 10), 0.0);
+        assert_eq!(spectral_norm_estimate(&Matrix::<f64>::zeros(4, 3), 10), 0.0);
     }
 
     #[test]

@@ -265,17 +265,23 @@ pub fn strip_partition(strips: usize) -> (usize, usize) {
 
 /// Shared-mutable pointer token for kernels whose threads write disjoint
 /// index sets of one buffer. The *caller* is responsible for disjointness.
-#[derive(Clone, Copy)]
-pub(crate) struct SendPtr(pub *mut f64);
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 // SAFETY: see the type docs — every user partitions indices disjointly.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
 
-impl SendPtr {
+impl<T> SendPtr<T> {
     /// The raw pointer (add your own offset; stay inside your partition).
     #[inline]
-    pub fn get(self) -> *mut f64 {
+    pub fn get(self) -> *mut T {
         self.0
     }
 }

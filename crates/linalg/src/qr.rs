@@ -14,6 +14,7 @@
 use crate::gemm::{gram_into, matmul};
 use crate::matrix::Matrix;
 use crate::par;
+use crate::scalar::Scalar;
 use crate::view::MatView;
 use crate::workspace::Workspace;
 use crate::wy;
@@ -36,28 +37,29 @@ const REFLECTOR_PAR_MIN_FLOPS: usize = 1 << 15;
 /// sequence, keeping the factorization bitwise identical at any thread
 /// count. Small sweeps (see [`REFLECTOR_PAR_MIN_FLOPS`]) skip the pool
 /// entirely.
-pub(crate) fn apply_reflector(
-    data: &mut [f64],
+pub(crate) fn apply_reflector<T: Scalar>(
+    data: &mut [T],
     ld: usize,
     k: usize,
     j0: usize,
     j1: usize,
-    v: &[f64],
-    vnorm2: f64,
+    v: &[T],
+    vnorm2: T,
 ) {
     let cols = j1 - j0;
+    let two = T::from_f64(2.0);
     let ptr = par::SendPtr(data.as_mut_ptr());
     let body = |c0: usize, c1: usize| {
         for j in j0 + c0..j0 + c1 {
-            let mut dot = 0.0;
+            let mut dot = T::ZERO;
             for (idx, vi) in v.iter().enumerate() {
                 // SAFETY: each column j belongs to exactly one chunk.
-                dot += vi * unsafe { *ptr.get().add((k + idx) * ld + j) };
+                dot += *vi * unsafe { *ptr.get().add((k + idx) * ld + j) };
             }
-            let s = 2.0 * dot / vnorm2;
+            let s = two * dot / vnorm2;
             for (idx, vi) in v.iter().enumerate() {
                 // SAFETY: as above; writes stay within this chunk's columns.
-                unsafe { *ptr.get().add((k + idx) * ld + j) -= s * vi };
+                unsafe { *ptr.get().add((k + idx) * ld + j) -= s * *vi };
             }
         }
     };
@@ -75,16 +77,17 @@ pub(crate) fn apply_reflector(
 /// per-row op sequence is fixed, keeping results bitwise identical at any
 /// thread count. Used by the Golub–Kahan bidiagonalization's right
 /// reflectors.
-pub(crate) fn apply_reflector_right(
-    data: &mut [f64],
+pub(crate) fn apply_reflector_right<T: Scalar>(
+    data: &mut [T],
     ld: usize,
     r0: usize,
     r1: usize,
     c0: usize,
-    w: &[f64],
-    wnorm2: f64,
+    w: &[T],
+    wnorm2: T,
 ) {
     let rows = r1 - r0;
+    let two = T::from_f64(2.0);
     let ptr = par::SendPtr(data.as_mut_ptr());
     let body = |i0: usize, i1: usize| {
         for i in r0 + i0..r0 + i1 {
@@ -92,13 +95,13 @@ pub(crate) fn apply_reflector_right(
             // [i*ld + c0, i*ld + c0 + w.len()) stays within that row.
             let row =
                 unsafe { std::slice::from_raw_parts_mut(ptr.get().add(i * ld + c0), w.len()) };
-            let mut dot = 0.0;
+            let mut dot = T::ZERO;
             for (wi, ri) in w.iter().zip(row.iter()) {
-                dot += wi * ri;
+                dot += *wi * *ri;
             }
-            let s = 2.0 * dot / wnorm2;
+            let s = two * dot / wnorm2;
             for (wi, ri) in w.iter().zip(row.iter_mut()) {
-                *ri -= s * wi;
+                *ri -= s * *wi;
             }
         }
     };
@@ -165,15 +168,15 @@ pub fn qr_block(m: usize, n: usize) -> usize {
 
 /// The result of a QR factorization: `a = q * r`.
 #[derive(Clone, Debug)]
-pub struct QrFactors {
+pub struct QrFactors<T: Scalar = f64> {
     /// Orthonormal factor, `m x p` with `p = min(m, n)`.
-    pub q: Matrix,
+    pub q: Matrix<T>,
     /// Upper-triangular (trapezoidal if `m < n`) factor, `p x n`.
-    pub r: Matrix,
+    pub r: Matrix<T>,
 }
 
 /// Thin Householder QR with canonical (non-negative) `R` diagonal.
-pub fn thin_qr(a: &Matrix) -> QrFactors {
+pub fn thin_qr<T: Scalar>(a: &Matrix<T>) -> QrFactors<T> {
     let mut ws = Workspace::new();
     let mut q = Matrix::zeros(0, 0);
     let mut r = Matrix::zeros(0, 0);
@@ -185,7 +188,12 @@ pub fn thin_qr(a: &Matrix) -> QrFactors {
 /// diagonal, writing the factors into `q` / `r` and drawing every
 /// temporary from `ws`. With warm buffers the call performs zero heap
 /// allocation. Bitwise identical to [`thin_qr`].
-pub fn qr_thin_into(a: MatView<'_>, q: &mut Matrix, r: &mut Matrix, ws: &mut Workspace) {
+pub fn qr_thin_into<T: Scalar>(
+    a: MatView<'_, T>,
+    q: &mut Matrix<T>,
+    r: &mut Matrix<T>,
+    ws: &mut Workspace,
+) {
     let (m, n) = a.shape();
     let nb = qr_block(m, n);
     if nb <= 1 {
@@ -197,7 +205,7 @@ pub fn qr_thin_into(a: MatView<'_>, q: &mut Matrix, r: &mut Matrix, ws: &mut Wor
 }
 
 /// Thin Householder QR without sign canonicalization.
-pub fn householder_qr(a: &Matrix) -> QrFactors {
+pub fn householder_qr<T: Scalar>(a: &Matrix<T>) -> QrFactors<T> {
     let mut ws = Workspace::new();
     let mut q = Matrix::zeros(0, 0);
     let mut r = Matrix::zeros(0, 0);
@@ -209,7 +217,12 @@ pub fn householder_qr(a: &Matrix) -> QrFactors {
 /// the historical allocating implementation, but every temporary — the
 /// working copy of `A`, the Householder vectors, and their stored norms —
 /// comes from `ws`, and the factors land in caller-owned buffers.
-fn householder_into(a: MatView<'_>, q: &mut Matrix, r_out: &mut Matrix, ws: &mut Workspace) {
+fn householder_into<T: Scalar>(
+    a: MatView<'_, T>,
+    q: &mut Matrix<T>,
+    r_out: &mut Matrix<T>,
+    ws: &mut Workspace,
+) {
     let (m, n) = a.shape();
     let p = m.min(n);
     let mut work = ws.take(m, n);
@@ -239,20 +252,20 @@ fn householder_into(a: MatView<'_>, q: &mut Matrix, r_out: &mut Matrix, ws: &mut
         }
         let alpha = {
             let v = &vs.row(k)[..vlen];
-            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if v[0] >= 0.0 {
+            let norm = v.iter().map(|x| *x * *x).sum::<T>().sqrt();
+            if v[0] >= T::ZERO {
                 -norm
             } else {
                 norm
             }
         };
-        if alpha == 0.0 {
+        if alpha == T::ZERO {
             // Column already zero below (and at) the diagonal: identity reflector.
             continue;
         }
         vs[(k, 0)] -= alpha;
-        let vnorm2: f64 = vs.row(k)[..vlen].iter().map(|x| x * x).sum();
-        if vnorm2 == 0.0 {
+        let vnorm2: T = vs.row(k)[..vlen].iter().map(|x| *x * *x).sum();
+        if vnorm2 == T::ZERO {
             continue;
         }
         vn[(0, k)] = vnorm2;
@@ -261,7 +274,7 @@ fn householder_into(a: MatView<'_>, q: &mut Matrix, r_out: &mut Matrix, ws: &mut
         // Clean the annihilated entries exactly.
         work[(k, k)] = alpha;
         for i in k + 1..m {
-            work[(i, k)] = 0.0;
+            work[(i, k)] = T::ZERO;
         }
     }
 
@@ -269,11 +282,11 @@ fn householder_into(a: MatView<'_>, q: &mut Matrix, r_out: &mut Matrix, ws: &mut
     // columns of the identity.
     q.reshape_zeroed(m, p);
     for i in 0..p {
-        q[(i, i)] = 1.0;
+        q[(i, i)] = T::ONE;
     }
     for k in (0..p).rev() {
         let vnorm2 = vn[(0, k)];
-        if vnorm2 == 0.0 {
+        if vnorm2 == T::ZERO {
             continue;
         }
         apply_reflector(q.as_mut_slice(), p, k, 0, p, &vs.row(k)[..m - k], vnorm2);
@@ -301,10 +314,10 @@ fn householder_into(a: MatView<'_>, q: &mut Matrix, r_out: &mut Matrix, ws: &mut
 /// the reflectors differs, so the factors agree with the unblocked
 /// reference to rounding (≪ 1e-12 relative) and are bitwise reproducible
 /// across thread counts at a fixed `nb`.
-fn householder_blocked_into(
-    a: MatView<'_>,
-    q: &mut Matrix,
-    r_out: &mut Matrix,
+fn householder_blocked_into<T: Scalar>(
+    a: MatView<'_, T>,
+    q: &mut Matrix<T>,
+    r_out: &mut Matrix<T>,
     nb: usize,
     ws: &mut Workspace,
 ) {
@@ -348,26 +361,26 @@ fn householder_blocked_into(
             }
             let alpha = {
                 let v = &vs.row(k)[..vlen];
-                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-                if v[0] >= 0.0 {
+                let norm = v.iter().map(|x| *x * *x).sum::<T>().sqrt();
+                if v[0] >= T::ZERO {
                     -norm
                 } else {
                     norm
                 }
             };
-            if alpha == 0.0 {
+            if alpha == T::ZERO {
                 continue;
             }
             vs[(k, 0)] -= alpha;
-            let vnorm2: f64 = vs.row(k)[..vlen].iter().map(|x| x * x).sum();
-            if vnorm2 == 0.0 {
+            let vnorm2: T = vs.row(k)[..vlen].iter().map(|x| *x * *x).sum();
+            if vnorm2 == T::ZERO {
                 continue;
             }
             vn[(0, k)] = vnorm2;
             apply_reflector(work.as_mut_slice(), n, k, k, k0 + nbk, &vs.row(k)[..vlen], vnorm2);
             work[(k, k)] = alpha;
             for i in k + 1..m {
-                work[(i, k)] = 0.0;
+                work[(i, k)] = T::ZERO;
             }
         }
         // Trailing update through the packed GEMM engine.
@@ -375,7 +388,7 @@ fn householder_blocked_into(
             wy::panel_y(&vs, vn.row(0), k0, nbk, m - k0, &mut y, &mut taus.row_mut(0)[..nbk]);
             gram_into(y.view(), &mut s);
             wy::build_t(&s, &taus.row(0)[..nbk], &mut t);
-            t.scale_mut(-1.0);
+            t.scale_mut(-T::ONE);
             wy::apply_block_left(&y, &t, true, work.block_mut(k0, m, k0 + nbk, n), ws);
         }
         k0 += nbk;
@@ -388,7 +401,7 @@ fn householder_blocked_into(
     // Thin Q: reverse compact-WY accumulation over the same reflectors.
     q.reshape_zeroed(m, p);
     for i in 0..p {
-        q[(i, i)] = 1.0;
+        q[(i, i)] = T::ONE;
     }
     wy::accumulate_reverse(&vs, vn.row(0), p, 0, nb, q, ws);
 
@@ -403,16 +416,16 @@ fn householder_blocked_into(
 
 /// Flip signs so that `diag(R) >= 0`, adjusting `Q` columns to keep `QR`
 /// unchanged.
-pub fn canonicalize(f: &mut QrFactors) {
+pub fn canonicalize<T: Scalar>(f: &mut QrFactors<T>) {
     canonicalize_qr(&mut f.q, &mut f.r);
 }
 
 /// [`canonicalize`] on loose factors (the `_into` pipelines keep `q` and
 /// `r` in separate caller-owned buffers).
-pub fn canonicalize_qr(q: &mut Matrix, r: &mut Matrix) {
+pub fn canonicalize_qr<T: Scalar>(q: &mut Matrix<T>, r: &mut Matrix<T>) {
     let p = r.rows();
     for k in 0..p.min(r.cols()) {
-        if r[(k, k)] < 0.0 {
+        if r[(k, k)] < T::ZERO {
             for j in 0..r.cols() {
                 r[(k, j)] = -r[(k, j)];
             }
@@ -427,7 +440,7 @@ pub fn canonicalize_qr(q: &mut Matrix, r: &mut Matrix) {
 /// rounding behaviour than Householder, which makes it a useful independent
 /// cross-check in tests; the double pass keeps `Q` orthonormal to machine
 /// precision ("twice is enough").
-pub fn mgs_qr(a: &Matrix) -> QrFactors {
+pub fn mgs_qr<T: Scalar>(a: &Matrix<T>) -> QrFactors<T> {
     let mut ws = Workspace::new();
     mgs_qr_with(a, &mut ws)
 }
@@ -435,22 +448,22 @@ pub fn mgs_qr(a: &Matrix) -> QrFactors {
 /// [`mgs_qr`] drawing its wide-matrix tail temporary from a caller-owned
 /// workspace, so repeated factorizations of same-shaped inputs allocate
 /// only the returned factors.
-pub fn mgs_qr_with(a: &Matrix, ws: &mut Workspace) -> QrFactors {
+pub fn mgs_qr_with<T: Scalar>(a: &Matrix<T>, ws: &mut Workspace) -> QrFactors<T> {
     let (m, n) = a.shape();
     let p = m.min(n);
     let mut q = Matrix::zeros(m, p);
     let mut r = Matrix::zeros(p, n);
     // One reusable column buffer for all p iterations (col_iter avoids
     // the per-column Vec that Matrix::col would allocate).
-    let mut v: Vec<f64> = Vec::with_capacity(m);
+    let mut v: Vec<T> = Vec::with_capacity(m);
     for j in 0..p {
         v.clear();
         v.extend(a.col_iter(j));
         for _pass in 0..2 {
             for i in 0..j {
-                let mut h = 0.0;
+                let mut h = T::ZERO;
                 for (row, vv) in v.iter().enumerate() {
-                    h += q[(row, i)] * vv;
+                    h += q[(row, i)] * *vv;
                 }
                 r[(i, j)] += h;
                 for (row, vv) in v.iter_mut().enumerate() {
@@ -458,9 +471,9 @@ pub fn mgs_qr_with(a: &Matrix, ws: &mut Workspace) -> QrFactors {
                 }
             }
         }
-        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let norm = v.iter().map(|x| *x * *x).sum::<T>().sqrt();
         r[(j, j)] = norm;
-        if norm > 0.0 {
+        if norm > T::ZERO {
             for vv in &mut v {
                 *vv /= norm;
             }
@@ -486,9 +499,9 @@ pub fn mgs_qr_with(a: &Matrix, ws: &mut Workspace) -> QrFactors {
 }
 
 /// Reconstruction error `‖A − QR‖_F / max(1, ‖A‖_F)`.
-pub fn reconstruction_error(a: &Matrix, f: &QrFactors) -> f64 {
+pub fn reconstruction_error<T: Scalar>(a: &Matrix<T>, f: &QrFactors<T>) -> f64 {
     let qr = matmul(&f.q, &f.r);
-    (a - &qr).frobenius_norm() / a.frobenius_norm().max(1.0)
+    (a - &qr).frobenius_norm().to_f64() / a.frobenius_norm().to_f64().max(1.0)
 }
 
 #[cfg(test)]
@@ -576,7 +589,7 @@ mod tests {
 
     #[test]
     fn qr_of_zero_matrix() {
-        let a = Matrix::zeros(10, 3);
+        let a = Matrix::<f64>::zeros(10, 3);
         let f = thin_qr(&a);
         assert!(reconstruction_error(&a, &f) < 1e-15);
         assert_eq!(f.r, Matrix::zeros(3, 3));

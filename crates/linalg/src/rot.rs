@@ -44,6 +44,7 @@
 
 use crate::gemm::matmul_into;
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 use crate::workspace::Workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -52,7 +53,7 @@ use std::sync::OnceLock;
 /// `col_k ← -s*col_j + c*col_k`. The direct level-1 reference that the
 /// accumulated window path reproduces to ≤1e-12.
 #[inline]
-pub fn rotate_cols(m: &mut Matrix, j: usize, k: usize, c: f64, s: f64) {
+pub fn rotate_cols<T: Scalar>(m: &mut Matrix<T>, j: usize, k: usize, c: T, s: T) {
     for i in 0..m.rows() {
         let a = m[(i, j)];
         let b = m[(i, k)];
@@ -133,10 +134,10 @@ pub struct RotStats {
 /// [`rotate`](RotAccumulator::rotate) and the final
 /// [`flush`](RotAccumulator::flush) must pass the same matrix, in program
 /// order. With capacity `<= 1` it degenerates to [`rotate_cols`] exactly.
-pub struct RotAccumulator {
+pub struct RotAccumulator<T: Scalar = f64> {
     /// Window matrix, `cap x cap`, identity-initialized when opened; only
     /// the leading `width x width` block ever deviates from identity.
-    g: Matrix,
+    g: Matrix<T>,
     /// Global column index of the open window's first column.
     lo: usize,
     /// Columns of the window in active use.
@@ -147,7 +148,7 @@ pub struct RotAccumulator {
     stats: RotStats,
 }
 
-impl RotAccumulator {
+impl<T: Scalar> RotAccumulator<T> {
     /// A closed accumulator with the given window capacity.
     pub fn new(cap: usize) -> Self {
         Self {
@@ -180,11 +181,11 @@ impl RotAccumulator {
     /// once flushed, to ≤1e-12 (exactly, on the direct path).
     pub fn rotate(
         &mut self,
-        target: &mut Matrix,
+        target: &mut Matrix<T>,
         j: usize,
         k: usize,
-        c: f64,
-        s: f64,
+        c: T,
+        s: T,
         ws: &mut Workspace,
     ) {
         if self.cap <= 1 {
@@ -229,7 +230,7 @@ impl RotAccumulator {
     /// Apply the open window (if any) to `target` in one level-3 product
     /// and close it. Must be called before the caller reads the target's
     /// rotated columns.
-    pub fn flush(&mut self, target: &mut Matrix, ws: &mut Workspace) {
+    pub fn flush(&mut self, target: &mut Matrix<T>, ws: &mut Workspace) {
         if !self.open {
             return;
         }

@@ -1,0 +1,279 @@
+//! The sealed element-type abstraction behind every dense kernel.
+//!
+//! [`Scalar`] is implemented for exactly `f64` and `f32` (the trait is
+//! sealed — downstream crates can consume the generic APIs but cannot add
+//! element types, which is what lets the SIMD kernel registries, blocking
+//! resolution and workspace pools enumerate the dtypes statically).
+//!
+//! Each impl carries:
+//!
+//! - the IEEE constants the factorization stack needs (`EPSILON`,
+//!   `MIN_POSITIVE`, ∞) at its own precision,
+//! - the 256-bit SIMD lane mapping (`SIMD_LANES`: 4 for `f64`, 8 for
+//!   `f32`) that the AVX2/FMA micro-kernels key their tile widths on,
+//! - the per-dtype process-wide cells (kernel registry, selected kernel,
+//!   resolved blocking) — Rust has no generic statics, so each dtype hosts
+//!   its own `OnceLock`s behind trait hooks, and
+//! - the workspace pool hook that lets one [`crate::workspace::Workspace`]
+//!   arena serve both precisions with honest byte-based accounting.
+//!
+//! Determinism contract per dtype: every numeric method here lowers to the
+//! corresponding `std` float intrinsic on the concrete type, so code
+//! monomorphized at `f64` executes exactly the instruction stream the
+//! pre-generic (f64-only) code did — all f64 results are bitwise
+//! unchanged by this refactor.
+
+use std::sync::OnceLock;
+
+use crate::gemm::blocking::{Blocking, BlockingSource};
+use crate::gemm::kernel::MicroKernel;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// The per-dtype process-wide GEMM resolution state (see module docs).
+#[doc(hidden)]
+pub struct GemmCells<T: Scalar> {
+    /// Kernels available on this CPU for this dtype (scalar first).
+    pub registry: OnceLock<Vec<&'static dyn MicroKernel<T>>>,
+    /// The kernel resolved from `PSVD_GEMM_KERNEL` / CPU detection.
+    pub selected: OnceLock<&'static dyn MicroKernel<T>>,
+    /// The resolved cache-blocking triple and where it came from.
+    pub blocking: OnceLock<(Blocking, BlockingSource)>,
+}
+
+impl<T: Scalar> GemmCells<T> {
+    pub const fn new() -> Self {
+        Self { registry: OnceLock::new(), selected: OnceLock::new(), blocking: OnceLock::new() }
+    }
+}
+
+impl<T: Scalar> Default for GemmCells<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A dense element type: `f64` or `f32`. Sealed.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Send
+    + Sync
+    + Default
+    + PartialEq
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + std::fmt::LowerExp
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + std::ops::MulAssign
+    + std::ops::DivAssign
+    + std::iter::Sum<Self>
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon at this precision.
+    const EPSILON: Self;
+    /// Smallest positive normal (the safe-min guard in deflation tests).
+    const MIN_POSITIVE: Self;
+    /// Positive infinity.
+    const INFINITY: Self;
+    /// Lanes per 256-bit SIMD vector (4 for `f64`, 8 for `f32`).
+    const SIMD_LANES: usize;
+    /// Stable lowercase dtype label for profiles / bench JSON ("f64", "f32").
+    const NAME: &'static str;
+
+    /// Nearest representable value to `x` (exact for f64; one rounding
+    /// for f32 — used for tolerances and config-derived factors).
+    fn from_f64(x: f64) -> Self;
+    /// Widen to f64 (exact for both dtypes).
+    fn to_f64(self) -> f64;
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn hypot(self, other: Self) -> Self;
+    fn max(self, other: Self) -> Self;
+    fn min(self, other: Self) -> Self;
+    fn signum(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+    fn ln(self) -> Self;
+    fn is_finite(self) -> bool;
+
+    /// This dtype's process-wide GEMM resolution cells.
+    #[doc(hidden)]
+    fn gemm_cells() -> &'static GemmCells<Self>;
+
+    /// The kernels this build/CPU can run at this dtype, scalar oracle
+    /// first, fastest last (mirrors the f64-only detection order).
+    #[doc(hidden)]
+    fn detect_kernels() -> Vec<&'static dyn MicroKernel<Self>>;
+
+    /// This dtype's free-list inside the shared workspace arena.
+    #[doc(hidden)]
+    fn workspace_pool(ws: &mut crate::workspace::Workspace) -> &mut Vec<Vec<Self>>;
+}
+
+macro_rules! scalar_common {
+    () => {
+        #[inline(always)]
+        fn abs(self) -> Self {
+            self.abs()
+        }
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            self.sqrt()
+        }
+        #[inline(always)]
+        fn hypot(self, other: Self) -> Self {
+            self.hypot(other)
+        }
+        #[inline(always)]
+        fn max(self, other: Self) -> Self {
+            self.max(other)
+        }
+        #[inline(always)]
+        fn min(self, other: Self) -> Self {
+            self.min(other)
+        }
+        #[inline(always)]
+        fn signum(self) -> Self {
+            self.signum()
+        }
+        #[inline(always)]
+        fn powi(self, n: i32) -> Self {
+            self.powi(n)
+        }
+        #[inline(always)]
+        fn ln(self) -> Self {
+            self.ln()
+        }
+        #[inline(always)]
+        fn is_finite(self) -> bool {
+            self.is_finite()
+        }
+    };
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const MIN_POSITIVE: Self = f64::MIN_POSITIVE;
+    const INFINITY: Self = f64::INFINITY;
+    const SIMD_LANES: usize = 4;
+    const NAME: &'static str = "f64";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    scalar_common!();
+
+    fn gemm_cells() -> &'static GemmCells<Self> {
+        static CELLS: GemmCells<f64> = GemmCells::new();
+        &CELLS
+    }
+
+    fn detect_kernels() -> Vec<&'static dyn MicroKernel<Self>> {
+        crate::gemm::kernel::detect_f64()
+    }
+
+    fn workspace_pool(ws: &mut crate::workspace::Workspace) -> &mut Vec<Vec<Self>> {
+        ws.pool_f64()
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const MIN_POSITIVE: Self = f32::MIN_POSITIVE;
+    const INFINITY: Self = f32::INFINITY;
+    const SIMD_LANES: usize = 8;
+    const NAME: &'static str = "f32";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    scalar_common!();
+
+    fn gemm_cells() -> &'static GemmCells<Self> {
+        static CELLS: GemmCells<f32> = GemmCells::new();
+        &CELLS
+    }
+
+    fn detect_kernels() -> Vec<&'static dyn MicroKernel<Self>> {
+        crate::gemm::kernel::detect_f32()
+    }
+
+    fn workspace_pool(ws: &mut crate::workspace::Workspace) -> &mut Vec<Vec<Self>> {
+        ws.pool_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(<f64 as Scalar>::EPSILON, f64::EPSILON);
+        assert_eq!(<f32 as Scalar>::EPSILON, f32::EPSILON);
+        assert_eq!(<f64 as Scalar>::MIN_POSITIVE, f64::MIN_POSITIVE);
+        assert_eq!(<f32 as Scalar>::SIMD_LANES, 2 * <f64 as Scalar>::SIMD_LANES);
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(<f64 as Scalar>::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(<f32 as Scalar>::from_f64(1.5).to_f64(), 1.5);
+        // f32 narrows: one rounding, then exact widening.
+        let x = 0.1f64;
+        assert_eq!(<f32 as Scalar>::from_f64(x), 0.1f32);
+        assert_eq!(<f32 as Scalar>::from_f64(x).to_f64(), 0.1f32 as f64);
+    }
+
+    #[test]
+    fn math_lowers_to_std() {
+        fn probe<T: Scalar>() {
+            let three = T::from_f64(3.0);
+            let four = T::from_f64(4.0);
+            assert_eq!(three.hypot(four), T::from_f64(5.0));
+            assert_eq!((-three).abs(), three);
+            assert_eq!(four.sqrt(), T::from_f64(2.0));
+            assert_eq!((-four).signum(), -T::ONE);
+            assert_eq!(three.max(four), four);
+            assert_eq!(three.min(four), three);
+            assert!(three.is_finite());
+            assert!(!T::INFINITY.is_finite());
+        }
+        probe::<f64>();
+        probe::<f32>();
+    }
+}

@@ -9,6 +9,7 @@
 use crate::eig::sym_eig;
 use crate::gemm::gram;
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 
 /// Right singular vectors and singular values of `a` via the method of
 /// snapshots: returns `(V_k, s_k)` with `V_k ∈ R^{N x k}` and `s_k`
@@ -16,12 +17,12 @@ use crate::matrix::Matrix;
 ///
 /// Eigenvalues that are numerically negative (round-off from the Gram
 /// accumulation) are clamped to zero.
-pub fn generate_right_vectors(a: &Matrix, k: usize) -> (Matrix, Vec<f64>) {
+pub fn generate_right_vectors<T: Scalar>(a: &Matrix<T>, k: usize) -> (Matrix<T>, Vec<T>) {
     let n = a.cols();
     let k = k.min(n);
     let g = gram(a);
     let e = sym_eig(&g);
-    let s: Vec<f64> = e.values[..k].iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let s: Vec<T> = e.values[..k].iter().map(|&l| l.max(T::ZERO).sqrt()).collect();
     let v = e.vectors.first_columns(k);
     (v, s)
 }
@@ -29,10 +30,14 @@ pub fn generate_right_vectors(a: &Matrix, k: usize) -> (Matrix, Vec<f64>) {
 /// As [`generate_right_vectors`], but discards directions whose singular
 /// value falls below `rtol * s_max` (the truncation the APMOS paper applies
 /// before communicating, to avoid shipping noise directions).
-pub fn generate_right_vectors_tol(a: &Matrix, k: usize, rtol: f64) -> (Matrix, Vec<f64>) {
+pub fn generate_right_vectors_tol<T: Scalar>(
+    a: &Matrix<T>,
+    k: usize,
+    rtol: f64,
+) -> (Matrix<T>, Vec<T>) {
     let (v, s) = generate_right_vectors(a, k);
-    let smax = s.first().copied().unwrap_or(0.0);
-    let keep = s.iter().take_while(|&&x| x > rtol * smax).count().max(1).min(s.len());
+    let smax = s.first().copied().unwrap_or(T::ZERO).to_f64();
+    let keep = s.iter().take_while(|&&x| x.to_f64() > rtol * smax).count().max(1).min(s.len());
     (v.first_columns(keep), s[..keep].to_vec())
 }
 

@@ -10,6 +10,7 @@ use crate::gemm::matmul_into;
 use crate::matrix::Matrix;
 use crate::qr::{apply_reflector, apply_reflector_right, qr_block, qr_thin_into};
 use crate::rot::{rot_block, RotAccumulator};
+use crate::scalar::Scalar;
 use crate::svd::{convergence_stats, Svd, SvdInfo};
 use crate::workspace::Workspace;
 use crate::wy;
@@ -17,11 +18,11 @@ use crate::wy;
 /// Givens pair `(c, s, r)` with `c*f + s*g = r`, `-s*f + c*g = 0`,
 /// `r = hypot(f, g)`.
 #[inline]
-fn givens(f: f64, g: f64) -> (f64, f64, f64) {
-    if g == 0.0 {
-        (1.0, 0.0, f)
-    } else if f == 0.0 {
-        (0.0, 1.0, g)
+fn givens<T: Scalar>(f: T, g: T) -> (T, T, T) {
+    if g == T::ZERO {
+        (T::ONE, T::ZERO, f)
+    } else if f == T::ZERO {
+        (T::ZERO, T::ONE, g)
     } else {
         let r = f.hypot(g);
         (f / r, g / r, r)
@@ -38,7 +39,8 @@ fn givens(f: f64, g: f64) -> (f64, f64, f64) {
 /// reduction below is level-2, so on an `m >> n` matrix it would dominate
 /// the whole SVD, while the QR route keeps every `O(m n^2)` term on the
 /// blocked compact-WY / packed-GEMM engine.
-pub fn bidiagonalize(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
+#[allow(clippy::type_complexity)]
+pub fn bidiagonalize<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Vec<T>, Vec<T>, Matrix<T>) {
     let (m, n) = a.shape();
     assert!(m >= n, "bidiagonalize requires m >= n");
     if m >= 2 * n && n >= 8 {
@@ -54,7 +56,8 @@ pub fn bidiagonalize(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
 }
 
 /// The direct reflector-at-a-time reduction (no QR preprocessing).
-fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
+#[allow(clippy::type_complexity)]
+fn bidiagonalize_dense<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Vec<T>, Vec<T>, Matrix<T>) {
     let (m, n) = a.shape();
     let mut ws = Workspace::new();
     let mut b = a.clone();
@@ -66,9 +69,9 @@ fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
     // accumulation below consumes.
     let rcount = n.saturating_sub(2);
     let mut lvs = ws.take(n, m);
-    let mut lvn = vec![0.0; n];
+    let mut lvn = vec![T::ZERO; n];
     let mut rvs = ws.take(rcount, n.saturating_sub(1));
-    let mut rvn = vec![0.0; rcount];
+    let mut rvn = vec![T::ZERO; rcount];
 
     for k in 0..n {
         // Left Householder on b[k.., k].
@@ -79,17 +82,17 @@ fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
                 *vv = b[(k + idx, k)];
             }
         }
-        let norm = lvs.row(k)[..vlen].iter().map(|x| x * x).sum::<f64>().sqrt();
-        if norm > 0.0 {
-            let alpha = if lvs[(k, 0)] >= 0.0 { -norm } else { norm };
+        let norm = lvs.row(k)[..vlen].iter().map(|x| *x * *x).sum::<T>().sqrt();
+        if norm > T::ZERO {
+            let alpha = if lvs[(k, 0)] >= T::ZERO { -norm } else { norm };
             lvs[(k, 0)] -= alpha;
-            let vn2: f64 = lvs.row(k)[..vlen].iter().map(|x| x * x).sum();
-            if vn2 > 0.0 {
+            let vn2: T = lvs.row(k)[..vlen].iter().map(|x| *x * *x).sum();
+            if vn2 > T::ZERO {
                 lvn[k] = vn2;
                 apply_reflector(b.as_mut_slice(), n, k, k, n, &lvs.row(k)[..vlen], vn2);
                 b[(k, k)] = alpha;
                 for i in k + 1..m {
-                    b[(i, k)] = 0.0;
+                    b[(i, k)] = T::ZERO;
                 }
             }
         }
@@ -103,12 +106,12 @@ fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
                     *wv = b[(k, k + 1 + idx)];
                 }
             }
-            let norm = rvs.row(k)[..wlen].iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm > 0.0 {
-                let alpha = if rvs[(k, 0)] >= 0.0 { -norm } else { norm };
+            let norm = rvs.row(k)[..wlen].iter().map(|x| *x * *x).sum::<T>().sqrt();
+            if norm > T::ZERO {
+                let alpha = if rvs[(k, 0)] >= T::ZERO { -norm } else { norm };
                 rvs[(k, 0)] -= alpha;
-                let wn2: f64 = rvs.row(k)[..wlen].iter().map(|x| x * x).sum();
-                if wn2 > 0.0 {
+                let wn2: T = rvs.row(k)[..wlen].iter().map(|x| *x * *x).sum();
+                if wn2 > T::ZERO {
                     rvn[k] = wn2;
                     apply_reflector_right(
                         b.as_mut_slice(),
@@ -121,7 +124,7 @@ fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
                     );
                     b[(k, k + 1)] = alpha;
                     for j in k + 2..n {
-                        b[(k, j)] = 0.0;
+                        b[(k, j)] = T::ZERO;
                     }
                 }
             }
@@ -133,7 +136,7 @@ fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
     // packed GEMM engine.
     let mut u = Matrix::zeros(m, n);
     for i in 0..n {
-        u[(i, i)] = 1.0;
+        u[(i, i)] = T::ONE;
     }
     let nb_u = qr_block(m, n);
     if nb_u <= 1 {
@@ -151,8 +154,8 @@ fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
         wy::accumulate_reverse(&rvs, &rvn, rcount, 1, nb_v, &mut v, &mut ws);
     }
 
-    let d: Vec<f64> = (0..n).map(|i| b[(i, i)]).collect();
-    let e: Vec<f64> = (0..n.saturating_sub(1)).map(|i| b[(i, i + 1)]).collect();
+    let d: Vec<T> = (0..n).map(|i| b[(i, i)]).collect();
+    let e: Vec<T> = (0..n.saturating_sub(1)).map(|i| b[(i, i + 1)]).collect();
     (u, d, e, v)
 }
 
@@ -160,14 +163,14 @@ fn bidiagonalize_dense(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>, Matrix) {
 /// Keeps the QR-iteration call sites at "rotate these columns" while the
 /// accumulator decides between the direct level-1 update and the windowed
 /// level-3 path.
-struct Rotated<'a> {
-    m: &'a mut Matrix,
-    acc: &'a mut RotAccumulator,
+struct Rotated<'a, T: Scalar> {
+    m: &'a mut Matrix<T>,
+    acc: &'a mut RotAccumulator<T>,
 }
 
-impl Rotated<'_> {
+impl<T: Scalar> Rotated<'_, T> {
     #[inline]
-    fn rotate(&mut self, j: usize, k: usize, c: f64, s: f64, ws: &mut Workspace) {
+    fn rotate(&mut self, j: usize, k: usize, c: T, s: T, ws: &mut Workspace) {
         self.acc.rotate(self.m, j, k, c, s, ws);
     }
 
@@ -181,26 +184,26 @@ impl Rotated<'_> {
 /// parameters derive only from `d`/`e`, which the accumulators never
 /// touch — so the bidiagonal (and hence every singular value) is bitwise
 /// independent of how the factor updates are batched.
-fn gk_step(
-    d: &mut [f64],
-    e: &mut [f64],
+fn gk_step<T: Scalar>(
+    d: &mut [T],
+    e: &mut [T],
     p: usize,
     q: usize,
-    u: &mut Rotated<'_>,
-    v: &mut Rotated<'_>,
+    u: &mut Rotated<'_, T>,
+    v: &mut Rotated<'_, T>,
     ws: &mut Workspace,
 ) {
     // Wilkinson shift from the trailing 2x2 of Bᵀ B.
-    let eq2 = if q >= 2 && q - 1 > p { e[q - 2] } else { 0.0 };
+    let eq2 = if q >= 2 && q - 1 > p { e[q - 2] } else { T::ZERO };
     let t11 = d[q - 1] * d[q - 1] + eq2 * eq2;
     let t12 = d[q - 1] * e[q - 1];
     let t22 = d[q] * d[q] + e[q - 1] * e[q - 1];
-    let diff = 0.5 * (t11 - t22);
-    let mu = if t12 == 0.0 {
+    let diff = T::from_f64(0.5) * (t11 - t22);
+    let mu = if t12 == T::ZERO {
         t22
     } else {
         let denom = diff + diff.signum() * diff.hypot(t12);
-        if denom == 0.0 {
+        if denom == T::ZERO {
             t22
         } else {
             t22 - t12 * t12 / denom
@@ -245,16 +248,16 @@ fn gk_step(
 
 /// When `d[k]` is negligible (k < q), chase `e[k]` away with left rotations
 /// against the rows below, zeroing row `k`'s coupling.
-fn zero_diag_row_chase(
-    d: &mut [f64],
-    e: &mut [f64],
+fn zero_diag_row_chase<T: Scalar>(
+    d: &mut [T],
+    e: &mut [T],
     k: usize,
     q: usize,
-    u: &mut Rotated<'_>,
+    u: &mut Rotated<'_, T>,
     ws: &mut Workspace,
 ) {
     let mut f = e[k];
-    e[k] = 0.0;
+    e[k] = T::ZERO;
     for j in k + 1..=q {
         let (c, s, r) = givens(d[j], f);
         d[j] = r;
@@ -269,16 +272,16 @@ fn zero_diag_row_chase(
 
 /// When `d[q]` is negligible, chase `e[q-1]` away with right rotations
 /// against the columns to the left.
-fn zero_diag_col_chase(
-    d: &mut [f64],
-    e: &mut [f64],
+fn zero_diag_col_chase<T: Scalar>(
+    d: &mut [T],
+    e: &mut [T],
     p: usize,
     q: usize,
-    v: &mut Rotated<'_>,
+    v: &mut Rotated<'_, T>,
     ws: &mut Workspace,
 ) {
     let mut f = e[q - 1];
-    e[q - 1] = 0.0;
+    e[q - 1] = T::ZERO;
     for j in (p..q).rev() {
         let (c, s, r) = givens(d[j], f);
         d[j] = r;
@@ -292,7 +295,7 @@ fn zero_diag_col_chase(
 
 /// SVD of an upper-bidiagonal matrix given by diagonal `d` and superdiagonal
 /// `e`, with the rotations accumulated into the preexisting factors `u`, `v`.
-pub fn bidiagonal_svd(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) -> Svd {
+pub fn bidiagonal_svd<T: Scalar>(d: Vec<T>, e: Vec<T>, u: Matrix<T>, v: Matrix<T>) -> Svd<T> {
     bidiagonal_svd_with_info(d, e, u, v).0
 }
 
@@ -300,7 +303,12 @@ pub fn bidiagonal_svd(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) -> Svd {
 /// (iteration limit hit — should never happen) still returns the best
 /// factorization found, and bumps
 /// [`convergence_stats::failures`](crate::svd::convergence_stats).
-pub fn bidiagonal_svd_with_info(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) -> (Svd, SvdInfo) {
+pub fn bidiagonal_svd_with_info<T: Scalar>(
+    d: Vec<T>,
+    e: Vec<T>,
+    u: Matrix<T>,
+    v: Matrix<T>,
+) -> (Svd<T>, SvdInfo) {
     let cap_u = rot_block(u.rows(), u.cols());
     let cap_v = rot_block(v.rows(), v.cols());
     bidiagonal_svd_impl(d, e, u, v, cap_u, cap_v, None)
@@ -312,13 +320,13 @@ pub fn bidiagonal_svd_with_info(d: Vec<f64>, e: Vec<f64>, u: Matrix, v: Matrix) 
 /// [`convergence_stats::failures`](crate::svd::convergence_stats) exactly
 /// once — the hook tests use to exercise the non-convergence path, since a
 /// well-posed spectrum never trips the default cap.
-pub fn bidiagonal_svd_budgeted(
-    d: Vec<f64>,
-    e: Vec<f64>,
-    u: Matrix,
-    v: Matrix,
+pub fn bidiagonal_svd_budgeted<T: Scalar>(
+    d: Vec<T>,
+    e: Vec<T>,
+    u: Matrix<T>,
+    v: Matrix<T>,
     max_iter: usize,
-) -> (Svd, SvdInfo) {
+) -> (Svd<T>, SvdInfo) {
     let cap_u = rot_block(u.rows(), u.cols());
     let cap_v = rot_block(v.rows(), v.cols());
     bidiagonal_svd_impl(d, e, u, v, cap_u, cap_v, Some(max_iter))
@@ -328,33 +336,33 @@ pub fn bidiagonal_svd_budgeted(
 /// pit the accumulated path against the direct reference without touching
 /// the process-wide knob.
 #[cfg(test)]
-fn bidiagonal_svd_caps(
-    d: Vec<f64>,
-    e: Vec<f64>,
-    u: Matrix,
-    v: Matrix,
+fn bidiagonal_svd_caps<T: Scalar>(
+    d: Vec<T>,
+    e: Vec<T>,
+    u: Matrix<T>,
+    v: Matrix<T>,
     cap_u: usize,
     cap_v: usize,
-) -> (Svd, SvdInfo) {
+) -> (Svd<T>, SvdInfo) {
     bidiagonal_svd_impl(d, e, u, v, cap_u, cap_v, None)
 }
 
-fn bidiagonal_svd_impl(
-    mut d: Vec<f64>,
-    mut e: Vec<f64>,
-    mut u: Matrix,
-    mut v: Matrix,
+fn bidiagonal_svd_impl<T: Scalar>(
+    mut d: Vec<T>,
+    mut e: Vec<T>,
+    mut u: Matrix<T>,
+    mut v: Matrix<T>,
     cap_u: usize,
     cap_v: usize,
     budget: Option<usize>,
-) -> (Svd, SvdInfo) {
+) -> (Svd<T>, SvdInfo) {
     let n = d.len();
     if n == 0 {
         return (Svd { u, s: d, vt: v.transpose() }, SvdInfo { iterations: 0, converged: true });
     }
-    let eps = f64::EPSILON;
+    let eps = T::EPSILON;
     let bnorm =
-        d.iter().chain(e.iter()).fold(0.0f64, |acc, x| acc.max(x.abs())).max(f64::MIN_POSITIVE);
+        d.iter().chain(e.iter()).fold(T::ZERO, |acc, x| acc.max(x.abs())).max(T::MIN_POSITIVE);
 
     let max_iter = budget.unwrap_or(60 * n * n + 100);
     let mut iter = 0;
@@ -368,18 +376,20 @@ fn bidiagonal_svd_impl(
         loop {
             // Deflate negligible superdiagonals.
             for k in 0..n.saturating_sub(1) {
-                if e[k].abs() <= eps * (d[k].abs() + d[k + 1].abs()) + eps * bnorm * 1e-2 {
-                    e[k] = 0.0;
+                if e[k].abs()
+                    <= eps * (d[k].abs() + d[k + 1].abs()) + eps * bnorm * T::from_f64(1e-2)
+                {
+                    e[k] = T::ZERO;
                 }
             }
             // Largest unreduced block end.
-            let q = match (0..n.saturating_sub(1)).rev().find(|&k| e[k] != 0.0) {
+            let q = match (0..n.saturating_sub(1)).rev().find(|&k| e[k] != T::ZERO) {
                 Some(k) => k + 1,
                 None => break,
             };
             // Block start.
             let mut p = q - 1;
-            while p > 0 && e[p - 1] != 0.0 {
+            while p > 0 && e[p - 1] != T::ZERO {
                 p -= 1;
             }
 
@@ -394,12 +404,12 @@ fn bidiagonal_svd_impl(
 
             // Zero diagonals force deflation chases.
             if d[q].abs() <= eps * bnorm {
-                d[q] = 0.0;
+                d[q] = T::ZERO;
                 zero_diag_col_chase(&mut d, &mut e, p, q, &mut v, &mut ws);
                 continue;
             }
             if let Some(k) = (p..q).find(|&k| d[k].abs() <= eps * bnorm) {
-                d[k] = 0.0;
+                d[k] = T::ZERO;
                 zero_diag_row_chase(&mut d, &mut e, k, q, &mut u, &mut ws);
                 continue;
             }
@@ -414,7 +424,7 @@ fn bidiagonal_svd_impl(
 
     // Make singular values non-negative (flip U columns).
     for k in 0..n {
-        if d[k] < 0.0 {
+        if d[k] < T::ZERO {
             d[k] = -d[k];
             for i in 0..u.rows() {
                 u[(i, k)] = -u[(i, k)];
@@ -425,7 +435,7 @@ fn bidiagonal_svd_impl(
     // Sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("NaN singular value"));
-    let s: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let s: Vec<T> = order.iter().map(|&i| d[i]).collect();
     let u_sorted = u.select_columns(&order);
     let v_sorted = v.select_columns(&order);
 
@@ -433,12 +443,12 @@ fn bidiagonal_svd_impl(
 }
 
 /// Full Golub–Kahan SVD of a tall (or square) matrix. Panics if `m < n`.
-pub fn golub_kahan_svd(a: &Matrix) -> Svd {
+pub fn golub_kahan_svd<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
     golub_kahan_svd_with_info(a).0
 }
 
 /// [`golub_kahan_svd`] plus the QR iteration's convergence report.
-pub fn golub_kahan_svd_with_info(a: &Matrix) -> (Svd, SvdInfo) {
+pub fn golub_kahan_svd_with_info<T: Scalar>(a: &Matrix<T>) -> (Svd<T>, SvdInfo) {
     let (m, n) = a.shape();
     assert!(m >= n, "golub_kahan_svd requires m >= n (got {m}x{n}); use svd() for wide input");
     if n == 0 {
@@ -520,7 +530,7 @@ mod tests {
 
     #[test]
     fn gk_zero_matrix() {
-        let f = golub_kahan_svd(&Matrix::zeros(6, 4));
+        let f = golub_kahan_svd(&Matrix::<f64>::zeros(6, 4));
         assert!(f.s.iter().all(|&x| x == 0.0));
     }
 

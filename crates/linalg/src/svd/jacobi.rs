@@ -31,6 +31,7 @@
 use crate::gemm::gram_into;
 use crate::matrix::Matrix;
 use crate::rot::{rot_block, RotAccumulator};
+use crate::scalar::Scalar;
 use crate::svd::{convergence_stats, Svd, SvdInfo};
 use crate::workspace::Workspace;
 
@@ -38,12 +39,12 @@ use crate::workspace::Workspace;
 const MAX_SWEEPS: usize = 60;
 
 /// One-sided Jacobi SVD of a tall (or square) matrix. Panics if `m < n`.
-pub fn jacobi_svd(a: &Matrix) -> Svd {
+pub fn jacobi_svd<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
     jacobi_svd_with_info(a).0
 }
 
 /// [`jacobi_svd`] plus its convergence report (`iterations` = sweeps).
-pub fn jacobi_svd_with_info(a: &Matrix) -> (Svd, SvdInfo) {
+pub fn jacobi_svd_with_info<T: Scalar>(a: &Matrix<T>) -> (Svd<T>, SvdInfo) {
     let (m, n) = a.shape();
     assert!(m >= n, "jacobi_svd requires m >= n (got {m}x{n}); use svd() for wide input");
     jacobi_svd_caps(a, rot_block(m, n))
@@ -52,7 +53,7 @@ pub fn jacobi_svd_with_info(a: &Matrix) -> (Svd, SvdInfo) {
 /// The sweep loop with an explicit rotation-window capacity, so tests can
 /// pit the accumulated path against the direct reference without touching
 /// the process-wide knob.
-pub(crate) fn jacobi_svd_caps(a: &Matrix, cap: usize) -> (Svd, SvdInfo) {
+pub(crate) fn jacobi_svd_caps<T: Scalar>(a: &Matrix<T>, cap: usize) -> (Svd<T>, SvdInfo) {
     let (m, n) = a.shape();
     if n == 0 {
         let f = Svd { u: Matrix::zeros(m, 0), s: Vec::new(), vt: Matrix::zeros(0, 0) };
@@ -70,26 +71,26 @@ pub(crate) fn jacobi_svd_caps(a: &Matrix, cap: usize) -> (Svd, SvdInfo) {
 /// inner product, or `None` when the pair is already orthogonal (or
 /// degenerate) at tolerance `eps`.
 #[inline]
-fn pair_rotation(alpha: f64, beta: f64, gamma: f64, eps: f64) -> Option<(f64, f64, f64)> {
-    if alpha == 0.0 || beta == 0.0 {
+fn pair_rotation<T: Scalar>(alpha: T, beta: T, gamma: T, eps: T) -> Option<(T, T, T)> {
+    if alpha == T::ZERO || beta == T::ZERO {
         return None;
     }
     if gamma.abs() <= eps * (alpha * beta).sqrt() {
         return None;
     }
-    let zeta = (beta - alpha) / (2.0 * gamma);
-    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
-    let c = 1.0 / (1.0 + t * t).sqrt();
+    let zeta = (beta - alpha) / (T::from_f64(2.0) * gamma);
+    let t = zeta.signum() / (zeta.abs() + (T::ONE + zeta * zeta).sqrt());
+    let c = T::ONE / (T::ONE + t * t).sqrt();
     let s = c * t;
     Some((c, s, t))
 }
 
 /// The direct reference path: moments from `U`, rotations applied in place.
-fn jacobi_direct(a: &Matrix) -> (Svd, SvdInfo) {
+fn jacobi_direct<T: Scalar>(a: &Matrix<T>) -> (Svd<T>, SvdInfo) {
     let (m, n) = a.shape();
     let mut u = a.clone();
     let mut v = Matrix::identity(n);
-    let eps = f64::EPSILON;
+    let eps = T::EPSILON;
 
     let mut sweeps = 0;
     let mut converged = false;
@@ -99,9 +100,9 @@ fn jacobi_direct(a: &Matrix) -> (Svd, SvdInfo) {
         for p in 0..n {
             for q in p + 1..n {
                 // Column moments.
-                let mut alpha = 0.0;
-                let mut beta = 0.0;
-                let mut gamma = 0.0;
+                let mut alpha = T::ZERO;
+                let mut beta = T::ZERO;
+                let mut gamma = T::ZERO;
                 for i in 0..m {
                     let up = u[(i, p)];
                     let uq = u[(i, q)];
@@ -140,11 +141,11 @@ fn jacobi_direct(a: &Matrix) -> (Svd, SvdInfo) {
 
 /// The accumulated path: per-sweep Gram moments, congruence-maintained,
 /// with `U`/`V` rotations recorded into level-3 windows.
-fn jacobi_accumulated(a: &Matrix, cap: usize) -> (Svd, SvdInfo) {
+fn jacobi_accumulated<T: Scalar>(a: &Matrix<T>, cap: usize) -> (Svd<T>, SvdInfo) {
     let (_, n) = a.shape();
     let mut u = a.clone();
     let mut v = Matrix::identity(n);
-    let eps = f64::EPSILON;
+    let eps = T::EPSILON;
     let mut ws = Workspace::new();
     let mut acc_u = RotAccumulator::new(cap);
     let mut acc_v = RotAccumulator::new(cap);
@@ -186,8 +187,8 @@ fn jacobi_accumulated(a: &Matrix, cap: usize) -> (Svd, SvdInfo) {
                 }
                 b[(p, p)] = alpha - t * gamma;
                 b[(q, q)] = beta + t * gamma;
-                b[(p, q)] = 0.0;
-                b[(q, p)] = 0.0;
+                b[(p, q)] = T::ZERO;
+                b[(q, p)] = T::ZERO;
                 // `u_p ← c·u_p − s·u_q, u_q ← s·u_p + c·u_q` in the
                 // accumulator's convention is `rotate(p, q, c, −s)`.
                 acc_u.rotate(&mut u, p, q, c, -s, &mut ws);
@@ -209,10 +210,10 @@ fn jacobi_accumulated(a: &Matrix, cap: usize) -> (Svd, SvdInfo) {
 
 /// Extract singular values (column norms of `u`, descending), normalized
 /// `U`, and `Vᵀ` — shared by both sweep strategies.
-fn extract(u: &Matrix, v: &Matrix) -> Svd {
+fn extract<T: Scalar>(u: &Matrix<T>, v: &Matrix<T>) -> Svd<T> {
     let (m, n) = u.shape();
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = (0..n).map(|j| u.col_norm(j)).collect();
+    let norms: Vec<T> = (0..n).map(|j| u.col_norm(j)).collect();
     order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("NaN singular value"));
 
     let mut s = Vec::with_capacity(n);
@@ -221,7 +222,7 @@ fn extract(u: &Matrix, v: &Matrix) -> Svd {
     for (jj, &j) in order.iter().enumerate() {
         let sigma = norms[j];
         s.push(sigma);
-        if sigma > 0.0 {
+        if sigma > T::ZERO {
             for i in 0..m {
                 u_sorted[(i, jj)] = u[(i, j)] / sigma;
             }
@@ -299,7 +300,7 @@ mod tests {
 
     #[test]
     fn svd_of_zero() {
-        let a = Matrix::zeros(10, 4);
+        let a = Matrix::<f64>::zeros(10, 4);
         let f = jacobi_svd(&a);
         assert!(f.s.iter().all(|&x| x == 0.0));
     }
@@ -376,6 +377,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires m >= n")]
     fn wide_input_panics() {
-        jacobi_svd(&Matrix::zeros(2, 5));
+        jacobi_svd(&Matrix::<f64>::zeros(2, 5));
     }
 }

@@ -20,6 +20,7 @@ pub mod jacobi;
 use crate::gemm::matmul;
 use crate::matrix::Matrix;
 use crate::qr::thin_qr;
+use crate::scalar::Scalar;
 
 pub mod convergence_stats {
     //! Process-wide iterative-solver convergence counters.
@@ -70,40 +71,40 @@ pub struct SvdInfo {
 /// For an `m x n` input with `p = min(m, n)`: `u` is `m x p`, `s` has length
 /// `p` (non-negative, descending), and `vt` is `p x n`.
 #[derive(Clone, Debug)]
-pub struct Svd {
+pub struct Svd<T: Scalar = f64> {
     /// Left singular vectors (columns).
-    pub u: Matrix,
+    pub u: Matrix<T>,
     /// Singular values, descending and non-negative.
-    pub s: Vec<f64>,
+    pub s: Vec<T>,
     /// Right singular vectors, transposed (rows).
-    pub vt: Matrix,
+    pub vt: Matrix<T>,
 }
 
-impl Svd {
+impl<T: Scalar> Svd<T> {
     /// Keep only the leading `k` singular triplets.
-    pub fn truncated(&self, k: usize) -> Svd {
+    pub fn truncated(&self, k: usize) -> Svd<T> {
         let k = k.min(self.s.len());
         Svd { u: self.u.first_columns(k), s: self.s[..k].to_vec(), vt: self.vt.row_block(0, k) }
     }
 
     /// Reconstruct `U diag(s) Vᵀ`.
-    pub fn reconstruct(&self) -> Matrix {
+    pub fn reconstruct(&self) -> Matrix<T> {
         matmul(&self.u.mul_diag(&self.s), &self.vt)
     }
 
     /// Relative Frobenius reconstruction error against `a`.
-    pub fn reconstruction_error(&self, a: &Matrix) -> f64 {
-        (a - &self.reconstruct()).frobenius_norm() / a.frobenius_norm().max(1.0)
+    pub fn reconstruction_error(&self, a: &Matrix<T>) -> f64 {
+        (a - &self.reconstruct()).frobenius_norm().to_f64() / a.frobenius_norm().to_f64().max(1.0)
     }
 
     /// Numerical rank at relative threshold `rtol` (relative to `s[0]`).
     pub fn rank(&self, rtol: f64) -> usize {
-        let smax = self.s.first().copied().unwrap_or(0.0);
-        self.s.iter().filter(|&&x| x > rtol * smax).count()
+        let smax = self.s.first().copied().unwrap_or(T::ZERO).to_f64();
+        self.s.iter().filter(|&&x| x.to_f64() > rtol * smax).count()
     }
 
     /// The right singular vectors as columns (`n x p`).
-    pub fn v(&self) -> Matrix {
+    pub fn v(&self) -> Matrix<T> {
         self.vt.transpose()
     }
 
@@ -111,7 +112,7 @@ impl Svd {
     /// singular or empty input).
     pub fn condition_number(&self) -> f64 {
         match (self.s.first(), self.s.last()) {
-            (Some(&hi), Some(&lo)) if lo > 0.0 => hi / lo,
+            (Some(&hi), Some(&lo)) if lo > T::ZERO => hi.to_f64() / lo.to_f64(),
             _ => f64::INFINITY,
         }
     }
@@ -119,11 +120,11 @@ impl Svd {
     /// Fraction of total squared energy captured by the leading `k`
     /// triplets (Eckart–Young: the best possible rank-`k` share).
     pub fn energy_fraction(&self, k: usize) -> f64 {
-        let total: f64 = self.s.iter().map(|x| x * x).sum();
+        let total: f64 = self.s.iter().map(|x| x.to_f64() * x.to_f64()).sum();
         if total == 0.0 {
             return 1.0;
         }
-        self.s[..k.min(self.s.len())].iter().map(|x| x * x).sum::<f64>() / total
+        self.s[..k.min(self.s.len())].iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>() / total
     }
 }
 
@@ -142,7 +143,7 @@ pub enum SvdMethod {
 const QR_PREPROCESS_RATIO: usize = 2;
 
 /// Thin SVD with the default kernel.
-pub fn svd(a: &Matrix) -> Svd {
+pub fn svd<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
     svd_with(a, SvdMethod::default())
 }
 
@@ -150,7 +151,7 @@ pub fn svd(a: &Matrix) -> Svd {
 ///
 /// Wide matrices are handled by factorizing the transpose and swapping
 /// factors; very tall matrices are first reduced by a thin QR.
-pub fn svd_with(a: &Matrix, method: SvdMethod) -> Svd {
+pub fn svd_with<T: Scalar>(a: &Matrix<T>, method: SvdMethod) -> Svd<T> {
     let (m, n) = a.shape();
     if m < n {
         let f = svd_with(&a.transpose(), method);
@@ -165,7 +166,7 @@ pub fn svd_with(a: &Matrix, method: SvdMethod) -> Svd {
     dense_kernel(a, method)
 }
 
-fn dense_kernel(a: &Matrix, method: SvdMethod) -> Svd {
+fn dense_kernel<T: Scalar>(a: &Matrix<T>, method: SvdMethod) -> Svd<T> {
     match method {
         SvdMethod::GolubKahan => golub_kahan::golub_kahan_svd(a),
         SvdMethod::Jacobi => jacobi::jacobi_svd(a),
@@ -173,7 +174,7 @@ fn dense_kernel(a: &Matrix, method: SvdMethod) -> Svd {
 }
 
 /// Truncated thin SVD: only the `k` leading triplets, default kernel.
-pub fn truncated_svd(a: &Matrix, k: usize) -> Svd {
+pub fn truncated_svd<T: Scalar>(a: &Matrix<T>, k: usize) -> Svd<T> {
     svd(a).truncated(k)
 }
 
@@ -270,7 +271,7 @@ mod tests {
         let f = svd(&Matrix::from_vec(4, 1, vec![1.0, 2.0, 2.0, 0.0]));
         assert!((f.s[0] - 3.0).abs() < 1e-14);
         // empty columns
-        let f = svd(&Matrix::zeros(3, 0));
+        let f = svd(&Matrix::<f64>::zeros(3, 0));
         assert!(f.s.is_empty());
     }
 }

@@ -6,7 +6,9 @@
 //! contiguous block of a larger matrix is `(parent_cols, 1)`. Views are
 //! `Copy` and cost nothing to construct, so the hot kernels in
 //! [`crate::gemm`] and [`crate::qr`] can consume sub-blocks, columns and
-//! transposes without materializing them.
+//! transposes without materializing them. Like [`Matrix`], views are
+//! generic over the sealed [`Scalar`] element type with `f64` as the
+//! default, so pre-generic call sites read unchanged.
 //!
 //! ## Aliasing contract
 //!
@@ -18,22 +20,31 @@
 //! never coexist with a view of the same data.
 
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 
 /// A borrowed, read-only, strided matrix view. Element `(i, j)` is
 /// `data[i * rs + j * cs]`.
-#[derive(Clone, Copy)]
-pub struct MatView<'a> {
-    pub(crate) data: &'a [f64],
+pub struct MatView<'a, T: Scalar = f64> {
+    pub(crate) data: &'a [T],
     pub(crate) rows: usize,
     pub(crate) cols: usize,
     pub(crate) rs: usize,
     pub(crate) cs: usize,
 }
 
-impl<'a> MatView<'a> {
+// Manual impls: derived Clone/Copy would require `T: Clone`/`T: Copy`
+// bounds restated at every use site of the default parameter.
+impl<T: Scalar> Clone for MatView<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Scalar> Copy for MatView<'_, T> {}
+
+impl<'a, T: Scalar> MatView<'a, T> {
     /// Build a view from raw parts. Panics if any addressable element
     /// would fall outside `data`.
-    pub fn from_parts(data: &'a [f64], rows: usize, cols: usize, rs: usize, cs: usize) -> Self {
+    pub fn from_parts(data: &'a [T], rows: usize, cols: usize, rs: usize, cs: usize) -> Self {
         if rows > 0 && cols > 0 {
             let last = (rows - 1) * rs + (cols - 1) * cs;
             assert!(
@@ -65,7 +76,7 @@ impl<'a> MatView<'a> {
 
     /// Element `(i, j)` (debug-checked bounds via the slice index).
     #[inline]
-    pub fn at(&self, i: usize, j: usize) -> f64 {
+    pub fn at(&self, i: usize, j: usize) -> T {
         self.data[i * self.rs + j * self.cs]
     }
 
@@ -77,19 +88,19 @@ impl<'a> MatView<'a> {
     }
 
     /// The backing slice of a contiguous view. Panics otherwise.
-    pub fn contiguous_slice(&self) -> &'a [f64] {
+    pub fn contiguous_slice(&self) -> &'a [T] {
         assert!(self.is_contiguous(), "contiguous_slice on a strided view");
         &self.data[..self.rows * self.cols]
     }
 
     /// The transposed view — free: just swaps the strides.
     #[inline]
-    pub fn transposed(self) -> MatView<'a> {
+    pub fn transposed(self) -> MatView<'a, T> {
         MatView { data: self.data, rows: self.cols, cols: self.rows, rs: self.cs, cs: self.rs }
     }
 
     /// Sub-block `[r0, r1) x [c0, c1)` of this view (still zero-copy).
-    pub fn block(self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatView<'a> {
+    pub fn block(self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatView<'a, T> {
         assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} out of 0..{}", self.rows);
         assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} out of 0..{}", self.cols);
         MatView {
@@ -102,12 +113,12 @@ impl<'a> MatView<'a> {
     }
 
     /// Column `j` as a `rows x 1` view.
-    pub fn col(self, j: usize) -> MatView<'a> {
+    pub fn col(self, j: usize) -> MatView<'a, T> {
         self.block(0, self.rows, j, j + 1)
     }
 
     /// Copy the viewed elements into a fresh owned [`Matrix`].
-    pub fn to_matrix(&self) -> Matrix {
+    pub fn to_matrix(&self) -> Matrix<T> {
         let mut out = Matrix::zeros(self.rows, self.cols);
         copy_view_into(*self, &mut out);
         out
@@ -115,15 +126,15 @@ impl<'a> MatView<'a> {
 }
 
 /// A borrowed, exclusive, strided matrix view.
-pub struct MatViewMut<'a> {
-    pub(crate) data: &'a mut [f64],
+pub struct MatViewMut<'a, T: Scalar = f64> {
+    pub(crate) data: &'a mut [T],
     pub(crate) rows: usize,
     pub(crate) cols: usize,
     pub(crate) rs: usize,
     pub(crate) cs: usize,
 }
 
-impl<'a> MatViewMut<'a> {
+impl<T: Scalar> MatViewMut<'_, T> {
     /// Row count.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -144,23 +155,23 @@ impl<'a> MatViewMut<'a> {
 
     /// Element `(i, j)`.
     #[inline]
-    pub fn at(&self, i: usize, j: usize) -> f64 {
+    pub fn at(&self, i: usize, j: usize) -> T {
         self.data[i * self.rs + j * self.cs]
     }
 
     /// Mutable element `(i, j)`.
     #[inline]
-    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut T {
         &mut self.data[i * self.rs + j * self.cs]
     }
 
     /// Shared re-borrow of this view.
-    pub fn as_view(&self) -> MatView<'_> {
+    pub fn as_view(&self) -> MatView<'_, T> {
         MatView { data: self.data, rows: self.rows, cols: self.cols, rs: self.rs, cs: self.cs }
     }
 
     /// Overwrite every element from `src` (shapes must match).
-    pub fn copy_from(&mut self, src: MatView<'_>) {
+    pub fn copy_from(&mut self, src: MatView<'_, T>) {
         assert_eq!((self.rows, self.cols), (src.rows, src.cols), "copy_from: shape mismatch");
         for i in 0..self.rows {
             let dst_off = i * self.rs;
@@ -176,7 +187,7 @@ impl<'a> MatViewMut<'a> {
     }
 
     /// Set every element to `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         for i in 0..self.rows {
             let off = i * self.rs;
             if self.cs == 1 {
@@ -192,7 +203,7 @@ impl<'a> MatViewMut<'a> {
 
 /// Copy `src` into `dst`, reshaping `dst` to match (no allocation when
 /// `dst`'s buffer is already large enough).
-pub(crate) fn copy_view_into(src: MatView<'_>, dst: &mut Matrix) {
+pub(crate) fn copy_view_into<T: Scalar>(src: MatView<'_, T>, dst: &mut Matrix<T>) {
     dst.reshape_for_overwrite(src.rows, src.cols);
     for i in 0..src.rows {
         let row = dst.row_mut(i);
@@ -206,10 +217,10 @@ pub(crate) fn copy_view_into(src: MatView<'_>, dst: &mut Matrix) {
     }
 }
 
-impl Matrix {
+impl<T: Scalar> Matrix<T> {
     /// Zero-copy view of the whole matrix.
     #[inline]
-    pub fn view(&self) -> MatView<'_> {
+    pub fn view(&self) -> MatView<'_, T> {
         MatView {
             data: self.as_slice(),
             rows: self.rows(),
@@ -220,21 +231,21 @@ impl Matrix {
     }
 
     /// Zero-copy exclusive view of the whole matrix.
-    pub fn view_mut(&mut self) -> MatViewMut<'_> {
+    pub fn view_mut(&mut self) -> MatViewMut<'_, T> {
         let (rows, cols) = self.shape();
         MatViewMut { data: self.as_mut_slice(), rows, cols, rs: cols, cs: 1 }
     }
 
     /// Zero-copy view of the sub-block `[r0, r1) x [c0, c1)` — the
     /// non-allocating sibling of [`Matrix::submatrix`].
-    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatView<'_> {
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatView<'_, T> {
         self.view().block(r0, r1, c0, c1)
     }
 
     /// Zero-copy exclusive view of the sub-block `[r0, r1) x [c0, c1)`.
     /// The blocked QR/bidiagonalization kernels use this to hand a
     /// trailing-matrix region to the accumulating GEMM entry points.
-    pub fn block_mut(&mut self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatViewMut<'_> {
+    pub fn block_mut(&mut self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatViewMut<'_, T> {
         let (rows, cols) = self.shape();
         assert!(r0 <= r1 && r1 <= rows, "row range {r0}..{r1} out of 0..{rows}");
         assert!(c0 <= c1 && c1 <= cols, "col range {c0}..{c1} out of 0..{cols}");
@@ -248,7 +259,7 @@ impl Matrix {
 
     /// Zero-copy `rows x 1` view of column `j` — the non-allocating
     /// sibling of [`Matrix::col`].
-    pub fn col_view(&self, j: usize) -> MatView<'_> {
+    pub fn col_view(&self, j: usize) -> MatView<'_, T> {
         assert!(j < self.cols(), "column index {j} out of bounds for {} cols", self.cols());
         self.view().col(j)
     }
@@ -313,6 +324,13 @@ mod tests {
     }
 
     #[test]
+    fn f32_views_are_strided_too() {
+        let m = Matrix::<f32>::from_fn(6, 8, |i, j| (i * 100 + j) as f32);
+        assert_eq!(m.block(1, 5, 2, 7).to_matrix(), m.submatrix(1, 5, 2, 7));
+        assert_eq!(m.view().transposed().to_matrix(), m.transpose());
+    }
+
+    #[test]
     #[should_panic(expected = "out of")]
     fn out_of_range_block_panics() {
         let m = sample(3, 3);
@@ -323,6 +341,6 @@ mod tests {
     #[should_panic(expected = "exceeds backing slice")]
     fn from_parts_bounds_checked() {
         let data = [0.0; 5];
-        let _ = MatView::from_parts(&data, 2, 3, 3, 1);
+        let _ = MatView::<f64>::from_parts(&data, 2, 3, 3, 1);
     }
 }

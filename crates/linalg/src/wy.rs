@@ -25,6 +25,7 @@
 
 use crate::gemm::{gram_into, matmul_acc_into, matmul_into, matmul_tn_into};
 use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 use crate::workspace::Workspace;
 
@@ -39,7 +40,7 @@ use crate::workspace::Workspace;
 /// `τ_j = 0` marks an identity reflector; its row and column of `T` stay
 /// zero, so the corresponding `Y` column never contributes. `t` is
 /// reshaped to `nb x nb` with an exactly-zero strict lower triangle.
-pub(crate) fn build_t(s: &Matrix, taus: &[f64], t: &mut Matrix) {
+pub(crate) fn build_t<T: Scalar>(s: &Matrix<T>, taus: &[T], t: &mut Matrix<T>) {
     let nb = taus.len();
     debug_assert_eq!(s.shape(), (nb, nb));
     t.reshape_zeroed(nb, nb);
@@ -47,7 +48,7 @@ pub(crate) fn build_t(s: &Matrix, taus: &[f64], t: &mut Matrix) {
         let tau = taus[j];
         t[(j, j)] = tau;
         for i in 0..j {
-            let mut acc = 0.0;
+            let mut acc = T::ZERO;
             for l in i..j {
                 acc += t[(i, l)] * s[(l, j)];
             }
@@ -66,25 +67,26 @@ pub(crate) fn build_t(s: &Matrix, taus: &[f64], t: &mut Matrix) {
 /// exact zeros above, and is zeroed entirely for identity reflectors.
 /// `taus[j]` becomes `2 / ‖v‖²` (the reflector scaling used throughout
 /// this crate) or `0.0`.
-pub(crate) fn panel_y(
-    vs: &Matrix,
-    vn: &[f64],
+pub(crate) fn panel_y<T: Scalar>(
+    vs: &Matrix<T>,
+    vn: &[T],
     k0: usize,
     nb: usize,
     len: usize,
-    y: &mut Matrix,
-    taus: &mut [f64],
+    y: &mut Matrix<T>,
+    taus: &mut [T],
 ) {
     debug_assert_eq!(taus.len(), nb);
+    let two = T::from_f64(2.0);
     for (j, tau) in taus.iter_mut().enumerate() {
         let v2 = vn[k0 + j];
-        *tau = if v2 > 0.0 { 2.0 / v2 } else { 0.0 };
+        *tau = if v2 > T::ZERO { two / v2 } else { T::ZERO };
     }
     y.reshape_for_overwrite(len, nb);
     for i in 0..len {
         let row = y.row_mut(i);
         for (j, out) in row.iter_mut().enumerate() {
-            *out = if i >= j && vn[k0 + j] > 0.0 { vs[(k0 + j, i - j)] } else { 0.0 };
+            *out = if i >= j && vn[k0 + j] > T::ZERO { vs[(k0 + j, i - j)] } else { T::ZERO };
         }
     }
 }
@@ -99,11 +101,11 @@ pub(crate) fn panel_y(
 /// subtraction into a pure accumulating GEMM: `C += Y · ((−T)·(Yᵀ C))`.
 /// All three products draw their temporaries from `ws`; with warm buffers
 /// the call allocates nothing.
-pub(crate) fn apply_block_left(
-    y: &Matrix,
-    tneg: &Matrix,
+pub(crate) fn apply_block_left<T: Scalar>(
+    y: &Matrix<T>,
+    tneg: &Matrix<T>,
     trans_t: bool,
-    mut c: MatViewMut<'_>,
+    mut c: MatViewMut<'_, T>,
     ws: &mut Workspace,
 ) {
     let (rows, cc) = c.shape();
@@ -139,13 +141,13 @@ pub(crate) fn apply_block_left(
 /// range, so every application can be restricted to the trailing columns —
 /// roughly halving the flops versus a full-width sweep. (The unblocked
 /// reference below has no such restriction and works on arbitrary `x`.)
-pub(crate) fn accumulate_reverse(
-    vs: &Matrix,
-    vn: &[f64],
+pub(crate) fn accumulate_reverse<T: Scalar>(
+    vs: &Matrix<T>,
+    vn: &[T],
     count: usize,
     off: usize,
     nb: usize,
-    x: &mut Matrix,
+    x: &mut Matrix<T>,
     ws: &mut Workspace,
 ) {
     if count == 0 {
@@ -165,7 +167,7 @@ pub(crate) fn accumulate_reverse(
         panel_y(vs, vn, k0, nbk, len, &mut y, &mut taubuf.row_mut(0)[..nbk]);
         gram_into(y.view(), &mut s);
         build_t(&s, &taubuf.row(0)[..nbk], &mut t);
-        t.scale_mut(-1.0);
+        t.scale_mut(-T::ONE);
         let c0 = off + k0;
         if c0 < cols {
             apply_block_left(&y, &t, false, x.block_mut(c0, rows, c0, cols), ws);
@@ -181,17 +183,17 @@ pub(crate) fn accumulate_reverse(
 /// a time, full column width — the exact op sequence of the historical
 /// unblocked accumulation loops, kept for small problems where panel
 /// assembly overhead dominates.
-pub(crate) fn accumulate_reverse_unblocked(
-    vs: &Matrix,
-    vn: &[f64],
+pub(crate) fn accumulate_reverse_unblocked<T: Scalar>(
+    vs: &Matrix<T>,
+    vn: &[T],
     count: usize,
     off: usize,
-    x: &mut Matrix,
+    x: &mut Matrix<T>,
 ) {
     let (rows, cols) = x.shape();
     for k in (0..count).rev() {
         let vnorm2 = vn[k];
-        if vnorm2 == 0.0 {
+        if vnorm2 == T::ZERO {
             continue;
         }
         let vlen = rows - off - k;
@@ -364,7 +366,7 @@ mod tests {
         assert!((t[(0, 1)] + taus[0] * taus[1] * v1v2).abs() < 1e-13);
         // And the expansion I − Y T Yᵀ equals H1 H2.
         let h = |j: usize| {
-            let mut m = Matrix::identity(6);
+            let mut m = Matrix::<f64>::identity(6);
             for r in 0..6 {
                 for c in 0..6 {
                     m[(r, c)] -= taus[j] * y[(r, j)] * y[(c, j)];

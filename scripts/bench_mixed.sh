@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Mixed-precision streaming benchmark.
+#
+# Runs the distributed streaming SVD over the same Burgers snapshot stream
+# at each precision mode (f64 / mixed / f32) and writes wall time, wire
+# bytes and singular-value accuracy to BENCH_mixed.json at the repo root.
+# Two contracts are gated inside the harness: the mixed leg moves
+# 0.40-0.60x the f64 leg's wire bytes, and its singular values stay within
+# 1e-5 * sigma_max of the f64 oracle. Intended both for CI (quick mode,
+# default) and for full perf runs on real hardware:
+#
+#   scripts/bench_mixed.sh           # quick run (~seconds): 512x64 stream
+#   scripts/bench_mixed.sh --full    # full run: 4096x256 stream, 8 ranks
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=--quick
+if [[ "${1:-}" == "--full" ]]; then
+    MODE=""
+fi
+
+# shellcheck disable=SC2086  # $MODE is deliberately word-split (may be empty)
+cargo run -p psvd-bench --release --bin mixed_precision -- $MODE --out BENCH_mixed.json
+
+echo "bench_mixed: OK (BENCH_mixed.json written)"

@@ -53,7 +53,7 @@ pub mod prelude {
         CommError, Communicator, FaultComm, FaultPlan, NetworkModel, RetryPolicy, SelfComm, World,
     };
     pub use psvd_core::{
-        batch_truncated_svd, parallel_svd_once, DegradedInfo, ParallelStreamingSvd,
+        batch_truncated_svd, parallel_svd_once, DegradedInfo, ParallelStreamingSvd, Precision,
         SerialStreamingSvd, SvdConfig,
     };
     pub use psvd_data::{BurgersConfig, Era5Config};

@@ -12,3 +12,4 @@ mod contracts;
 mod degraded;
 mod fault_injection;
 mod harness;
+mod precision;

@@ -16,7 +16,14 @@ fn parallel_matches_serial_across_rank_counts() {
     let data = burgers_data();
     let k = 4;
     let batch = 12;
-    let cfg = SvdConfig::new(k).with_forget_factor(0.95).with_r1(48).with_r2(48);
+    // Pinned to F64: the serial/parallel agreement bound here is a
+    // double-precision round-off contract (mixed mode's looser bound is
+    // covered by the precision conformance suite).
+    let cfg = SvdConfig::new(k)
+        .with_forget_factor(0.95)
+        .with_r1(48)
+        .with_r2(48)
+        .with_precision(Precision::F64);
 
     let mut serial = SerialStreamingSvd::new(cfg);
     serial.fit_batched(&data, batch);

@@ -110,12 +110,15 @@ fn packed_tile_boundary_shapes_match_reference() {
 /// Degenerate shapes: empty inner dimension, single row, single column.
 #[test]
 fn packed_degenerate_shapes() {
-    assert_eq!(packed::matmul(&Matrix::zeros(5, 0), &Matrix::zeros(0, 7)), Matrix::zeros(5, 7));
+    assert_eq!(
+        packed::matmul(&Matrix::<f64>::zeros(5, 0), &Matrix::zeros(0, 7)),
+        Matrix::zeros(5, 7)
+    );
     let row = rand_mat(1, 50, 7);
     let col = rand_mat(50, 1, 8);
     assert!((&packed::matmul(&row, &col) - &reference::matmul(&row, &col)).max_abs() < TOL);
     assert!((&packed::matmul(&col, &row) - &reference::matmul(&col, &row)).max_abs() < TOL);
-    assert_eq!(packed::gram(&Matrix::zeros(0, 4)), Matrix::zeros(4, 4));
+    assert_eq!(packed::gram(&Matrix::<f64>::zeros(0, 4)), Matrix::zeros(4, 4));
 }
 
 /// The headline guarantee: every public entry point returns bit-for-bit
@@ -184,9 +187,9 @@ proptest! {
     ) {
         let a = rand_mat(m, k, seed);
         let b = rand_mat(k, n, seed.wrapping_add(6));
-        let scalar = kernels::by_name("scalar").expect("scalar kernel always present");
+        let scalar = kernels::by_name::<f64>("scalar").expect("scalar kernel always present");
         let oracle = packed::matmul_with(scalar, &a, &b);
-        for &kern in kernels::available() {
+        for &kern in kernels::available::<f64>() {
             let c = packed::matmul_with(kern, &a, &b);
             if kern.fused() {
                 let diff = (&c - &oracle).max_abs();
@@ -202,13 +205,68 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The f32 kernel matrix holds to the same contract as the f64 one:
+    /// every non-fused kernel is bitwise equal to the f32 scalar oracle,
+    /// and fused (FMA) kernels differ by rounding only. Tolerance is the
+    /// f64 bound scaled by the epsilon ratio (eps_f32 / eps_f64 ≈ 2^29):
+    /// O(1) Gaussian entries, inner dim < 80.
+    #[test]
+    fn f32_kernel_matrix_matches_f32_scalar_oracle(
+        m in 1usize..60,
+        k in 1usize..80,
+        n in 1usize..60,
+        seed in 0u64..1_000,
+    ) {
+        let a: Matrix<f32> = rand_mat(m, k, seed).cast();
+        let b: Matrix<f32> = rand_mat(k, n, seed.wrapping_add(6)).cast();
+        let scalar = kernels::by_name::<f32>("scalar").expect("scalar kernel always present");
+        let oracle = packed::matmul_with(scalar, &a, &b);
+        for &kern in kernels::available::<f32>() {
+            let c = packed::matmul_with(kern, &a, &b);
+            if kern.fused() {
+                let diff = (&c - &oracle).max_abs();
+                prop_assert!(diff < 1e-4, "{} ({m},{k},{n}) diverged by {diff}", kern.name());
+            } else {
+                prop_assert_eq!(
+                    &c, &oracle,
+                    "{} ({},{},{}) must be bitwise equal to the f32 scalar oracle",
+                    kern.name(), m, k, n
+                );
+            }
+        }
+    }
+
+    /// Narrowing the operands commutes with the product up to f32
+    /// rounding: GEMM at f32 on demoted inputs tracks the f64 product.
+    #[test]
+    fn f32_gemm_tracks_f64_gemm(
+        m in 1usize..40,
+        k in 1usize..60,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_mat(m, k, seed.wrapping_add(9));
+        let b = rand_mat(k, n, seed.wrapping_add(10));
+        let wide = gemm::matmul(&a, &b);
+        let narrow = gemm::matmul(&a.cast::<f32>(), &b.cast::<f32>());
+        let scale = wide.max_abs().max(1.0);
+        let diff = (&narrow.cast::<f64>() - &wide).max_abs();
+        // k + 1 roundings of O(scale) terms at eps_f32.
+        let bound = (k as f64 + 2.0) * f32::EPSILON as f64 * scale * 4.0;
+        prop_assert!(diff < bound, "({m},{k},{n}) diff {diff} exceeds {bound}");
+    }
+}
+
 /// Per-kernel boundary shapes: exactly on, one under, and one over each
 /// kernel's own MR/NR tile edges and the KC/MC block edges of its default
 /// blocking — where packing zero-pads and writeback clips.
 #[test]
 fn kernel_matrix_boundary_shapes() {
-    let scalar = kernels::by_name("scalar").expect("scalar kernel always present");
-    for &kern in kernels::available() {
+    let scalar = kernels::by_name::<f64>("scalar").expect("scalar kernel always present");
+    for &kern in kernels::available::<f64>() {
         let blk = Blocking::default_for(kern);
         let (mr, nr) = (kern.mr(), kern.nr());
         let ms = [mr - 1, mr, mr + 1, blk.mc - 1, blk.mc, blk.mc + 1];
@@ -248,7 +306,7 @@ fn every_kernel_is_thread_count_invariant() {
     for &(m, k, n) in &[(137usize, 95usize, 71usize), (2048, 48, 32), (2043, 64, 24)] {
         let a = rand_mat(m, k, 41);
         let b = rand_mat(k, n, 42);
-        for &kern in kernels::available() {
+        for &kern in kernels::available::<f64>() {
             par::set_num_threads(1);
             let baseline = packed::matmul_with(kern, &a, &b);
             for threads in [2usize, 3, 4, 8] {
@@ -281,7 +339,7 @@ fn tall_skinny_dispatch_matches_reference() {
 /// kernel tile, so a bad profile or grid candidate fails loudly.
 #[test]
 fn blocking_validation_rejects_misaligned_parameters() {
-    let scalar = kernels::by_name("scalar").expect("scalar kernel always present");
+    let scalar = kernels::by_name::<f64>("scalar").expect("scalar kernel always present");
     assert!(Blocking::try_new(128, 256, 4096, scalar).is_ok());
     assert!(matches!(
         Blocking::try_new(127, 256, 4096, scalar),
@@ -292,7 +350,7 @@ fn blocking_validation_rejects_misaligned_parameters() {
         Err(BlockingError::NcMisaligned { .. })
     ));
     assert!(matches!(Blocking::try_new(128, 0, 4096, scalar), Err(BlockingError::Zero(_))));
-    for &kern in kernels::available() {
+    for &kern in kernels::available::<f64>() {
         let d = Blocking::default_for(kern);
         assert!(Blocking::try_new(d.mc, d.kc, d.nc, kern).is_ok(), "{}", kern.name());
     }
@@ -305,7 +363,7 @@ fn blocking_validation_rejects_misaligned_parameters() {
 #[test]
 fn autotune_reports_valid_blocking() {
     let report = gemm::autotune();
-    let kern = kernels::selected();
+    let kern = kernels::selected::<f64>();
     assert_eq!(report.kernel, kern.name());
     assert!(
         Blocking::try_new(report.blocking.mc, report.blocking.kc, report.blocking.nc, kern).is_ok()

@@ -118,6 +118,9 @@ proptest! {
             d.gather_modes(0)
         });
         let modes = out[0].as_ref().unwrap();
-        prop_assert!(orthogonality_error(modes) < 1e-8);
+        // Mixed mode ships the gathered blocks over an f32 wire, so the
+        // assembled modes are orthonormal to single precision only.
+        let tol = if cfg.precision == Precision::Mixed { 1e-6 } else { 1e-8 };
+        prop_assert!(orthogonality_error(modes) < tol);
     }
 }

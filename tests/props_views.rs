@@ -226,14 +226,14 @@ proptest! {
 #[test]
 #[should_panic(expected = "out of")]
 fn block_out_of_range_panics() {
-    let a = Matrix::zeros(3, 3);
+    let a = Matrix::<f64>::zeros(3, 3);
     let _ = a.block(1, 5, 0, 2);
 }
 
 #[test]
 #[should_panic(expected = "inner dimensions mismatch")]
 fn matmul_into_shape_mismatch_panics() {
-    let a = Matrix::zeros(3, 4);
+    let a = Matrix::<f64>::zeros(3, 4);
     let b = Matrix::zeros(5, 2);
     let mut c = Matrix::zeros(0, 0);
     matmul_into(a.view(), b.view(), &mut c);
