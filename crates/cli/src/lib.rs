@@ -208,13 +208,19 @@ fn cmd_info(a: &ParsedArgs) -> Result<Vec<String>, String> {
     let file = a.one_positional("input file")?;
     let reader = NcsimReader::open(Path::new(file)).map_err(|e| e.to_string())?;
     let h = reader.header();
-    Ok(vec![
+    let mut lines = vec![
         format!("file      : {file}"),
         format!("variable  : {}", h.name),
         format!("rows (M)  : {}", h.rows),
         format!("cols (N)  : {}", h.cols),
-        format!("data size : {:.1} MB", (h.rows * h.cols * 8) as f64 / 1e6),
-    ])
+        format!("version   : v{}", h.version),
+        format!("dtype     : {}", h.dtype.name()),
+        format!("data size : {:.1} MB", (h.rows * h.cols * h.dtype.size()) as f64 / 1e6),
+    ];
+    if h.version >= 2 {
+        lines.push(format!("chunk rows: {}", h.chunk_rows));
+    }
+    Ok(lines)
 }
 
 struct SvdRun {
@@ -360,6 +366,26 @@ mod tests {
         let info = run(&argv(&["info", &file])).unwrap();
         assert!(info.iter().any(|l| l.contains("256")));
         assert!(info.iter().any(|l| l.contains("48")));
+        assert!(info.iter().any(|l| l.contains("v1")));
+        assert!(info.iter().any(|l| l.contains("f64")));
+
+        // A chunked v2 file reports its version, dtype and chunking too,
+        // with the byte size scaled by the element width.
+        let v2 = tmp("pipeline_v2.ncs");
+        let small: Matrix<f32> = Matrix::from_fn(64, 8, |i, j| (i + j) as f32);
+        ncsim::write_v2(
+            Path::new(&v2),
+            "u",
+            &small,
+            ncsim::V2Options { chunk_rows: 16, ..Default::default() },
+        )
+        .unwrap();
+        let info = run(&argv(&["info", &v2])).unwrap();
+        assert!(info.iter().any(|l| l.contains("v2")));
+        assert!(info.iter().any(|l| l.contains("f32")));
+        assert!(info.iter().any(|l| l.contains("chunk rows: 16")));
+        assert!(info.iter().any(|l| l.contains("0.0 MB"))); // 64*8*4 bytes
+        std::fs::remove_file(&v2).ok();
 
         // Serial SVD with CSV output.
         let sv_csv = tmp("sv.csv");

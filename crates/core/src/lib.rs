@@ -42,7 +42,7 @@ pub use checkpoint::SvdCheckpoint;
 pub use config::{Precision, SvdConfig};
 pub use dmd::{dmd, Dmd};
 pub use hierarchical::hierarchical_parallel_svd;
-pub use parallel::{parallel_svd_once, DegradedInfo, ParallelStreamingSvd};
+pub use parallel::{parallel_svd_once, DegradedInfo, IngestError, ParallelStreamingSvd};
 pub use pod::{pod, Pod, StreamingPod};
 pub use serial::{batch_truncated_svd, SerialStreamingSvd};
 pub use spod::{spod, Spod, SpodConfig};

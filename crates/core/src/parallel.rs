@@ -28,8 +28,11 @@
 //! identical for any kernel thread count (see DESIGN.md, "Threading
 //! model").
 
+use std::io;
+
 use psvd_comm::collectives::{tree_allgather, tree_gather, try_tree_bcast, try_tree_gather};
 use psvd_comm::{CommError, Communicator, Payload};
+use psvd_data::stream::SnapshotSource;
 use psvd_linalg::gemm::matmul_into;
 use psvd_linalg::qr::qr_thin_into;
 use psvd_linalg::randomized::{low_rank_svd, mixed_low_rank_svd};
@@ -102,6 +105,48 @@ fn bcast_factors<C: Communicator, T: Scalar + Payload>(
 /// Tag base for the TSQR Q-block scatter (the paper uses `tag = rank + 10`).
 const TAG_QR_SCATTER: u64 = 10;
 
+/// Failure of a pull-based ingestion round
+/// ([`ParallelStreamingSvd::try_fit_source`]): either the snapshot source
+/// failed to produce a batch (disk/decode) or the collective round on a
+/// delivered batch failed permanently.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The snapshot source failed (out-of-core read / decode).
+    Io(io::Error),
+    /// A collective round failed permanently.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "snapshot source failed: {e}"),
+            IngestError::Comm(e) => write!(f, "collective round failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Comm(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<CommError> for IngestError {
+    fn from(e: CommError) -> Self {
+        IngestError::Comm(e)
+    }
+}
+
 /// Report of a run that survived permanent rank failures.
 ///
 /// When `cfg.allow_degraded` is set and the communicator's world shrinks
@@ -159,6 +204,8 @@ pub struct ParallelStreamingSvd<'a, C: Communicator, T: Scalar = f64> {
     next_ulocal: Matrix<T>,
     /// Down-weighted singular values `ff · s`.
     weighted: Vec<T>,
+    /// Persistent landing buffer for pull-based ingestion (`fit_source`).
+    ingest: Matrix<T>,
     /// World size at construction.
     initial_world: usize,
     /// World size as of the last completed operation.
@@ -191,6 +238,7 @@ impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
             qlocal: Matrix::zeros(0, 0),
             next_ulocal: Matrix::zeros(0, 0),
             weighted: Vec::new(),
+            ingest: Matrix::zeros(0, 0),
         }
     }
 
@@ -611,6 +659,43 @@ impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
             c0 = c1;
         }
         Ok(self)
+    }
+
+    /// Stream every batch a [`SnapshotSource`] yields — the pull-based
+    /// ingestion path of a distributed run. Each rank drives its own
+    /// source over its own row hyperslab (with a
+    /// [`psvd_data::prefetch::SnapshotPrefetcher`], its own file handle
+    /// and reader thread — the MPI-IO independent-access pattern), so
+    /// batch `k+1`'s IO and decode overlap batch `k`'s collective update.
+    /// Panics on failure; see [`ParallelStreamingSvd::try_fit_source`].
+    pub fn fit_source<S: SnapshotSource<T>>(&mut self, source: &mut S) -> &mut Self {
+        self.try_fit_source(source).unwrap_or_else(|e| panic!("fit_source failed: {e}"))
+    }
+
+    /// Fallible [`ParallelStreamingSvd::fit_source`]: IO failures surface
+    /// as [`IngestError::Io`], permanent collective failures as
+    /// [`IngestError::Comm`]; either way the last successful update's
+    /// factorization stays intact. All ranks must fail or succeed
+    /// together for the SPMD stream to stay consistent — an IO error is
+    /// local to this rank, so callers tolerating per-rank faults should
+    /// pair this with `cfg.allow_degraded`.
+    pub fn try_fit_source<S: SnapshotSource<T>>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<&mut Self, IngestError> {
+        let mut ingest = std::mem::replace(&mut self.ingest, Matrix::zeros(0, 0));
+        let result = (|| {
+            while source.next_batch_into(&mut ingest)? {
+                if self.is_initialized() {
+                    self.try_incorporate_data(&ingest)?;
+                } else {
+                    self.try_initialize(&ingest)?;
+                }
+            }
+            Ok(())
+        })();
+        self.ingest = ingest;
+        result.map(|()| self)
     }
 
     /// Gather the distributed modes into the global `M x K` matrix at

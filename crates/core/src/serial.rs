@@ -21,6 +21,7 @@
 //! to pay for dispatch, with bitwise-identical results at any thread
 //! count.
 
+use psvd_data::stream::SnapshotSource;
 use psvd_linalg::gemm::matmul_into;
 use psvd_linalg::qr::qr_thin_into;
 use psvd_linalg::randomized::{mixed_randomized_svd, randomized_svd};
@@ -29,6 +30,7 @@ use psvd_linalg::workspace::{Workspace, WorkspaceStats};
 use psvd_linalg::{Matrix, Scalar, Svd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io;
 
 use crate::config::{Precision, SvdConfig};
 
@@ -66,6 +68,8 @@ pub struct SerialStreamingSvd<T: Scalar = f64> {
     next_modes: Matrix<T>,
     /// Down-weighted singular values `ff · s`.
     weighted: Vec<T>,
+    /// Persistent landing buffer for pull-based ingestion (`fit_source`).
+    ingest: Matrix<T>,
 }
 
 impl<T: Scalar> SerialStreamingSvd<T> {
@@ -86,6 +90,7 @@ impl<T: Scalar> SerialStreamingSvd<T> {
             rbuf: Matrix::zeros(0, 0),
             next_modes: Matrix::zeros(0, 0),
             weighted: Vec::new(),
+            ingest: Matrix::zeros(0, 0),
         }
     }
 
@@ -285,6 +290,32 @@ impl<T: Scalar> SerialStreamingSvd<T> {
         }
         self
     }
+
+    /// Stream every batch a [`SnapshotSource`] yields — the pull-based
+    /// ingestion path. With a
+    /// [`psvd_data::prefetch::SnapshotPrefetcher`] source, batch `k+1`'s
+    /// IO and decode run on the prefetch thread while this loop is inside
+    /// `incorporate_data` on batch `k`; with an in-core
+    /// [`psvd_data::stream::MatrixBatchSource`] it reduces to
+    /// [`SerialStreamingSvd::fit_batched`]. Batches land in one persistent
+    /// buffer, so the steady-state loop keeps its zero transient O(M)
+    /// allocation guarantee. IO failures surface as [`io::Error`] with the
+    /// last successful update's factorization intact.
+    pub fn fit_source<S: SnapshotSource<T>>(&mut self, source: &mut S) -> io::Result<&mut Self> {
+        let mut ingest = std::mem::replace(&mut self.ingest, Matrix::zeros(0, 0));
+        let result = (|| {
+            while source.next_batch_into(&mut ingest)? {
+                if self.is_initialized() {
+                    self.incorporate_data(&ingest);
+                } else {
+                    self.initialize(&ingest);
+                }
+            }
+            Ok(())
+        })();
+        self.ingest = ingest;
+        result.map(|()| self)
+    }
 }
 
 /// One-shot K-truncated SVD of the full matrix — the reference the
@@ -473,6 +504,20 @@ mod tests {
             "novel input should leave a large residual: {}",
             s.residual_fraction(&novel)
         );
+    }
+
+    #[test]
+    fn fit_source_is_bitwise_fit_batched() {
+        use psvd_data::stream::MatrixBatchSource;
+        let mut rng = seeded_rng(12);
+        let a = matrix_with_spectrum(64, 28, &[6.0, 3.0, 1.5, 0.7], &mut rng);
+        let mut by_slice = SerialStreamingSvd::new(config_exact(4));
+        by_slice.fit_batched(&a, 5);
+        let mut by_source = SerialStreamingSvd::new(config_exact(4));
+        by_source.fit_source(&mut MatrixBatchSource::new(&a, 5)).unwrap();
+        assert_eq!(by_slice.singular_values(), by_source.singular_values());
+        assert_eq!(by_slice.modes(), by_source.modes());
+        assert_eq!(by_source.snapshots_seen(), 28);
     }
 
     #[test]

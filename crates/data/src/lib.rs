@@ -7,13 +7,17 @@
 //!   structures, substituting for the non-redistributable ERA5 record;
 //! - [`stream`]: column-batch adapters feeding the streaming SVD;
 //! - [`partition`]: balanced row-block domain decomposition;
-//! - [`ncsim`]: a chunked binary container with per-rank hyperslab reads,
-//!   standing in for NetCDF4 parallel IO.
+//! - [`ncsim`]: a chunked binary container (v1 flat slab, v2 chunked +
+//!   dtype + codec) with per-rank hyperslab reads, standing in for
+//!   NetCDF4 parallel IO;
+//! - [`prefetch`]: the background reader that overlaps out-of-core IO and
+//!   decode with the SVD update.
 
 pub mod burgers;
 pub mod era5;
 pub mod ncsim;
 pub mod partition;
+pub mod prefetch;
 pub mod solver;
 pub mod stream;
 pub mod wake;
@@ -21,4 +25,5 @@ pub mod wake;
 pub use burgers::{snapshot_matrix, BurgersConfig};
 pub use era5::{generate as generate_era5, Era5Config, Era5Data};
 pub use partition::{block_range, split_rows};
-pub use stream::{column_batches, BatchGenerator};
+pub use prefetch::{IoStats, SnapshotPrefetcher};
+pub use stream::{column_batches, BatchGenerator, MatrixBatchSource, SnapshotSource};

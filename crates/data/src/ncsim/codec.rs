@@ -1,0 +1,296 @@
+//! The v2 column-segment codec: byte shuffle + run-length encoding.
+//!
+//! Floating-point fields from smooth solvers vary slowly, so consecutive
+//! values of one column share their sign/exponent/high-mantissa bytes.
+//! Interleaved in memory those repeats are 8 (or 4) bytes apart and no
+//! byte-level RLE can see them; *shuffling* the segment — writing all
+//! byte-0s, then all byte-1s, … — turns each byte plane into a long run
+//! of near-constant bytes that a PackBits-style RLE collapses. Both
+//! stages are dependency-free, exactly invertible (NaN payloads and
+//! signed zeros included), and cheap enough to run on the prefetcher's
+//! reader thread without becoming the bottleneck.
+//!
+//! A segment never grows on disk: [`encode_segment`] compares the encoded
+//! length against raw and falls back to storing the segment verbatim,
+//! recording the choice in a one-byte tag. The codec is therefore purely
+//! an optimization — readers handle both tags regardless of what the
+//! file-level codec field says the writer *attempted*.
+
+use std::io;
+
+/// Segment tag: payload is the raw little-endian element bytes.
+pub const SEG_RAW: u8 = 0;
+/// Segment tag: payload is RLE(shuffle(bytes)).
+pub const SEG_SHUFFLE_RLE: u8 = 1;
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("ncsim codec: {msg}"))
+}
+
+/// Byte-shuffle `src` (a whole number of `elem`-byte values) into `out`:
+/// `out[p*n + i] = src[i*elem + p]` for byte plane `p` of value `i`.
+pub fn shuffle(src: &[u8], elem: usize, out: &mut Vec<u8>) {
+    debug_assert_eq!(src.len() % elem, 0);
+    let n = src.len() / elem;
+    out.clear();
+    out.resize(src.len(), 0);
+    for p in 0..elem {
+        let plane = &mut out[p * n..(p + 1) * n];
+        for (i, dst) in plane.iter_mut().enumerate() {
+            *dst = src[i * elem + p];
+        }
+    }
+}
+
+/// Exact inverse of [`shuffle`].
+pub fn unshuffle(src: &[u8], elem: usize, out: &mut Vec<u8>) {
+    debug_assert_eq!(src.len() % elem, 0);
+    let n = src.len() / elem;
+    out.clear();
+    out.resize(src.len(), 0);
+    for p in 0..elem {
+        let plane = &src[p * n..(p + 1) * n];
+        for (i, &b) in plane.iter().enumerate() {
+            out[i * elem + p] = b;
+        }
+    }
+}
+
+/// Longest run the repeat token can express.
+const MAX_RUN: usize = 130;
+/// Longest literal stretch one control byte can cover.
+const MAX_LIT: usize = 128;
+/// Shortest run worth a repeat token (a 2-run costs the same as 2 literals).
+const MIN_RUN: usize = 3;
+
+fn flush_literals(src: &[u8], mut s: usize, e: usize, out: &mut Vec<u8>) {
+    while s < e {
+        let len = (e - s).min(MAX_LIT);
+        out.push((len - 1) as u8);
+        out.extend_from_slice(&src[s..s + len]);
+        s += len;
+    }
+}
+
+/// PackBits-style run-length encoding, appended to `out`.
+///
+/// Token stream: control byte `c < 0x80` → `c + 1` literal bytes follow;
+/// `c >= 0x80` → the next byte repeats `c - 0x80 + 3` times (3..=130).
+pub fn rle_encode(src: &[u8], out: &mut Vec<u8>) {
+    let n = src.len();
+    let mut i = 0;
+    let mut lit_start = 0;
+    while i < n {
+        let b = src[i];
+        let mut run = 1;
+        while i + run < n && run < MAX_RUN && src[i + run] == b {
+            run += 1;
+        }
+        if run >= MIN_RUN {
+            flush_literals(src, lit_start, i, out);
+            out.push(0x80 + (run - MIN_RUN) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(src, lit_start, n, out);
+}
+
+/// Decode an RLE stream into exactly `expected` bytes (cleared `out`).
+/// Any overrun, underrun or truncated token is a typed corruption error.
+pub fn rle_decode(src: &[u8], expected: usize, out: &mut Vec<u8>) -> io::Result<()> {
+    out.clear();
+    out.reserve(expected);
+    let mut i = 0;
+    while i < src.len() {
+        let c = src[i];
+        i += 1;
+        if c < 0x80 {
+            let len = c as usize + 1;
+            if i + len > src.len() {
+                return Err(corrupt("literal token overruns the segment"));
+            }
+            out.extend_from_slice(&src[i..i + len]);
+            i += len;
+        } else {
+            if i >= src.len() {
+                return Err(corrupt("repeat token missing its byte"));
+            }
+            let len = (c - 0x80) as usize + MIN_RUN;
+            let b = src[i];
+            i += 1;
+            out.extend(std::iter::repeat_n(b, len));
+        }
+        if out.len() > expected {
+            return Err(corrupt("decoded segment longer than declared"));
+        }
+    }
+    if out.len() != expected {
+        return Err(corrupt("decoded segment shorter than declared"));
+    }
+    Ok(())
+}
+
+/// Encode one column segment (`raw` = little-endian element bytes),
+/// appending `[tag][payload]` to `out` and returning the appended length.
+/// With `try_compress` the shuffle+RLE form is attempted and kept only if
+/// strictly smaller than raw; `shuf`/`rle` are caller scratch, reused
+/// across segments.
+pub fn encode_segment(
+    raw: &[u8],
+    elem: usize,
+    try_compress: bool,
+    shuf: &mut Vec<u8>,
+    rle: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> usize {
+    if try_compress {
+        shuffle(raw, elem, shuf);
+        rle.clear();
+        rle_encode(shuf, rle);
+        if rle.len() < raw.len() {
+            out.push(SEG_SHUFFLE_RLE);
+            out.extend_from_slice(rle);
+            return 1 + rle.len();
+        }
+    }
+    out.push(SEG_RAW);
+    out.extend_from_slice(raw);
+    1 + raw.len()
+}
+
+/// Decode one `[tag][payload]` segment into exactly `expected` raw bytes
+/// (cleared `out`); `shuf` is scratch for the shuffled plane.
+pub fn decode_segment(
+    enc: &[u8],
+    elem: usize,
+    expected: usize,
+    shuf: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> io::Result<()> {
+    let (&tag, payload) = enc.split_first().ok_or_else(|| corrupt("empty segment"))?;
+    match tag {
+        SEG_RAW => {
+            if payload.len() != expected {
+                return Err(corrupt("raw segment length mismatch"));
+            }
+            out.clear();
+            out.extend_from_slice(payload);
+            Ok(())
+        }
+        SEG_SHUFFLE_RLE => {
+            rle_decode(payload, expected, shuf)?;
+            unshuffle(shuf, elem, out);
+            Ok(())
+        }
+        _ => Err(corrupt("unknown segment tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_rle(data: &[u8]) {
+        let mut enc = Vec::new();
+        rle_encode(data, &mut enc);
+        let mut dec = Vec::new();
+        rle_decode(&enc, data.len(), &mut dec).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn rle_round_trips_edge_patterns() {
+        roundtrip_rle(&[]);
+        roundtrip_rle(&[7]);
+        roundtrip_rle(&[1, 2, 3, 4, 5]);
+        roundtrip_rle(&[0; 1000]);
+        roundtrip_rle(&[9; 130]);
+        roundtrip_rle(&[9; 131]); // one byte past the max run token
+        let mixed: Vec<u8> =
+            (0..997u32).map(|i| if i % 7 < 4 { 42 } else { (i % 251) as u8 }).collect();
+        roundtrip_rle(&mixed);
+        let lits: Vec<u8> = (0..300u32).map(|i| (i % 256) as u8).collect();
+        roundtrip_rle(&lits); // > 128 literals forces multiple literal tokens
+    }
+
+    #[test]
+    fn rle_compresses_runs() {
+        let mut enc = Vec::new();
+        rle_encode(&[0u8; 4096], &mut enc);
+        assert!(enc.len() < 80, "4096 zeros should collapse, got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn rle_rejects_corrupt_streams() {
+        let mut out = Vec::new();
+        // Literal token promising more bytes than present.
+        assert!(rle_decode(&[5, 1, 2], 6, &mut out).is_err());
+        // Repeat token with no byte.
+        assert!(rle_decode(&[0x85], 8, &mut out).is_err());
+        // Correct stream, wrong declared length.
+        let mut enc = Vec::new();
+        rle_encode(&[1, 2, 3, 4], &mut enc);
+        assert!(rle_decode(&enc, 3, &mut out).is_err());
+        assert!(rle_decode(&enc, 5, &mut out).is_err());
+    }
+
+    #[test]
+    fn shuffle_is_invertible() {
+        for elem in [4usize, 8] {
+            let src: Vec<u8> = (0..(elem * 37) as u32).map(|i| (i * 31 % 256) as u8).collect();
+            let mut shuf = Vec::new();
+            let mut back = Vec::new();
+            shuffle(&src, elem, &mut shuf);
+            unshuffle(&shuf, elem, &mut back);
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn segment_round_trips_and_never_grows_much() {
+        // Smooth data: compresses. Random-ish data: falls back to raw
+        // (1 tag byte of overhead, no growth of the payload).
+        let smooth: Vec<u8> = {
+            let mut v = Vec::new();
+            for i in 0..256 {
+                (1000.0 + (i as f64) * 0.125).put_le_bytes_helper(&mut v);
+            }
+            v
+        };
+        let noisy: Vec<u8> =
+            (0..2048u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for (raw, should_shrink) in [(&smooth, true), (&noisy, false)] {
+            let (mut shuf, mut rle, mut out, mut dec) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            let len = encode_segment(raw, 8, true, &mut shuf, &mut rle, &mut out);
+            assert_eq!(len, out.len());
+            assert!(len <= raw.len() + 1, "segment must never grow past tag overhead");
+            if should_shrink {
+                assert!(len < raw.len(), "smooth data should compress: {len} vs {}", raw.len());
+            }
+            decode_segment(&out, 8, raw.len(), &mut shuf, &mut dec).unwrap();
+            assert_eq!(&dec, raw);
+        }
+    }
+
+    #[test]
+    fn segment_decoder_rejects_garbage() {
+        let (mut shuf, mut out) = (Vec::new(), Vec::new());
+        assert!(decode_segment(&[], 8, 8, &mut shuf, &mut out).is_err());
+        assert!(decode_segment(&[99, 1, 2], 8, 8, &mut shuf, &mut out).is_err());
+        assert!(decode_segment(&[SEG_RAW, 1, 2], 8, 8, &mut shuf, &mut out).is_err());
+    }
+
+    trait PutLe {
+        fn put_le_bytes_helper(self, out: &mut Vec<u8>);
+    }
+    impl PutLe for f64 {
+        fn put_le_bytes_helper(self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.to_le_bytes());
+        }
+    }
+}

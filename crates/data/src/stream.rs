@@ -4,12 +4,43 @@
 //! time). These adapters slice an existing matrix into batches or generate
 //! batches lazily from a column closure, so the full `M x N` matrix never
 //! needs to exist in memory — the whole point of the streaming algorithm.
+//!
+//! [`SnapshotSource`] is the pull-based contract uniting all ingestion
+//! paths: in-core slicing ([`MatrixBatchSource`]), synthetic generation
+//! ([`BatchGenerator`]) and the out-of-core prefetcher
+//! ([`crate::prefetch::SnapshotPrefetcher`]). Batches land in a
+//! caller-provided [`Matrix`], so the steady-state driver loop keeps its
+//! zero transient O(M) allocation guarantee no matter where data comes
+//! from.
 
-use psvd_linalg::Matrix;
+use std::io;
+use std::marker::PhantomData;
+
+use psvd_linalg::{Matrix, Scalar};
+
+/// A pull-based producer of column batches.
+///
+/// Implementations fill the caller's `dst` (reshaping it to
+/// `rows x batch_cols`, which reuses its allocation once warmed up) and
+/// return `Ok(true)`, or return `Ok(false)` at end of stream leaving
+/// `dst` untouched. IO-backed sources report failures as [`io::Error`]s;
+/// in-memory sources never fail.
+pub trait SnapshotSource<T: Scalar> {
+    /// Fill `dst` with the next batch; `Ok(false)` when exhausted.
+    fn next_batch_into(&mut self, dst: &mut Matrix<T>) -> io::Result<bool>;
+
+    /// Total number of batches this source will yield, if known.
+    fn batches_hint(&self) -> Option<usize> {
+        None
+    }
+}
 
 /// Iterate over column batches of `a`, each `batch` columns wide (the last
 /// batch may be narrower). Panics if `batch == 0`.
-pub fn column_batches(a: &Matrix, batch: usize) -> impl Iterator<Item = Matrix> + '_ {
+pub fn column_batches<T: Scalar>(
+    a: &Matrix<T>,
+    batch: usize,
+) -> impl Iterator<Item = Matrix<T>> + '_ {
     assert!(batch > 0, "batch size must be positive");
     let n = a.cols();
     (0..n.div_ceil(batch)).map(move |b| {
@@ -19,51 +50,110 @@ pub fn column_batches(a: &Matrix, batch: usize) -> impl Iterator<Item = Matrix> 
     })
 }
 
+/// In-core [`SnapshotSource`]: column batches copied out of a borrowed
+/// matrix into the caller's buffer (the reference ingestion path the
+/// out-of-core runs are checked bitwise against).
+pub struct MatrixBatchSource<'a, T: Scalar> {
+    a: &'a Matrix<T>,
+    batch: usize,
+    next_col: usize,
+}
+
+impl<'a, T: Scalar> MatrixBatchSource<'a, T> {
+    /// Batches of `batch` columns over `a`. Panics if `batch == 0`.
+    pub fn new(a: &'a Matrix<T>, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        Self { a, batch, next_col: 0 }
+    }
+}
+
+impl<T: Scalar> SnapshotSource<T> for MatrixBatchSource<'_, T> {
+    fn next_batch_into(&mut self, dst: &mut Matrix<T>) -> io::Result<bool> {
+        if self.next_col >= self.a.cols() {
+            return Ok(false);
+        }
+        let c0 = self.next_col;
+        let c1 = (c0 + self.batch).min(self.a.cols());
+        dst.reshape_for_overwrite(self.a.rows(), c1 - c0);
+        for i in 0..self.a.rows() {
+            dst.row_mut(i).copy_from_slice(&self.a.row(i)[c0..c1]);
+        }
+        self.next_col = c1;
+        Ok(true)
+    }
+
+    fn batches_hint(&self) -> Option<usize> {
+        Some(self.a.cols().div_ceil(self.batch))
+    }
+}
+
 /// Lazily generates column batches from a per-column closure, never holding
 /// more than one batch in memory.
-pub struct BatchGenerator<F> {
+pub struct BatchGenerator<T, F> {
     rows: usize,
     total_cols: usize,
     batch: usize,
     next_col: usize,
     column_fn: F,
+    _elem: PhantomData<T>,
 }
 
-impl<F: FnMut(usize) -> Vec<f64>> BatchGenerator<F> {
+impl<T: Scalar, F: FnMut(usize) -> Vec<T>> BatchGenerator<T, F> {
     /// `column_fn(j)` must return column `j` (length `rows`).
     pub fn new(rows: usize, total_cols: usize, batch: usize, column_fn: F) -> Self {
         assert!(batch > 0, "batch size must be positive");
-        Self { rows, total_cols, batch, next_col: 0, column_fn }
+        Self { rows, total_cols, batch, next_col: 0, column_fn, _elem: PhantomData }
     }
 
     /// Number of batches this generator will yield in total.
     pub fn batch_count(&self) -> usize {
         self.total_cols.div_ceil(self.batch)
     }
-}
 
-impl<F: FnMut(usize) -> Vec<f64>> Iterator for BatchGenerator<F> {
-    type Item = Matrix;
-
-    fn next(&mut self) -> Option<Matrix> {
+    fn fill(&mut self, dst: &mut Matrix<T>) -> bool {
         if self.next_col >= self.total_cols {
-            return None;
+            return false;
         }
         let c0 = self.next_col;
         let c1 = (c0 + self.batch).min(self.total_cols);
-        let mut m = Matrix::zeros(self.rows, c1 - c0);
+        dst.reshape_for_overwrite(self.rows, c1 - c0);
         for (jj, j) in (c0..c1).enumerate() {
             let col = (self.column_fn)(j);
             assert_eq!(col.len(), self.rows, "column {j} has wrong length");
-            m.set_col(jj, &col);
+            for (i, &v) in col.iter().enumerate() {
+                dst.row_mut(i)[jj] = v;
+            }
         }
         self.next_col = c1;
-        Some(m)
+        true
+    }
+}
+
+impl<T: Scalar, F: FnMut(usize) -> Vec<T>> Iterator for BatchGenerator<T, F> {
+    type Item = Matrix<T>;
+
+    fn next(&mut self) -> Option<Matrix<T>> {
+        let mut m = Matrix::zeros(0, 0);
+        if self.fill(&mut m) {
+            Some(m)
+        } else {
+            None
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let left = (self.total_cols - self.next_col).div_ceil(self.batch);
         (left, Some(left))
+    }
+}
+
+impl<T: Scalar, F: FnMut(usize) -> Vec<T>> SnapshotSource<T> for BatchGenerator<T, F> {
+    fn next_batch_into(&mut self, dst: &mut Matrix<T>) -> io::Result<bool> {
+        Ok(self.fill(dst))
+    }
+
+    fn batches_hint(&self) -> Option<usize> {
+        Some(self.batch_count())
     }
 }
 
@@ -90,6 +180,14 @@ mod tests {
     }
 
     #[test]
+    fn f32_batches_stream_without_conversion() {
+        let a: Matrix<f32> = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f32);
+        let batches: Vec<Matrix<f32>> = column_batches(&a, 2).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(Matrix::hstack_all(&batches), a);
+    }
+
+    #[test]
     fn generator_matches_slicing() {
         let a = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64).sin());
         let from_slices: Vec<Matrix> = column_batches(&a, 2).collect();
@@ -107,9 +205,36 @@ mod tests {
     }
 
     #[test]
+    fn matrix_source_matches_slicing_and_reuses_dst() {
+        let a = Matrix::from_fn(6, 9, |i, j| ((i * 9 + j) as f64).cos());
+        let expect: Vec<Matrix> = column_batches(&a, 4).collect();
+        let mut src = MatrixBatchSource::new(&a, 4);
+        assert_eq!(src.batches_hint(), Some(3));
+        let mut dst = Matrix::zeros(6, 4); // warmed to the widest batch
+        for e in &expect {
+            assert!(src.next_batch_into(&mut dst).unwrap());
+            assert_eq!(&dst, e);
+        }
+        assert!(!src.next_batch_into(&mut dst).unwrap());
+    }
+
+    #[test]
+    fn generator_as_source_matches_iterator() {
+        let a = Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64).sin());
+        let expect: Vec<Matrix> = BatchGenerator::new(5, 7, 3, |j| a.col(j)).collect();
+        let mut src = BatchGenerator::new(5, 7, 3, |j| a.col(j));
+        let mut dst = Matrix::zeros(0, 0);
+        for e in &expect {
+            assert!(src.next_batch_into(&mut dst).unwrap());
+            assert_eq!(&dst, e);
+        }
+        assert!(!src.next_batch_into(&mut dst).unwrap());
+    }
+
+    #[test]
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_panics() {
-        let a = Matrix::zeros(2, 2);
+        let a: Matrix<f64> = Matrix::zeros(2, 2);
         let _ = column_batches(&a, 0);
     }
 }

@@ -102,6 +102,15 @@ pub trait Scalar:
     /// Widen to f64 (exact for both dtypes).
     fn to_f64(self) -> f64;
 
+    /// Append this value's little-endian byte representation to `out`
+    /// (`size_of::<Self>()` bytes — the on-disk element encoding of the
+    /// `ncsim` container and any other byte-exact serialization).
+    fn put_le_bytes(self, out: &mut Vec<u8>);
+    /// Rebuild a value from the first `size_of::<Self>()` bytes of `src`
+    /// (little-endian). Exact inverse of [`Scalar::put_le_bytes`] for
+    /// every bit pattern, NaNs included.
+    fn get_le_bytes(src: &[u8]) -> Self;
+
     fn abs(self) -> Self;
     fn sqrt(self) -> Self;
     fn hypot(self, other: Self) -> Self;
@@ -184,6 +193,14 @@ impl Scalar for f64 {
     fn to_f64(self) -> f64 {
         self
     }
+    #[inline(always)]
+    fn put_le_bytes(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline(always)]
+    fn get_le_bytes(src: &[u8]) -> Self {
+        f64::from_le_bytes(src[..8].try_into().expect("8 bytes for f64"))
+    }
 
     scalar_common!();
 
@@ -217,6 +234,14 @@ impl Scalar for f32 {
     #[inline(always)]
     fn to_f64(self) -> f64 {
         self as f64
+    }
+    #[inline(always)]
+    fn put_le_bytes(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline(always)]
+    fn get_le_bytes(src: &[u8]) -> Self {
+        f32::from_le_bytes(src[..4].try_into().expect("4 bytes for f32"))
     }
 
     scalar_common!();
@@ -257,6 +282,24 @@ mod tests {
         let x = 0.1f64;
         assert_eq!(<f32 as Scalar>::from_f64(x), 0.1f32);
         assert_eq!(<f32 as Scalar>::from_f64(x).to_f64(), 0.1f32 as f64);
+    }
+
+    #[test]
+    fn le_bytes_round_trip_bit_patterns() {
+        fn probe<T: Scalar>(values: &[f64]) {
+            for &v in values {
+                let x = T::from_f64(v);
+                let mut buf = Vec::new();
+                x.put_le_bytes(&mut buf);
+                assert_eq!(buf.len(), std::mem::size_of::<T>());
+                let back = T::get_le_bytes(&buf);
+                // Bitwise round trip, including signed zero.
+                assert_eq!(back.to_f64().to_bits(), x.to_f64().to_bits());
+            }
+        }
+        let vals = [0.0, -0.0, 1.5, -7.25e-3, 1e300, f64::MIN_POSITIVE];
+        probe::<f64>(&vals);
+        probe::<f32>(&vals[..4]);
     }
 
     #[test]

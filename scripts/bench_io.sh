@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Out-of-core IO pipeline benchmark.
+#
+# Writes a chunked ncsim v2 file (shuffle+RLE codec) and streams it back
+# through SerialStreamingSvd::fit_source three ways — in-core, blocking
+# (PSVD_PREFETCH_DEPTH=0 semantics) and prefetched (depth 2) — at 1 and 4
+# compute threads, writing wall time, bytes read and the compute-stall
+# fraction to BENCH_io.json at the repo root. Gated inside the harness:
+# prefetch legs hide IO under compute (stall fraction < 0.15), blocking
+# legs do not (> 0.90), the streamed bytes are >= 4x the resident ingest
+# footprint, and every out-of-core run is bitwise identical (singular
+# values and modes) to the in-core run. Intended both for CI (quick mode,
+# default) and for full perf runs on real hardware:
+#
+#   scripts/bench_io.sh           # quick run (~seconds): 12000x96 stream
+#   scripts/bench_io.sh --full    # full run: 60000x128 stream
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=--quick
+if [[ "${1:-}" == "--full" ]]; then
+    MODE=""
+fi
+
+# shellcheck disable=SC2086  # $MODE is deliberately word-split (may be empty)
+cargo run -p psvd-bench --release --bin io_pipeline -- $MODE --out BENCH_io.json
+
+echo "bench_io: OK (BENCH_io.json written)"

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use pyparsvd::core::{SerialStreamingSvd, SvdCheckpoint, SvdConfig};
-use pyparsvd::data::ncsim::{self, NcsimReader};
+use pyparsvd::data::ncsim::{self, write_v2, Codec, NcsimReader, V2Options};
 use pyparsvd::linalg::Matrix;
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -57,6 +57,49 @@ proptest! {
         // Header may still parse; the data read must then fail.
         if let Ok(mut r) = NcsimReader::open(&path) {
             prop_assert!(r.read_all().is_err());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ncsim_v2_bitflips_never_panic(flip in 0usize..2048, xor in 1u8..=255) {
+        // Flip one byte anywhere in a compressed v2 file: the reader must
+        // either serve consistent data (the flip landed in slack it never
+        // reads) or fail with a typed error — panics and misreads of the
+        // requested shape are the forbidden outcomes.
+        let path = tmp("v2_bitflip");
+        let a = Matrix::from_fn(24, 5, |i, j| ((i * 5 + j) as f64 * 0.31).sin());
+        write_v2(&path, "v", &a, V2Options { chunk_rows: 7, codec: Codec::ShuffleRle }).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = flip % bytes.len();
+        bytes[idx] ^= xor;
+        std::fs::write(&path, &bytes).unwrap();
+        if let Ok(mut r) = NcsimReader::open(&path) {
+            let mut dst: Matrix<f64> = Matrix::zeros(0, 0);
+            if r.read_block_into(0, 24, 0, 5, &mut dst).is_ok() {
+                prop_assert_eq!(dst.shape(), (24, 5));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ncsim_v2_garbage_chunk_tables_rejected(lens in proptest::collection::vec(any::<u64>(), 4)) {
+        // Overwrite the patched chunk-length table with arbitrary values:
+        // open-time validation or the block read must reject, not panic.
+        let path = tmp("v2_chunktable");
+        let a = Matrix::from_fn(16, 3, |i, j| (i * 3 + j) as f64);
+        write_v2(&path, "v", &a, V2Options { chunk_rows: 4, codec: Codec::Raw }).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Header: magic(8) + name_len(4) + "v"(1) + rows(8) + cols(8)
+        //         + dtype(1) + codec(1) + chunk_rows(8) = 39, then 4 chunk lens.
+        for (k, len) in lens.iter().enumerate() {
+            bytes[39 + 8 * k..39 + 8 * (k + 1)].copy_from_slice(&len.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        if let Ok(mut r) = NcsimReader::open(&path) {
+            let mut dst: Matrix<f64> = Matrix::zeros(0, 0);
+            let _ = r.read_block_into(0, 16, 0, 3, &mut dst);
         }
         std::fs::remove_file(&path).ok();
     }
