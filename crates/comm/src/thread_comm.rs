@@ -15,6 +15,7 @@ use crate::payload::Payload;
 use crate::stats::TrafficStats;
 
 struct Envelope {
+    src: usize,
     tag: u64,
     bytes: usize,
     /// Sender's simulated clock at departure.
@@ -22,17 +23,23 @@ struct Envelope {
     payload: Box<dyn Any + Send>,
 }
 
-/// The per-rank endpoint of a [`World`]: owns its inbound channels and the
-/// senders toward every peer. Not `Sync` — each rank thread owns exactly one.
+/// The per-rank endpoint of a [`World`]: owns its single inbox and a shared
+/// table of senders toward every peer. Not `Sync` — each rank thread owns
+/// exactly one.
+///
+/// The fabric is one MPMC inbox channel per rank (envelopes carry their
+/// source), not a `P x P` channel matrix: worlds of thousands of simulated
+/// ranks — the regime the merge-tree weak-scaling sweep probes — cost
+/// `O(P)` channels and `O(P)` sender handles total instead of `O(P^2)`.
 pub struct ThreadComm {
     rank: usize,
     size: usize,
-    /// senders[dst]: channel into rank `dst`'s inbox for messages from us.
-    senders: Vec<Sender<Envelope>>,
-    /// receivers[src]: our inbox for messages from rank `src`.
-    receivers: Vec<Receiver<Envelope>>,
-    /// Buffered out-of-order envelopes per source.
-    pending: Vec<RefCell<VecDeque<Envelope>>>,
+    /// senders[dst]: channel into rank `dst`'s inbox, shared by all ranks.
+    senders: Arc<Vec<Sender<Envelope>>>,
+    /// Our inbox for messages from every peer.
+    inbox: Receiver<Envelope>,
+    /// Buffered envelopes whose `(source, tag)` nobody has asked for yet.
+    pending: RefCell<VecDeque<Envelope>>,
     stats: Arc<TrafficStats>,
     model: Option<NetworkModel>,
     clock: Cell<f64>,
@@ -56,7 +63,13 @@ impl Communicator for ThreadComm {
             // Sender CPU overhead per message.
             self.clock.set(self.clock.get() + m.overhead);
         }
-        let env = Envelope { tag, bytes, depart: self.clock.get(), payload: Box::new(value) };
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            bytes,
+            depart: self.clock.get(),
+            payload: Box::new(value),
+        };
         self.senders[dest].send(env).expect("send: peer world torn down");
     }
 
@@ -104,19 +117,20 @@ impl ThreadComm {
     fn wait_for(&self, source: usize, tag: u64) -> Envelope {
         // First drain anything already buffered for this (source, tag).
         {
-            let mut pending = self.pending[source].borrow_mut();
-            if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.src == source && e.tag == tag) {
                 return pending.remove(pos).expect("position was valid");
             }
         }
         loop {
-            let env = self.receivers[source]
+            let env = self
+                .inbox
                 .recv()
-                .unwrap_or_else(|_| panic!("recv: rank {source} hung up on rank {}", self.rank));
-            if env.tag == tag {
+                .unwrap_or_else(|_| panic!("recv: world torn down under rank {}", self.rank));
+            if env.src == source && env.tag == tag {
                 return env;
             }
-            self.pending[source].borrow_mut().push_back(env);
+            self.pending.borrow_mut().push_back(env);
         }
     }
 
@@ -176,37 +190,33 @@ impl World {
         R: Send,
     {
         let size = self.size;
-        // Channel matrix: txs[src][dst] feeds rxs[dst][src].
-        let mut txs: Vec<Vec<Sender<Envelope>>> = (0..size).map(|_| Vec::new()).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
-        for (src, tx_row) in txs.iter_mut().enumerate() {
-            for rx_row in rxs.iter_mut() {
-                let (tx, rx) = unbounded();
-                tx_row.push(tx);
-                rx_row[src] = Some(rx);
-            }
+        // One inbox per rank; every rank shares the sender table. Envelopes
+        // carry their source, so the matching logic is unchanged while the
+        // fabric stays O(P) — thousand-rank simulated worlds are cheap.
+        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(size);
+        let mut inboxes: Vec<Receiver<Envelope>> = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            inboxes.push(rx);
         }
-        // The loop above pushes dst in 0..size order for each src, but fills
-        // rxs[dst][src]; fix the orientation: tx_row[dst] must reach rank dst.
-        // (Constructed correctly: for fixed src, iteration over rx_row is in
-        // dst order and we push to tx_row in the same order.)
+        let senders = Arc::new(senders);
 
         let mut comms: Vec<ThreadComm> = Vec::with_capacity(size);
-        for (rank, rx_row) in rxs.into_iter().enumerate() {
+        for (rank, inbox) in inboxes.into_iter().enumerate() {
             comms.push(ThreadComm {
                 rank,
                 size,
-                senders: txs[rank].clone(),
-                receivers: rx_row.into_iter().map(|r| r.expect("receiver built")).collect(),
-                pending: (0..size).map(|_| RefCell::new(VecDeque::new())).collect(),
+                senders: Arc::clone(&senders),
+                inbox,
+                pending: RefCell::new(VecDeque::new()),
                 stats: Arc::clone(&self.stats),
                 model: self.model,
                 clock: Cell::new(0.0),
                 coll_seq: Cell::new(0),
             });
         }
-        drop(txs);
+        drop(senders);
 
         let f = &f;
         // Tell the linalg worker pool how many rank threads are live so its
@@ -216,15 +226,24 @@ impl World {
         // running concurrently overwrite each other's registration, which
         // only shifts the performance split, never results.
         psvd_linalg::par::set_comm_ranks(size);
+        // Large simulated worlds spawn thousands of mostly-blocked threads;
+        // a trimmed stack keeps the reservation footprint proportional to
+        // the world size instead of the default 8 MB per thread. 2 MB is
+        // still generous for the rank closures (deep recursion lives in the
+        // linalg pool, not here).
+        let stack = if size > 64 { 512 * 1024 } else { 2 * 1024 * 1024 };
         let mut out: Vec<Option<(R, f64)>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
                 .map(|comm| {
-                    scope.spawn(move || {
-                        let r = f(&comm);
-                        (r, comm.now())
-                    })
+                    std::thread::Builder::new()
+                        .stack_size(stack)
+                        .spawn_scoped(scope, move || {
+                            let r = f(&comm);
+                            (r, comm.now())
+                        })
+                        .expect("spawn rank thread")
                 })
                 .collect();
             for (slot, h) in out.iter_mut().zip(handles) {

@@ -53,6 +53,21 @@ impl Precision {
     }
 }
 
+/// Read a numeric tree knob from the environment: unset, empty or `0`
+/// mean "not configured" (`None`). Panics on non-numeric values so typos
+/// fail loudly rather than silently running flat.
+fn env_tree_knob(name: &str) -> Option<usize> {
+    match std::env::var(name) {
+        Err(_) => None,
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(0) => None,
+            Ok(n) => Some(n),
+            Err(_) => panic!("{name} must be a non-negative integer, got {v:?}"),
+        },
+    }
+}
+
 /// Parameters of the streaming / distributed / randomized SVD.
 ///
 /// Defaults follow the paper: `forget_factor = 0.95`, `r1 = 50`
@@ -88,6 +103,14 @@ pub struct SvdConfig {
     pub allow_degraded: bool,
     /// Arithmetic / wire precision policy (see [`Precision`]).
     pub precision: Precision,
+    /// Merge-tree fanout: children per interior merge node in the
+    /// hierarchical APMOS exchange. `None` (with `tree_depth` also `None`)
+    /// keeps the flat rank-0 gather; see
+    /// [`crate::MergeTreePlan::resolve`].
+    pub tree_fanout: Option<usize>,
+    /// Merge-tree depth: number of merge levels. Fanout per level is
+    /// derived as roughly the `depth`-th root of the world size.
+    pub tree_depth: Option<usize>,
 }
 
 impl SvdConfig {
@@ -106,6 +129,8 @@ impl SvdConfig {
             tree_collectives: false,
             allow_degraded: false,
             precision: Precision::from_env(),
+            tree_fanout: env_tree_knob("PSVD_TREE_FANOUT"),
+            tree_depth: env_tree_knob("PSVD_TREE_DEPTH"),
         }
     }
 
@@ -160,6 +185,20 @@ impl SvdConfig {
     /// Builder: precision policy (overrides the `PSVD_PRECISION` seed).
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Builder: merge-tree fanout (overrides the `PSVD_TREE_FANOUT` seed).
+    /// `0` clears the knob back to "unset".
+    pub fn with_tree_fanout(mut self, fanout: usize) -> Self {
+        self.tree_fanout = if fanout == 0 { None } else { Some(fanout) };
+        self
+    }
+
+    /// Builder: merge-tree depth (overrides the `PSVD_TREE_DEPTH` seed).
+    /// `0` clears the knob back to "unset".
+    pub fn with_tree_depth(mut self, depth: usize) -> Self {
+        self.tree_depth = if depth == 0 { None } else { Some(depth) };
         self
     }
 
@@ -257,6 +296,16 @@ mod tests {
         let back = m.with_precision(Precision::F64);
         assert_eq!(back.precision, Precision::F64);
         assert_eq!(Precision::default(), Precision::F64);
+    }
+
+    #[test]
+    fn tree_builders_set_and_clear() {
+        let c = SvdConfig::new(3).with_tree_fanout(4).with_tree_depth(2);
+        assert_eq!(c.tree_fanout, Some(4));
+        assert_eq!(c.tree_depth, Some(2));
+        let cleared = c.with_tree_fanout(0).with_tree_depth(0);
+        assert_eq!(cleared.tree_fanout, None);
+        assert_eq!(cleared.tree_depth, None);
     }
 
     #[test]

@@ -1,131 +1,696 @@
-//! Hierarchical (two-level) APMOS — an extension attacking the rank-0
-//! bottleneck the weak-scaling experiment exposes.
+//! Hierarchical APMOS over arbitrary-depth merge trees — the general
+//! attack on the rank-0 bottleneck the weak-scaling experiment exposes.
 //!
 //! In flat APMOS, rank 0 factorizes `W` with `r1 · N_ranks` columns, so its
-//! compute grows linearly with the world size no matter how the gather is
-//! routed. The two-level variant inserts *group leaders*: each leader
-//! gathers its group's `W` blocks, factorizes the `N x (r1·g)` stack, and
-//! forwards only `r1` re-compressed columns upward. Rank 0 then sees
-//! `r1 · (N_ranks / g)` columns; with `g ≈ √N_ranks`, both levels cost
-//! `O(√N_ranks)` instead of `O(N_ranks)`.
+//! compute (and its per-message receive overhead) grows linearly with the
+//! world size no matter how the gather is routed. A [`MergeTreePlan`]
+//! generalizes the old fixed two-level leader scheme: at each level,
+//! groups of `fanout` active ranks concatenate their `U·diag(σ)` factors
+//! at a group leader, which re-orthogonalizes the stack (blocked thin QR
+//! and a small SVD of `R` for tall stacks) and truncates back to `r1` columns
+//! before forwarding upward. With fanout `g` the root sees `r1 · g`
+//! columns regardless of the world size, and every level costs `O(g)`
+//! messages per leader — the per-rank simulated clocks of the
+//! `tree_scaling` bench show exactly where the flat gather saturates.
 //!
 //! The re-compression is sound for the same reason APMOS itself is: the
 //! Gram identity `W_group W_groupᵀ = Σ_{i∈group} AⁱᵀAⁱ` means the group's
 //! SVD-truncated `X̃Λ̃` carries the leading energy of the group's share of
 //! the global covariance — it is exactly the `r1` truncation applied once
-//! more, at the group level.
+//! more, per level.
+//!
+//! # Error-bound accounting
+//!
+//! Each interior merge replaces the group stack `S` by its rank-`r1`
+//! truncation; by the Eckart–Young theorem the discarded part has
+//! Frobenius norm `e = sqrt(‖S‖_F² − Σ_kept σ²)`, and by Weyl's
+//! inequality every singular value of the final (root) stack moves by at
+//! most the sum of the `e`'s over all merges. [`TreeMergeInfo`] carries
+//! the per-level sums up the tree with the factors, so every rank can
+//! report the tracked upper bound `interior_bound()` on the σ deviation
+//! from the flat gather — the property tests pin that the observed
+//! deviation stays below it.
+//!
+//! A depth-1 plan *is* the flat path: one level whose single "merge" is
+//! the rank-0 gather, factorized once to `r2` — bitwise identical to
+//! [`crate::parallel::parallel_svd_once`] (pinned by the equivalence
+//! tests and the bench).
 
-use psvd_comm::Communicator;
+use psvd_comm::{CommError, Communicator, Payload};
 use psvd_linalg::gemm::matmul_into;
-use psvd_linalg::randomized::low_rank_svd;
+use psvd_linalg::qr::qr_thin_into;
+use psvd_linalg::randomized::{low_rank_svd, mixed_low_rank_svd};
 use psvd_linalg::snapshots::generate_right_vectors;
 use psvd_linalg::svd::svd_with;
-use psvd_linalg::Matrix;
+use psvd_linalg::workspace::Workspace;
+use psvd_linalg::{Matrix, Scalar};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::SvdConfig;
+use crate::config::{Precision, SvdConfig};
 
-const TAG_TO_LEADER: u64 = 40;
-const TAG_TO_ROOT: u64 = 41;
+/// Why a merge-tree plan could not be built from the requested shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A fanout of zero ranks per merge is meaningless.
+    ZeroFanout,
+    /// A depth of zero levels is meaningless.
+    ZeroDepth,
+    /// Fanout 1 never reduces the active set: the tree cannot terminate.
+    FanoutOne {
+        /// World size the plan was requested for.
+        world: usize,
+    },
+    /// An explicit level list whose capacity does not cover the world.
+    TooShallow {
+        /// World size the plan was requested for.
+        world: usize,
+        /// Product of the requested fanouts.
+        capacity: usize,
+    },
+}
 
-/// Two-level distributed SVD. `group_size` ranks share one leader
-/// (`group_size = 1` or `>= size` degenerate to flat APMOS shapes).
-/// Returns this rank's block of the `K` leading global left singular
-/// vectors and the singular values (identical on all ranks).
-pub fn hierarchical_parallel_svd<C: Communicator>(
-    comm: &C,
-    cfg: SvdConfig,
-    a_local: &Matrix,
-    group_size: usize,
-) -> (Matrix, Vec<f64>) {
-    let cfg = cfg.validated();
-    assert!(group_size >= 1, "group size must be positive");
-    let n = a_local.cols();
-    assert!(n > 0, "empty snapshot set");
-    let rank = comm.rank();
-    let size = comm.size();
-    let r1 = cfg.r1.min(n);
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ZeroFanout => write!(f, "merge-tree fanout must be positive"),
+            PlanError::ZeroDepth => write!(f, "merge-tree depth must be positive"),
+            PlanError::FanoutOne { world } => {
+                write!(f, "merge-tree fanout 1 cannot reduce a world of {world} ranks")
+            }
+            PlanError::TooShallow { world, capacity } => {
+                write!(f, "merge-tree capacity {capacity} does not cover {world} ranks")
+            }
+        }
+    }
+}
 
-    // Stage 1 (every rank): local right vectors, truncated to r1.
-    // Wᵢ = Ṽⁱ (Σ̃ⁱ)ᵀ is a column scaling, done in place since Ṽⁱ is moved
-    // into the gather anyway.
-    let (mut wlocal, slocal) = generate_right_vectors(a_local, r1);
-    for i in 0..wlocal.rows() {
-        for (v, &s) in wlocal.row_mut(i).iter_mut().zip(&slocal) {
-            *v *= s;
+impl std::error::Error for PlanError {}
+
+/// Failure of a merge-tree SVD: either the plan was unusable for the
+/// world, or a collective exchange failed permanently.
+#[derive(Debug)]
+pub enum TreeSvdError {
+    /// The plan could not be built (bad fanout/depth for this world).
+    Plan(PlanError),
+    /// A send/receive/broadcast in the tree failed permanently.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for TreeSvdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeSvdError::Plan(e) => write!(f, "merge-tree plan rejected: {e}"),
+            TreeSvdError::Comm(e) => write!(f, "merge-tree exchange failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeSvdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TreeSvdError::Plan(e) => Some(e),
+            TreeSvdError::Comm(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlanError> for TreeSvdError {
+    fn from(e: PlanError) -> Self {
+        TreeSvdError::Plan(e)
+    }
+}
+
+impl From<CommError> for TreeSvdError {
+    fn from(e: CommError) -> Self {
+        TreeSvdError::Comm(e)
+    }
+}
+
+/// The shape of a hierarchical merge: children per interior node, leaf
+/// level first. Rank `r` is active at level `l` iff `r` is a multiple of
+/// the level stride `fanouts[0]·…·fanouts[l-1]`; groups are `fanout`
+/// consecutive active ranks, merging into their lowest member. The last
+/// level always lands everything at rank 0, which factorizes the final
+/// stack to `r2` exactly as the flat path does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeTreePlan {
+    fanouts: Vec<usize>,
+}
+
+impl MergeTreePlan {
+    /// The flat rank-0 gather: one level spanning the whole world.
+    pub fn flat(world: usize) -> Self {
+        Self { fanouts: vec![world.max(1)] }
+    }
+
+    /// Uniform fanout, as many levels as it takes to reach one rank.
+    /// `fanout >= world` (or a world of one) degenerates to [`Self::flat`].
+    pub fn uniform(fanout: usize, world: usize) -> Result<Self, PlanError> {
+        if fanout == 0 {
+            return Err(PlanError::ZeroFanout);
+        }
+        if world <= 1 || fanout >= world {
+            return Ok(Self::flat(world));
+        }
+        if fanout == 1 {
+            return Err(PlanError::FanoutOne { world });
+        }
+        let mut fanouts = Vec::new();
+        let mut remaining = world;
+        while remaining > 1 {
+            fanouts.push(fanout.min(remaining));
+            remaining = remaining.div_ceil(fanout);
+        }
+        Ok(Self { fanouts })
+    }
+
+    /// A tree of (at most) `depth` levels: the fanout is the smallest
+    /// integer whose `depth`-th power covers the world, so all levels
+    /// carry roughly `world^(1/depth)` children. Small worlds may need
+    /// fewer levels than requested.
+    pub fn with_depth(depth: usize, world: usize) -> Result<Self, PlanError> {
+        if depth == 0 {
+            return Err(PlanError::ZeroDepth);
+        }
+        if depth == 1 || world <= 2 {
+            return Ok(Self::flat(world));
+        }
+        let mut fanout = (world as f64).powf(1.0 / depth as f64).ceil() as usize;
+        fanout = fanout.max(2);
+        // Guard the floating-point root against off-by-one: grow until the
+        // capacity covers the world.
+        while fanout.checked_pow(depth as u32).map(|c| c < world).unwrap_or(false) {
+            fanout += 1;
+        }
+        let plan = Self::uniform(fanout, world)?;
+        Ok(plan.capped(depth, world))
+    }
+
+    /// An explicit per-level fanout list (leaf level first). The product
+    /// of the fanouts must cover the world.
+    pub fn explicit(fanouts: Vec<usize>, world: usize) -> Result<Self, PlanError> {
+        if fanouts.is_empty() {
+            return Err(PlanError::ZeroDepth);
+        }
+        if fanouts.contains(&0) {
+            return Err(PlanError::ZeroFanout);
+        }
+        if world > 1 && fanouts.contains(&1) {
+            return Err(PlanError::FanoutOne { world });
+        }
+        let capacity = fanouts.iter().try_fold(1usize, |c, &f| c.checked_mul(f));
+        match capacity {
+            Some(c) if c < world => Err(PlanError::TooShallow { world, capacity: c }),
+            _ => Ok(Self { fanouts }),
         }
     }
 
-    // Stage 2: gather within the group at the leader and re-compress.
-    let leader = (rank / group_size) * group_size;
-    let group_end = (leader + group_size).min(size);
-    let reduced = if rank == leader {
-        let mut blocks = vec![wlocal];
-        for src in leader + 1..group_end {
-            blocks.push(comm.recv::<Matrix>(src, TAG_TO_LEADER));
+    /// The old two-level leader scheme: groups of `group_size` ranks
+    /// merge at leaders, leaders merge at rank 0. `group_size == 1` or
+    /// `>= world` degenerate to the flat gather; `0` is rejected.
+    pub fn two_level(group_size: usize, world: usize) -> Result<Self, PlanError> {
+        if group_size == 0 {
+            return Err(PlanError::ZeroFanout);
         }
-        let stack = Matrix::hstack_all(&blocks);
-        // Group-level truncation back to r1 columns: X̃ Λ̃, again scaled in
-        // place on the truncated copy.
-        let keep = r1.min(stack.rows().min(stack.cols()));
-        let (x, s) = factorize(&stack, keep, &cfg);
-        let mut xk = x.first_columns(keep);
-        for i in 0..xk.rows() {
-            for (v, &s) in xk.row_mut(i).iter_mut().zip(&s[..keep.min(s.len())]) {
-                *v *= s;
+        if group_size == 1 || group_size >= world || world <= 1 {
+            return Ok(Self::flat(world));
+        }
+        Ok(Self { fanouts: vec![group_size, world.div_ceil(group_size)] })
+    }
+
+    /// Resolve the plan a configuration asks for: an explicit
+    /// `tree_fanout` wins (optionally capped by `tree_depth`), a bare
+    /// `tree_depth` derives its fanout from the world size, and neither
+    /// knob keeps the flat gather — the backward-compatible default.
+    pub fn resolve(cfg: &SvdConfig, world: usize) -> Result<Self, PlanError> {
+        match (cfg.tree_fanout, cfg.tree_depth) {
+            (None, None) => Ok(Self::flat(world)),
+            (Some(f), None) => Self::uniform(f, world),
+            (None, Some(d)) => Self::with_depth(d, world),
+            (Some(f), Some(d)) => {
+                if d == 0 {
+                    return Err(PlanError::ZeroDepth);
+                }
+                Ok(Self::uniform(f, world)?.capped(d, world))
             }
         }
-        Some(xk)
-    } else {
-        comm.send(wlocal, leader, TAG_TO_LEADER);
-        None
-    };
+    }
 
-    // Stage 3: leaders forward to rank 0; rank 0 factorizes the reduced
-    // stack and truncates to r2.
-    let factors = if rank == 0 {
-        let mut blocks = vec![reduced.expect("rank 0 is a leader")];
-        let mut src = group_size;
-        while src < size {
-            blocks.push(comm.recv::<Matrix>(src, TAG_TO_ROOT));
-            src += group_size;
+    /// A world-size heuristic: flat while the root's `O(P)` costs are
+    /// trivial, then fanout ≈ √P two-level trees, capped at fanout 16 so
+    /// very large worlds grow deeper instead of wider.
+    pub fn auto(world: usize) -> Self {
+        if world <= 8 {
+            return Self::flat(world);
         }
-        let stack = Matrix::hstack_all(&blocks);
-        let p = stack.rows().min(stack.cols());
+        let fanout = ((world as f64).sqrt().ceil() as usize).clamp(2, 16);
+        Self::uniform(fanout, world).expect("fanout >= 2 is always valid")
+    }
+
+    /// Collapse everything past `depth - 1` levels into one final level so
+    /// the plan has at most `depth` levels.
+    fn capped(self, depth: usize, world: usize) -> Self {
+        if self.fanouts.len() <= depth {
+            return self;
+        }
+        let mut fanouts: Vec<usize> = self.fanouts[..depth - 1].to_vec();
+        let mut remaining = world;
+        for &f in &fanouts {
+            remaining = remaining.div_ceil(f);
+        }
+        fanouts.push(remaining.max(1));
+        Self { fanouts }
+    }
+
+    /// Number of merge levels (1 = the flat gather).
+    pub fn depth(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Children per interior node, leaf level first.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// True when this plan is the flat rank-0 gather.
+    pub fn is_flat(&self) -> bool {
+        self.fanouts.len() == 1
+    }
+}
+
+/// Diagnostics of a merge-tree round, reported on every rank alongside
+/// the `DegradedInfo`-style driver state (see
+/// [`crate::ParallelStreamingSvd::tree_merge_info`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeMergeInfo {
+    /// The executed plan's fanouts, leaf level first.
+    pub fanouts: Vec<usize>,
+    /// Sum over that level's merges of the discarded-σ Frobenius energy
+    /// `sqrt(‖stack‖_F² − Σ_kept σ²)`; one entry per *interior* level
+    /// (`depth − 1` entries, empty for the flat plan).
+    pub per_level_bound: Vec<f64>,
+    /// Discarded-σ energy of the root's final `r2` truncation — the
+    /// truncation the flat path performs too.
+    pub root_tail: f64,
+    /// Interior merges performed across the whole tree.
+    pub merges: u64,
+}
+
+impl TreeMergeInfo {
+    /// Number of levels in the executed plan.
+    pub fn depth(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Tracked upper bound (Weyl + Eckart–Young, see module docs) on how
+    /// far any singular value can sit from the flat gather's result.
+    pub fn interior_bound(&self) -> f64 {
+        // fold from +0.0: the std float `Sum` identity is -0.0, which would
+        // leak a negative zero for depth-1 (no interior levels) trees.
+        self.per_level_bound.iter().fold(0.0, |acc, b| acc + b)
+    }
+
+    /// Bound on the deviation from the *untruncated* factorization:
+    /// interior merges plus the shared root truncation.
+    pub fn total_bound(&self) -> f64 {
+        self.interior_bound() + self.root_tail
+    }
+}
+
+/// Frobenius energy of the part a rank-`keep` truncation discards:
+/// `sqrt(max(0, ‖w‖_F² − Σ_{j<keep} σ_j²))`. Exact for the deterministic
+/// SVD (`‖w‖_F² = Σ σ²`); for the randomized path it additionally counts
+/// whatever energy the sketch missed, so the bound stays an upper bound.
+fn tail_energy<T: Scalar>(w: &Matrix<T>, s: &[T], keep: usize) -> f64 {
+    let total: f64 = w
+        .as_slice()
+        .iter()
+        .map(|v| {
+            let x = v.to_f64();
+            x * x
+        })
+        .sum();
+    let kept: f64 = s
+        .iter()
+        .take(keep)
+        .map(|v| {
+            let x = v.to_f64();
+            x * x
+        })
+        .sum();
+    (total - kept).max(0.0).sqrt()
+}
+
+/// Interior-node factorization of a group stack. Tall stacks go through
+/// the blocked thin QR (packed-GEMM trailing updates, scratch from `ws`)
+/// followed by the small square SVD of `R`; wide stacks hand straight to
+/// the dense SVD, which blocks internally via the transposed QR. The
+/// randomized path mirrors the old two-level scheme's per-merge seeding
+/// so results do not depend on how many merges a rank happened to host.
+fn interior_factorize<T: Scalar>(
+    stack: &Matrix<T>,
+    keep: usize,
+    cfg: &SvdConfig,
+    ws: &mut Workspace,
+    q: &mut Matrix<T>,
+    r: &mut Matrix<T>,
+) -> (Matrix<T>, Vec<T>) {
+    if cfg.low_rank {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(stack.cols() as u64));
+        if cfg.precision == Precision::Mixed {
+            let (x, s) = mixed_low_rank_svd(&stack.cast::<f64>(), keep, &mut rng);
+            return (x.cast(), s.into_iter().map(T::from_f64).collect());
+        }
+        return low_rank_svd(stack, keep, &mut rng);
+    }
+    if stack.rows() >= stack.cols() {
+        qr_thin_into(stack.view(), q, r, ws);
+        let f = svd_with(r, cfg.method);
+        let mut x = Matrix::zeros(0, 0);
+        matmul_into(q.view(), f.u.view(), &mut x);
+        (x, f.s)
+    } else {
+        let f = svd_with(stack, cfg.method);
+        (f.u, f.s)
+    }
+}
+
+/// Rank 0's final factorization — identical to the flat driver's inner
+/// SVD, including its use of the caller's stateful RNG for the
+/// randomized path, so a depth-1 plan reproduces the flat result bitwise.
+fn root_factorize<T: Scalar>(
+    w: &Matrix<T>,
+    rank: usize,
+    cfg: &SvdConfig,
+    rng: &mut StdRng,
+) -> (Matrix<T>, Vec<T>) {
+    if cfg.low_rank {
+        if cfg.precision == Precision::Mixed {
+            let (x, s) = mixed_low_rank_svd(&w.cast::<f64>(), rank, rng);
+            (x.cast(), s.into_iter().map(T::from_f64).collect())
+        } else {
+            low_rank_svd(w, rank, rng)
+        }
+    } else {
+        let f = svd_with(w, cfg.method);
+        (f.u, f.s)
+    }
+}
+
+/// Charge the simulated clock for a factorization of a `rows x cols`
+/// stack (formulas shared with the weak-scaling bench: deterministic
+/// `2·max·min² + 26·min³`, randomized `6·(keep+10)·rows·cols`).
+fn charge_factorize<C: Communicator>(
+    comm: &C,
+    cfg: &SvdConfig,
+    rows: usize,
+    cols: usize,
+    keep: usize,
+    rate: f64,
+) {
+    let mn = rows.min(cols) as f64;
+    let mx = rows.max(cols) as f64;
+    let flops = if cfg.low_rank {
+        6.0 * (keep + 10) as f64 * rows as f64 * cols as f64
+    } else {
+        2.0 * mx * mn * mn + 26.0 * mn * mn * mn
+    };
+    comm.advance(flops / rate);
+}
+
+fn send_factor<C: Communicator, T: Scalar>(
+    comm: &C,
+    mixed: bool,
+    fac: Matrix<T>,
+    bounds: &[f64],
+    merges: u64,
+    dest: usize,
+    tag: u64,
+) -> Result<(), CommError> {
+    if mixed {
+        comm.try_send((fac.cast::<f32>(), bounds.to_vec(), merges), dest, tag)
+    } else {
+        comm.try_send((fac, bounds.to_vec(), merges), dest, tag)
+    }
+}
+
+fn recv_factor<C: Communicator, T: Scalar>(
+    comm: &C,
+    mixed: bool,
+    src: usize,
+    tag: u64,
+) -> Result<(Matrix<T>, Vec<f64>, u64), CommError> {
+    if mixed {
+        let (m, b, c) = comm.try_recv::<(Matrix<f32>, Vec<f64>, u64)>(src, tag)?;
+        Ok((m.cast::<T>(), b, c))
+    } else {
+        comm.try_recv::<(Matrix<T>, Vec<f64>, u64)>(src, tag)
+    }
+}
+
+/// Distributed SVD over a merge tree, writing this rank's block of the
+/// `K` leading global left singular vectors into `phi` and returning the
+/// singular values (identical on all ranks) plus the executed tree's
+/// diagnostics (identical on all ranks — they ride the final broadcast).
+///
+/// `rng` feeds the root's randomized factorization exactly as the flat
+/// driver's instance RNG does; `ws` backs the interior merges' QR
+/// scratch; `compute_rate` (flop/s), when set, charges modeled local
+/// compute to the communicator's simulated clock so weak-scaling sweeps
+/// see compute and communication on one axis.
+#[allow(clippy::too_many_arguments)]
+pub fn try_merge_tree_svd_into<C: Communicator, T: Scalar + Payload>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix<T>,
+    plan: &MergeTreePlan,
+    rng: &mut StdRng,
+    ws: &mut Workspace,
+    compute_rate: Option<f64>,
+    phi: &mut Matrix<T>,
+) -> Result<(Vec<T>, TreeMergeInfo), TreeSvdError> {
+    let cfg = cfg.validated();
+    let n = a_local.cols();
+    assert!(n > 0, "merge_tree_svd: empty snapshot set");
+    let mixed = cfg.precision == Precision::Mixed;
+    let depth = plan.depth();
+
+    // Claim every level's collective tag up front, identically on all
+    // ranks: collective-round boundaries are where injected rank deaths
+    // activate, so claiming before any exchange pins the world shape for
+    // the whole tree walk — survivors renumber *here*, then agree on the
+    // group structure below.
+    let level_tags: Vec<u64> = (0..depth).map(|_| comm.next_collective_tag()).collect();
+    let rank = comm.rank();
+    let size = comm.size();
+
+    // Leaf: local right vectors truncated to r1, scaled in place to
+    // Wᵢ = Ṽⁱ (Σ̃ⁱ)ᵀ — the same factor flat APMOS gathers.
+    let r1 = cfg.r1.min(n);
+    let (mut fac, slocal) = generate_right_vectors(a_local, r1);
+    for i in 0..fac.rows() {
+        for (v, &s) in fac.row_mut(i).iter_mut().zip(&slocal) {
+            *v *= s;
+        }
+    }
+    if let Some(rate) = compute_rate {
+        let (m, nn) = (a_local.rows() as f64, n as f64);
+        comm.advance((2.0 * m * nn * nn + 25.0 * nn * nn * nn) / rate);
+    }
+
+    let mut bounds = vec![0.0f64; depth.saturating_sub(1)];
+    let mut merges: u64 = 0;
+    // QR factor buffers reused across levels; the kernels' transients come
+    // from `ws`, so repeated merges are allocation-free once warm.
+    let mut qbuf = Matrix::zeros(0, 0);
+    let mut rbuf = Matrix::zeros(0, 0);
+
+    let mut stride = 1usize;
+    for (l, &f) in plan.fanouts().iter().enumerate() {
+        let next_stride = stride.saturating_mul(f);
+        let last = l + 1 == depth;
+        if mixed {
+            // Normalize this level's contribution to wire precision, root
+            // block included — exactly what the flat gather's symmetric
+            // demote/promote does, keeping depth-1 bitwise-pinned to flat.
+            fac = fac.cast::<f32>().cast();
+        }
+        if rank.is_multiple_of(next_stride) {
+            // Leader: collect the group's factors in rank order.
+            let mut blocks = vec![std::mem::replace(&mut fac, Matrix::zeros(0, 0))];
+            for j in 1..f {
+                let src = match j.checked_mul(stride).and_then(|o| rank.checked_add(o)) {
+                    Some(s) if s < size => s,
+                    _ => break,
+                };
+                let (child, child_bounds, child_merges) =
+                    recv_factor::<C, T>(comm, mixed, src, level_tags[l])?;
+                for (b, cb) in bounds.iter_mut().zip(&child_bounds) {
+                    *b += cb;
+                }
+                merges += child_merges;
+                blocks.push(child);
+            }
+            if last || blocks.len() > 1 {
+                let stack = Matrix::hstack_all(&blocks);
+                drop(blocks);
+                if last {
+                    // Root level: factorize the final stack to r2 — the
+                    // truncation the flat path performs too.
+                    fac = stack;
+                } else {
+                    let keep = r1.min(stack.rows().min(stack.cols()));
+                    if let Some(rate) = compute_rate {
+                        charge_factorize(comm, &cfg, stack.rows(), stack.cols(), keep, rate);
+                    }
+                    let (x, s) = interior_factorize(&stack, keep, &cfg, ws, &mut qbuf, &mut rbuf);
+                    bounds[l] += tail_energy(&stack, &s, keep.min(s.len()));
+                    merges += 1;
+                    // Re-compressed group factor: X̃ · diag(σ̃), scaled in
+                    // place on the truncated copy.
+                    let kk = keep.min(s.len());
+                    let mut xk = x.first_columns(kk);
+                    for i in 0..xk.rows() {
+                        for (v, &sv) in xk.row_mut(i).iter_mut().zip(&s[..kk]) {
+                            *v *= sv;
+                        }
+                    }
+                    fac = xk;
+                }
+            } else {
+                // Singleton group (ragged edge of the world): forward the
+                // factor unchanged — nothing to merge, nothing discarded.
+                fac = blocks.pop().expect("own block present");
+            }
+        } else {
+            let leader = rank - (rank % next_stride);
+            let owned = std::mem::replace(&mut fac, Matrix::zeros(0, 0));
+            send_factor(comm, mixed, owned, &bounds, merges, leader, level_tags[l])?;
+            break;
+        }
+        stride = next_stride;
+    }
+
+    // Rank 0 factorizes the root stack and truncates to r2; the factors
+    // fan back out over the configured collective shape, the diagnostics
+    // ride a second (tiny) broadcast so every rank reports the same bound.
+    let (factors, tail) = if rank == 0 {
+        let w = fac;
+        let p = w.rows().min(w.cols());
         let r2 = cfg.r2.min(p);
-        let (x, s) = factorize(&stack, r2, &cfg);
-        Some((x.first_columns(r2), s[..r2.min(s.len())].to_vec()))
-    } else {
-        if rank == leader {
-            comm.send(reduced.expect("leader has the reduction"), 0, TAG_TO_ROOT);
+        if let Some(rate) = compute_rate {
+            charge_factorize(comm, &cfg, w.rows(), w.cols(), r2, rate);
         }
-        None
+        let (x, s) = root_factorize(&w, r2, &cfg, rng);
+        let tail = tail_energy(&w, &s, r2.min(s.len()));
+        (Some((x.first_columns(r2), s[..r2.min(s.len())].to_vec())), tail)
+    } else {
+        (None, 0.0)
     };
-    let (x, s) = comm.bcast(factors, 0);
+    let (x, s) = crate::parallel::bcast_factors(comm, cfg.tree_collectives, mixed, factors, 0)?;
+    let info_payload = if rank == 0 { Some((bounds, tail, merges)) } else { None };
+    let (per_level_bound, root_tail, merges) = if cfg.tree_collectives {
+        psvd_comm::collectives::try_tree_bcast(comm, info_payload, 0)?
+    } else {
+        comm.try_bcast(info_payload, 0)?
+    };
 
-    // Stage 4 (every rank): assemble the local mode slice directly from a
-    // view of the truncated factor, scaling in place.
-    let k = cfg.k.min(s.iter().filter(|&&v| v > 0.0).count());
-    let inv_s: Vec<f64> = s[..k].iter().map(|&v| 1.0 / v).collect();
-    let mut phi = Matrix::zeros(0, 0);
-    matmul_into(a_local.view(), x.block(0, x.rows(), 0, k), &mut phi);
+    // Local slice of the global modes: Ũⁱ_j = (1/Λ̃_j) Aⁱ X̃_j.
+    let k = cfg.k.min(s.iter().filter(|&&v| v > T::ZERO).count());
+    let inv_s: Vec<T> = s[..k].iter().map(|&v| T::ONE / v).collect();
+    matmul_into(a_local.view(), x.block(0, x.rows(), 0, k), phi);
     for i in 0..phi.rows() {
         for (v, &is) in phi.row_mut(i).iter_mut().zip(&inv_s) {
             *v *= is;
         }
     }
-    (phi, s[..k].to_vec())
+    if let Some(rate) = compute_rate {
+        let (m, nn, kk) = (a_local.rows() as f64, n as f64, k as f64);
+        comm.advance(2.0 * m * nn * kk / rate);
+    }
+
+    let info = TreeMergeInfo { fanouts: plan.fanouts.clone(), per_level_bound, root_tail, merges };
+    Ok((s[..k].to_vec(), info))
 }
 
-fn factorize(w: &Matrix, rank_hint: usize, cfg: &SvdConfig) -> (Matrix, Vec<f64>) {
-    if cfg.low_rank {
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(w.cols() as u64));
-        low_rank_svd(w, rank_hint, &mut rng)
-    } else {
-        let f = svd_with(w, cfg.method);
-        (f.u, f.s)
-    }
+/// One-shot merge-tree SVD with a fresh RNG/workspace (the convenience
+/// entry point mirroring [`crate::parallel::parallel_svd_once`]).
+pub fn try_merge_tree_svd<C: Communicator, T: Scalar + Payload>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix<T>,
+    plan: &MergeTreePlan,
+) -> Result<(Matrix<T>, Vec<T>, TreeMergeInfo), TreeSvdError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ws = Workspace::new();
+    let mut phi = Matrix::zeros(0, 0);
+    let (s, info) =
+        try_merge_tree_svd_into(comm, cfg, a_local, plan, &mut rng, &mut ws, None, &mut phi)?;
+    Ok((phi, s, info))
+}
+
+/// As [`try_merge_tree_svd`], additionally charging modeled local compute
+/// at `compute_rate` flop/s to the communicator's simulated clock — the
+/// entry point of the `tree_scaling` weak-scaling bench.
+pub fn try_merge_tree_svd_timed<C: Communicator, T: Scalar + Payload>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix<T>,
+    plan: &MergeTreePlan,
+    compute_rate: f64,
+) -> Result<(Matrix<T>, Vec<T>, TreeMergeInfo), TreeSvdError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ws = Workspace::new();
+    let mut phi = Matrix::zeros(0, 0);
+    let (s, info) = try_merge_tree_svd_into(
+        comm,
+        cfg,
+        a_local,
+        plan,
+        &mut rng,
+        &mut ws,
+        Some(compute_rate),
+        &mut phi,
+    )?;
+    Ok((phi, s, info))
+}
+
+/// Panicking convenience wrapper over [`try_merge_tree_svd`].
+pub fn merge_tree_svd<C: Communicator, T: Scalar + Payload>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix<T>,
+    plan: &MergeTreePlan,
+) -> (Matrix<T>, Vec<T>, TreeMergeInfo) {
+    try_merge_tree_svd(comm, cfg, a_local, plan)
+        .unwrap_or_else(|e| panic!("merge_tree_svd failed: {e}"))
+}
+
+/// Two-level distributed SVD (the original hierarchical API): groups of
+/// `group_size` ranks share one leader; `group_size == 1` or `>= size`
+/// degenerate to flat APMOS. Returns a typed error for unusable group
+/// sizes (zero) or failed exchanges instead of panicking.
+pub fn try_hierarchical_parallel_svd<C: Communicator, T: Scalar + Payload>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix<T>,
+    group_size: usize,
+) -> Result<(Matrix<T>, Vec<T>), TreeSvdError> {
+    let plan = MergeTreePlan::two_level(group_size, comm.size())?;
+    let (phi, s, _info) = try_merge_tree_svd(comm, cfg, a_local, &plan)?;
+    Ok((phi, s))
+}
+
+/// Panicking convenience wrapper over [`try_hierarchical_parallel_svd`].
+pub fn hierarchical_parallel_svd<C: Communicator, T: Scalar + Payload>(
+    comm: &C,
+    cfg: SvdConfig,
+    a_local: &Matrix<T>,
+    group_size: usize,
+) -> (Matrix<T>, Vec<T>) {
+    try_hierarchical_parallel_svd(comm, cfg, a_local, group_size)
+        .unwrap_or_else(|e| panic!("hierarchical_parallel_svd failed: {e}"))
 }
 
 #[cfg(test)]
@@ -165,9 +730,8 @@ mod tests {
 
     #[test]
     fn group_sizes_degenerate_consistently() {
-        // group = 1 (leaders forward untouched... still re-compress to r1,
-        // a no-op at width r1) and group >= size (single leader = rank 0)
-        // must both match the reference.
+        // group = 1 and group >= size both collapse to the flat plan and
+        // must match the reference.
         let a = decaying(64, 12, 2);
         let k = 3;
         let cfg = SvdConfig::new(k).with_r1(12).with_r2(12);
@@ -221,7 +785,7 @@ mod tests {
             });
             world.stats().recv_bytes(0)
         };
-        let flat_like = recv_bytes(1); // every rank is its own leader
+        let flat_like = recv_bytes(1); // flat plan: every rank sends raw
         let grouped = recv_bytes(4); // two leaders forward to rank 0
                                      // Rank 0 is itself a leader (receives its own group's raw blocks),
                                      // so the reduction is (g-1 raw + 1 compressed) vs (P-1 raw): with
@@ -240,5 +804,134 @@ mod tests {
         let (_, s) = run_hier(&a, 7, 3, cfg);
         let (_, s_ref) = batch_truncated_svd(&a, 3);
         assert!(spectrum_error(&s_ref, &s) < 1e-7);
+    }
+
+    // ---- plan construction -------------------------------------------
+
+    #[test]
+    fn plan_uniform_shapes() {
+        assert_eq!(MergeTreePlan::uniform(2, 9).unwrap().fanouts(), &[2, 2, 2, 2]);
+        assert_eq!(MergeTreePlan::uniform(4, 5).unwrap().fanouts(), &[4, 2]);
+        assert_eq!(MergeTreePlan::uniform(3, 27).unwrap().fanouts(), &[3, 3, 3]);
+        assert!(MergeTreePlan::uniform(4, 4).unwrap().is_flat());
+        assert!(MergeTreePlan::uniform(8, 3).unwrap().is_flat());
+        assert!(MergeTreePlan::uniform(1, 1).unwrap().is_flat());
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_shapes() {
+        assert_eq!(MergeTreePlan::uniform(0, 8), Err(PlanError::ZeroFanout));
+        assert_eq!(MergeTreePlan::uniform(1, 8), Err(PlanError::FanoutOne { world: 8 }));
+        assert_eq!(MergeTreePlan::with_depth(0, 8), Err(PlanError::ZeroDepth));
+        assert_eq!(MergeTreePlan::two_level(0, 8), Err(PlanError::ZeroFanout));
+        assert_eq!(MergeTreePlan::explicit(vec![], 4), Err(PlanError::ZeroDepth));
+        assert_eq!(MergeTreePlan::explicit(vec![2, 0], 4), Err(PlanError::ZeroFanout));
+        assert_eq!(
+            MergeTreePlan::explicit(vec![2, 2], 5),
+            Err(PlanError::TooShallow { world: 5, capacity: 4 })
+        );
+    }
+
+    #[test]
+    fn plan_with_depth_covers_world() {
+        for world in [2usize, 5, 9, 16, 100, 4096] {
+            for depth in 1..=4 {
+                let plan = MergeTreePlan::with_depth(depth, world).unwrap();
+                assert!(plan.depth() <= depth.max(1), "world {world} depth {depth}");
+                let capacity: usize = plan.fanouts().iter().product();
+                assert!(capacity >= world, "world {world} depth {depth}: {plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_resolution_precedence() {
+        let world = 64;
+        let flat = SvdConfig::new(2).with_tree_fanout(0).with_tree_depth(0);
+        assert!(MergeTreePlan::resolve(&flat, world).unwrap().is_flat());
+        let fan = flat.with_tree_fanout(4);
+        assert_eq!(MergeTreePlan::resolve(&fan, world).unwrap().fanouts(), &[4, 4, 4]);
+        let dep = flat.with_tree_depth(2);
+        assert_eq!(MergeTreePlan::resolve(&dep, world).unwrap().fanouts(), &[8, 8]);
+        let both = flat.with_tree_fanout(4).with_tree_depth(2);
+        assert_eq!(MergeTreePlan::resolve(&both, world).unwrap().fanouts(), &[4, 16]);
+    }
+
+    #[test]
+    fn plan_auto_heuristic() {
+        assert!(MergeTreePlan::auto(1).is_flat());
+        assert!(MergeTreePlan::auto(8).is_flat());
+        assert_eq!(MergeTreePlan::auto(64).fanouts(), &[8, 8]);
+        let big = MergeTreePlan::auto(4096);
+        assert!(big.fanouts().iter().all(|&f| f <= 16), "{big:?}");
+        let capacity: usize = big.fanouts().iter().product();
+        assert!(capacity >= 4096);
+    }
+
+    // ---- satellite: typed errors + degenerate worlds ------------------
+
+    #[test]
+    fn zero_group_size_is_a_typed_error_not_a_panic() {
+        let a = decaying(12, 6, 7);
+        let world = World::new(1);
+        let out = world.run(|comm| {
+            let cfg = SvdConfig::new(2).with_r1(6).with_r2(6);
+            try_hierarchical_parallel_svd(comm, cfg, &a, 0).map(|_| ())
+        });
+        match &out[0] {
+            Err(TreeSvdError::Plan(PlanError::ZeroFanout)) => {}
+            other => panic!("expected ZeroFanout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn world_of_one_works_at_any_group_size() {
+        let a = decaying(24, 8, 8);
+        let (_, s_ref) = batch_truncated_svd(&a, 3);
+        for group in [1usize, 2, 17] {
+            let world = World::new(1);
+            let cfg = SvdConfig::new(3).with_r1(8).with_r2(8);
+            let out = world.run(|comm| {
+                try_hierarchical_parallel_svd(comm, cfg, &a, group).expect("degenerate world")
+            });
+            assert!(spectrum_error(&s_ref, &out[0].1) < 1e-8, "group {group}");
+        }
+    }
+
+    #[test]
+    fn prime_worlds_with_ragged_groups_work() {
+        for (ranks, group) in [(5usize, 2usize), (5, 3), (7, 2), (7, 4)] {
+            let a = decaying(8 * ranks, 10, 9 + ranks as u64);
+            let cfg = SvdConfig::new(3).with_r1(10).with_r2(10);
+            let (_, s) = run_hier(&a, ranks, group, cfg);
+            let (_, s_ref) = batch_truncated_svd(&a, 3);
+            assert!(
+                spectrum_error(&s_ref, &s) < 1e-7,
+                "ranks {ranks} group {group}: {s:?} vs {s_ref:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_info_reports_tree_shape_on_all_ranks() {
+        let a = decaying(72, 12, 10);
+        let blocks = split_rows(&a, 6);
+        let plan = MergeTreePlan::uniform(2, 6).unwrap();
+        let cfg = SvdConfig::new(3).with_r1(4).with_r2(4);
+        let world = World::new(6);
+        let out = world.run(|comm| {
+            let (_, _, info) = merge_tree_svd(comm, cfg, &blocks[comm.rank()], &plan);
+            info
+        });
+        for info in &out {
+            assert_eq!(info, &out[0], "diagnostics must agree on every rank");
+        }
+        assert_eq!(out[0].fanouts, vec![2, 2, 2]);
+        assert_eq!(out[0].per_level_bound.len(), 2);
+        // 6 ranks, fanout 2: 3 merges at level 0, {0,2,4} -> 1 merge at
+        // level 1 ({0,2} merge; 4 forwards singleton... rank 4 pairs with 0
+        // at level 1), then {0,4} at level 2.
+        assert!(out[0].merges >= 4, "expected >= 4 interior merges, got {}", out[0].merges);
+        assert!(out[0].interior_bound() >= 0.0);
     }
 }

@@ -41,7 +41,11 @@ pub use brand::BrandIncrementalSvd;
 pub use checkpoint::SvdCheckpoint;
 pub use config::{Precision, SvdConfig};
 pub use dmd::{dmd, Dmd};
-pub use hierarchical::hierarchical_parallel_svd;
+pub use hierarchical::{
+    hierarchical_parallel_svd, merge_tree_svd, try_hierarchical_parallel_svd, try_merge_tree_svd,
+    try_merge_tree_svd_into, try_merge_tree_svd_timed, MergeTreePlan, PlanError, TreeMergeInfo,
+    TreeSvdError,
+};
 pub use parallel::{parallel_svd_once, DegradedInfo, IngestError, ParallelStreamingSvd};
 pub use pod::{pod, Pod, StreamingPod};
 pub use serial::{batch_truncated_svd, SerialStreamingSvd};

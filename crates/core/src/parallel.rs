@@ -44,6 +44,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{Precision, SvdConfig};
+use crate::hierarchical::{try_merge_tree_svd_into, MergeTreePlan, TreeMergeInfo, TreeSvdError};
 
 /// Gather `m` at `root`. In mixed-precision mode every block is demoted
 /// to `f32` *before* entering the collective (so root and non-root
@@ -51,7 +52,7 @@ use crate::config::{Precision, SvdConfig};
 /// back on receipt; otherwise blocks travel at the native dtype. The
 /// demotion happens ahead of the tree/flat split, so both collective
 /// shapes move bit-identical payloads.
-fn gather_blocks<C: Communicator, T: Scalar>(
+pub(crate) fn gather_blocks<C: Communicator, T: Scalar>(
     comm: &C,
     tree: bool,
     mixed: bool,
@@ -79,7 +80,7 @@ fn gather_blocks<C: Communicator, T: Scalar>(
 /// nothing and cost the σ accuracy contract); every rank, root included,
 /// consumes the promoted wire copy so all ranks hold bit-identical
 /// factors.
-fn bcast_factors<C: Communicator, T: Scalar + Payload>(
+pub(crate) fn bcast_factors<C: Communicator, T: Scalar + Payload>(
     comm: &C,
     tree: bool,
     mixed: bool,
@@ -212,6 +213,9 @@ pub struct ParallelStreamingSvd<'a, C: Communicator, T: Scalar = f64> {
     world_size: usize,
     /// Set once the run has survived a rank failure.
     degraded: Option<DegradedInfo>,
+    /// Diagnostics of the latest hierarchical APMOS round (`None` until a
+    /// non-flat merge-tree plan has executed).
+    tree_info: Option<TreeMergeInfo>,
 }
 
 impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
@@ -219,6 +223,10 @@ impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
     pub fn new(comm: &'a C, cfg: SvdConfig) -> Self {
         let cfg = cfg.validated();
         let size = comm.size();
+        // Surface an unusable tree configuration here, like `validated()`
+        // does for the numeric knobs, rather than mid-stream.
+        MergeTreePlan::resolve(&cfg, size)
+            .unwrap_or_else(|e| panic!("merge-tree configuration rejected: {e}"));
         Self {
             comm,
             initial_world: size,
@@ -239,6 +247,7 @@ impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
             next_ulocal: Matrix::zeros(0, 0),
             weighted: Vec::new(),
             ingest: Matrix::zeros(0, 0),
+            tree_info: None,
         }
     }
 
@@ -301,6 +310,13 @@ impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
         self.degraded.as_ref()
     }
 
+    /// Diagnostics of the latest hierarchical APMOS round: executed tree
+    /// shape and the tracked truncation-error bound. `None` while the
+    /// resolved plan is the flat gather (the backward-compatible default).
+    pub fn tree_merge_info(&self) -> Option<&TreeMergeInfo> {
+        self.tree_info.as_ref()
+    }
+
     /// Reconcile the tracked world size with the communicator's. A shrink
     /// means some rank died since the last operation: record it if the
     /// configuration tolerates degraded runs, error out otherwise. Called
@@ -359,6 +375,37 @@ impl<'a, C: Communicator, T: Scalar + Payload> ParallelStreamingSvd<'a, C, T> {
     ) -> Result<Vec<T>, CommError> {
         let n = a_local.cols();
         assert!(n > 0, "parallel_svd: empty snapshot set");
+
+        // Hierarchical exchange: re-resolve the plan against the *current*
+        // world (a degraded run may have shrunk below the tree threshold)
+        // and hand the round to the merge-tree engine. The flat plan stays
+        // on the inline path below — bit-for-bit and byte-for-byte the
+        // same exchange as before the tree engine existed.
+        let plan = MergeTreePlan::resolve(&self.cfg, self.comm.size())
+            .unwrap_or_else(|e| panic!("merge-tree configuration rejected: {e}"));
+        if !plan.is_flat() {
+            let result = try_merge_tree_svd_into(
+                self.comm,
+                self.cfg,
+                a_local,
+                &plan,
+                &mut self.rng,
+                &mut self.ws,
+                None,
+                phi,
+            );
+            return match result {
+                Ok((s, info)) => {
+                    self.tree_info = Some(info);
+                    Ok(s)
+                }
+                Err(TreeSvdError::Comm(e)) => Err(e),
+                Err(TreeSvdError::Plan(e)) => {
+                    unreachable!("plan errors surface at resolve time: {e}")
+                }
+            };
+        }
+
         let r1 = self.cfg.r1.min(n);
         let mixed = self.cfg.precision == Precision::Mixed;
 

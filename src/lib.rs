@@ -53,8 +53,10 @@ pub mod prelude {
         CommError, Communicator, FaultComm, FaultPlan, NetworkModel, RetryPolicy, SelfComm, World,
     };
     pub use psvd_core::{
-        batch_truncated_svd, parallel_svd_once, DegradedInfo, ParallelStreamingSvd, Precision,
-        SerialStreamingSvd, SvdConfig,
+        batch_truncated_svd, hierarchical_parallel_svd, merge_tree_svd, parallel_svd_once,
+        try_hierarchical_parallel_svd, try_merge_tree_svd, DegradedInfo, MergeTreePlan,
+        ParallelStreamingSvd, PlanError, Precision, SerialStreamingSvd, SvdConfig, TreeMergeInfo,
+        TreeSvdError,
     };
     pub use psvd_data::{BurgersConfig, Era5Config};
     pub use psvd_linalg::{svd, Matrix, RandomizedConfig, Svd, SvdMethod};

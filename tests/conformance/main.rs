@@ -13,3 +13,4 @@ mod degraded;
 mod fault_injection;
 mod harness;
 mod precision;
+mod tree;

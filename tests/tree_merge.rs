@@ -1,0 +1,231 @@
+//! Merge-tree APMOS contracts: flat plans are bitwise-pinned to the flat
+//! driver path, non-flat plans stay within the tracked truncation bound,
+//! and the bound itself dominates the observed σ deviation on graded and
+//! clustered spectra (the Weyl / Eckart–Young accounting of
+//! `core/hierarchical.rs`).
+
+use pyparsvd::data::partition::split_rows;
+use pyparsvd::linalg::random::{matrix_with_spectrum, seeded_rng};
+use pyparsvd::linalg::validate::max_principal_angle;
+use pyparsvd::prelude::*;
+
+const WORLDS: std::ops::RangeInclusive<usize> = 1..=9;
+const FANOUTS: [usize; 3] = [2, 3, 4];
+const DEPTHS: [usize; 3] = [1, 2, 3];
+
+fn graded(m: usize, n: usize, seed: u64) -> Matrix {
+    let spec: Vec<f64> = (0..n.min(m)).map(|i| 10.0 * 0.55f64.powi(i as i32)).collect();
+    matrix_with_spectrum(m, n, &spec, &mut seeded_rng(seed))
+}
+
+fn clustered(m: usize, n: usize, seed: u64) -> Matrix {
+    let spec: Vec<f64> =
+        (0..n.min(m)).map(|i| if i < 3 { 8.0 } else { 0.5 * 0.8f64.powi(i as i32) }).collect();
+    matrix_with_spectrum(m, n, &spec, &mut seeded_rng(seed))
+}
+
+/// One APMOS round through the driver, returning every rank's view:
+/// assembled modes, the σ estimate, and the tree diagnostics (if any).
+fn driver_round(
+    a: &Matrix,
+    n_ranks: usize,
+    cfg: SvdConfig,
+) -> (Matrix, Vec<f64>, Option<TreeMergeInfo>) {
+    let blocks = split_rows(a, n_ranks);
+    let world = World::new(n_ranks);
+    let out = world.run(|comm| {
+        let mut d = ParallelStreamingSvd::new(comm, cfg);
+        let (phi, s) = d.parallel_svd(&blocks[comm.rank()]);
+        (phi, s, d.tree_merge_info().cloned())
+    });
+    for (_, s, info) in &out {
+        assert_eq!(s, &out[0].1, "σ must agree on every rank");
+        assert_eq!(info, &out[0].2, "tree diagnostics must agree on every rank");
+    }
+    let modes = Matrix::vstack_all(&out.iter().map(|(p, _, _)| p.clone()).collect::<Vec<_>>());
+    (modes, out[0].1.clone(), out[0].2.clone())
+}
+
+fn max_sigma_dev(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "σ count changed between plans: {a:?} vs {b:?}");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn flat_plans_are_bitwise_identical_to_the_flat_driver() {
+    // Fanout >= world, depth 1 and cleared knobs all resolve to the flat
+    // plan; each must reproduce the knob-free driver bit for bit.
+    let a = graded(90, 12, 41);
+    let base = SvdConfig::new(3)
+        .with_r1(6)
+        .with_r2(6)
+        .with_precision(Precision::F64)
+        .with_tree_fanout(0)
+        .with_tree_depth(0);
+    for n_ranks in WORLDS {
+        let (modes, sigma, info) = driver_round(&a, n_ranks, base);
+        assert!(info.is_none(), "flat default must not engage the tree engine");
+        for cfg in [
+            base.with_tree_depth(1),
+            base.with_tree_fanout(n_ranks.max(2)),
+            base.with_tree_fanout(100),
+        ] {
+            let (m2, s2, i2) = driver_round(&a, n_ranks, cfg);
+            assert!(
+                i2.is_none(),
+                "{n_ranks} ranks, {:?}/{:?}: plan should resolve flat",
+                cfg.tree_fanout,
+                cfg.tree_depth
+            );
+            assert_eq!(s2, sigma, "{n_ranks} ranks: flat-resolved σ must be bitwise identical");
+            assert_eq!(m2, modes, "{n_ranks} ranks: flat-resolved modes must be bitwise identical");
+        }
+    }
+}
+
+#[test]
+fn fanout_sweep_stays_within_tracked_bound() {
+    let a = graded(90, 12, 42);
+    let base = SvdConfig::new(3)
+        .with_r1(6)
+        .with_r2(6)
+        .with_precision(Precision::F64)
+        .with_tree_fanout(0)
+        .with_tree_depth(0);
+    for n_ranks in WORLDS {
+        let (flat_modes, flat_sigma, _) = driver_round(&a, n_ranks, base);
+        for fanout in FANOUTS {
+            let cfg = base.with_tree_fanout(fanout);
+            let (modes, sigma, info) = driver_round(&a, n_ranks, cfg);
+            if fanout >= n_ranks {
+                assert_eq!(sigma, flat_sigma, "{n_ranks} ranks fanout {fanout}: bitwise");
+                assert_eq!(modes, flat_modes, "{n_ranks} ranks fanout {fanout}: bitwise");
+                continue;
+            }
+            let info = info.expect("non-flat plan must report diagnostics");
+            let expect = MergeTreePlan::uniform(fanout, n_ranks).unwrap();
+            assert_eq!(info.fanouts, expect.fanouts(), "{n_ranks} ranks fanout {fanout}");
+            let dev = max_sigma_dev(&sigma, &flat_sigma);
+            assert!(
+                dev <= info.interior_bound() + 1e-8,
+                "{n_ranks} ranks fanout {fanout}: σ deviation {dev} exceeds tracked bound {}",
+                info.interior_bound()
+            );
+            // The well-separated leading subspace survives the tree merge.
+            let angle = max_principal_angle(&flat_modes, &modes);
+            assert!(angle < 1e-3, "{n_ranks} ranks fanout {fanout}: mode angle {angle}");
+        }
+    }
+}
+
+#[test]
+fn depth_sweep_stays_within_tracked_bound() {
+    let a = graded(90, 12, 43);
+    let base = SvdConfig::new(3)
+        .with_r1(6)
+        .with_r2(6)
+        .with_precision(Precision::F64)
+        .with_tree_fanout(0)
+        .with_tree_depth(0);
+    for n_ranks in WORLDS {
+        let (flat_modes, flat_sigma, _) = driver_round(&a, n_ranks, base);
+        for depth in DEPTHS {
+            let cfg = base.with_tree_depth(depth);
+            let (modes, sigma, info) = driver_round(&a, n_ranks, cfg);
+            match info {
+                None => {
+                    // Depth 1 (or a world too small to split) resolves flat.
+                    assert_eq!(sigma, flat_sigma, "{n_ranks} ranks depth {depth}: bitwise");
+                    assert_eq!(modes, flat_modes, "{n_ranks} ranks depth {depth}: bitwise");
+                }
+                Some(info) => {
+                    assert!(info.depth() >= 2 && info.depth() <= depth);
+                    let dev = max_sigma_dev(&sigma, &flat_sigma);
+                    assert!(
+                        dev <= info.interior_bound() + 1e-8,
+                        "{n_ranks} ranks depth {depth}: σ deviation {dev} exceeds bound {}",
+                        info.interior_bound()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_bound_dominates_on_graded_and_clustered_spectra() {
+    // Property sweep: aggressive interior truncation (r1 well below the
+    // column count) across spectra, worlds, fanouts and seeds. The
+    // deterministic path makes the per-merge discarded energy exact, so
+    // the accumulated bound must dominate the observed σ deviation — with
+    // only round-off slack.
+    let shapes: &[fn(usize, usize, u64) -> Matrix] = &[graded, clustered];
+    for (which, gen) in shapes.iter().enumerate() {
+        for seed in [7u64, 19, 31] {
+            let a = gen(96, 16, seed);
+            let cfg = SvdConfig::new(3)
+                .with_r1(4)
+                .with_r2(4)
+                .with_precision(Precision::F64)
+                .with_tree_fanout(0)
+                .with_tree_depth(0);
+            for n_ranks in [5usize, 8, 9] {
+                let (_, flat_sigma, _) = driver_round(&a, n_ranks, cfg);
+                for fanout in [2usize, 3] {
+                    let (_, sigma, info) = driver_round(&a, n_ranks, cfg.with_tree_fanout(fanout));
+                    let info = info.expect("non-flat plan");
+                    let dev = max_sigma_dev(&sigma, &flat_sigma);
+                    let bound = info.interior_bound();
+                    assert!(
+                        dev <= bound + 1e-8,
+                        "spectrum {which} seed {seed} ranks {n_ranks} fanout {fanout}: \
+                         deviation {dev} vs bound {bound}"
+                    );
+                    assert!(bound.is_finite() && bound >= 0.0);
+                    // The bound is meaningful, not vacuous: it stays below
+                    // the total spectral energy of the data.
+                    let fro: f64 = a.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt();
+                    assert!(bound < fro, "bound {bound} should undercut ‖A‖_F = {fro}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_tree_path_tracks_leading_sigma() {
+    // The randomized inner SVD rides the same tree; its σ estimates stay
+    // close to the deterministic flat reference on a decaying spectrum.
+    let a = graded(96, 16, 44);
+    let cfg = SvdConfig::new(3)
+        .with_r1(8)
+        .with_r2(8)
+        .with_low_rank(true)
+        .with_power_iterations(2)
+        .with_seed(5)
+        .with_precision(Precision::F64)
+        .with_tree_fanout(3)
+        .with_tree_depth(0);
+    let (_, sigma, info) = driver_round(&a, 9, cfg);
+    assert!(info.is_some());
+    let (_, flat_sigma, _) = driver_round(&a, 9, cfg.with_tree_fanout(0));
+    for (got, want) in sigma.iter().zip(&flat_sigma) {
+        assert!((got - want).abs() / want < 0.05, "sigma {got} vs {want}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "rank thread panicked")]
+fn fanout_one_is_rejected_at_driver_construction() {
+    // Fanout 1 can never reduce the active set; the driver rejects it up
+    // front (inside the rank threads, which the harness surfaces as a
+    // join panic) instead of hanging mid-stream.
+    let a = graded(24, 8, 45);
+    let blocks = split_rows(&a, 2);
+    let cfg = SvdConfig::new(2).with_r1(8).with_r2(8).with_tree_fanout(1).with_tree_depth(0);
+    let world = World::new(2);
+    world.run(|comm| {
+        let _ = ParallelStreamingSvd::<_, f64>::new(comm, cfg);
+        let _ = &blocks;
+    });
+}
