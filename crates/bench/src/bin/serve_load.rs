@@ -1,0 +1,412 @@
+//! SVD-as-a-service load bench: many concurrent tenants streaming through
+//! one [`psvd_serve::SvdServer`], with eviction churn, chaos sessions, and
+//! query-latency probes, emitting machine-readable JSON (`BENCH_serve.json`).
+//!
+//! ```text
+//! cargo run -p psvd-bench --release --bin serve_load [-- --quick] [--out PATH]
+//! ```
+//!
+//! Three phases:
+//!
+//! * `idle` — one committed tenant, a query storm against an otherwise
+//!   idle server. Client-side exact percentiles (the server's own
+//!   histogram is log2-bucketed telemetry, so the gates use wall-clock
+//!   `Instant` samples).
+//! * `fleet` — a fleet of tenants streamed concurrently under a resident
+//!   cap of a quarter of the fleet, so the LRU sweeper must spill
+//!   checkpoints while traffic is in flight. A slice of the fleet runs
+//!   two-rank sessions billed to a simulated Theta/Aries network; another
+//!   slice runs under seeded chaos (drops, corruption, delays, and a
+//!   scheduled rank death every other round) so replay recovery is on the
+//!   clock, not just in the conformance suite.
+//! * `contended` — a heavy multi-rank tenant grinds large rounds on the
+//!   worker pool while a light tenant's queries storm. Queries read a
+//!   published `Arc` model snapshot, so their p99 must stay far below the
+//!   heavy round time; if queries ever waited behind an update, p99 would
+//!   jump to round scale and the gate would trip.
+//!
+//! Gated contracts (throughput numbers are informational, the gates are
+//! not): every accepted snapshot is processed once the fleet is flushed
+//! and drained; the cap forces evictions and queries force rehydrations;
+//! chaos sessions absorb faults and replay dead rounds yet finish with a
+//! servable model; and contended query p99 stays below half a heavy
+//! round.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use psvd_bench::{fmt_secs, Table};
+use psvd_comm::NetworkModel;
+use psvd_core::{Precision, SvdConfig};
+use psvd_linalg::Matrix;
+use psvd_serve::{ChaosSpec, ServeConfig, SessionSpec, SvdServer};
+
+/// Rows per fleet tenant.
+const ROWS: usize = 24;
+/// Modes per fleet tenant.
+const K: usize = 2;
+/// Canonical batch width per fleet tenant.
+const BATCH: usize = 4;
+/// Queries in the idle latency probe.
+const IDLE_QUERIES: usize = 4_000;
+/// Queries per contended storm attempt.
+const STORM_QUERIES: usize = 20_000;
+
+fn fleet_spec(idx: usize) -> SessionSpec {
+    let base = SessionSpec::new(K, ROWS)
+        .with_svd(
+            SvdConfig::new(K)
+                .with_r1(4)
+                .with_r2(4)
+                .with_precision(Precision::F64)
+                .with_tree_fanout(0)
+                .with_tree_depth(0),
+        )
+        .with_batch(BATCH);
+    if idx % 8 == 3 {
+        // Chaos slice: transient faults plus a scheduled death every other
+        // round, so the server replays rounds under load.
+        base.with_ranks(2).with_chaos(
+            ChaosSpec::new(0xBE_EF00 + idx as u64)
+                .with_drop_prob(0.2)
+                .with_corrupt_prob(0.2)
+                .with_delay_prob(0.2, 2)
+                .with_death_every(2),
+        )
+    } else if idx.is_multiple_of(4) {
+        // Simulated-network slice: bill round communication to Theta/Aries
+        // clocks so the service accounts simulated seconds too.
+        base.with_ranks(2).with_network(NetworkModel::theta_aries())
+    } else {
+        base
+    }
+}
+
+fn chunk(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i as f64 * 0.83 + j as f64 * 1.91 + seed as f64) * 0.17).sin()
+            + 0.4 * ((i as f64 - 1.3 * j as f64 + seed as f64 * 0.7) * 0.05).cos()
+    })
+}
+
+/// Exact percentile over client-side samples (nearest-rank).
+fn pctl(sorted_ns: &[u64], q: f64) -> Duration {
+    assert!(!sorted_ns.is_empty(), "no latency samples collected");
+    let idx = ((q * (sorted_ns.len() - 1) as f64).round() as usize).min(sorted_ns.len() - 1);
+    Duration::from_nanos(sorted_ns[idx])
+}
+
+fn fmt_us(d: Duration) -> String {
+    format!("{:.1} us", d.as_nanos() as f64 / 1e3)
+}
+
+struct LatencyOut {
+    p50: Duration,
+    p99: Duration,
+    samples: usize,
+}
+
+fn summarize(mut ns: Vec<u64>) -> LatencyOut {
+    ns.sort_unstable();
+    LatencyOut { p50: pctl(&ns, 0.50), p99: pctl(&ns, 0.99), samples: ns.len() }
+}
+
+/// Phase 1: query latency against an idle server with one committed model.
+fn idle_probe() -> LatencyOut {
+    let server = SvdServer::new(ServeConfig::default().with_sessions(4).with_workers(1));
+    server.open("idle", fleet_spec(1)).unwrap();
+    server.submit("idle", chunk(ROWS, 2 * BATCH, 42)).unwrap();
+    server.drain();
+    let mut ns = Vec::with_capacity(IDLE_QUERIES);
+    for _ in 0..IDLE_QUERIES {
+        let t0 = Instant::now();
+        let sigma = server.singular_values("idle").unwrap();
+        ns.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(sigma.len(), K);
+    }
+    server.shutdown();
+    summarize(ns)
+}
+
+struct FleetOut {
+    sessions: usize,
+    snapshots: u64,
+    rounds: u64,
+    replays: u64,
+    faults_absorbed: u64,
+    evictions: u64,
+    rehydrations: u64,
+    evicted_bytes: u64,
+    wire_messages: u64,
+    wire_bytes: u64,
+    sim_comm_seconds: f64,
+    wall_seconds: f64,
+    snapshots_per_sec: f64,
+}
+
+/// Phase 2: stream a fleet of tenants under a resident cap with mixed
+/// update/query traffic, then flush, drain, and audit the books.
+fn fleet_load(sessions: usize, chunks_per_session: usize) -> FleetOut {
+    let server = SvdServer::new(
+        ServeConfig::default()
+            .with_sessions(sessions / 4)
+            .with_queue_depth(64)
+            .with_workers(8)
+            .with_round_batches(2),
+    );
+    let tenants: Vec<String> = (0..sessions).map(|i| format!("tenant-{i:04}")).collect();
+    let t0 = Instant::now();
+    for (i, t) in tenants.iter().enumerate() {
+        server.open(t, fleet_spec(i)).unwrap();
+    }
+    for wave in 0..chunks_per_session {
+        for (i, t) in tenants.iter().enumerate() {
+            let cols = chunk(ROWS, BATCH, (wave * sessions + i) as u64);
+            // Backpressure is part of the protocol: drain and retry.
+            while let Err(psvd_serve::ServeError::QueueFull { .. }) = server.submit(t, cols.clone())
+            {
+                server.drain();
+            }
+            // Mixed traffic: sprinkle queries over earlier tenants, which
+            // rehydrates any the cap sweeper already spilled.
+            if wave > 0 && i % 7 == 0 {
+                let sigma = server.singular_values(t).unwrap();
+                assert_eq!(sigma.len(), K);
+            }
+        }
+        server.drain();
+    }
+    server.flush_all();
+    server.drain();
+    // Query every tenant: evicted ones rehydrate on demand.
+    for t in &tenants {
+        let sigma = server.singular_values(t).unwrap();
+        assert_eq!(sigma.len(), K, "{t}: model must be servable after the run");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let s = server.stats().snapshot();
+
+    let expected = (sessions * chunks_per_session * BATCH) as u64;
+    assert_eq!(s.snapshots_accepted, expected, "every submitted snapshot accepted");
+    assert_eq!(
+        s.snapshots_processed, s.snapshots_accepted,
+        "flush_all + drain must process every accepted snapshot"
+    );
+    assert!(s.evictions > 0, "resident cap {}/{} produced no evictions", sessions / 4, sessions);
+    assert!(s.rehydrations > 0, "queries against spilled tenants must rehydrate");
+    assert!(s.faults_absorbed > 0, "chaos slice absorbed no transient faults");
+    assert!(s.replays > 0, "chaos slice replayed no dead rounds");
+    assert!(s.sim_comm_nanos > 0, "network slice billed no simulated time");
+
+    for t in &tenants {
+        server.close(t).unwrap();
+    }
+    assert_eq!(server.session_count(), 0, "fleet must drain to zero sessions");
+    server.shutdown();
+    FleetOut {
+        sessions,
+        snapshots: s.snapshots_processed,
+        rounds: s.rounds,
+        replays: s.replays,
+        faults_absorbed: s.faults_absorbed,
+        evictions: s.evictions,
+        rehydrations: s.rehydrations,
+        evicted_bytes: s.evicted_bytes,
+        wire_messages: s.wire_messages,
+        wire_bytes: s.wire_bytes,
+        sim_comm_seconds: s.sim_comm_nanos as f64 / 1e9,
+        wall_seconds: wall,
+        snapshots_per_sec: s.snapshots_processed as f64 / wall,
+    }
+}
+
+struct ContendedOut {
+    heavy_round_mean: Duration,
+    latency: LatencyOut,
+    overlapped: u64,
+}
+
+/// Phase 3: query a light tenant while a heavy tenant owns the workers.
+fn contended_probe(heavy_cols: usize) -> ContendedOut {
+    let server = SvdServer::new(ServeConfig::default().with_sessions(8).with_workers(1));
+    server.open("light", fleet_spec(1)).unwrap();
+    server
+        .open(
+            "heavy",
+            SessionSpec::new(8, heavy_cols * 64)
+                .with_svd(SvdConfig::new(8).with_r1(16).with_r2(16))
+                .with_ranks(4)
+                .with_batch(heavy_cols),
+        )
+        .unwrap();
+    server.submit("light", chunk(ROWS, 2 * BATCH, 7)).unwrap();
+    server.drain();
+    let baseline = server.singular_values("light").unwrap();
+
+    // Calibrate: mean wall time of an uncontended heavy round.
+    let rows = heavy_cols * 64;
+    let mut round_secs = 0.0;
+    for r in 0..3u64 {
+        let t0 = Instant::now();
+        server.submit("heavy", chunk(rows, heavy_cols, r)).unwrap();
+        server.drain();
+        round_secs += t0.elapsed().as_secs_f64();
+    }
+    let heavy_round_mean = Duration::from_secs_f64(round_secs / 3.0);
+
+    // Storm light queries while the heavy round pins the only worker;
+    // retry whole rounds in case a storm loses the race entirely.
+    let mut ns = Vec::new();
+    let mut overlapped = 0u64;
+    for attempt in 0..5u64 {
+        server.submit("heavy", chunk(rows, heavy_cols, 100 + attempt)).unwrap();
+        for _ in 0..STORM_QUERIES {
+            let busy = server.is_busy("heavy");
+            let t0 = Instant::now();
+            let sigma = server.singular_values("light").unwrap();
+            let dt = t0.elapsed().as_nanos() as u64;
+            assert_eq!(sigma, baseline, "heavy updates must not disturb the light tenant");
+            if busy {
+                overlapped += 1;
+                ns.push(dt);
+            }
+        }
+        server.drain();
+        if overlapped > 100 {
+            break;
+        }
+    }
+    assert!(overlapped > 0, "no query overlapped a heavy round — contention not exercised");
+    server.shutdown();
+    ContendedOut { heavy_round_mean, latency: summarize(ns), overlapped }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let (sessions, chunks_per_session, heavy_cols) =
+        if quick { (128, 3, 16) } else { (512, 6, 32) };
+
+    println!(
+        "serve_load: {sessions} tenants x {chunks_per_session} chunks of {BATCH}, resident cap \
+         {}, heavy tenant {}x{heavy_cols} per round{}",
+        sessions / 4,
+        heavy_cols * 64,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let idle = idle_probe();
+    let fleet = fleet_load(sessions, chunks_per_session);
+    let contended = contended_probe(heavy_cols);
+
+    let table = Table::new(&["phase", "sessions", "snapshots", "wall", "p50", "p99", "notes"]);
+    table.row(&[
+        "idle".to_string(),
+        "1".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        fmt_us(idle.p50),
+        fmt_us(idle.p99),
+        format!("{} queries", idle.samples),
+    ]);
+    table.row(&[
+        "fleet".to_string(),
+        fleet.sessions.to_string(),
+        fleet.snapshots.to_string(),
+        fmt_secs(fleet.wall_seconds),
+        "-".to_string(),
+        "-".to_string(),
+        format!(
+            "{:.0} snap/s, {} evict, {} rehydrate, {} replays, {} faults, sim {}",
+            fleet.snapshots_per_sec,
+            fleet.evictions,
+            fleet.rehydrations,
+            fleet.replays,
+            fleet.faults_absorbed,
+            fmt_secs(fleet.sim_comm_seconds),
+        ),
+    ]);
+    table.row(&[
+        "contended".to_string(),
+        "2".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        fmt_us(contended.latency.p50),
+        fmt_us(contended.latency.p99),
+        format!(
+            "{} overlapped, heavy round {}",
+            contended.overlapped,
+            fmt_secs(contended.heavy_round_mean.as_secs_f64()),
+        ),
+    ]);
+
+    // Contention gate: if queries waited behind the in-flight round, their
+    // p99 would land at heavy-round scale. Half a round, floored at 2 ms,
+    // absorbs scheduler noise while still catching any blocking design.
+    let p99_budget = (contended.heavy_round_mean / 2).max(Duration::from_millis(2));
+    println!(
+        "\ngates: accepted == processed, evictions/rehydrations/replays > 0, contended query \
+         p99 {} <= {} (= max(heavy round / 2, 2 ms))",
+        fmt_us(contended.latency.p99),
+        fmt_us(p99_budget),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"sessions\": {sessions},");
+    let _ = writeln!(json, "  \"chunks_per_session\": {chunks_per_session},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"resident_cap\": {},", sessions / 4);
+    let _ = writeln!(json, "  \"network\": \"theta-aries\",");
+    let _ = writeln!(json, "  \"idle\": {{");
+    let _ = writeln!(json, "    \"queries\": {},", idle.samples);
+    let _ = writeln!(json, "    \"p50_us\": {:.3},", idle.p50.as_nanos() as f64 / 1e3);
+    let _ = writeln!(json, "    \"p99_us\": {:.3}", idle.p99.as_nanos() as f64 / 1e3);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fleet\": {{");
+    let _ = writeln!(json, "    \"snapshots_processed\": {},", fleet.snapshots);
+    let _ = writeln!(json, "    \"rounds\": {},", fleet.rounds);
+    let _ = writeln!(json, "    \"replays\": {},", fleet.replays);
+    let _ = writeln!(json, "    \"faults_absorbed\": {},", fleet.faults_absorbed);
+    let _ = writeln!(json, "    \"evictions\": {},", fleet.evictions);
+    let _ = writeln!(json, "    \"rehydrations\": {},", fleet.rehydrations);
+    let _ = writeln!(json, "    \"evicted_bytes\": {},", fleet.evicted_bytes);
+    let _ = writeln!(json, "    \"wire_messages\": {},", fleet.wire_messages);
+    let _ = writeln!(json, "    \"wire_bytes\": {},", fleet.wire_bytes);
+    let _ = writeln!(json, "    \"sim_comm_seconds\": {:.9},", fleet.sim_comm_seconds);
+    let _ = writeln!(json, "    \"wall_seconds\": {:.6},", fleet.wall_seconds);
+    let _ = writeln!(json, "    \"snapshots_per_sec\": {:.1}", fleet.snapshots_per_sec);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"contended\": {{");
+    let _ = writeln!(
+        json,
+        "    \"heavy_round_ms\": {:.3},",
+        contended.heavy_round_mean.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "    \"overlapped_queries\": {},", contended.overlapped);
+    let _ = writeln!(json, "    \"p50_us\": {:.3},", contended.latency.p50.as_nanos() as f64 / 1e3);
+    let _ = writeln!(json, "    \"p99_us\": {:.3},", contended.latency.p99.as_nanos() as f64 / 1e3);
+    let _ = writeln!(json, "    \"p99_budget_us\": {:.3}", p99_budget.as_nanos() as f64 / 1e3);
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+
+    assert!(
+        contended.latency.p99 <= p99_budget,
+        "contended query p99 {:?} exceeds budget {:?} (heavy round {:?}) — queries are \
+         blocking behind updates",
+        contended.latency.p99,
+        p99_budget,
+        contended.heavy_round_mean,
+    );
+}

@@ -66,6 +66,11 @@ pub fn try_tree_bcast<C: Communicator, T: Payload + Clone>(
 ) -> Result<T, CommError> {
     // Tag first — see `try_tree_gather` on death-round transitions.
     let tag = comm.next_collective_tag();
+    if comm.renumbered(root) {
+        // The value-holder died at this boundary (see the flat
+        // `try_bcast`): fail the round consistently on every rank.
+        return Err(CommError::RankDead { rank: root });
+    }
     let size = comm.size();
     let rank = comm.rank();
     let relative = (rank + size - root) % size;

@@ -41,6 +41,18 @@ pub trait Communicator {
     /// on every rank).
     fn next_collective_tag(&self) -> u64;
 
+    /// Did the collective boundary opened by the *most recent*
+    /// [`Communicator::next_collective_tag`] change which rank occupies
+    /// `index`? Reliable fixed-world backends never renumber; a
+    /// fault-injecting backend whose rank deaths shrink the world answers
+    /// `true` when a death at that boundary shifted `index`'s occupant.
+    /// Every rank answers identically (the schedule is shared), so
+    /// collectives can fail a doomed round consistently instead of
+    /// deadlocking on a root whose pre-boundary state died with its rank.
+    fn renumbered(&self, _index: usize) -> bool {
+        false
+    }
+
     /// Simulated clock (seconds). Zero for communicators without a model.
     fn now(&self) -> f64 {
         0.0
@@ -98,6 +110,14 @@ pub trait Communicator {
     /// Fallible broadcast (see [`Communicator::bcast`]).
     fn try_bcast<T: Payload + Clone>(&self, value: Option<T>, root: usize) -> Result<T, CommError> {
         let tag = self.next_collective_tag();
+        if self.renumbered(root) {
+            // The rank that computed the broadcast value died at this very
+            // boundary and a survivor was renumbered into the root slot
+            // without the value. Every rank reaches this same conclusion
+            // from the shared schedule, so the whole round fails cleanly
+            // instead of the new root panicking / its peers blocking.
+            return Err(CommError::RankDead { rank: root });
+        }
         if self.rank() == root {
             let v = value.expect("bcast: root must supply a value");
             for dst in 0..self.size() {
@@ -117,6 +137,11 @@ pub trait Communicator {
     /// Fallible scatter (see [`Communicator::scatter`]).
     fn try_scatter<T: Payload>(&self, values: Option<Vec<T>>, root: usize) -> Result<T, CommError> {
         let tag = self.next_collective_tag();
+        if self.renumbered(root) {
+            // Same hazard as `try_bcast`: the values were computed by a
+            // rank that died at this boundary.
+            return Err(CommError::RankDead { rank: root });
+        }
         if self.rank() == root {
             let values = values.expect("scatter: root must supply values");
             assert_eq!(values.len(), self.size(), "scatter: need one value per rank");

@@ -178,6 +178,22 @@ impl FaultPlan {
         self.seed
     }
 
+    /// The sub-seed for an independent fault stream derived from a master
+    /// seed — e.g. one schedule per `(tenant session, update round)` in a
+    /// long-lived service. Pure counter-based mixing, so derived streams
+    /// replay identically and stay uncorrelated across `stream`/`round`
+    /// (`FaultPlan::new(derive_seed(s, a, b))` rebuilds any schedule from
+    /// its three coordinates).
+    pub fn derive_seed(seed: u64, stream: u64, round: u64) -> u64 {
+        hash4(seed, stream, round, 0x5E55_10D0_5EED_0001)
+    }
+
+    /// A fault-free plan on the `(stream, round)` sub-seed of this plan's
+    /// seed; compose faults with the `with_*` builders as usual.
+    pub fn derive(&self, stream: u64, round: u64) -> FaultPlan {
+        FaultPlan::new(Self::derive_seed(self.seed, stream, round))
+    }
+
     /// Builder: probability that a send's payload is dropped.
     pub fn with_drop_prob(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
@@ -315,6 +331,10 @@ pub struct FaultComm<'a, C: Communicator> {
     op: Cell<u64>,
     /// Collective rounds started (1-based after the first).
     round: Cell<u64>,
+    /// If deaths fired at the most recent collective boundary, the lowest
+    /// dense index whose occupant changed (`None` when the boundary was
+    /// death-free). Backs [`Communicator::renumbered`].
+    shifted_from: Cell<Option<usize>>,
     delayed: RefCell<Vec<DelayedSend<C>>>,
     stats: RefCell<FaultStats>,
 }
@@ -342,6 +362,7 @@ impl<'a, C: Communicator> FaultComm<'a, C> {
             my_death: Cell::new(false),
             op: Cell::new(0),
             round: Cell::new(0),
+            shifted_from: Cell::new(None),
             delayed: RefCell::new(Vec::new()),
             stats: RefCell::new(FaultStats::default()),
         }
@@ -565,6 +586,19 @@ impl<C: Communicator> Communicator for FaultComm<'_, C> {
         self.flush_delayed();
         let r = self.round.get() + 1;
         self.round.set(r);
+        // Dense indices are computed against the pre-boundary world, so
+        // `renumbered` can answer for state captured before this boundary.
+        let mut shifted: Option<usize> = None;
+        {
+            let dead = self.dead.borrow();
+            for d in self.plan.deaths() {
+                if d.at_round == r && !dead[d.rank] {
+                    let idx = (0..d.rank).filter(|&p| !dead[p]).count();
+                    shifted = Some(shifted.map_or(idx, |s| s.min(idx)));
+                }
+            }
+        }
+        self.shifted_from.set(shifted);
         for d in self.plan.deaths() {
             if d.at_round == r {
                 self.dead.borrow_mut()[d.rank] = true;
@@ -574,6 +608,10 @@ impl<C: Communicator> Communicator for FaultComm<'_, C> {
             }
         }
         self.inner.next_collective_tag()
+    }
+
+    fn renumbered(&self, index: usize) -> bool {
+        self.shifted_from.get().is_some_and(|from| index >= from)
     }
 
     fn failed_ranks(&self) -> Vec<usize> {
@@ -735,6 +773,50 @@ mod tests {
         });
         assert!(out[0] > 0.0, "sender must have backed off");
         assert!(clocks[0] >= out[0], "backoff must be on the simulated clock");
+    }
+
+    #[test]
+    fn root_death_at_bcast_boundary_fails_every_rank() {
+        // Rank 0 dies exactly at the second bcast's boundary: the survivor
+        // renumbered into the root slot has no value to broadcast, so the
+        // whole round must fail with the same permanent error on every
+        // rank — not panic on the new root or deadlock its peers.
+        let plan = FaultPlan::new(21).with_death(0, 2);
+        let w = World::new(3);
+        let out = w.run(|c| {
+            let fc = FaultComm::new(c, plan.clone());
+            let supply = |v: f64| if fc.rank() == 0 { Some(v) } else { None };
+            let first = fc.try_bcast(supply(7.0), 0);
+            let second = fc.try_bcast(supply(9.0), 0);
+            (first, second)
+        });
+        for (rank, (first, second)) in out.iter().enumerate() {
+            assert_eq!(*first, Ok(7.0), "rank {rank}: pre-death bcast works");
+            assert_eq!(
+                *second,
+                Err(CommError::RankDead { rank: 0 }),
+                "rank {rank}: doomed round fails consistently"
+            );
+        }
+    }
+
+    #[test]
+    fn nonroot_death_at_bcast_boundary_spares_the_round() {
+        // Killing the last rank does not renumber the root: the surviving
+        // ranks complete the broadcast on the shrunken world.
+        let plan = FaultPlan::new(22).with_death(2, 2);
+        let w = World::new(3);
+        let out = w.run(|c| {
+            let fc = FaultComm::new(c, plan.clone());
+            let supply = |v: f64| if fc.rank() == 0 { Some(v) } else { None };
+            let first = fc.try_bcast(supply(7.0), 0);
+            let second = fc.try_bcast(supply(9.0), 0);
+            (first, second)
+        });
+        assert_eq!(out[0].1, Ok(9.0));
+        assert_eq!(out[1].1, Ok(9.0));
+        assert_eq!(out[2].1, Err(CommError::RankDead { rank: 2 }), "the victim itself errors");
+        assert_eq!(out[2].0, Ok(7.0));
     }
 
     #[test]

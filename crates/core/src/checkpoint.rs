@@ -32,10 +32,17 @@ pub struct SvdCheckpoint {
 }
 
 impl SvdCheckpoint {
+    /// Exact size of the [`SvdCheckpoint::to_bytes`] encoding, without
+    /// encoding — what an eviction ledger charges for spilling this state.
+    pub fn byte_len(&self) -> usize {
+        let (m, k) = self.modes.shape();
+        48 + 8 * (m * k + self.singular_values.len())
+    }
+
     /// Encode to bytes (self-describing, little-endian).
     pub fn to_bytes(&self) -> Vec<u8> {
         let (m, k) = self.modes.shape();
-        let mut out = Vec::with_capacity(48 + 8 * (m * k + self.singular_values.len()));
+        let mut out = Vec::with_capacity(self.byte_len());
         out.extend_from_slice(MAGIC);
         for v in [
             m as u64,
@@ -171,7 +178,9 @@ mod tests {
     fn bytes_roundtrip() {
         let (s, _) = tracker_after(3);
         let ckpt = s.checkpoint();
-        let back = SvdCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let encoded = ckpt.to_bytes();
+        assert_eq!(encoded.len(), ckpt.byte_len());
+        let back = SvdCheckpoint::from_bytes(&encoded).unwrap();
         assert_eq!(ckpt, back);
     }
 

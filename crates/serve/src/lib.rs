@@ -1,0 +1,56 @@
+//! # psvd-serve
+//!
+//! SVD-as-a-service: a multi-tenant streaming server hosting many
+//! concurrent [`psvd_core::ParallelStreamingSvd`] sessions — the front
+//! door that turns the library into a long-lived daemon.
+//!
+//! Architecture (see DESIGN.md, "Service architecture"):
+//!
+//! - **Sessions** ([`session`]): a tenant's durable state is its set of
+//!   per-rank [`psvd_core::SvdCheckpoint`]s. Each update *round* restores
+//!   ephemeral drivers over a stack-local communicator (a
+//!   [`psvd_comm::SelfComm`] for single-rank sessions, a fresh
+//!   [`psvd_comm::World`] otherwise), streams the round's batches through
+//!   the drivers' untouched `try_fit_source` path, and commits the new
+//!   checkpoint set — or discards everything and replays the round on a
+//!   clean world if any rank failed, so crashes recover bitwise from the
+//!   last committed checkpoints.
+//! - **Ingestion queues** ([`queue`]): arrival chunks of any width are
+//!   coalesced into the session's canonical batch width before they reach
+//!   a driver, so the committed model depends only on the column stream,
+//!   never on how clients happened to chop it up.
+//! - **Server** ([`server`]): a tenant-keyed session map, a worker pool
+//!   draining the queues one fair round at a time, checkpoint-backed
+//!   eviction of idle sessions with rehydration on the next touch, and
+//!   non-blocking query endpoints answering from an [`std::sync::Arc`]'d
+//!   immutable [`SessionModel`] snapshot — queries never wait on any
+//!   tenant's update computation.
+//! - **Chaos** ([`chaos`]): [`psvd_comm::FaultComm`] wired in as the
+//!   fault layer, with per-`(tenant, round)` schedules derived from one
+//!   master seed via [`psvd_comm::FaultPlan::derive_seed`].
+//!
+//! ```
+//! use psvd_serve::{ServeConfig, SessionSpec, SvdServer};
+//! use psvd_linalg::Matrix;
+//!
+//! let server = SvdServer::new(ServeConfig::default());
+//! server.open("tenant-a", SessionSpec::new(2, 24).with_batch(4)).unwrap();
+//! let data = Matrix::from_fn(24, 8, |i, j| ((i * 7 + j * 3) as f64 * 0.1).sin());
+//! server.submit("tenant-a", data).unwrap();
+//! server.drain();
+//! let sigma = server.singular_values("tenant-a").unwrap();
+//! assert_eq!(sigma.len(), 2);
+//! server.shutdown();
+//! ```
+
+pub mod chaos;
+pub mod queue;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use chaos::ChaosSpec;
+pub use queue::{BatchQueue, CoalescedBatches, QueueFull};
+pub use server::{ServeConfig, ServeError, SvdServer};
+pub use session::{RoundReport, SessionModel, SessionSpec, SessionState};
+pub use stats::{LatencyHistogram, ServeStats, StatsSnapshot};

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# SVD-as-a-service load benchmark.
+#
+# Drives one SvdServer through three phases — an idle query-latency probe,
+# a fleet of tenants streamed under a resident cap of a quarter of the
+# fleet (with simulated-network and seeded-chaos slices), and a contended
+# probe storming a light tenant's queries while a heavy multi-rank tenant
+# grinds rounds on the worker pool — and writes throughput, latency
+# percentiles and the service ledger to BENCH_serve.json at the repo
+# root. Gated inside the harness: every accepted snapshot is processed
+# after flush + drain, the cap forces evictions and queries force
+# rehydrations, the chaos slice absorbs faults and replays dead rounds,
+# and contended query p99 stays below half an uncontended heavy round.
+#
+#   scripts/bench_serve.sh           # quick run (~5 s): 128 tenants
+#   scripts/bench_serve.sh --full    # full run (~30 s): 512 tenants
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=--quick
+if [[ "${1:-}" == "--full" ]]; then
+    MODE=""
+fi
+
+# shellcheck disable=SC2086  # $MODE is deliberately word-split (may be empty)
+cargo run -p psvd-bench --release --bin serve_load -- $MODE --out BENCH_serve.json
+
+echo "bench_serve: OK (BENCH_serve.json written)"

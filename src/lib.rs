@@ -11,7 +11,9 @@
 //!   and a simulated network clock;
 //! - [`data`] — workload generators (Burgers, synthetic ERA5) and the
 //!   `ncsim` parallel-IO container;
-//! - [`core`] — the streaming / distributed / randomized SVD drivers.
+//! - [`core`] — the streaming / distributed / randomized SVD drivers;
+//! - [`serve`] — the multi-tenant SVD-as-a-service daemon (session
+//!   manager, ingestion queues, checkpoint-backed eviction, chaos layer).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use psvd_comm as comm;
 pub use psvd_core as core;
 pub use psvd_data as data;
 pub use psvd_linalg as linalg;
+pub use psvd_serve as serve;
 
 /// The common imports for applications.
 pub mod prelude {
@@ -60,4 +63,5 @@ pub mod prelude {
     };
     pub use psvd_data::{BurgersConfig, Era5Config};
     pub use psvd_linalg::{svd, Matrix, RandomizedConfig, Svd, SvdMethod};
+    pub use psvd_serve::{ChaosSpec, ServeConfig, SessionSpec, SvdServer};
 }

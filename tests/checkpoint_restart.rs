@@ -99,3 +99,40 @@ fn distributed_pod_matches_serial_pod() {
         assert!((a - b).abs() < 1e-8 * b.max(1.0), "{a} vs {b}");
     }
 }
+
+#[test]
+fn serve_eviction_rehydration_is_bit_exact() {
+    // The service-level restart scenario: one session is evicted to its
+    // checkpoint blob and rehydrated repeatedly mid-stream, its twin never
+    // leaves memory; both see the same columns and must agree bitwise.
+    use pyparsvd::serve::{ServeConfig, SessionSpec, SvdServer};
+
+    let data = dataset();
+    let spec = SessionSpec::new(4, data.rows())
+        .with_svd(SvdConfig::new(4).with_forget_factor(0.95).with_r1(24).with_r2(24))
+        .with_ranks(4)
+        .with_batch(8);
+    let server = SvdServer::new(ServeConfig::default().with_workers(2));
+    server.open("churned", spec).unwrap();
+    server.open("resident", spec).unwrap();
+
+    for start in (0..data.cols()).step_by(8) {
+        let chunk = data.submatrix(0, data.rows(), start, (start + 8).min(data.cols()));
+        server.submit("churned", chunk.clone()).unwrap();
+        server.submit("resident", chunk).unwrap();
+        server.drain();
+        // Spill only the churned session; queries force rehydration.
+        assert!(server.evict("churned").unwrap(), "idle session must evict");
+        let churned_sigma = server.singular_values("churned").unwrap();
+        assert_eq!(churned_sigma, server.singular_values("resident").unwrap());
+    }
+
+    let churned = server.model("churned").unwrap();
+    let resident = server.model("resident").unwrap();
+    assert_eq!(churned.singular_values, resident.singular_values);
+    assert_eq!(churned.modes, resident.modes);
+    assert_eq!(churned.snapshots_seen, resident.snapshots_seen);
+    assert!(server.stats().snapshot().evictions >= 6, "every cycle must actually spill");
+    assert_eq!(server.stats().snapshot().evictions, server.stats().snapshot().rehydrations);
+    server.shutdown();
+}

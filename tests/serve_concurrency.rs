@@ -1,0 +1,128 @@
+//! Concurrency properties of the SVD service:
+//!
+//! 1. Queries are never blocked behind another tenant's update — they read
+//!    a published `Arc` snapshot of the model, so even with every worker
+//!    pinned inside a heavy round, a different tenant's queries answer.
+//! 2. Sessions do not leak — repeated identical open/stream/close cycles
+//!    reach an allocation steady state (identical per-cycle `Matrix`
+//!    buffer and wire-traffic deltas), and the session map drains to zero.
+//!
+//! The allocation ledger is process-global, so the tests serialize on a
+//! static mutex instead of trusting the harness's thread scheduling.
+
+use std::sync::Mutex;
+
+use pyparsvd::prelude::*;
+use pyparsvd::serve::{ServeConfig, SessionSpec, SvdServer};
+
+static ALLOC_LEDGER: Mutex<()> = Mutex::new(());
+
+fn chunk(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i as f64 * 0.83 + j as f64 * 1.91 + seed as f64) * 0.17).sin()
+    })
+}
+
+fn small_spec(rows: usize) -> SessionSpec {
+    SessionSpec::new(2, rows).with_svd(SvdConfig::new(2).with_r1(4).with_r2(4)).with_batch(4)
+}
+
+#[test]
+fn queries_answer_while_another_tenant_updates() {
+    let _serial = ALLOC_LEDGER.lock().unwrap();
+    // One worker only: if updates could block queries, pinning the sole
+    // worker inside the heavy tenant's round would starve everyone.
+    let server = SvdServer::new(ServeConfig::default().with_workers(1));
+    server.open("light", small_spec(16)).unwrap();
+    server
+        .open(
+            "heavy",
+            SessionSpec::new(8, 2048)
+                .with_svd(SvdConfig::new(8).with_r1(16).with_r2(16))
+                .with_ranks(4)
+                .with_batch(16),
+        )
+        .unwrap();
+
+    // Commit a light model first so its queries have something to read.
+    server.submit("light", chunk(16, 8, 1)).unwrap();
+    server.drain();
+    let baseline = server.singular_values("light").unwrap();
+
+    // Storm light queries while the heavy round holds the only worker.
+    // Retry the whole heavy round a few times in case it wins the race.
+    let mut overlapped = 0u32;
+    for attempt in 0..5 {
+        server.submit("heavy", chunk(2048, 32, attempt)).unwrap();
+        for _ in 0..20_000 {
+            let busy = server.is_busy("heavy");
+            let sigma = server.singular_values("light").unwrap();
+            assert_eq!(sigma, baseline, "concurrent update must not disturb another tenant");
+            if busy {
+                overlapped += 1;
+            }
+        }
+        server.drain();
+        if overlapped > 0 {
+            break;
+        }
+    }
+    assert!(overlapped > 0, "no query ever overlapped the heavy round — not exercised");
+    // The heavy tenant committed its rounds despite the query storm.
+    assert!(server.session_rounds("heavy").unwrap() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn repeated_session_cycles_reach_allocation_steady_state() {
+    let _serial = ALLOC_LEDGER.lock().unwrap();
+    let server = SvdServer::new(ServeConfig::default().with_workers(2));
+
+    let cycle = |tag: u64| {
+        for t in ["cy-a", "cy-b", "cy-c"] {
+            server.open(t, small_spec(24).with_ranks(2)).unwrap();
+        }
+        // Same columns every cycle, drained one batch at a time so every
+        // cycle commits the same round structure — the work, and therefore
+        // the allocations, must be identical once warmed up.
+        for step in 0..2 {
+            for t in ["cy-a", "cy-b", "cy-c"] {
+                server.submit(t, chunk(24, 4, 7 + step)).unwrap();
+                server.drain();
+            }
+        }
+        for t in ["cy-a", "cy-b", "cy-c"] {
+            server.submit(t, chunk(24, 2, 9)).unwrap();
+            server.flush(t).unwrap();
+            server.drain();
+        }
+        for t in ["cy-a", "cy-b", "cy-c"] {
+            let sigma = server.singular_values(t).unwrap();
+            assert_eq!(sigma.len(), 2, "cycle {tag}: model served");
+            server.close(t).unwrap().expect("model committed");
+        }
+        assert_eq!(server.session_count(), 0, "cycle {tag}: sessions drained");
+    };
+
+    // Warm up once (lazy pools, hash map growth), then measure.
+    cycle(0);
+    let mut deltas = Vec::new();
+    for tag in 1..=4 {
+        let alloc0 = pyparsvd::linalg::alloc_stats::snapshot();
+        let wire0 = server.stats().snapshot();
+        cycle(tag);
+        let alloc1 = pyparsvd::linalg::alloc_stats::snapshot();
+        let wire1 = server.stats().snapshot();
+        deltas.push((
+            alloc1.0 - alloc0.0,
+            wire1.wire_messages - wire0.wire_messages,
+            wire1.wire_bytes - wire0.wire_bytes,
+        ));
+    }
+    // A leak grows the per-cycle footprint; steady state pins it flat.
+    for d in &deltas[1..] {
+        assert_eq!(d, &deltas[0], "per-cycle allocation/traffic drifted: {deltas:?}");
+    }
+    assert!(deltas[0].1 > 0, "two-rank cycles must produce wire traffic");
+    server.shutdown();
+}
