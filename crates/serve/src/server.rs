@@ -8,6 +8,14 @@
 //! `slot` for the duration of a round and swap `model` in O(1) at the
 //! end. Eviction sweeps use `try_lock` on victims and skip anything
 //! contended, so two workers can never deadlock evicting each other.
+//!
+//! Round exclusivity: a session's `scheduled` flag is held from enqueue
+//! until its round commits, so the tenant sits in the dispatch queue at
+//! most once and no two workers can ever run rounds for the same session
+//! concurrently — work is cut and committed in the same order, keeping
+//! the published model a pure function of the column stream at any
+//! worker count. See [`Inner::process`] for why no racing submit is
+//! lost.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -162,9 +170,14 @@ struct Session {
     queue: Mutex<BatchQueue>,
     slot: Mutex<Slot>,
     model: RwLock<Option<Arc<SessionModel>>>,
-    /// Already sitting in the dispatch queue (dedup flag).
+    /// Dedup flag *and* round mutex: set when the tenant enters the
+    /// dispatch queue, cleared only after its round commits — so at most
+    /// one dispatch entry (and therefore one worker round) exists per
+    /// session at any time.
     scheduled: AtomicBool,
-    /// A worker is inside a round right now.
+    /// A worker is inside a round right now. Single-writer (only the
+    /// round owner toggles it, and rounds are serialized by `scheduled`);
+    /// gates the eviction sweep and `is_busy`.
     busy: AtomicBool,
     /// Drain the runt batch on the next dispatch.
     flush_requested: AtomicBool,
@@ -174,6 +187,10 @@ struct Session {
 
 struct Sched {
     queue: VecDeque<String>,
+    /// Rounds currently owned by a worker, keyed by tenant. A count, not
+    /// a set: a worker's post-commit tail (ready-work re-check + sweep)
+    /// can overlap the next round's start for the same tenant.
+    in_flight: HashMap<String, u32>,
     active: usize,
     shutdown: bool,
 }
@@ -205,7 +222,12 @@ impl SvdServer {
         let inner = Arc::new(Inner {
             cfg,
             sessions: RwLock::new(HashMap::new()),
-            sched: Mutex::new(Sched { queue: VecDeque::new(), active: 0, shutdown: false }),
+            sched: Mutex::new(Sched {
+                queue: VecDeque::new(),
+                in_flight: HashMap::new(),
+                active: 0,
+                shutdown: false,
+            }),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             stats: ServeStats::default(),
@@ -279,8 +301,7 @@ impl SvdServer {
     /// Ask a worker to drain `tenant`'s runt (sub-batch-width) remainder.
     pub fn flush(&self, tenant: &str) -> Result<(), ServeError> {
         let session = self.inner.get(tenant)?;
-        if session.queue.lock().unwrap().pending_snapshots() > 0 {
-            session.flush_requested.store(true, Ordering::Release);
+        if request_flush(&session) {
             self.inner.schedule(&session);
         }
         Ok(())
@@ -291,8 +312,7 @@ impl SvdServer {
         let sessions: Vec<Arc<Session>> =
             self.inner.sessions.read().unwrap().values().cloned().collect();
         for s in sessions {
-            if s.queue.lock().unwrap().pending_snapshots() > 0 {
-                s.flush_requested.store(true, Ordering::Release);
+            if request_flush(&s) {
                 self.inner.schedule(&s);
             }
         }
@@ -367,10 +387,21 @@ impl SvdServer {
             let mut map = self.inner.sessions.write().unwrap();
             map.remove(tenant).ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))?
         };
-        // A dispatched round may still be running; let it finish so the
-        // worker's Arc is the last one standing.
-        while session.busy.load(Ordering::Acquire) {
-            std::thread::yield_now();
+        // A dispatched round may still be queued or running; wait it out
+        // so the final commit is visible in `model` below. The dispatch
+        // entry exists until a worker pops it, and the pop and the
+        // in-flight mark happen under the same scheduler lock as this
+        // predicate, so there is no window where a round is invisible.
+        // New rounds cannot start: the map entry is gone, so a popped
+        // dispatch finds no session and returns immediately. (After
+        // `shutdown` the queue is already drained — workers only exit on
+        // an empty queue — so this cannot wait forever.)
+        {
+            let mut sched = self.inner.sched.lock().unwrap();
+            while sched.in_flight.contains_key(tenant) || sched.queue.iter().any(|t| t == tenant)
+            {
+                sched = self.inner.idle_cv.wait(sched).unwrap();
+            }
         }
         if matches!(*session.slot.lock().unwrap(), Slot::Live(_)) {
             self.inner.resident.fetch_sub(1, Ordering::Relaxed);
@@ -418,14 +449,29 @@ impl SvdServer {
     }
 
     /// Stop the workers (outstanding rounds finish first) and join them.
+    ///
+    /// A worker that panicked mid-round silently dropped that round's
+    /// submissions, so the panic resurfaces here rather than being
+    /// swallowed — unless shutdown is itself running during an unwind
+    /// (the `Drop` path), where a second panic would abort the process.
     pub fn shutdown(&self) {
         {
             let mut sched = self.inner.sched.lock().unwrap();
             sched.shutdown = true;
         }
         self.inner.work_cv.notify_all();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for h in self.workers.lock().unwrap().drain(..) {
-            let _ = h.join();
+            if let Err(e) = h.join() {
+                panic.get_or_insert(e);
+            }
+        }
+        if let Some(e) = panic {
+            if std::thread::panicking() {
+                eprintln!("psvd-serve: suppressing a worker panic (already unwinding)");
+            } else {
+                std::panic::resume_unwind(e);
+            }
         }
     }
 }
@@ -474,19 +520,37 @@ impl Inner {
             return Err(ServeError::NotReady(session.tenant.clone()));
         }
         let model = Arc::new(state.model());
-        *session.model.write().unwrap() = Some(Arc::clone(&model));
-        Ok(model)
+        drop(slot);
+        // Publish outside the slot lock (the model RwLock is only ever
+        // taken alone — see the module docs). A round may commit between
+        // the drop above and this write; never let this snapshot shadow a
+        // newer one.
+        let mut published = session.model.write().unwrap();
+        match &*published {
+            Some(cur) if cur.rounds >= model.rounds => Ok(Arc::clone(cur)),
+            _ => {
+                *published = Some(Arc::clone(&model));
+                Ok(model)
+            }
+        }
     }
 
     /// One fair round for one session: cut work, (rehydrate,) update,
     /// publish the new model, bump counters, then sweep for eviction.
+    ///
+    /// The `scheduled` flag stays set for the whole round and is released
+    /// only after the commit, just before the final ready-work re-check.
+    /// That makes per-session rounds mutually exclusive (at most one
+    /// dispatch entry can exist while the flag is held) so cut order
+    /// equals commit order, and the re-check guarantees a submit racing
+    /// the round is never lost: `submit` pushes its columns *before*
+    /// trying to schedule, so either its `schedule` lands after the flag
+    /// release (and enqueues), or the re-check sees its columns (and
+    /// enqueues here).
     fn process(&self, tenant: &str) {
         let Ok(session) = self.get(tenant) else {
             return; // closed while queued
         };
-        // Clear the dedup flag *before* cutting work, so a submit racing
-        // with this round re-schedules rather than getting lost.
-        session.scheduled.store(false, Ordering::Release);
         session.busy.store(true, Ordering::Release);
         let flush = session.flush_requested.swap(false, Ordering::AcqRel);
         let work = {
@@ -537,6 +601,9 @@ impl Inner {
             session.last_touch.store(now, Ordering::Relaxed);
         }
         session.busy.store(false, Ordering::Release);
+        // Round over: release the dedup flag, *then* re-check the queue
+        // (this order is what makes the no-lost-work argument above hold).
+        session.scheduled.store(false, Ordering::Release);
         // More ready work (or a flush that raced in)? Back on the queue.
         let again = {
             let q = session.queue.lock().unwrap();
@@ -615,6 +682,21 @@ impl Inner {
     }
 }
 
+/// Raise the session's flush flag if it has pending columns; `true` when
+/// a dispatch is needed. The store happens *inside* the queue critical
+/// section so it is ordered (by the mutex) against an in-flight round's
+/// end-of-round re-check, which reads the flag under the same lock —
+/// with the store outside, the flag write and the re-check's flag read
+/// could both land stale (store buffering) and the flush would be lost.
+fn request_flush(session: &Session) -> bool {
+    let q = session.queue.lock().unwrap();
+    let pending = q.pending_snapshots() > 0;
+    if pending {
+        session.flush_requested.store(true, Ordering::Release);
+    }
+    pending
+}
+
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let tenant = {
@@ -622,6 +704,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             loop {
                 if let Some(t) = sched.queue.pop_front() {
                     sched.active += 1;
+                    *sched.in_flight.entry(t.clone()).or_insert(0) += 1;
                     break t;
                 }
                 if sched.shutdown {
@@ -632,10 +715,11 @@ fn worker_loop(inner: &Arc<Inner>) {
         };
         // An unhandled panic inside a round must not wedge the scheduler:
         // without the unwind guard, `active` never comes back down and
-        // every future `drain()` blocks forever. The guard rebalances the
-        // books, then the unwind continues and kills this worker (the
-        // panic resurfaces when `shutdown` joins).
-        let settle = SettleActive { inner };
+        // every future `drain()` (and `close()`, which waits on the
+        // in-flight mark) blocks forever. The guard rebalances the books,
+        // then the unwind continues and kills this worker (the panic
+        // resurfaces when `shutdown` joins).
+        let settle = SettleActive { inner, tenant: &tenant };
         inner.process(&tenant);
         drop(settle);
     }
@@ -643,6 +727,7 @@ fn worker_loop(inner: &Arc<Inner>) {
 
 struct SettleActive<'a> {
     inner: &'a Arc<Inner>,
+    tenant: &'a str,
 }
 
 impl Drop for SettleActive<'_> {
@@ -654,9 +739,16 @@ impl Drop for SettleActive<'_> {
             Err(poisoned) => poisoned.into_inner(),
         };
         sched.active -= 1;
-        if sched.queue.is_empty() && sched.active == 0 {
-            self.inner.idle_cv.notify_all();
+        if let Some(n) = sched.in_flight.get_mut(self.tenant) {
+            *n -= 1;
+            if *n == 0 {
+                sched.in_flight.remove(self.tenant);
+            }
         }
+        // Wake every waiter: `drain` waits for full idleness, `close` for
+        // one tenant's round — both re-check their predicate under the
+        // lock, so the extra wakeups are harmless.
+        self.inner.idle_cv.notify_all();
     }
 }
 

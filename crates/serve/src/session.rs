@@ -149,7 +149,7 @@ pub struct SessionState {
     replays: u64,
 }
 
-const BLOB_MAGIC: &[u8; 8] = b"PSVDSRV1";
+const BLOB_MAGIC: &[u8; 8] = b"PSVDSRV2";
 
 impl SessionState {
     /// A fresh (uninitialized) session.
@@ -184,7 +184,7 @@ impl SessionState {
 
     /// Exact eviction-spill size of this state, in bytes.
     pub fn byte_len(&self) -> usize {
-        40 + self.parts.iter().map(|p| 8 + p.byte_len()).sum::<usize>()
+        48 + self.parts.iter().map(|p| 8 + p.byte_len()).sum::<usize>()
     }
 
     /// Stream one round of batches (no faults).
@@ -307,9 +307,13 @@ impl SessionState {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.byte_len());
         out.extend_from_slice(BLOB_MAGIC);
-        for v in
-            [self.spec.rows as u64, self.spec.ranks as u64, self.rounds, self.parts.len() as u64]
-        {
+        for v in [
+            self.spec.rows as u64,
+            self.spec.ranks as u64,
+            self.rounds,
+            self.replays,
+            self.parts.len() as u64,
+        ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
         for p in &self.parts {
@@ -326,18 +330,19 @@ impl SessionState {
     pub fn from_bytes(spec: SessionSpec, data: &[u8]) -> std::io::Result<Self> {
         use std::io::{Error, ErrorKind};
         let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
-        if data.len() < 40 || &data[..8] != BLOB_MAGIC {
+        if data.len() < 48 || &data[..8] != BLOB_MAGIC {
             return Err(bad("not a PSVD session blob"));
         }
         let word = |i: usize| {
             u64::from_le_bytes(data[8 + i * 8..16 + i * 8].try_into().expect("sized")) as usize
         };
-        let (rows, ranks, rounds, nparts) = (word(0), word(1), word(2), word(3));
+        let (rows, ranks, rounds, replays, nparts) =
+            (word(0), word(1), word(2), word(3), word(4));
         if rows != spec.rows || ranks != spec.ranks {
             return Err(bad("session blob does not match the spec"));
         }
         let mut parts = Vec::with_capacity(nparts);
-        let mut off = 40;
+        let mut off = 48;
         for _ in 0..nparts {
             if data.len() < off + 8 {
                 return Err(bad("truncated session blob"));
@@ -356,6 +361,7 @@ impl SessionState {
         let mut s = Self::new(spec);
         s.parts = parts;
         s.rounds = rounds as u64;
+        s.replays = replays as u64;
         Ok(s)
     }
 }
@@ -531,6 +537,7 @@ mod tests {
         let back = SessionState::from_bytes(sp, &blob).unwrap();
         assert_eq!(back.parts, st.parts);
         assert_eq!(back.rounds(), st.rounds());
+        assert_eq!(back.replays(), st.replays());
         assert_eq!(back.model(), st.model());
         // Uninitialized states evict too (nothing to spill but counters).
         let empty = SessionState::new(sp);
@@ -593,6 +600,10 @@ mod tests {
         assert!(replays > 0, "the deaths must actually have fired");
         assert_eq!(faulted.replays(), replays);
         assert_eq!(clean.model(), faulted.model());
+        // Per-session replay accounting survives eviction + rehydration.
+        let back = SessionState::from_bytes(sp, &faulted.to_bytes()).unwrap();
+        assert_eq!(back.replays(), replays);
+        assert_eq!(back.rounds(), faulted.rounds());
     }
 
     #[test]
